@@ -1,0 +1,123 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the paper-vs-measured discussion).
+//
+// Usage:
+//
+//	experiments -all -budget 60s
+//	experiments -table2
+//	experiments -fig4 -svgdir out/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		all         = flag.Bool("all", false, "run every experiment")
+		table1      = flag.Bool("table1", false, "Table I: SDR resource requirements")
+		feasibility = flag.Bool("feasibility", false, "per-region free-compatible-area feasibility")
+		table2      = flag.Bool("table2", false, "Table II: floorplan comparison")
+		fig1        = flag.Bool("fig1", false, "Figure 1: area compatibility example")
+		fig2        = flag.Bool("fig2", false, "Figure 2: columnar partitioning example")
+		fig4        = flag.Bool("fig4", false, "Figure 4: SDR2 floorplan")
+		fig5        = flag.Bool("fig5", false, "Figure 5: SDR3 floorplan")
+		runtime     = flag.Bool("runtime", false, "runtime relocation benefits (latency, storage)")
+		budget      = flag.Duration("budget", 60*time.Second, "per-solve time budget")
+		svgDir      = flag.String("svgdir", "", "also write figures as SVG into this directory")
+	)
+	flag.Parse()
+	if !(*table1 || *feasibility || *table2 || *fig1 || *fig2 || *fig4 || *fig5 || *runtime) {
+		*all = true
+	}
+	ctx := context.Background()
+
+	if *all || *table1 {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if *all || *fig1 {
+		fmt.Println(experiments.Figure1())
+	}
+	if *all || *fig2 {
+		out, err := experiments.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if *all || *feasibility {
+		rows, err := experiments.Feasibility(ctx, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFeasibility(rows))
+	}
+	if *all || *table2 {
+		rows, err := experiments.Table2(ctx, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	if *all || *fig4 {
+		if err := figure(ctx, "SDR2", "Figure 4", *budget, *svgDir); err != nil {
+			return err
+		}
+	}
+	if *all || *fig5 {
+		if err := figure(ctx, "SDR3", "Figure 5", *budget, *svgDir); err != nil {
+			return err
+		}
+	}
+	if *all || *runtime {
+		rep, err := experiments.Runtime(ctx, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatRuntime(rep))
+	}
+	return nil
+}
+
+func figure(ctx context.Context, design, label string, budget time.Duration, svgDir string) error {
+	p, sol, err := experiments.Floorplan(ctx, design, budget)
+	if err != nil {
+		return fmt.Errorf("%s (%s): %w", label, design, err)
+	}
+	m := sol.Metrics(p)
+	fmt.Printf("%s: %s floorplan (%d free-compatible areas, %d wasted frames)\n",
+		label, design, m.PlacedFC, m.WastedFrames)
+	fmt.Print(core.RenderASCII(p, sol))
+	fmt.Println()
+	if svgDir != "" {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(svgDir, design+".svg")
+		if err := os.WriteFile(path, []byte(floorplanner.RenderSVG(p, sol)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command floorplanner solves relocation-aware floorplanning problems
+// from the command line.
+//
+// Usage:
+//
+//	floorplanner -design SDR2 -engine exact -time 30s -ascii
+//	floorplanner -problem my-problem.json -svg plan.svg -out solution.json
+//
+// A problem file is JSON with the shape of floorplanner.Problem; the
+// built-in designs SDR, SDR2 and SDR3 reproduce the paper's case study.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/core"
+	"repro/internal/sdr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "floorplanner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		problemPath = flag.String("problem", "", "path to a problem JSON file")
+		design      = flag.String("design", "", "built-in design: SDR, SDR2 or SDR3")
+		engine      = flag.String("engine", "exact", "engine: "+strings.Join(floorplanner.EngineNames(), ", "))
+		timeLimit   = flag.Duration("time", 60*time.Second, "solve time limit")
+		seed        = flag.Int64("seed", 1, "seed for randomized engines")
+		workers     = flag.Int("workers", 0, "parallel workers (engine dependent)")
+		outPath     = flag.String("out", "", "write the solution as JSON to this file")
+		ascii       = flag.Bool("ascii", true, "print the floorplan as ASCII art")
+		svgPath     = flag.String("svg", "", "write the floorplan as SVG to this file")
+	)
+	flag.Parse()
+
+	p, err := loadProblem(*problemPath, *design)
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+		Engine:    *engine,
+		TimeLimit: *timeLimit,
+		Seed:      *seed,
+		Workers:   *workers,
+	})
+	switch {
+	case errors.Is(err, floorplanner.ErrInfeasible):
+		fmt.Println("INFEASIBLE: no floorplan satisfies the constraints")
+		return nil
+	case errors.Is(err, floorplanner.ErrNoSolution):
+		return fmt.Errorf("no solution found within %s (try a larger -time)", *timeLimit)
+	case err != nil:
+		return err
+	}
+
+	fmt.Print(sol.Summary(p))
+	if *ascii {
+		fmt.Println()
+		fmt.Print(floorplanner.RenderASCII(p, sol))
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(floorplanner.RenderSVG(p, sol)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	if *outPath != "" {
+		data, err := json.MarshalIndent(sol, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *outPath)
+	}
+	return nil
+}
+
+func loadProblem(path, design string) (*core.Problem, error) {
+	switch {
+	case path != "" && design != "":
+		return nil, fmt.Errorf("use either -problem or -design, not both")
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var p core.Problem
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return &p, nil
+	case strings.EqualFold(design, "SDR"):
+		return sdr.Problem(), nil
+	case strings.EqualFold(design, "SDR2"):
+		return sdr.SDR2(), nil
+	case strings.EqualFold(design, "SDR3"):
+		return sdr.SDR3(), nil
+	case design != "":
+		return nil, fmt.Errorf("unknown design %q (want SDR, SDR2 or SDR3)", design)
+	default:
+		return nil, fmt.Errorf("specify -problem <file> or -design <name>")
+	}
+}

@@ -1,0 +1,168 @@
+// Command relocate is the standalone bitstream relocation filter (the
+// REPLICA/BiRF role in the paper's toolchain): it retargets an encoded
+// partial bitstream to a compatible area of the device, rewriting frame
+// addresses and recomputing the CRC.
+//
+// Usage:
+//
+//	relocate -generate -area 4,0,6,5 -seed 7 -out cr.pbit        # make a test bitstream
+//	relocate -in cr.pbit -to 24,3 -out cr-moved.pbit             # relocate it
+//	relocate -in cr.pbit -targets                                # list legal targets
+//
+// The device defaults to the paper's Virtex-5 FX70T; pass -device with a
+// JSON device description for anything else.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "relocate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		devicePath = flag.String("device", "", "device JSON (default: Virtex-5 FX70T)")
+		generate   = flag.Bool("generate", false, "generate a synthetic bitstream instead of reading one")
+		areaSpec   = flag.String("area", "", "area x,y,w,h for -generate")
+		seed       = flag.Int64("seed", 1, "design seed for -generate")
+		inPath     = flag.String("in", "", "input bitstream file")
+		toSpec     = flag.String("to", "", "relocation target x,y")
+		listOnly   = flag.Bool("targets", false, "list the compatible relocation targets and exit")
+		outPath    = flag.String("out", "", "output bitstream file")
+	)
+	flag.Parse()
+
+	dev, err := loadDevice(*devicePath)
+	if err != nil {
+		return err
+	}
+
+	var bs *bitstream.Bitstream
+	switch {
+	case *generate:
+		area, err := parseRect(*areaSpec)
+		if err != nil {
+			return fmt.Errorf("-area: %w", err)
+		}
+		bs, err = bitstream.Generate(dev, area, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated %d frames for %v on %s\n", bs.FrameCount(), area, dev.Name())
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		bs, err = bitstream.Decode(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if !bs.CheckCRC() {
+			return fmt.Errorf("%s: CRC mismatch (corrupted or unsealed)", *inPath)
+		}
+		fmt.Printf("loaded %d frames for %v on %s\n", bs.FrameCount(), bs.Area, bs.DeviceName)
+	default:
+		return fmt.Errorf("specify -generate or -in <file>")
+	}
+
+	if *listOnly {
+		for _, target := range dev.CompatiblePlacements(bs.Area) {
+			marker := ""
+			if target == bs.Area {
+				marker = "  (current)"
+			}
+			fmt.Printf("  %v%s\n", target, marker)
+		}
+		return nil
+	}
+
+	if *toSpec != "" {
+		x, y, err := parseXY(*toSpec)
+		if err != nil {
+			return fmt.Errorf("-to: %w", err)
+		}
+		target := grid.Rect{X: x, Y: y, W: bs.Area.W, H: bs.Area.H}
+		moved, err := bitstream.Relocate(dev, bs, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("relocated %v -> %v, CRC %08x\n", bs.Area, moved.Area, moved.CRC)
+		bs = moved
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bs.Encode(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *outPath)
+	}
+	return nil
+}
+
+func loadDevice(path string) (*device.Device, error) {
+	if path == "" {
+		return device.VirtexFX70T(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d device.Device
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func parseRect(spec string) (grid.Rect, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return grid.Rect{}, fmt.Errorf("want x,y,w,h, got %q", spec)
+	}
+	vals := make([]int, 4)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return grid.Rect{}, err
+		}
+		vals[i] = v
+	}
+	return grid.Rect{X: vals[0], Y: vals[1], W: vals[2], H: vals[3]}, nil
+}
+
+func parseXY(spec string) (int, int, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want x,y, got %q", spec)
+	}
+	x, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}

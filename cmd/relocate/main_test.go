@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+func TestParseRect(t *testing.T) {
+	r, err := parseRect("4, 0, 6, 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != (grid.Rect{X: 4, Y: 0, W: 6, H: 5}) {
+		t.Fatalf("rect = %v", r)
+	}
+	if _, err := parseRect("1,2,3"); err == nil {
+		t.Fatal("short spec accepted")
+	}
+	if _, err := parseRect("a,b,c,d"); err == nil {
+		t.Fatal("non-numeric spec accepted")
+	}
+}
+
+func TestParseXY(t *testing.T) {
+	x, y, err := parseXY("24,3")
+	if err != nil || x != 24 || y != 3 {
+		t.Fatalf("xy = %d,%d err=%v", x, y, err)
+	}
+	if _, _, err := parseXY("24"); err == nil {
+		t.Fatal("short spec accepted")
+	}
+}
+
+func TestLoadDevice(t *testing.T) {
+	d, err := loadDevice("")
+	if err != nil || d.Name() != "xc5vfx70t" {
+		t.Fatalf("default device = %v, %v", d, err)
+	}
+	// Round-trip a custom device through a file.
+	custom := device.Figure1Device()
+	data, err := json.Marshal(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dev.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != custom.Name() || back.Width() != custom.Width() {
+		t.Fatal("device lost in file round trip")
+	}
+	if _, err := loadDevice(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

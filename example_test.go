@@ -1,0 +1,78 @@
+package floorplanner_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/device"
+)
+
+// ExampleSolve places two regions on a small columnar device and reserves
+// a guaranteed relocation target for one of them.
+func ExampleSolve() {
+	cols := make([]device.TypeID, 12)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[3] = device.V5BRAM
+	cols[8] = device.V5DSP
+	dev, err := floorplanner.NewColumnarDevice("example", cols, 4, device.V5Types(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := &floorplanner.Problem{
+		Device: dev,
+		Regions: []floorplanner.Region{
+			{Name: "dsp", Req: floorplanner.Requirements{floorplanner.ClassCLB: 2, floorplanner.ClassDSP: 1}},
+			{Name: "mem", Req: floorplanner.Requirements{floorplanner.ClassCLB: 2, floorplanner.ClassBRAM: 1}},
+		},
+		FCAreas:   []floorplanner.FCRequest{{Region: 0, Mode: floorplanner.RelocConstraint}},
+		Objective: floorplanner.DefaultObjective(),
+	}
+	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+		TimeLimit: 30 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := sol.Metrics(p)
+	fmt.Printf("placed %d regions, %d relocation target(s), %d wasted frames\n",
+		len(sol.Regions), m.PlacedFC, m.WastedFrames)
+	// Output:
+	// placed 2 regions, 1 relocation target(s), 0 wasted frames
+}
+
+// ExampleProblem_Validate shows the static checks a problem goes through.
+func ExampleProblem_Validate() {
+	p := &floorplanner.Problem{
+		Device: floorplanner.VirtexFX70T(),
+		Regions: []floorplanner.Region{
+			{Name: "task", Req: floorplanner.Requirements{floorplanner.ClassCLB: 4}},
+		},
+		FCAreas: []floorplanner.FCRequest{{Region: 7}},
+	}
+	fmt.Println(p.Validate())
+	// Output:
+	// core: free-compatible request 0 references unknown region 7
+}
+
+// ExampleRenderASCII renders the device fabric without a solution.
+func ExampleRenderASCII() {
+	cols := []device.TypeID{device.V5CLB, device.V5BRAM, device.V5CLB, device.V5DSP}
+	dev, err := floorplanner.NewColumnarDevice("tiny", cols, 2, device.V5Types(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := &floorplanner.Problem{
+		Device:  dev,
+		Regions: []floorplanner.Region{{Name: "r", Req: floorplanner.Requirements{floorplanner.ClassCLB: 1}}},
+	}
+	fmt.Print(floorplanner.RenderASCII(p, nil))
+	// Output:
+	// tiny (4x2 tiles)
+	// .:.|
+	// .:.|
+}

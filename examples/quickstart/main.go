@@ -1,0 +1,60 @@
+// Quickstart: build a small columnar device, place two regions with one
+// relocatable region, and print the floorplan.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/device"
+)
+
+func main() {
+	// A 16x4 fabric: CLB columns with one BRAM column (4) and one DSP
+	// column (9).
+	cols := make([]device.TypeID, 16)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[4] = device.V5BRAM
+	cols[9] = device.V5DSP
+	dev, err := floorplanner.NewColumnarDevice("demo", cols, 4, device.V5Types(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := &floorplanner.Problem{
+		Device: dev,
+		Regions: []floorplanner.Region{
+			{Name: "dsp-task", Req: floorplanner.Requirements{
+				floorplanner.ClassCLB: 4, floorplanner.ClassDSP: 2}},
+			{Name: "mem-task", Req: floorplanner.Requirements{
+				floorplanner.ClassCLB: 3, floorplanner.ClassBRAM: 1}},
+		},
+		Nets:      []floorplanner.Net{{A: 0, B: 1, Weight: 32}},
+		Objective: floorplanner.DefaultObjective(),
+	}
+	// Ask for one guaranteed relocation target for the memory task.
+	p.FCAreas = []floorplanner.FCRequest{
+		{Region: 1, Mode: floorplanner.RelocConstraint},
+	}
+
+	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+		Engine:    "exact",
+		TimeLimit: 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(sol.Summary(p))
+	fmt.Println()
+	fmt.Print(floorplanner.RenderASCII(p, sol))
+
+	m := sol.Metrics(p)
+	fmt.Printf("\nwasted frames: %d, wire length: %.1f, relocation targets: %d\n",
+		m.WastedFrames, m.WireLength, m.PlacedFC)
+}

@@ -1,0 +1,57 @@
+// Relocation as a metric (Section V): rather than demanding
+// free-compatible areas, the designer states how many they would like and
+// the floorplanner trades missed areas against the objective. Areas that
+// cannot exist (the Matched Filter's, per the feasibility analysis) are
+// reported missed while everything else is still optimized.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/sdr"
+)
+
+func main() {
+	p := sdr.Problem()
+	// Wish for one relocation target per module — including the two
+	// (Matched Filter, Video Decoder) that provably have none.
+	for ri, r := range p.Regions {
+		weight := 1.0
+		if r.Name == sdr.VideoDecoder {
+			weight = 3.0 // pretend the video decoder matters most
+		}
+		p.FCAreas = append(p.FCAreas, floorplanner.FCRequest{
+			Region: ri,
+			Mode:   floorplanner.RelocMetric,
+			Weight: weight,
+		})
+	}
+
+	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+		Engine:    "exact",
+		TimeLimit: 120 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := sol.Metrics(p)
+	fmt.Printf("requested %d areas, placed %d, weighted miss cost %.1f\n\n",
+		len(p.FCAreas), m.PlacedFC, m.RelocationMiss)
+	for _, fc := range sol.FC {
+		req := p.FCAreas[fc.Request]
+		name := p.Regions[req.Region].Name
+		if fc.Placed {
+			fmt.Printf("  %-18s -> reserved %v\n", name, fc.Rect)
+		} else {
+			fmt.Printf("  %-18s -> MISSED (weight %.1f) — no compatible free area exists\n",
+				name, req.EffectiveWeight())
+		}
+	}
+	fmt.Println()
+	fmt.Print(floorplanner.RenderASCII(p, sol))
+}

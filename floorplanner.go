@@ -1,0 +1,192 @@
+// Package floorplanner is a relocation-aware floorplanner for
+// partially-reconfigurable FPGA-based systems — an open reimplementation
+// of Rabozzi et al., "Relocation-aware Floorplanning for
+// Partially-Reconfigurable FPGA-based Systems" (IPDPSW 2015).
+//
+// The floorplanner places a design's reconfigurable regions on a
+// tile-modeled FPGA and, on request, reserves free-compatible areas:
+// spare rectangles with the same shape and tile-type layout as a region,
+// into which that region's partial bitstream can later be relocated by a
+// REPLICA/BiRF-style filter (also provided, in internal/bitstream).
+//
+// # Quick start
+//
+//	dev := floorplanner.VirtexFX70T()
+//	p := &floorplanner.Problem{
+//	    Device: dev,
+//	    Regions: []floorplanner.Region{
+//	        {Name: "filter", Req: floorplanner.Requirements{
+//	            floorplanner.ClassCLB: 25, floorplanner.ClassDSP: 5}},
+//	    },
+//	}
+//	p.FCAreas = []floorplanner.FCRequest{{Region: 0, Mode: floorplanner.RelocConstraint}}
+//	sol, err := floorplanner.Solve(ctx, p, floorplanner.Options{})
+//
+// # Engines
+//
+//	exact        combinatorial branch-and-bound specialized to columnar
+//	             devices; proves lexicographic optimality (default)
+//	milp-o       the paper's O algorithm: full MILP via the built-in
+//	             branch-and-bound LP solver
+//	milp-ho      the paper's HO algorithm: MILP restricted to the
+//	             sequence pair of a heuristic seed
+//	constructive deterministic greedy placer
+//	annealing    simulated-annealing baseline in the spirit of [9]
+//	tessellation greedy columnar packer in the spirit of [8]
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured evaluation.
+package floorplanner
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/exact"
+	"repro/internal/heuristic"
+	"repro/internal/model"
+)
+
+// Re-exported problem/solution types: the stable public surface.
+type (
+	// Problem is a relocation-aware floorplanning instance.
+	Problem = core.Problem
+	// Region is a reconfigurable region to place.
+	Region = core.Region
+	// Net is a weighted two-pin connection between regions.
+	Net = core.Net
+	// FCRequest asks for one free-compatible area for a region.
+	FCRequest = core.FCRequest
+	// RelocMode selects constraint- or metric-mode relocation.
+	RelocMode = core.RelocMode
+	// Objective weighs the cost terms (Equation 14 of the paper).
+	Objective = core.Objective
+	// Solution is a computed floorplan.
+	Solution = core.Solution
+	// Metrics are a solution's raw cost terms.
+	Metrics = core.Metrics
+	// Engine is a floorplanning algorithm.
+	Engine = core.Engine
+	// SolveOptions carries engine-independent solver knobs.
+	SolveOptions = core.SolveOptions
+
+	// Device is the tile-level FPGA model.
+	Device = device.Device
+	// TileType describes one tile type.
+	TileType = device.TileType
+	// Requirements states tiles-per-class needs.
+	Requirements = device.Requirements
+	// Class names a resource family (CLB, BRAM, DSP, ...).
+	Class = device.Class
+)
+
+// Relocation handling modes.
+const (
+	// RelocConstraint makes a free-compatible area mandatory.
+	RelocConstraint = core.RelocConstraint
+	// RelocMetric trades missing areas against the objective.
+	RelocMetric = core.RelocMetric
+)
+
+// Resource classes.
+const (
+	ClassCLB  = device.ClassCLB
+	ClassBRAM = device.ClassBRAM
+	ClassDSP  = device.ClassDSP
+	ClassIO   = device.ClassIO
+)
+
+// Errors.
+var (
+	// ErrInfeasible reports a provably unsatisfiable problem.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrNoSolution reports an exhausted budget without a solution.
+	ErrNoSolution = core.ErrNoSolution
+)
+
+// VirtexFX70T returns the tile model of the paper's target device.
+func VirtexFX70T() *Device { return device.VirtexFX70T() }
+
+// Kintex7K160T returns a larger 7-series-class columnar device, per the
+// paper's claim that the columnar description covers recent families.
+func Kintex7K160T() *Device { return device.Kintex7K160T() }
+
+// NewColumnarDevice builds a custom columnar device; see device.NewColumnar.
+func NewColumnarDevice(name string, colTypes []device.TypeID, h int, types []TileType, forbidden []Rect) (*Device, error) {
+	return device.NewColumnar(name, colTypes, h, types, forbidden)
+}
+
+// Rect is a rectangle of tiles.
+type Rect = gridRect
+
+// DefaultObjective returns the paper's evaluation objective
+// (lexicographic: relocation misses, wasted frames, wire length).
+func DefaultObjective() Objective { return core.DefaultObjective() }
+
+// Options selects and tunes an engine for Solve.
+type Options struct {
+	// Engine names the algorithm (see the package documentation);
+	// empty selects "exact".
+	Engine string
+	// TimeLimit bounds the solve.
+	TimeLimit time.Duration
+	// Seed drives randomized engines.
+	Seed int64
+	// Workers bounds parallelism where supported.
+	Workers int
+}
+
+// NewEngine instantiates an engine by name.
+func NewEngine(name string) (Engine, error) {
+	switch name {
+	case "", "exact":
+		return &exact.Engine{}, nil
+	case "milp-o":
+		return &model.OEngine{}, nil
+	case "milp-ho":
+		return &model.HOEngine{}, nil
+	case "constructive":
+		return &heuristic.Constructive{}, nil
+	case "annealing":
+		return &heuristic.Annealing{}, nil
+	case "tessellation":
+		return &heuristic.Tessellation{}, nil
+	default:
+		return nil, fmt.Errorf("floorplanner: unknown engine %q", name)
+	}
+}
+
+// EngineNames lists the available engines.
+func EngineNames() []string {
+	return []string{"exact", "milp-o", "milp-ho", "constructive", "annealing", "tessellation"}
+}
+
+// Solve runs the selected engine on the problem. The returned solution is
+// validated against the problem before being returned.
+func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
+	eng, err := NewEngine(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := eng.Solve(ctx, p, SolveOptions{
+		TimeLimit: opts.TimeLimit,
+		Seed:      opts.Seed,
+		Workers:   opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sol.Validate(p); err != nil {
+		return nil, fmt.Errorf("floorplanner: engine %s returned an invalid solution: %w", eng.Name(), err)
+	}
+	return sol, nil
+}
+
+// RenderASCII draws a floorplan as text (Figures 4-5 style).
+func RenderASCII(p *Problem, s *Solution) string { return core.RenderASCII(p, s) }
+
+// RenderSVG draws a floorplan as an SVG document.
+func RenderSVG(p *Problem, s *Solution) string { return core.RenderSVG(p, s) }

@@ -1,0 +1,134 @@
+package floorplanner_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/device"
+	"repro/internal/sdr"
+)
+
+func quickProblem(t *testing.T) *floorplanner.Problem {
+	t.Helper()
+	cols := make([]device.TypeID, 16)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[4] = device.V5BRAM
+	cols[9] = device.V5DSP
+	dev, err := floorplanner.NewColumnarDevice("demo", cols, 4, device.V5Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &floorplanner.Problem{
+		Device: dev,
+		Regions: []floorplanner.Region{
+			{Name: "a", Req: floorplanner.Requirements{floorplanner.ClassCLB: 4, floorplanner.ClassDSP: 2}},
+			{Name: "b", Req: floorplanner.Requirements{floorplanner.ClassCLB: 3, floorplanner.ClassBRAM: 1}},
+		},
+		Nets:      []floorplanner.Net{{A: 0, B: 1, Weight: 32}},
+		FCAreas:   []floorplanner.FCRequest{{Region: 1, Mode: floorplanner.RelocConstraint}},
+		Objective: floorplanner.DefaultObjective(),
+	}
+}
+
+func TestSolveAllEngines(t *testing.T) {
+	p := quickProblem(t)
+	for _, name := range floorplanner.EngineNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+				Engine:    name,
+				TimeLimit: 30 * time.Second,
+				Seed:      3,
+			})
+			if errors.Is(err, floorplanner.ErrNoSolution) && (name == "annealing" || name == "tessellation") {
+				t.Skipf("%s could not pack the FC area (allowed for baselines)", name)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sol.Validate(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSolveUnknownEngine(t *testing.T) {
+	p := quickProblem(t)
+	if _, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{Engine: "nope"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestSolveInfeasibleSurfaced(t *testing.T) {
+	p := quickProblem(t)
+	p.Regions[0].Req[floorplanner.ClassDSP] = 99
+	_, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{})
+	if !errors.Is(err, floorplanner.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	p := quickProblem(t)
+	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ascii := floorplanner.RenderASCII(p, sol); !strings.Contains(ascii, "A") {
+		t.Fatal("ASCII render missing regions")
+	}
+	if svg := floorplanner.RenderSVG(p, sol); !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("SVG render invalid")
+	}
+}
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := sdr.SDR2()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back floorplanner.Problem
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Regions) != 5 || len(back.FCAreas) != 6 {
+		t.Fatalf("round trip lost content: %d regions, %d FC areas", len(back.Regions), len(back.FCAreas))
+	}
+	if back.Device.Width() != 41 || back.Device.Height() != 8 {
+		t.Fatal("device lost in round trip")
+	}
+	// The round-tripped problem must be solvable identically.
+	sol, err := floorplanner.Solve(context.Background(), &back, floorplanner.Options{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(&back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRect(t *testing.T) {
+	r := floorplanner.NewRect(1, 2, 3, 4)
+	if r.X != 1 || r.Y != 2 || r.W != 3 || r.H != 4 {
+		t.Fatalf("rect = %+v", r)
+	}
+}
+
+func TestVirtexFX70T(t *testing.T) {
+	d := floorplanner.VirtexFX70T()
+	if d.Name() != "xc5vfx70t" {
+		t.Fatalf("name = %s", d.Name())
+	}
+}

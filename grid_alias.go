@@ -1,0 +1,11 @@
+package floorplanner
+
+import "repro/internal/grid"
+
+// gridRect aliases the internal geometry type so the public API can speak
+// in rectangles without exposing the internal package path directly.
+type gridRect = grid.Rect
+
+// NewRect returns the rectangle with top-left corner (x, y), width w and
+// height h, all in tiles.
+func NewRect(x, y, w, h int) Rect { return grid.NewRect(x, y, w, h) }

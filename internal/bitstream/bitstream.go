@@ -1,0 +1,289 @@
+// Package bitstream provides a synthetic partial-bitstream substrate that
+// makes the floorplanner's relocation story executable end to end.
+//
+// The paper assumes an external relocation filter (REPLICA [2,3] or BiRF
+// [4,5]): moving a task between two compatible areas is "simply" a matter
+// of changing the frame addresses in the partial bitstream and recomputing
+// the CRC before feeding it to the configuration interface. This package
+// implements exactly that pipeline against the tile-level device model:
+//
+//   - Generate builds a partial bitstream for an area: one frame per
+//     (tile, minor index) with position-independent payloads,
+//   - Relocate is the software filter: it verifies area compatibility,
+//     rewrites every frame address by the (dx, dy) offset, and recomputes
+//     the CRC — payloads are untouched,
+//   - ConfigMemory simulates the configuration interface: it rejects
+//     frames whose address does not match the expected tile type, so a
+//     relocation to a non-compatible area fails exactly the way real
+//     hardware would corrupt it.
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// FrameBytes is the payload size of one configuration frame. (On Virtex-5
+// a frame is 41 32-bit words; the exact figure is irrelevant to the
+// relocation logic, so the model uses a round number.)
+const FrameBytes = 64
+
+// Magic identifies encoded bitstreams.
+var Magic = [4]byte{'P', 'B', 'I', 'T'}
+
+// FrameAddress locates one configuration frame on the device: the tile it
+// configures plus the minor frame index within that tile (0 <= Minor <
+// frames-per-tile of the tile's type).
+type FrameAddress struct {
+	Column int
+	Row    int
+	Minor  int
+}
+
+func (a FrameAddress) String() string {
+	return fmt.Sprintf("FAR(c=%d,r=%d,m=%d)", a.Column, a.Row, a.Minor)
+}
+
+// Frame is one addressed configuration frame.
+type Frame struct {
+	Addr    FrameAddress
+	Payload [FrameBytes]byte
+}
+
+// Bitstream is a partial bitstream for a rectangular area of a device.
+type Bitstream struct {
+	// DeviceName records the target device.
+	DeviceName string
+	// Area is the rectangle the bitstream configures.
+	Area grid.Rect
+	// Frames lists the configuration frames in address order
+	// (column-major, then row, then minor).
+	Frames []Frame
+	// CRC is the CRC-32 (IEEE) over the header and all frames, as
+	// maintained by Seal.
+	CRC uint32
+}
+
+// payload derives the position-independent content of a frame: it depends
+// on the tile's offset *within the area*, its type, the minor index and
+// the design seed — but never on the absolute device position. This is
+// the property real relocatable designs must have (identical
+// configuration data across compatible areas, Definition .1).
+func payload(seed int64, relC, relR int, t device.TypeID, minor int) [FrameBytes]byte {
+	var out [FrameBytes]byte
+	var ctr [16]byte
+	binary.LittleEndian.PutUint64(ctr[0:], uint64(seed))
+	binary.LittleEndian.PutUint16(ctr[8:], uint16(relC))
+	binary.LittleEndian.PutUint16(ctr[10:], uint16(relR))
+	binary.LittleEndian.PutUint16(ctr[12:], uint16(t))
+	binary.LittleEndian.PutUint16(ctr[14:], uint16(minor))
+	// Simple xorshift-style expansion of the counter block.
+	state := crc32.ChecksumIEEE(ctr[:])
+	for i := 0; i < FrameBytes; i += 4 {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		binary.LittleEndian.PutUint32(out[i:], state)
+	}
+	return out
+}
+
+// Generate builds the partial bitstream of a design occupying area on
+// device d. seed distinguishes different designs for the same area. The
+// area must be a legal placement (inside the device, off forbidden
+// areas).
+func Generate(d *device.Device, area grid.Rect, seed int64) (*Bitstream, error) {
+	if !d.CanPlace(area) {
+		return nil, fmt.Errorf("bitstream: area %v is not a legal placement on %s", area, d.Name())
+	}
+	bs := &Bitstream{DeviceName: d.Name(), Area: area}
+	area.Tiles(func(c, r int) {
+		t := d.TypeAt(c, r)
+		frames := d.Type(t).Frames
+		for minor := 0; minor < frames; minor++ {
+			bs.Frames = append(bs.Frames, Frame{
+				Addr:    FrameAddress{Column: c, Row: r, Minor: minor},
+				Payload: payload(seed, c-area.X, r-area.Y, t, minor),
+			})
+		}
+	})
+	bs.Seal()
+	return bs, nil
+}
+
+// Seal recomputes the bitstream CRC (what a relocation filter must do
+// after rewriting addresses).
+func (bs *Bitstream) Seal() {
+	bs.CRC = bs.checksum()
+}
+
+// CheckCRC reports whether the stored CRC matches the content.
+func (bs *Bitstream) CheckCRC() bool {
+	return bs.CRC == bs.checksum()
+}
+
+func (bs *Bitstream) checksum() uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte(bs.DeviceName))
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	writeInt(bs.Area.X)
+	writeInt(bs.Area.Y)
+	writeInt(bs.Area.W)
+	writeInt(bs.Area.H)
+	for _, f := range bs.Frames {
+		writeInt(f.Addr.Column)
+		writeInt(f.Addr.Row)
+		writeInt(f.Addr.Minor)
+		h.Write(f.Payload[:])
+	}
+	return h.Sum32()
+}
+
+// FrameCount returns the number of frames, which for a generated
+// bitstream equals device.FramesInRect of its area.
+func (bs *Bitstream) FrameCount() int { return len(bs.Frames) }
+
+// Relocate applies the software relocation filter: it returns a copy of
+// the bitstream retargeted to the compatible area target on device d.
+// Frame payloads are preserved bit-exactly; only addresses move by the
+// area offset, and the CRC is recomputed. It fails if the areas are not
+// compatible (Section II) or the target is not a legal placement.
+func Relocate(d *device.Device, bs *Bitstream, target grid.Rect) (*Bitstream, error) {
+	if bs.DeviceName != d.Name() {
+		return nil, fmt.Errorf("bitstream: built for %q, relocating on %q", bs.DeviceName, d.Name())
+	}
+	if !d.CanPlace(target) {
+		return nil, fmt.Errorf("bitstream: target %v is not a legal placement", target)
+	}
+	if !d.Compatible(bs.Area, target) {
+		return nil, fmt.Errorf("bitstream: area %v is not compatible with target %v", bs.Area, target)
+	}
+	dx := target.X - bs.Area.X
+	dy := target.Y - bs.Area.Y
+	out := &Bitstream{
+		DeviceName: bs.DeviceName,
+		Area:       target,
+		Frames:     make([]Frame, len(bs.Frames)),
+	}
+	for i, f := range bs.Frames {
+		f.Addr.Column += dx
+		f.Addr.Row += dy
+		out.Frames[i] = f
+	}
+	out.Seal()
+	return out, nil
+}
+
+// ConfigMemory simulates the device's configuration memory plane: frames
+// are written through Load, which performs the checks the configuration
+// interface (and a bitstream filter) would perform.
+type ConfigMemory struct {
+	dev    *device.Device
+	frames map[FrameAddress][FrameBytes]byte
+	owner  map[FrameAddress]string
+}
+
+// NewConfigMemory returns an empty configuration memory for d.
+func NewConfigMemory(d *device.Device) *ConfigMemory {
+	return &ConfigMemory{
+		dev:    d,
+		frames: make(map[FrameAddress][FrameBytes]byte),
+		owner:  make(map[FrameAddress]string),
+	}
+}
+
+// Load writes a partial bitstream into configuration memory under the
+// given task name. It rejects bitstreams with a stale CRC, frames outside
+// the device or its stated area, frames addressed at forbidden tiles, and
+// minor indices beyond the tile type's frame count. Tiles already owned
+// by a different task are rejected too (the "must not overlap other
+// tasks" rule of Definition .2).
+func (cm *ConfigMemory) Load(bs *Bitstream, task string) error {
+	if bs.DeviceName != cm.dev.Name() {
+		return fmt.Errorf("bitstream: device mismatch: %q vs %q", bs.DeviceName, cm.dev.Name())
+	}
+	if !bs.CheckCRC() {
+		return fmt.Errorf("bitstream: CRC mismatch (filter forgot to reseal?)")
+	}
+	bounds := cm.dev.Bounds()
+	for _, f := range bs.Frames {
+		if !bounds.Contains(f.Addr.Column, f.Addr.Row) {
+			return fmt.Errorf("bitstream: frame %v outside the device", f.Addr)
+		}
+		if !bs.Area.Contains(f.Addr.Column, f.Addr.Row) {
+			return fmt.Errorf("bitstream: frame %v outside the declared area %v", f.Addr, bs.Area)
+		}
+		if cm.dev.InForbidden(f.Addr.Column, f.Addr.Row) {
+			return fmt.Errorf("bitstream: frame %v targets a forbidden tile", f.Addr)
+		}
+		t := cm.dev.TileAt(f.Addr.Column, f.Addr.Row)
+		if f.Addr.Minor < 0 || f.Addr.Minor >= t.Frames {
+			return fmt.Errorf("bitstream: frame %v has minor index beyond %s's %d frames", f.Addr, t.Name, t.Frames)
+		}
+		if owner, taken := cm.owner[f.Addr]; taken && owner != task {
+			return fmt.Errorf("bitstream: frame %v already configured by task %q", f.Addr, owner)
+		}
+	}
+	for _, f := range bs.Frames {
+		cm.frames[f.Addr] = f.Payload
+		cm.owner[f.Addr] = task
+	}
+	return nil
+}
+
+// Unload clears every frame owned by the task (the area becomes free for
+// relocation targets again).
+func (cm *ConfigMemory) Unload(task string) {
+	for addr, owner := range cm.owner {
+		if owner == task {
+			delete(cm.frames, addr)
+			delete(cm.owner, addr)
+		}
+	}
+}
+
+// Frame reads back one configured frame.
+func (cm *ConfigMemory) Frame(addr FrameAddress) ([FrameBytes]byte, bool) {
+	p, ok := cm.frames[addr]
+	return p, ok
+}
+
+// LoadedFrames returns the number of configured frames.
+func (cm *ConfigMemory) LoadedFrames() int { return len(cm.frames) }
+
+// TaskEquivalent reports whether two tasks' configurations are
+// functionally identical: same relative frame layout and payloads within
+// their areas. A correct relocation always satisfies this.
+func (cm *ConfigMemory) TaskEquivalent(taskA string, areaA grid.Rect, taskB string, areaB grid.Rect) bool {
+	if !areaA.SameShape(areaB) {
+		return false
+	}
+	framesA := map[FrameAddress][FrameBytes]byte{}
+	for addr, owner := range cm.owner {
+		if owner == taskA {
+			rel := FrameAddress{Column: addr.Column - areaA.X, Row: addr.Row - areaA.Y, Minor: addr.Minor}
+			framesA[rel] = cm.frames[addr]
+		}
+	}
+	count := 0
+	for addr, owner := range cm.owner {
+		if owner != taskB {
+			continue
+		}
+		count++
+		rel := FrameAddress{Column: addr.Column - areaB.X, Row: addr.Row - areaB.Y, Minor: addr.Minor}
+		pa, ok := framesA[rel]
+		if !ok || pa != cm.frames[addr] {
+			return false
+		}
+	}
+	return count == len(framesA) && count > 0
+}

@@ -1,0 +1,151 @@
+package bitstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// formatVersion is bumped on any change to the wire layout.
+const formatVersion = 1
+
+// Encode serializes the bitstream:
+//
+//	magic[4] version[u16] nameLen[u16] name area{x,y,w,h as i32}
+//	frameCount[u32] frames{col,row,minor as i32, payload[FrameBytes]}...
+//	crc[u32]
+//
+// All integers little-endian.
+func (bs *Bitstream) Encode(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.write(Magic[:])
+	bw.u16(formatVersion)
+	if len(bs.DeviceName) > 0xffff {
+		return fmt.Errorf("bitstream: device name too long")
+	}
+	bw.u16(uint16(len(bs.DeviceName)))
+	bw.write([]byte(bs.DeviceName))
+	bw.i32(bs.Area.X)
+	bw.i32(bs.Area.Y)
+	bw.i32(bs.Area.W)
+	bw.i32(bs.Area.H)
+	bw.u32(uint32(len(bs.Frames)))
+	for _, f := range bs.Frames {
+		bw.i32(f.Addr.Column)
+		bw.i32(f.Addr.Row)
+		bw.i32(f.Addr.Minor)
+		bw.write(f.Payload[:])
+	}
+	bw.u32(bs.CRC)
+	return bw.err
+}
+
+// Bytes returns the encoded form.
+func (bs *Bitstream) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := bs.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a bitstream previously written by Encode. The CRC is
+// stored but not verified; call CheckCRC to validate content integrity.
+func Decode(r io.Reader) (*Bitstream, error) {
+	br := &errReader{r: r}
+	var magic [4]byte
+	br.read(magic[:])
+	if br.err == nil && magic != Magic {
+		return nil, fmt.Errorf("bitstream: bad magic %q", magic)
+	}
+	version := br.u16()
+	if br.err == nil && version != formatVersion {
+		return nil, fmt.Errorf("bitstream: unsupported version %d", version)
+	}
+	nameLen := br.u16()
+	name := make([]byte, nameLen)
+	br.read(name)
+	bs := &Bitstream{DeviceName: string(name)}
+	bs.Area.X = br.i32()
+	bs.Area.Y = br.i32()
+	bs.Area.W = br.i32()
+	bs.Area.H = br.i32()
+	n := br.u32()
+	if br.err == nil && n > 1<<24 {
+		return nil, fmt.Errorf("bitstream: implausible frame count %d", n)
+	}
+	bs.Frames = make([]Frame, 0, n)
+	for i := uint32(0); i < n && br.err == nil; i++ {
+		var f Frame
+		f.Addr.Column = br.i32()
+		f.Addr.Row = br.i32()
+		f.Addr.Minor = br.i32()
+		br.read(f.Payload[:])
+		bs.Frames = append(bs.Frames, f)
+	}
+	bs.CRC = br.u32()
+	if br.err != nil {
+		return nil, fmt.Errorf("bitstream: decode: %w", br.err)
+	}
+	return bs, nil
+}
+
+// DecodeBytes parses an encoded bitstream from memory.
+func DecodeBytes(data []byte) (*Bitstream, error) {
+	return Decode(bytes.NewReader(data))
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (w *errWriter) write(p []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(p)
+	}
+}
+
+func (w *errWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.write(b[:])
+}
+
+func (w *errWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.write(b[:])
+}
+
+func (w *errWriter) i32(v int) {
+	w.u32(uint32(int32(v)))
+}
+
+type errReader struct {
+	r   io.Reader
+	err error
+}
+
+func (r *errReader) read(p []byte) {
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, p)
+	}
+}
+
+func (r *errReader) u16() uint16 {
+	var b [2]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+func (r *errReader) u32() uint32 {
+	var b [4]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *errReader) i32() int {
+	return int(int32(r.u32()))
+}

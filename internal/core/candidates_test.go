@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// bruteMinWaste finds the minimum waste over ALL legal rectangles (not
+// only width-minimal ones) by complete enumeration.
+func bruteMinWaste(d *device.Device, req device.Requirements) int {
+	best := -1
+	for x := 0; x < d.Width(); x++ {
+		for y := 0; y < d.Height(); y++ {
+			for w := 1; x+w <= d.Width(); w++ {
+				for h := 1; y+h <= d.Height(); h++ {
+					r := grid.Rect{X: x, Y: y, W: w, H: h}
+					if !d.CanPlace(r) || !d.Satisfies(r, req) {
+						continue
+					}
+					if waste := d.WastedFrames(r, req); best < 0 || waste < best {
+						best = waste
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// TestQuickCandidatesReachBruteForceMinimum: the width-minimal candidate
+// set always contains a rectangle achieving the global minimum waste —
+// the losslessness property the exact engine relies on.
+func TestQuickCandidatesReachBruteForceMinimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := device.MustGenerate(device.GeneratorConfig{
+			Width: 6 + rng.Intn(8), Height: 2 + rng.Intn(4),
+			BRAMEvery: 4, DSPEvery: 6,
+			ForbiddenBlocks: rng.Intn(2),
+			Seed:            seed,
+		})
+		req := device.Requirements{device.ClassCLB: 1 + rng.Intn(6)}
+		if rng.Intn(2) == 0 {
+			req[device.ClassBRAM] = 1 + rng.Intn(2)
+		}
+		want := bruteMinWaste(d, req)
+		got := MinWaste(EnumerateCandidates(d, req))
+		if got != want {
+			t.Logf("seed %d: candidates min %d, brute force %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCandidatesAllLegal: every enumerated candidate is a legal,
+// satisfying, width-minimal placement.
+func TestQuickCandidatesAllLegal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := device.MustGenerate(device.GeneratorConfig{
+			Width: 8 + rng.Intn(10), Height: 3 + rng.Intn(4),
+			BRAMEvery: 5, DSPEvery: 7,
+			ForbiddenBlocks: rng.Intn(3),
+			Seed:            seed,
+		})
+		req := device.Requirements{device.ClassCLB: 2 + rng.Intn(8)}
+		if rng.Intn(2) == 0 {
+			req[device.ClassDSP] = 1
+		}
+		for _, c := range EnumerateCandidates(d, req) {
+			if !d.CanPlace(c.Rect) || !d.Satisfies(c.Rect, req) {
+				return false
+			}
+			if c.Rect.W > 1 {
+				narrower := grid.Rect{X: c.Rect.X, Y: c.Rect.Y, W: c.Rect.W - 1, H: c.Rect.H}
+				if d.Satisfies(narrower, req) {
+					return false // not width-minimal for its anchor
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+func testProblem() *Problem {
+	return &Problem{
+		Device: device.VirtexFX70T(),
+		Regions: []Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 25, device.ClassDSP: 5}},
+			{Name: "B", Req: device.Requirements{device.ClassCLB: 5, device.ClassBRAM: 2}},
+		},
+		Nets:      []Net{{A: 0, B: 1, Weight: 64}},
+		Objective: DefaultObjective(),
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := testProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.Regions = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty region list accepted")
+	}
+	bad = *p
+	bad.Regions = []Region{{Name: "", Req: device.Requirements{device.ClassCLB: 1}}}
+	if bad.Validate() == nil {
+		t.Fatal("unnamed region accepted")
+	}
+	bad = *p
+	bad.Regions = []Region{
+		{Name: "X", Req: device.Requirements{device.ClassCLB: 1}},
+		{Name: "X", Req: device.Requirements{device.ClassCLB: 1}},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	bad = *p
+	bad.Nets = []Net{{A: 0, B: 5, Weight: 1}}
+	if bad.Validate() == nil {
+		t.Fatal("net to unknown region accepted")
+	}
+	bad = *p
+	bad.Nets = []Net{{A: 0, B: 0, Weight: 1}}
+	if bad.Validate() == nil {
+		t.Fatal("self-net accepted")
+	}
+	bad = *p
+	bad.FCAreas = []FCRequest{{Region: 9}}
+	if bad.Validate() == nil {
+		t.Fatal("FC request for unknown region accepted")
+	}
+}
+
+func TestRequiredFrames(t *testing.T) {
+	p := testProblem()
+	got, err := p.RequiredFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 25*36 + 5*28 + 5*36 + 2*30
+	if got != want {
+		t.Fatalf("required frames = %d, want %d", got, want)
+	}
+}
+
+func TestWithFCConstraints(t *testing.T) {
+	p := testProblem()
+	p2 := p.WithFCConstraints([]int{0, 1}, 2)
+	if len(p2.FCAreas) != 4 {
+		t.Fatalf("FC areas = %d, want 4", len(p2.FCAreas))
+	}
+	if len(p.FCAreas) != 0 {
+		t.Fatal("WithFCConstraints mutated the original")
+	}
+	counts := p2.FCCountByRegion()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("per-region counts = %v", counts)
+	}
+}
+
+func validSolution(p *Problem) *Solution {
+	return &Solution{
+		Regions: []grid.Rect{
+			{X: 4, Y: 0, W: 6, H: 5},  // A: 25 CLB + 5 DSP exactly
+			{X: 10, Y: 0, W: 4, H: 2}, // B: 6 CLB + 2 BRAM
+		},
+		FC: []FCPlacement{},
+	}
+}
+
+func TestSolutionValidateAccepts(t *testing.T) {
+	p := testProblem()
+	sol := validSolution(p)
+	if err := sol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolutionValidateRejects(t *testing.T) {
+	p := testProblem()
+
+	sol := validSolution(p)
+	sol.Regions[1] = grid.Rect{X: 5, Y: 0, W: 4, H: 2} // overlaps region A
+	if sol.Validate(p) == nil {
+		t.Fatal("overlapping regions accepted")
+	}
+
+	sol = validSolution(p)
+	sol.Regions[1] = grid.Rect{X: 0, Y: 0, W: 2, H: 2} // no BRAM coverage
+	if sol.Validate(p) == nil {
+		t.Fatal("under-resourced region accepted")
+	}
+
+	sol = validSolution(p)
+	sol.Regions[1] = grid.Rect{X: 13, Y: 2, W: 4, H: 2} // crosses the PPC
+	if sol.Validate(p) == nil {
+		t.Fatal("forbidden-crossing region accepted")
+	}
+
+	sol = validSolution(p)
+	sol.Regions[1] = grid.Rect{X: 39, Y: 6, W: 4, H: 4} // out of bounds
+	if sol.Validate(p) == nil {
+		t.Fatal("out-of-bounds region accepted")
+	}
+
+	sol = validSolution(p)
+	sol.Regions = sol.Regions[:1]
+	if sol.Validate(p) == nil {
+		t.Fatal("missing region accepted")
+	}
+}
+
+func TestSolutionValidateFC(t *testing.T) {
+	p := testProblem()
+	p.FCAreas = []FCRequest{{Region: 0, Mode: RelocConstraint}}
+	sol := validSolution(p)
+
+	// Missing FC entry.
+	if sol.Validate(p) == nil {
+		t.Fatal("missing FC entry accepted")
+	}
+
+	// Unplaced constraint-mode FC.
+	sol.FC = []FCPlacement{{Request: 0, Placed: false}}
+	if sol.Validate(p) == nil {
+		t.Fatal("unplaced constraint FC accepted")
+	}
+
+	// Placed but incompatible (different column signature: BRAM column
+	// where the region has its DSP column).
+	sol.FC = []FCPlacement{{Request: 0, Placed: true, Rect: grid.Rect{X: 29, Y: 3, W: 6, H: 5}}}
+	if err := sol.Validate(p); err == nil {
+		t.Fatal("incompatible FC area accepted")
+	} else if !strings.Contains(err.Error(), "not compatible") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Correct: the only other compatible x-offset is 24.
+	sol.FC = []FCPlacement{{Request: 0, Placed: true, Rect: grid.Rect{X: 24, Y: 0, W: 6, H: 5}}}
+	if err := sol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metric mode: unplaced is fine.
+	p.FCAreas[0].Mode = RelocMetric
+	sol.FC = []FCPlacement{{Request: 0, Placed: false}}
+	if err := sol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	p := testProblem()
+	p.FCAreas = []FCRequest{
+		{Region: 0, Mode: RelocMetric, Weight: 2.5},
+		{Region: 0, Mode: RelocMetric},
+	}
+	sol := validSolution(p)
+	sol.FC = []FCPlacement{
+		{Request: 0, Placed: true, Rect: grid.Rect{X: 24, Y: 0, W: 6, H: 5}},
+		{Request: 1, Placed: false},
+	}
+	m := sol.Metrics(p)
+	if m.WastedFrames != 36 { // B covers 6 CLB for a 5-CLB need
+		t.Fatalf("waste = %d, want 36", m.WastedFrames)
+	}
+	if m.PlacedFC != 1 {
+		t.Fatalf("placedFC = %d", m.PlacedFC)
+	}
+	if m.RelocationMiss != 1 { // default weight of the missed request
+		t.Fatalf("miss = %g", m.RelocationMiss)
+	}
+	// Wire length: centers (7, 2.5) and (12, 1) -> |dx|+|dy| = 5+1.5 = 6.5.
+	if m.WireLength != 64*6.5 {
+		t.Fatalf("wire length = %g, want %g", m.WireLength, 64*6.5)
+	}
+	if m.Perimeter != float64(2*(6+5)+2*(4+2)) {
+		t.Fatalf("perimeter = %g", m.Perimeter)
+	}
+}
+
+func TestObjectiveLexicographicOrdering(t *testing.T) {
+	p := testProblem()
+	obj := DefaultObjective()
+	lowWaste := Metrics{WastedFrames: 10, WireLength: 10000}
+	highWaste := Metrics{WastedFrames: 11, WireLength: 0}
+	if obj.Value(p, lowWaste) >= obj.Value(p, highWaste) {
+		t.Fatal("lexicographic objective must rank waste above wire length")
+	}
+	missed := Metrics{RelocationMiss: 0.5, WastedFrames: 0}
+	if obj.Value(p, missed) <= obj.Value(p, highWaste) {
+		t.Fatal("lexicographic objective must rank relocation miss first")
+	}
+}
+
+func TestObjectiveWeighted(t *testing.T) {
+	p := testProblem()
+	obj := Objective{WireLength: 1, Resource: 1}
+	a := Metrics{WastedFrames: 100, WireLength: 50}
+	b := Metrics{WastedFrames: 100, WireLength: 60}
+	if obj.Value(p, a) >= obj.Value(p, b) {
+		t.Fatal("higher wire length must cost more")
+	}
+}
+
+func TestEnumerateCandidatesExactFit(t *testing.T) {
+	p := testProblem()
+	cands := EnumerateCandidates(p.Device, p.Regions[0].Req)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for region A")
+	}
+	if cands[0].Waste != 0 {
+		t.Fatalf("best waste = %d, want 0 (exact-fit shape exists)", cands[0].Waste)
+	}
+	for _, c := range cands {
+		if !p.Device.Satisfies(c.Rect, p.Regions[0].Req) {
+			t.Fatalf("candidate %v does not satisfy requirements", c.Rect)
+		}
+		if p.Device.OverlapsForbidden(c.Rect) {
+			t.Fatalf("candidate %v crosses forbidden area", c.Rect)
+		}
+		if got := p.Device.WastedFrames(c.Rect, p.Regions[0].Req); got != c.Waste {
+			t.Fatalf("candidate %v waste mismatch: %d vs %d", c.Rect, got, c.Waste)
+		}
+	}
+	// Sorted by waste.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Waste < cands[i-1].Waste {
+			t.Fatal("candidates not sorted by waste")
+		}
+	}
+}
+
+func TestEnumerateCandidatesWidthMinimal(t *testing.T) {
+	p := testProblem()
+	cands := EnumerateCandidates(p.Device, p.Regions[1].Req)
+	for _, c := range cands {
+		if c.Rect.W > 1 {
+			narrower := grid.Rect{X: c.Rect.X, Y: c.Rect.Y, W: c.Rect.W - 1, H: c.Rect.H}
+			if p.Device.Satisfies(narrower, p.Regions[1].Req) && p.Device.CanPlace(narrower) {
+				t.Fatalf("candidate %v is not width-minimal", c.Rect)
+			}
+		}
+	}
+}
+
+func TestEnumerateCandidatesImpossible(t *testing.T) {
+	p := testProblem()
+	cands := EnumerateCandidates(p.Device, device.Requirements{device.ClassDSP: 17})
+	if len(cands) != 0 {
+		t.Fatalf("got %d candidates for an impossible requirement", len(cands))
+	}
+	if MinWaste(cands) != -1 {
+		t.Fatal("MinWaste of empty must be -1")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	p := testProblem()
+	sol := validSolution(p)
+	out := RenderASCII(p, sol)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatal("regions missing from ASCII render")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("forbidden area missing from ASCII render")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < p.Device.Height()+1 {
+		t.Fatalf("render has %d lines", len(lines))
+	}
+	// Device-only render.
+	if empty := RenderASCII(p, nil); !strings.Contains(empty, "#") {
+		t.Fatal("device-only render missing forbidden area")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	p := testProblem()
+	p.FCAreas = []FCRequest{{Region: 0, Mode: RelocConstraint}}
+	sol := validSolution(p)
+	sol.FC = []FCPlacement{{Request: 0, Placed: true, Rect: grid.Rect{X: 24, Y: 0, W: 6, H: 5}}}
+	out := RenderSVG(p, sol)
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Fatal("FC area (dashed) missing from SVG")
+	}
+	if !strings.Contains(out, "A") {
+		t.Fatal("region label missing")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	p := testProblem()
+	sol := validSolution(p)
+	sol.Engine = "test"
+	s := sol.Summary(p)
+	if !strings.Contains(s, "engine=test") || !strings.Contains(s, "wasted=") {
+		t.Fatalf("summary incomplete: %s", s)
+	}
+}
+
+func TestFCRequestWeight(t *testing.T) {
+	if (FCRequest{}).EffectiveWeight() != 1 {
+		t.Fatal("default weight must be 1")
+	}
+	if (FCRequest{Weight: 2.5}).EffectiveWeight() != 2.5 {
+		t.Fatal("explicit weight lost")
+	}
+}
+
+func TestRegionIndex(t *testing.T) {
+	p := testProblem()
+	if p.RegionIndex("B") != 1 {
+		t.Fatal("lookup failed")
+	}
+	if p.RegionIndex("nope") != -1 {
+		t.Fatal("unknown name found")
+	}
+}
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	p := testProblem()
+	p.FCAreas = []FCRequest{{Region: 0, Mode: RelocConstraint}}
+	sol := validSolution(p)
+	sol.FC = []FCPlacement{{Request: 0, Placed: true, Rect: grid.Rect{X: 24, Y: 0, W: 6, H: 5}}}
+	sol.Engine = "exact"
+	sol.Proven = true
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(p); err != nil {
+		t.Fatalf("round-tripped solution invalid: %v", err)
+	}
+	if back.Engine != "exact" || !back.Proven {
+		t.Fatal("metadata lost")
+	}
+	if back.Regions[0] != sol.Regions[0] || back.FC[0].Rect != sol.FC[0].Rect {
+		t.Fatal("geometry lost")
+	}
+}
+
+func TestMultiRegionValidate(t *testing.T) {
+	p := testProblem()
+	p.FCAreas = []FCRequest{{Region: 0, AlsoCompatible: []int{9}}}
+	if p.Validate() == nil {
+		t.Fatal("out-of-range AlsoCompatible accepted")
+	}
+	p.FCAreas = []FCRequest{{Region: 0, AlsoCompatible: []int{1}, Mode: RelocConstraint}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A placed FC area compatible with region 0 but not region 1 must be
+	// rejected by the solution validator.
+	sol := validSolution(p)
+	sol.FC = []FCPlacement{{Request: 0, Placed: true, Rect: grid.Rect{X: 24, Y: 0, W: 6, H: 5}}}
+	if sol.Validate(p) == nil {
+		t.Fatal("area incompatible with AlsoCompatible region accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrInfeasible is returned by engines when the problem provably has no
+// feasible floorplan (e.g. a constraint-mode free-compatible area cannot
+// be identified — the paper's Matched Filter / Video Decoder result).
+var ErrInfeasible = errors.New("core: problem is infeasible")
+
+// ErrNoSolution is returned when the engine's budget expired before any
+// feasible solution was found; the problem may still be feasible.
+var ErrNoSolution = errors.New("core: no solution found within budget")
+
+// SolveOptions carries engine-independent knobs.
+type SolveOptions struct {
+	// TimeLimit bounds the solve (0 = engine default).
+	TimeLimit time.Duration
+	// Seed drives randomized engines (annealing); deterministic engines
+	// ignore it.
+	Seed int64
+	// Workers bounds parallelism for engines that support it (0 = 1).
+	Workers int
+}
+
+// Engine is a floorplanning algorithm: given a problem it produces a
+// validated solution or reports infeasibility.
+type Engine interface {
+	// Name identifies the engine in reports ("exact", "milp-o", ...).
+	Name() string
+	// Solve computes a floorplan. Implementations must return solutions
+	// that pass Solution.Validate against the problem.
+	Solve(ctx context.Context, p *Problem, opts SolveOptions) (*Solution, error)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/grid"
+)
+
+// Objective is the paper's composite cost function (Equation 14):
+//
+//	min  q1*WLcost/WLmax + q2*Pcost/Pmax + q3*Rcost/Rmax + q4*RLcost/RLmax
+//
+// with the four terms being wire length, perimeter, wasted resources
+// (configuration frames) and missed relocation areas. The evaluation of
+// Section VI uses the [8]/[10] objective — "first optimize the wasted
+// area and, without increasing the area cost, minimize the overall wire
+// length" — which Lexicographic selects.
+type Objective struct {
+	// WireLength is q1.
+	WireLength float64
+	// Perimeter is q2.
+	Perimeter float64
+	// Resource is q3 (wasted configuration frames).
+	Resource float64
+	// Relocation is q4 (weighted missed free-compatible areas).
+	Relocation float64
+	// Lexicographic, when true, ignores the q-weights and ranks
+	// solutions by (RLcost, Rcost, WLcost): relocation misses first,
+	// then wasted frames, then wire length — the paper's evaluation
+	// objective, with metric-mode misses dominating.
+	Lexicographic bool
+}
+
+// DefaultObjective returns the paper's evaluation objective.
+func DefaultObjective() Objective { return Objective{Lexicographic: true} }
+
+// IsZero reports whether the objective is entirely unset, in which case
+// engines substitute DefaultObjective.
+func (o Objective) IsZero() bool {
+	return o == Objective{}
+}
+
+// Metrics are the raw cost terms of a solution.
+type Metrics struct {
+	// WireLength is WLcost: the weighted half-perimeter wire length
+	// over the problem's nets, between region centers (in tile units).
+	WireLength float64
+	// Perimeter is Pcost: the total perimeter of all regions.
+	Perimeter float64
+	// WastedFrames is Rcost: configuration frames covered by regions in
+	// excess of their requirements.
+	WastedFrames int
+	// RelocationMiss is RLcost: the summed weights of requested
+	// free-compatible areas that were not placed.
+	RelocationMiss float64
+	// PlacedFC is the number of free-compatible areas successfully
+	// identified.
+	PlacedFC int
+}
+
+// normalizers derives WLmax/Pmax/Rmax/RLmax for a problem, used to blend
+// the weighted objective exactly as Equation 14 prescribes.
+func normalizers(p *Problem) (wl, per, res, rl float64) {
+	w := float64(p.Device.Width())
+	h := float64(p.Device.Height())
+	for _, n := range p.Nets {
+		wl += n.Weight * (w + h)
+	}
+	per = float64(len(p.Regions)) * 2 * (w + h)
+	res = float64(p.Device.TotalFrames())
+	for _, fc := range p.FCAreas {
+		if fc.Mode == RelocMetric {
+			rl += fc.EffectiveWeight()
+		}
+	}
+	if wl == 0 {
+		wl = 1
+	}
+	if per == 0 {
+		per = 1
+	}
+	if res == 0 {
+		res = 1
+	}
+	if rl == 0 {
+		rl = 1
+	}
+	return wl, per, res, rl
+}
+
+// Value blends the metrics into a single scalar according to the
+// objective. Lexicographic objectives map to a scalar by scaling the
+// tiers far apart (safe because each term is bounded by its normalizer).
+func (o Objective) Value(p *Problem, m Metrics) float64 {
+	wlMax, pMax, rMax, rlMax := normalizers(p)
+	if o.Lexicographic || o.IsZero() {
+		const tier = 1e6
+		return m.RelocationMiss/rlMax*tier*tier +
+			float64(m.WastedFrames)/rMax*tier +
+			m.WireLength/wlMax
+	}
+	return o.WireLength*m.WireLength/wlMax +
+		o.Perimeter*m.Perimeter/pMax +
+		o.Resource*float64(m.WastedFrames)/rMax +
+		o.Relocation*m.RelocationMiss/rlMax
+}
+
+// WireLengthOf computes WLcost for a set of region placements: for each
+// net, weight times the Manhattan distance between the region centers.
+// Centers are computed exactly with doubled coordinates and the result is
+// halved at the end.
+func WireLengthOf(p *Problem, regions []grid.Rect) float64 {
+	total := 0.0
+	for _, n := range p.Nets {
+		a, b := regions[n.A], regions[n.B]
+		dx := a.CenterX2() - b.CenterX2()
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := a.CenterY2() - b.CenterY2()
+		if dy < 0 {
+			dy = -dy
+		}
+		total += n.Weight * float64(dx+dy) / 2
+	}
+	return total
+}
+
+// PerimeterOf computes Pcost: the summed full perimeters of the regions.
+func PerimeterOf(regions []grid.Rect) float64 {
+	total := 0.0
+	for _, r := range regions {
+		total += float64(2 * r.HalfPerimeter())
+	}
+	return total
+}

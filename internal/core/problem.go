@@ -1,0 +1,219 @@
+// Package core defines the relocation-aware floorplanning problem, its
+// solutions, objective, validation and rendering — the primary contribution
+// of the reproduced paper (Rabozzi et al., IPDPSW 2015).
+//
+// A Problem places a set of reconfigurable regions on a tile-modeled FPGA
+// and, following the paper, additionally reserves free-compatible areas:
+// spare rectangles compatible (same shape and tile-type layout) with a
+// region, into which that region's partial bitstream can be relocated at
+// run time. Free-compatible areas can be demanded as hard constraints
+// (Section IV) or traded off in the objective as a metric (Section V).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Region is a reconfigurable region to place: a named rectangular area
+// that must cover at least the stated resource requirements.
+type Region struct {
+	// Name identifies the region (e.g. "Matched Filter").
+	Name string
+	// Req is the region's resource requirement in tiles per class
+	// (Table I of the paper).
+	Req device.Requirements
+}
+
+// Net is a weighted two-pin connection between regions, used by the
+// wire-length term of the objective. The paper's SDR case study chains the
+// five modules with a 64-bit bus; Weight models bus width.
+type Net struct {
+	// A and B index Problem.Regions.
+	A, B int
+	// Weight scales this net's half-perimeter wire length.
+	Weight float64
+}
+
+// RelocMode selects how a free-compatible area request is enforced.
+type RelocMode int
+
+const (
+	// RelocConstraint makes the free-compatible area mandatory: a
+	// solution is feasible only if the area is placed (Section IV).
+	RelocConstraint RelocMode = iota
+	// RelocMetric makes the area optional: failing to place it adds its
+	// weight to the relocation cost term RLcost (Section V).
+	RelocMetric
+)
+
+func (m RelocMode) String() string {
+	if m == RelocConstraint {
+		return "constraint"
+	}
+	return "metric"
+}
+
+// FCRequest asks the floorplanner to reserve one free-compatible area for
+// a region. Requesting k areas for the same region is expressed as k
+// FCRequests.
+type FCRequest struct {
+	// Region indexes Problem.Regions: the area must be compatible with
+	// this region's placement.
+	Region int
+	// AlsoCompatible lists further regions the area must be compatible
+	// with (the paper's general s_{c,n} parameter: one area serving
+	// several regions). This implicitly forces those regions to be
+	// placed with identical tile-type signatures.
+	AlsoCompatible []int
+	// Mode selects constraint vs metric handling.
+	Mode RelocMode
+	// Weight is the metric-mode cost cw_c of not placing the area
+	// (ignored in constraint mode; defaults to 1 when zero).
+	Weight float64
+}
+
+// CompatRegions returns every region the area must be compatible with:
+// the primary region followed by AlsoCompatible, deduplicated.
+func (r FCRequest) CompatRegions() []int {
+	out := []int{r.Region}
+	for _, extra := range r.AlsoCompatible {
+		dup := false
+		for _, seen := range out {
+			if seen == extra {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, extra)
+		}
+	}
+	return out
+}
+
+// EffectiveWeight returns the metric weight, defaulting to 1.
+func (r FCRequest) EffectiveWeight() float64 {
+	if r.Weight == 0 {
+		return 1
+	}
+	return r.Weight
+}
+
+// Problem is a relocation-aware floorplanning instance.
+type Problem struct {
+	// Device is the target FPGA.
+	Device *device.Device
+	// Regions are the reconfigurable regions to place.
+	Regions []Region
+	// Nets connect regions for the wire-length objective term.
+	Nets []Net
+	// FCAreas are the requested free-compatible areas.
+	FCAreas []FCRequest
+	// Objective weighs the cost terms; the zero value selects the
+	// paper's evaluation objective (lexicographic wasted-area then
+	// wire length). See Objective.
+	Objective Objective
+}
+
+// Validate checks the static well-formedness of the problem.
+func (p *Problem) Validate() error {
+	if p.Device == nil {
+		return fmt.Errorf("core: problem has no device")
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("core: problem has no regions")
+	}
+	names := map[string]bool{}
+	for i, r := range p.Regions {
+		if r.Name == "" {
+			return fmt.Errorf("core: region %d has no name", i)
+		}
+		if names[r.Name] {
+			return fmt.Errorf("core: duplicate region name %q", r.Name)
+		}
+		names[r.Name] = true
+		if r.Req.IsZero() {
+			return fmt.Errorf("core: region %q requires no resources", r.Name)
+		}
+		for class, n := range r.Req {
+			if n < 0 {
+				return fmt.Errorf("core: region %q has negative requirement for %s", r.Name, class)
+			}
+		}
+	}
+	for i, n := range p.Nets {
+		if n.A < 0 || n.A >= len(p.Regions) || n.B < 0 || n.B >= len(p.Regions) {
+			return fmt.Errorf("core: net %d references unknown region", i)
+		}
+		if n.A == n.B {
+			return fmt.Errorf("core: net %d connects region %d to itself", i, n.A)
+		}
+		if n.Weight < 0 {
+			return fmt.Errorf("core: net %d has negative weight", i)
+		}
+	}
+	for i, fc := range p.FCAreas {
+		if fc.Region < 0 || fc.Region >= len(p.Regions) {
+			return fmt.Errorf("core: free-compatible request %d references unknown region %d", i, fc.Region)
+		}
+		for _, extra := range fc.AlsoCompatible {
+			if extra < 0 || extra >= len(p.Regions) {
+				return fmt.Errorf("core: free-compatible request %d references unknown region %d", i, extra)
+			}
+		}
+		if fc.Weight < 0 {
+			return fmt.Errorf("core: free-compatible request %d has negative weight", i)
+		}
+	}
+	return nil
+}
+
+// RegionIndex returns the index of the named region, or -1.
+func (p *Problem) RegionIndex(name string) int {
+	for i, r := range p.Regions {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RequiredFrames returns the minimal total configuration frames of all
+// regions (the Table I "Total" row).
+func (p *Problem) RequiredFrames() (int, error) {
+	total := 0
+	for _, r := range p.Regions {
+		f, err := p.Device.FramesForRequirements(r.Req)
+		if err != nil {
+			return 0, fmt.Errorf("core: region %q: %w", r.Name, err)
+		}
+		total += f
+	}
+	return total, nil
+}
+
+// FCCountByRegion returns, per region index, how many free-compatible
+// areas are requested.
+func (p *Problem) FCCountByRegion() []int {
+	counts := make([]int, len(p.Regions))
+	for _, fc := range p.FCAreas {
+		counts[fc.Region]++
+	}
+	return counts
+}
+
+// WithFCConstraints returns a copy of the problem requesting count
+// constraint-mode free-compatible areas for every region listed in
+// regions. It is the helper used to build the SDR2/SDR3 instances.
+func (p *Problem) WithFCConstraints(regions []int, count int) *Problem {
+	cp := *p
+	cp.FCAreas = append([]FCRequest(nil), p.FCAreas...)
+	for _, ri := range regions {
+		for k := 0; k < count; k++ {
+			cp.FCAreas = append(cp.FCAreas, FCRequest{Region: ri, Mode: RelocConstraint})
+		}
+	}
+	return &cp
+}

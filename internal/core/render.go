@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/device"
+)
+
+// RenderASCII draws the floorplan as a W x H character grid, one character
+// per tile — the textual analogue of the paper's Figures 4 and 5.
+//
+// Regions are drawn with uppercase letters (A, B, ... in region order),
+// their free-compatible areas with the matching lowercase letter, the
+// forbidden areas with '#', BRAM columns with ':', DSP columns with '|'
+// and free CLB tiles with '.'.
+func RenderASCII(p *Problem, s *Solution) string {
+	d := p.Device
+	W, H := d.Width(), d.Height()
+	cells := make([][]rune, H)
+	for r := range cells {
+		cells[r] = make([]rune, W)
+		for c := range cells[r] {
+			switch d.Type(d.TypeAt(c, r)).Class {
+			case device.ClassBRAM:
+				cells[r][c] = ':'
+			case device.ClassDSP:
+				cells[r][c] = '|'
+			default:
+				cells[r][c] = '.'
+			}
+		}
+	}
+	for _, f := range d.Forbidden() {
+		f.Tiles(func(c, r int) { cells[r][c] = '#' })
+	}
+	letter := func(i int) rune { return rune('A' + i%26) }
+	if s != nil {
+		for i, r := range s.Regions {
+			ch := letter(i)
+			r.Tiles(func(c, row int) { cells[row][c] = ch })
+		}
+		for _, fc := range s.FC {
+			if !fc.Placed {
+				continue
+			}
+			ch := letter(p.FCAreas[fc.Request].Region) + ('a' - 'A')
+			fc.Rect.Tiles(func(c, row int) { cells[row][c] = ch })
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%dx%d tiles)\n", d.Name(), W, H)
+	for r := 0; r < H; r++ {
+		b.WriteString(string(cells[r]))
+		b.WriteByte('\n')
+	}
+	if s != nil {
+		for i := range s.Regions {
+			fmt.Fprintf(&b, "%c=%s ", letter(i), p.Regions[i].Name)
+		}
+		b.WriteString("(lowercase = free-compatible area, #=forbidden, :=BRAM, |=DSP)\n")
+	}
+	return b.String()
+}
+
+// svgPalette provides visually distinct fills for up to 10 regions; it
+// cycles beyond that.
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+	"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// RenderSVG draws the floorplan as a standalone SVG document, one cell per
+// tile, regions filled solid and free-compatible areas hatched in the
+// region's color — the vector analogue of Figures 4 and 5.
+func RenderSVG(p *Problem, s *Solution) string {
+	const cell = 18
+	d := p.Device
+	W, H := d.Width(), d.Height()
+	width := W*cell + 20
+	height := H*cell + 40 + 16*len(p.Regions)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	// Fabric background per tile class.
+	for r := 0; r < H; r++ {
+		for c := 0; c < W; c++ {
+			fill := "#f2f2f2"
+			switch d.Type(d.TypeAt(c, r)).Class {
+			case device.ClassBRAM:
+				fill = "#d9e8f5"
+			case device.ClassDSP:
+				fill = "#f5e6d9"
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ddd"/>`+"\n",
+				10+c*cell, 10+r*cell, cell, cell, fill)
+		}
+	}
+	for _, f := range d.Forbidden() {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#666" stroke="#333"/>`+"\n",
+			10+f.X*cell, 10+f.Y*cell, f.W*cell, f.H*cell)
+	}
+	if s != nil {
+		for i, r := range s.Regions {
+			col := svgPalette[i%len(svgPalette)]
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.85" stroke="black" stroke-width="1.5"/>`+"\n",
+				10+r.X*cell, 10+r.Y*cell, r.W*cell, r.H*cell, col)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="white">%s</text>`+"\n",
+				12+r.X*cell, 22+r.Y*cell, p.Regions[i].Name)
+		}
+		fcIndex := map[int]int{}
+		for _, fc := range s.FC {
+			if !fc.Placed {
+				continue
+			}
+			ri := p.FCAreas[fc.Request].Region
+			fcIndex[ri]++
+			col := svgPalette[ri%len(svgPalette)]
+			r := fc.Rect
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.35" stroke="%s" stroke-dasharray="4,3" stroke-width="1.5"/>`+"\n",
+				10+r.X*cell, 10+r.Y*cell, r.W*cell, r.H*cell, col, col)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" fill="%s">%s %d</text>`+"\n",
+				12+r.X*cell, 21+r.Y*cell, col, p.Regions[ri].Name, fcIndex[ri])
+		}
+	}
+
+	// Legend.
+	y := H*cell + 24
+	names := make([]int, len(p.Regions))
+	for i := range names {
+		names[i] = i
+	}
+	sort.Ints(names)
+	for _, i := range names {
+		col := svgPalette[i%len(svgPalette)]
+		fmt.Fprintf(&b, `<rect x="10" y="%d" width="10" height="10" fill="%s"/>`+"\n", y, col)
+		fmt.Fprintf(&b, `<text x="24" y="%d" font-size="11">%s</text>`+"\n", y+9, p.Regions[i].Name)
+		y += 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

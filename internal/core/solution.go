@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// FCPlacement records the outcome of one FCRequest.
+type FCPlacement struct {
+	// Request indexes Problem.FCAreas.
+	Request int
+	// Placed reports whether the area was identified. Constraint-mode
+	// requests are always placed in a feasible solution; metric-mode
+	// requests may be missed at a cost.
+	Placed bool
+	// Rect is the reserved area (valid only when Placed).
+	Rect grid.Rect
+}
+
+// Solution is a floorplan: one rectangle per region plus the outcome of
+// every free-compatible area request.
+type Solution struct {
+	// Regions holds one placement per problem region, index-aligned.
+	Regions []grid.Rect
+	// FC holds one entry per FCRequest, index-aligned.
+	FC []FCPlacement
+
+	// Engine names the algorithm that produced the solution.
+	Engine string
+	// Proven reports whether the engine proved the solution optimal
+	// under the problem objective.
+	Proven bool
+	// Elapsed is the solve time.
+	Elapsed time.Duration
+	// Nodes counts search nodes (engine-specific; 0 if not applicable).
+	Nodes int
+}
+
+// Metrics computes the raw cost terms of the solution for problem p.
+func (s *Solution) Metrics(p *Problem) Metrics {
+	m := Metrics{
+		WireLength: WireLengthOf(p, s.Regions),
+		Perimeter:  PerimeterOf(s.Regions),
+	}
+	for i, r := range p.Regions {
+		m.WastedFrames += p.Device.WastedFrames(s.Regions[i], r.Req)
+	}
+	for _, fc := range s.FC {
+		if fc.Placed {
+			m.PlacedFC++
+		} else {
+			m.RelocationMiss += p.FCAreas[fc.Request].EffectiveWeight()
+		}
+	}
+	return m
+}
+
+// Objective evaluates the problem objective on this solution.
+func (s *Solution) Objective(p *Problem) float64 {
+	obj := p.Objective
+	if obj.IsZero() {
+		obj = DefaultObjective()
+	}
+	return obj.Value(p, s.Metrics(p))
+}
+
+// PlacedFCFor returns the placed free-compatible areas reserved for
+// region ri.
+func (s *Solution) PlacedFCFor(p *Problem, ri int) []grid.Rect {
+	var out []grid.Rect
+	for _, fc := range s.FC {
+		if fc.Placed && p.FCAreas[fc.Request].Region == ri {
+			out = append(out, fc.Rect)
+		}
+	}
+	return out
+}
+
+// allRects returns every occupied rectangle: regions then placed FC areas.
+func (s *Solution) allRects() []grid.Rect {
+	out := append([]grid.Rect(nil), s.Regions...)
+	for _, fc := range s.FC {
+		if fc.Placed {
+			out = append(out, fc.Rect)
+		}
+	}
+	return out
+}
+
+// Validate checks the solution against the problem: every region placed
+// legally with its resources covered, every constraint-mode FC area placed,
+// every placed FC area compatible with its region's placement
+// (Definition .2: free-compatible = compatible + overlapping nothing), and
+// all rectangles pairwise disjoint and clear of forbidden areas.
+//
+// Validation is independent of the engines: it re-derives every property
+// from the device model, so it doubles as the correctness oracle in tests.
+func (s *Solution) Validate(p *Problem) error {
+	if len(s.Regions) != len(p.Regions) {
+		return fmt.Errorf("core: solution has %d regions, problem has %d", len(s.Regions), len(p.Regions))
+	}
+	if len(s.FC) != len(p.FCAreas) {
+		return fmt.Errorf("core: solution has %d FC entries, problem has %d", len(s.FC), len(p.FCAreas))
+	}
+	for i, r := range s.Regions {
+		name := p.Regions[i].Name
+		if r.Empty() {
+			return fmt.Errorf("core: region %q not placed", name)
+		}
+		if !p.Device.CanPlace(r) {
+			return fmt.Errorf("core: region %q at %v is out of bounds or crosses a forbidden area", name, r)
+		}
+		if !p.Device.Satisfies(r, p.Regions[i].Req) {
+			return fmt.Errorf("core: region %q at %v does not cover its required resources %v (has %v)",
+				name, r, p.Regions[i].Req, p.Device.CountClasses(r))
+		}
+	}
+	seen := make(map[int]bool)
+	for i, fc := range s.FC {
+		if fc.Request != i {
+			return fmt.Errorf("core: FC entry %d has request index %d", i, fc.Request)
+		}
+		if seen[fc.Request] {
+			return fmt.Errorf("core: duplicate FC entry for request %d", fc.Request)
+		}
+		seen[fc.Request] = true
+		req := p.FCAreas[fc.Request]
+		if !fc.Placed {
+			if req.Mode == RelocConstraint {
+				return fmt.Errorf("core: constraint-mode free-compatible area %d (region %q) not placed",
+					i, p.Regions[req.Region].Name)
+			}
+			continue
+		}
+		if !p.Device.CanPlace(fc.Rect) {
+			return fmt.Errorf("core: FC area %d at %v is out of bounds or crosses a forbidden area", i, fc.Rect)
+		}
+		for _, ri := range req.CompatRegions() {
+			src := s.Regions[ri]
+			if !p.Device.Compatible(src, fc.Rect) {
+				return fmt.Errorf("core: FC area %d at %v is not compatible with region %q at %v",
+					i, fc.Rect, p.Regions[ri].Name, src)
+			}
+		}
+	}
+	rects := s.allRects()
+	for i := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[i].Overlaps(rects[j]) {
+				return fmt.Errorf("core: areas %s and %s overlap",
+					s.rectName(p, i), s.rectName(p, j))
+			}
+		}
+	}
+	return nil
+}
+
+// rectName labels the k-th rectangle of allRects for error messages.
+func (s *Solution) rectName(p *Problem, k int) string {
+	if k < len(s.Regions) {
+		return fmt.Sprintf("region %q %v", p.Regions[k].Name, s.Regions[k])
+	}
+	k -= len(s.Regions)
+	for _, fc := range s.FC {
+		if !fc.Placed {
+			continue
+		}
+		if k == 0 {
+			req := p.FCAreas[fc.Request]
+			return fmt.Sprintf("FC area %d for %q %v", fc.Request, p.Regions[req.Region].Name, fc.Rect)
+		}
+		k--
+	}
+	return "unknown area"
+}
+
+// Summary renders a one-solution report: placements, FC outcomes, metrics.
+func (s *Solution) Summary(p *Problem) string {
+	var b strings.Builder
+	m := s.Metrics(p)
+	fmt.Fprintf(&b, "engine=%s proven=%v elapsed=%s\n", s.Engine, s.Proven, s.Elapsed.Round(time.Millisecond))
+	for i, r := range s.Regions {
+		fmt.Fprintf(&b, "  %-18s %v waste=%df\n", p.Regions[i].Name, r, p.Device.WastedFrames(r, p.Regions[i].Req))
+	}
+	for _, fc := range s.FC {
+		req := p.FCAreas[fc.Request]
+		if fc.Placed {
+			fmt.Fprintf(&b, "  FC[%d] %-12s %v (%s)\n", fc.Request, p.Regions[req.Region].Name, fc.Rect, req.Mode)
+		} else {
+			fmt.Fprintf(&b, "  FC[%d] %-12s MISSED (%s)\n", fc.Request, p.Regions[req.Region].Name, req.Mode)
+		}
+	}
+	fmt.Fprintf(&b, "  wasted=%df wirelength=%.1f perimeter=%.0f placedFC=%d missed=%.1f\n",
+		m.WastedFrames, m.WireLength, m.Perimeter, m.PlacedFC, m.RelocationMiss)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package device
+
+import "repro/internal/grid"
+
+// Compatible reports whether two areas of the device are compatible in the
+// sense of Section II of the paper: same shape, same size, and the same
+// relative positioning of tiles of the same type. A bitstream configured
+// for area a can (in the model) be relocated to area b iff they are
+// compatible, because every frame lands on a tile of the identical type.
+//
+// Areas that extend outside the device are never compatible.
+func (d *Device) Compatible(a, b grid.Rect) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	bounds := d.Bounds()
+	if !bounds.ContainsRect(a) || !bounds.ContainsRect(b) {
+		return false
+	}
+	for dc := 0; dc < a.W; dc++ {
+		for dr := 0; dr < a.H; dr++ {
+			if d.TypeAt(a.X+dc, a.Y+dr) != d.TypeAt(b.X+dc, b.Y+dr) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ColumnSignature returns the left-to-right sequence of column tile types
+// under rect. On a columnar device two placeable areas with equal heights
+// are compatible iff their signatures match, which is what the MILP
+// constraints of Section IV encode portion-wise.
+func (d *Device) ColumnSignature(rect grid.Rect) []TypeID {
+	sig := make([]TypeID, 0, rect.W)
+	rect.Columns(func(c int) {
+		sig = append(sig, d.TypeAt(c, rect.Y))
+	})
+	return sig
+}
+
+// CompatiblePlacements enumerates every legal placement compatible with
+// src: same shape, pairwise-identical tile types, inside the device, and
+// clear of forbidden areas. src itself is included when legal. Results are
+// ordered by (x, y).
+func (d *Device) CompatiblePlacements(src grid.Rect) []grid.Rect {
+	var out []grid.Rect
+	if src.Empty() {
+		return out
+	}
+	for x := 0; x+src.W <= d.w; x++ {
+		if !d.columnsMatch(src, x) {
+			continue
+		}
+		for y := 0; y+src.H <= d.h; y++ {
+			cand := grid.Rect{X: x, Y: y, W: src.W, H: src.H}
+			if !d.Compatible(src, cand) {
+				continue
+			}
+			if d.OverlapsForbidden(cand) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// columnsMatch is a cheap columnar pre-filter for CompatiblePlacements: it
+// compares the type of the first row of src's columns against the columns
+// starting at x. On columnar devices this decides compatibility for any y;
+// on general devices Compatible re-checks every tile.
+func (d *Device) columnsMatch(src grid.Rect, x int) bool {
+	for dc := 0; dc < src.W; dc++ {
+		if d.TypeAt(src.X+dc, src.Y) != d.TypeAt(x+dc, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompatibleXOffsets returns, for a columnar device, every column x at
+// which an area of width w whose signature equals sig can be placed
+// (ignoring forbidden areas and the vertical position). This is the
+// translation set exploited by the combinatorial engine.
+func (d *Device) CompatibleXOffsets(sig []TypeID) []int {
+	var out []int
+	w := len(sig)
+	for x := 0; x+w <= d.w; x++ {
+		ok := true
+		for i := 0; i < w; i++ {
+			if d.TypeAt(x+i, 0) != sig[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// deviceJSON is the on-disk representation used by the CLI tools. Columnar
+// devices serialize their column types; general devices serialize the full
+// cell grid.
+type deviceJSON struct {
+	Name      string      `json:"name"`
+	Width     int         `json:"width"`
+	Height    int         `json:"height"`
+	Types     []TileType  `json:"types"`
+	Columns   []TypeID    `json:"columns,omitempty"`
+	Cells     []TypeID    `json:"cells,omitempty"`
+	Forbidden []grid.Rect `json:"forbidden,omitempty"`
+}
+
+// MarshalJSON encodes the device, using the compact columnar form when the
+// device is columnar.
+func (d *Device) MarshalJSON() ([]byte, error) {
+	out := deviceJSON{
+		Name:      d.name,
+		Width:     d.w,
+		Height:    d.h,
+		Types:     d.types,
+		Forbidden: d.forbidden,
+	}
+	if d.IsColumnar() {
+		cols := make([]TypeID, d.w)
+		for c := 0; c < d.w; c++ {
+			cols[c] = d.TypeAt(c, 0)
+		}
+		out.Columns = cols
+	} else {
+		out.Cells = append([]TypeID(nil), d.cells...)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a device written by MarshalJSON.
+func (d *Device) UnmarshalJSON(data []byte) error {
+	var in deviceJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	var dec *Device
+	var err error
+	switch {
+	case len(in.Columns) > 0:
+		if len(in.Columns) != in.Width {
+			return fmt.Errorf("device: got %d columns, want %d", len(in.Columns), in.Width)
+		}
+		dec, err = NewColumnar(in.Name, in.Columns, in.Height, in.Types, in.Forbidden)
+	case len(in.Cells) > 0:
+		dec, err = New(in.Name, in.Width, in.Height, in.Types, in.Cells, in.Forbidden)
+	default:
+		return fmt.Errorf("device: JSON has neither columns nor cells")
+	}
+	if err != nil {
+		return err
+	}
+	*d = *dec
+	return nil
+}

@@ -1,0 +1,84 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grid"
+)
+
+// GeneratorConfig parameterizes the synthetic columnar device generator
+// used by the scaling benchmarks.
+type GeneratorConfig struct {
+	// Width and Height are the tile-grid dimensions.
+	Width, Height int
+	// BRAMEvery inserts a BRAM column every BRAMEvery columns (0 = none).
+	BRAMEvery int
+	// DSPEvery inserts a DSP column every DSPEvery columns (0 = none).
+	// When both fall on the same column, DSP wins.
+	DSPEvery int
+	// ForbiddenBlocks carves this many random forbidden rectangles out of
+	// the fabric (hard blocks).
+	ForbiddenBlocks int
+	// ForbiddenMaxW / ForbiddenMaxH bound the forbidden block size.
+	ForbiddenMaxW, ForbiddenMaxH int
+	// Seed drives the deterministic placement of forbidden blocks.
+	Seed int64
+}
+
+// Generate builds a synthetic Virtex-style columnar device.
+func Generate(cfg GeneratorConfig) (*Device, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("device: generator needs positive dimensions, got %dx%d", cfg.Width, cfg.Height)
+	}
+	colTypes := make([]TypeID, cfg.Width)
+	for c := range colTypes {
+		colTypes[c] = V5CLB
+		if cfg.BRAMEvery > 0 && c%cfg.BRAMEvery == cfg.BRAMEvery/2 {
+			colTypes[c] = V5BRAM
+		}
+		if cfg.DSPEvery > 0 && c%cfg.DSPEvery == cfg.DSPEvery/2 {
+			colTypes[c] = V5DSP
+		}
+	}
+	maxW := cfg.ForbiddenMaxW
+	if maxW <= 0 {
+		maxW = 2
+	}
+	maxH := cfg.ForbiddenMaxH
+	if maxH <= 0 {
+		maxH = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var forbidden []grid.Rect
+	for i := 0; i < cfg.ForbiddenBlocks; i++ {
+		w := 1 + rng.Intn(maxW)
+		h := 1 + rng.Intn(maxH)
+		if w > cfg.Width {
+			w = cfg.Width
+		}
+		if h > cfg.Height {
+			h = cfg.Height
+		}
+		r := grid.Rect{
+			X: rng.Intn(cfg.Width - w + 1),
+			Y: rng.Intn(cfg.Height - h + 1),
+			W: w,
+			H: h,
+		}
+		if !grid.AnyOverlap(r, forbidden) {
+			forbidden = append(forbidden, r)
+		}
+	}
+	name := fmt.Sprintf("synthetic-%dx%d-s%d", cfg.Width, cfg.Height, cfg.Seed)
+	return NewColumnar(name, colTypes, cfg.Height, V5Types(), forbidden)
+}
+
+// MustGenerate is Generate for static configurations known to be valid.
+func MustGenerate(cfg GeneratorConfig) *Device {
+	d, err := Generate(cfg)
+	if err != nil {
+		panic("device: MustGenerate: " + err.Error())
+	}
+	return d
+}

@@ -1,0 +1,107 @@
+// Package device models partially-reconfigurable FPGAs at tile granularity,
+// as required by the relocation-aware floorplanner of Rabozzi et al.
+// (IPDPSW 2015).
+//
+// The basic block is a tile: the minimal unit of reconfiguration. Following
+// Definition .1 of the paper, two tiles are of the same type iff they hold
+// the same number and types of resources AND the configuration data needed
+// to configure them is identical. Tile types therefore carry both a resource
+// class (CLB, BRAM, DSP, ...) and a configuration identifier; two types with
+// the same class but different configuration layouts are distinct and areas
+// covering them are never relocation-compatible.
+package device
+
+import "fmt"
+
+// Class names the resource family provided by a tile type. Classes are the
+// unit in which designs state their requirements (e.g. "25 CLB tiles").
+type Class string
+
+// Standard resource classes of Xilinx-style devices.
+const (
+	ClassCLB  Class = "CLB"
+	ClassBRAM Class = "BRAM"
+	ClassDSP  Class = "DSP"
+	ClassIO   Class = "IO"
+)
+
+// TypeID identifies a tile type within a Device. IDs are dense indices into
+// Device.Types; equality of IDs is equality of types in the sense of
+// Definition .1.
+type TypeID int
+
+// TileType describes one tile type of a device.
+type TileType struct {
+	// Name is a human-readable label, unique within the device.
+	Name string
+	// Class is the resource family this tile provides.
+	Class Class
+	// Frames is the number of configuration frames needed to configure
+	// one tile of this type (e.g. 36 for a Virtex-5 CLB tile).
+	Frames int
+	// Config distinguishes tile types that provide the same resources
+	// but have incompatible configuration-memory layouts. Two tile
+	// types are Definition .1 equivalent only when both Class and
+	// Config match; within a single device that is encoded by giving
+	// them the same TypeID.
+	Config int
+}
+
+func (t TileType) String() string {
+	return fmt.Sprintf("%s(%s,%df)", t.Name, t.Class, t.Frames)
+}
+
+// Requirements states how many tiles of each class a reconfigurable region
+// needs, as in Table I of the paper.
+type Requirements map[Class]int
+
+// Clone returns a copy of the requirement map.
+func (rq Requirements) Clone() Requirements {
+	out := make(Requirements, len(rq))
+	for k, v := range rq {
+		out[k] = v
+	}
+	return out
+}
+
+// IsZero reports whether no resources are required.
+func (rq Requirements) IsZero() bool {
+	for _, v := range rq {
+		if v > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts is a per-TypeID tile tally for some area of a device.
+type Counts []int
+
+// Add accumulates other into c.
+func (c Counts) Add(other Counts) {
+	for i, v := range other {
+		c[i] += v
+	}
+}
+
+// Equal reports whether two tallies are identical.
+func (c Counts) Equal(other Counts) bool {
+	if len(c) != len(other) {
+		return false
+	}
+	for i, v := range c {
+		if v != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the total number of tiles tallied.
+func (c Counts) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,673 @@
+// Package exact implements a combinatorial branch-and-bound floorplanner
+// specialized to columnar devices. It optimizes the paper's evaluation
+// objective exactly — lexicographically minimizing (missed relocation
+// areas, wasted configuration frames, wire length) — and enforces
+// free-compatible-area constraints by construction.
+//
+// Relationship to the paper: the MILP formulations O/HO (internal/model)
+// are the paper's algorithms; this engine is the solver substrate that
+// makes the Section VI experiments reproducible without a commercial MILP
+// solver. It explores the same solution space (width-minimal rectangles on
+// the columnar partitioning; free-compatible areas as compatible
+// translations, cf. core.EnumerateCandidates) and its solutions validate
+// against the same independent checker.
+package exact
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// Engine is the combinatorial exact floorplanner.
+type Engine struct {
+	// MaxNodes bounds the search (0 = 50M region nodes).
+	MaxNodes int64
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "exact" }
+
+// objective triple compared lexicographically: relocation misses, wasted
+// frames, wire length.
+type triple struct {
+	miss  float64
+	waste int
+	wl    float64
+}
+
+func (a triple) less(b triple) bool {
+	if a.miss != b.miss {
+		return a.miss < b.miss
+	}
+	if a.waste != b.waste {
+		return a.waste < b.waste
+	}
+	return a.wl < b.wl-1e-9
+}
+
+type fcGroup struct {
+	// regions is the compatibility set of the group's requests (the
+	// primary region first); all requests in a group share it.
+	regions  []int
+	requests []int // FCRequest indices
+	required int   // constraint-mode count
+	optional int   // metric-mode count
+	weights  []float64
+}
+
+// region returns the group's primary region.
+func (g fcGroup) region() int { return g.regions[0] }
+
+// sharedBest is the incumbent shared between parallel workers. Workers
+// keep a local copy of the best triple for cheap pruning and periodically
+// refresh it; installs go through the mutex.
+type sharedBest struct {
+	mu    sync.Mutex
+	best  triple
+	sol   *core.Solution
+	nodes atomic.Int64
+}
+
+// tryInstall installs a candidate solution if it improves the shared
+// incumbent; it returns the current best either way.
+func (sb *sharedBest) tryInstall(t triple, sol *core.Solution) triple {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if t.less(sb.best) {
+		sb.best = t
+		sb.sol = sol
+	}
+	return sb.best
+}
+
+// snapshot returns the current shared best.
+func (sb *sharedBest) snapshot() triple {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.best
+}
+
+type searchState struct {
+	p       *core.Problem
+	dev     *device.Device
+	cands   [][]core.Candidate // per region, sorted by waste
+	order   []int              // region placement order
+	minTail []int              // minTail[k]: sum of min waste of order[k:]
+	groups  []fcGroup
+
+	mask          *grid.Mask
+	placed        []grid.Rect // per region (by region index)
+	slotCache     map[grid.Rect][]grid.Rect
+	best          triple
+	bestSol       *core.Solution
+	nodes         int64
+	maxNodes      int64
+	deadline      time.Time
+	ctx           context.Context
+	checkTick     int64
+	aborted       bool
+	lastPublished int64 // nodes already added to shared.nodes
+
+	// shared, when non-nil, is the cross-worker incumbent of a parallel
+	// solve; best is then a local (possibly stale) copy and bestSol is
+	// ignored in favor of shared.sol.
+	shared *sharedBest
+	// rootStride/rootOffset partition the first region's candidates
+	// round-robin across parallel workers (stride <= 1 = all).
+	rootStride, rootOffset int
+}
+
+// Solve implements core.Engine.
+func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	st := &searchState{
+		p:        p,
+		dev:      p.Device,
+		mask:     grid.NewMask(p.Device.Width(), p.Device.Height()),
+		placed:   make([]grid.Rect, len(p.Regions)),
+		best:     triple{miss: math.Inf(1), waste: math.MaxInt64 / 4, wl: math.Inf(1)},
+		maxNodes: e.MaxNodes,
+		ctx:      ctx,
+	}
+	if st.maxNodes <= 0 {
+		st.maxNodes = 50_000_000
+	}
+	if opts.TimeLimit > 0 {
+		st.deadline = start.Add(opts.TimeLimit)
+	}
+
+	// Group FC requests by compatibility set.
+	st.groups = buildGroups(p)
+
+	// Regions tied into a multi-region compatibility set may need
+	// non-width-minimal shapes to align their signatures with their
+	// partners', so they get the full candidate enumeration; everyone
+	// else keeps the lossless width-minimal set.
+	needsAll := make([]bool, len(p.Regions))
+	for _, g := range st.groups {
+		if len(g.regions) > 1 {
+			for _, ri := range g.regions {
+				needsAll[ri] = true
+			}
+		}
+	}
+
+	// Candidate enumeration per region.
+	st.cands = make([][]core.Candidate, len(p.Regions))
+	for i, r := range p.Regions {
+		if needsAll[i] {
+			st.cands[i] = core.EnumerateAllCandidates(p.Device, r.Req)
+		} else {
+			st.cands[i] = core.EnumerateCandidates(p.Device, r.Req)
+		}
+		if len(st.cands[i]) == 0 {
+			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
+		}
+	}
+
+	// Region order: most constrained first (fewest candidates), with
+	// FC-burdened regions earlier so compatibility pruning bites sooner.
+	st.order = make([]int, len(p.Regions))
+	for i := range st.order {
+		st.order[i] = i
+	}
+	fcCount := p.FCCountByRegion()
+	sort.SliceStable(st.order, func(a, b int) bool {
+		ra, rb := st.order[a], st.order[b]
+		ka := len(st.cands[ra]) - 1000*fcCount[ra]
+		kb := len(st.cands[rb]) - 1000*fcCount[rb]
+		if ka != kb {
+			return ka < kb
+		}
+		return ra < rb
+	})
+	st.minTail = make([]int, len(st.order)+1)
+	for k := len(st.order) - 1; k >= 0; k-- {
+		st.minTail[k] = st.minTail[k+1] + st.cands[st.order[k]][0].Waste
+	}
+
+	workers := opts.Workers
+	var (
+		bestSol *core.Solution
+		nodes   int64
+		aborted bool
+	)
+	if workers <= 1 {
+		st.placeRegion(0, 0)
+		bestSol, nodes, aborted = st.bestSol, st.nodes, st.aborted
+	} else {
+		bestSol, nodes, aborted = e.solveParallel(st, workers)
+	}
+
+	if bestSol == nil {
+		if aborted {
+			return nil, core.ErrNoSolution
+		}
+		return nil, core.ErrInfeasible
+	}
+	bestSol.Engine = e.Name()
+	bestSol.Proven = !aborted
+	bestSol.Elapsed = time.Since(start)
+	bestSol.Nodes = int(nodes)
+	return bestSol, nil
+}
+
+// solveParallel fans the search out over workers: the first region's
+// candidate list is partitioned round-robin and each worker explores its
+// subtrees with a private mask/placement state, sharing only the
+// incumbent. The template state contributes its precomputed candidate
+// sets, ordering and FC groups (all read-only during the search).
+func (e *Engine) solveParallel(tmpl *searchState, workers int) (*core.Solution, int64, bool) {
+	shared := &sharedBest{best: tmpl.best}
+	states := make([]*searchState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := &searchState{
+			p:          tmpl.p,
+			dev:        tmpl.dev,
+			cands:      tmpl.cands,
+			order:      tmpl.order,
+			minTail:    tmpl.minTail,
+			groups:     tmpl.groups,
+			mask:       grid.NewMask(tmpl.dev.Width(), tmpl.dev.Height()),
+			placed:     make([]grid.Rect, len(tmpl.p.Regions)),
+			best:       tmpl.best,
+			maxNodes:   tmpl.maxNodes,
+			deadline:   tmpl.deadline,
+			ctx:        tmpl.ctx,
+			shared:     shared,
+			rootStride: workers,
+			rootOffset: w,
+		}
+		states[w] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws.placeRegion(0, 0)
+		}()
+	}
+	wg.Wait()
+	nodes := shared.nodes.Load()
+	aborted := false
+	for _, ws := range states {
+		nodes += ws.nodes - ws.lastPublished
+		aborted = aborted || ws.aborted
+	}
+	shared.mu.Lock()
+	sol := shared.sol
+	shared.mu.Unlock()
+	return sol, nodes, aborted
+}
+
+func buildGroups(p *core.Problem) []fcGroup {
+	// Requests sharing the same compatibility set are interchangeable
+	// and merge into one group (enables symmetry breaking in the
+	// packer); the key is the canonical region set.
+	bySet := map[string]*fcGroup{}
+	var order []string
+	for i, fc := range p.FCAreas {
+		regions := fc.CompatRegions()
+		key := fmt.Sprint(regions)
+		g, ok := bySet[key]
+		if !ok {
+			g = &fcGroup{regions: regions}
+			bySet[key] = g
+			order = append(order, key)
+		}
+		g.requests = append(g.requests, i)
+		if fc.Mode == core.RelocConstraint {
+			g.required++
+		} else {
+			g.optional++
+			g.weights = append(g.weights, fc.EffectiveWeight())
+		}
+	}
+	sort.Strings(order)
+	out := make([]fcGroup, 0, len(order))
+	for _, key := range order {
+		out = append(out, *bySet[key])
+	}
+	return out
+}
+
+func (st *searchState) outOfBudget() bool {
+	if st.aborted {
+		return true
+	}
+	st.checkTick++
+	if st.checkTick&1023 == 0 {
+		totalNodes := st.nodes
+		if st.shared != nil {
+			totalNodes = st.shared.nodes.Add(st.nodes - st.lastPublished)
+			st.lastPublished = st.nodes
+			// Refresh the local incumbent copy for sharper pruning.
+			if b := st.shared.snapshot(); b.less(st.best) {
+				st.best = b
+			}
+		}
+		if totalNodes > st.maxNodes {
+			st.aborted = true
+			return true
+		}
+		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			st.aborted = true
+			return true
+		}
+		if st.ctx != nil {
+			select {
+			case <-st.ctx.Done():
+				st.aborted = true
+				return true
+			default:
+			}
+		}
+	}
+	return false
+}
+
+// wlPlacedLB returns the exact wire length restricted to nets whose both
+// endpoints are placed — a valid lower bound on the final wire length.
+func (st *searchState) wlPlacedLB(k int) float64 {
+	placedSet := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		placedSet[st.order[i]] = true
+	}
+	total := 0.0
+	for _, n := range st.p.Nets {
+		if placedSet[n.A] && placedSet[n.B] {
+			a, b := st.placed[n.A], st.placed[n.B]
+			dx := a.CenterX2() - b.CenterX2()
+			if dx < 0 {
+				dx = -dx
+			}
+			dy := a.CenterY2() - b.CenterY2()
+			if dy < 0 {
+				dy = -dy
+			}
+			total += n.Weight * float64(dx+dy) / 2
+		}
+	}
+	return total
+}
+
+// placeRegion is the region-level DFS. k indexes st.order; wasteSoFar
+// accumulates the waste of regions order[0:k].
+func (st *searchState) placeRegion(k int, wasteSoFar int) {
+	if st.outOfBudget() {
+		return
+	}
+	if k == len(st.order) {
+		st.finishRegions(wasteSoFar)
+		return
+	}
+	ri := st.order[k]
+	for idx, cand := range st.cands[ri] {
+		if k == 0 && st.rootStride > 1 && idx%st.rootStride != st.rootOffset {
+			continue // another worker owns this subtree
+		}
+		// Waste bound: candidates are waste-sorted, so once the bound
+		// trips no later candidate can help.
+		lb := triple{miss: 0, waste: wasteSoFar + cand.Waste + st.minTail[k+1], wl: 0}
+		if !lb.less(st.best) {
+			break
+		}
+		if st.mask.OverlapsRect(cand.Rect) {
+			continue
+		}
+		st.nodes++
+		st.mask.SetRect(cand.Rect)
+		st.placed[ri] = cand.Rect
+
+		// Refine the bound with the wire length of fully-placed nets and
+		// the relocation misses already forced by this partial placement.
+		lb.wl = st.wlPlacedLB(k + 1)
+		feasible, missLB := st.fcBound(k + 1)
+		lb.miss = missLB
+		if feasible && lb.less(st.best) {
+			st.placeRegion(k+1, wasteSoFar+cand.Waste)
+		}
+
+		st.mask.ClearRect(cand.Rect)
+		st.placed[ri] = grid.Rect{}
+		if st.aborted {
+			return
+		}
+	}
+}
+
+// fcBound inspects every already-placed region with FC requests and
+// returns whether the constraint-mode requests can still be satisfied,
+// plus a lower bound on the metric-mode miss cost. The slot count ignores
+// unplaced regions and lets slots overlap each other, so it upper-bounds
+// the truly packable count — both results are admissible for pruning.
+func (st *searchState) fcBound(k int) (feasible bool, missLB float64) {
+	placedSet := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		placedSet[st.order[i]] = true
+	}
+	for _, g := range st.groups {
+		allPlaced := true
+		for _, ri := range g.regions {
+			if !placedSet[ri] {
+				allPlaced = false
+				break
+			}
+		}
+		if !allPlaced {
+			continue
+		}
+		want := g.required + g.optional
+		slots := st.countFreeSlotsForGroup(g, want)
+		if slots < g.required {
+			return false, 0
+		}
+		if shortfall := want - slots; shortfall > 0 {
+			// The cheapest optional requests are the ones optimally
+			// missed; weights are per-group metric requests.
+			weights := append([]float64(nil), g.weights...)
+			sort.Float64s(weights)
+			for i := 0; i < shortfall && i < len(weights); i++ {
+				missLB += weights[i]
+			}
+		}
+	}
+	return true, missLB
+}
+
+// countFreeSlotsForGroup counts the group's compatible placements that are
+// free in the current mask, stopping early at limit.
+func (st *searchState) countFreeSlotsForGroup(g fcGroup, limit int) int {
+	n := 0
+	for _, slot := range st.groupSlots(g) {
+		if !st.mask.OverlapsRect(slot) {
+			n++
+			if n >= limit {
+				return n
+			}
+		}
+	}
+	return n
+}
+
+// groupSlots enumerates the legal placements compatible with every region
+// of the group. Single-region groups use the per-rect cache; multi-region
+// sets additionally filter by the extra regions' placements.
+func (st *searchState) groupSlots(g fcGroup) []grid.Rect {
+	base := st.slotsFor(st.placed[g.region()])
+	if len(g.regions) == 1 {
+		return base
+	}
+	out := make([]grid.Rect, 0, len(base))
+	for _, slot := range base {
+		ok := true
+		for _, ri := range g.regions[1:] {
+			if slot == st.placed[ri] || !st.dev.Compatible(st.placed[ri], slot) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// slotsFor enumerates the legal compatible placements of src (excluding
+// src itself, which is occupied by the region). Results are cached per
+// source rectangle: the same candidate rectangles recur across millions
+// of search nodes.
+func (st *searchState) slotsFor(src grid.Rect) []grid.Rect {
+	if st.slotCache == nil {
+		st.slotCache = make(map[grid.Rect][]grid.Rect)
+	}
+	if cached, ok := st.slotCache[src]; ok {
+		return cached
+	}
+	all := st.dev.CompatiblePlacements(src)
+	out := make([]grid.Rect, 0, len(all))
+	for _, r := range all {
+		if r != src {
+			out = append(out, r)
+		}
+	}
+	st.slotCache[src] = out
+	return out
+}
+
+// finishRegions runs after all regions are placed: solve the FC packing
+// subproblem and record the solution if it improves the incumbent.
+func (st *searchState) finishRegions(waste int) {
+	wl := core.WireLengthOf(st.p, st.placed)
+	lb := triple{miss: 0, waste: waste, wl: wl}
+	if !lb.less(st.best) {
+		return
+	}
+	fcRects, miss, ok := st.solveFC(triple{miss: st.best.miss, waste: waste, wl: wl})
+	if !ok {
+		return
+	}
+	got := triple{miss: miss, waste: waste, wl: wl}
+	if !got.less(st.best) {
+		return
+	}
+	sol := &core.Solution{
+		Regions: append([]grid.Rect(nil), st.placed...),
+		FC:      make([]core.FCPlacement, len(st.p.FCAreas)),
+	}
+	for i := range sol.FC {
+		sol.FC[i] = core.FCPlacement{Request: i}
+	}
+	for req, r := range fcRects {
+		sol.FC[req].Placed = true
+		sol.FC[req].Rect = r
+	}
+	if st.shared != nil {
+		st.best = st.shared.tryInstall(got, sol)
+		return
+	}
+	st.best = got
+	st.bestSol = sol
+}
+
+// solveFC packs the free-compatible areas given the fixed region
+// placements. It returns the placements by request index, the metric-mode
+// miss cost, and whether all constraint-mode areas were placed.
+func (st *searchState) solveFC(budget triple) (map[int]grid.Rect, float64, bool) {
+	if len(st.groups) == 0 {
+		return nil, 0, true
+	}
+	packer := &fcPacker{
+		st:     st,
+		budget: budget,
+		best:   math.Inf(1),
+	}
+	// Materialize per-group slot lists against the final mask.
+	for _, g := range st.groups {
+		slots := st.groupSlots(g)
+		free := make([]grid.Rect, 0, len(slots))
+		for _, s := range slots {
+			if !st.mask.OverlapsRect(s) {
+				free = append(free, s)
+			}
+		}
+		packer.groups = append(packer.groups, fcWork{group: g, slots: free})
+	}
+	// Most constrained groups first: fewest slots per requested area.
+	sort.SliceStable(packer.groups, func(a, b int) bool {
+		ga, gb := packer.groups[a], packer.groups[b]
+		la := len(ga.slots) - len(ga.group.requests)
+		lb := len(gb.slots) - len(gb.group.requests)
+		if la != lb {
+			return la < lb
+		}
+		return ga.group.region() < gb.group.region()
+	})
+	packer.used = grid.NewMask(st.dev.Width(), st.dev.Height())
+	packer.assign = map[int]grid.Rect{}
+	packer.solve(0)
+	if packer.bestAssign == nil {
+		return nil, 0, false
+	}
+	return packer.bestAssign, packer.best, true
+}
+
+type fcWork struct {
+	group fcGroup
+	slots []grid.Rect
+}
+
+// fcPacker places free-compatible areas group by group with backtracking.
+// Within a group the areas are interchangeable, so slots are assigned in
+// index order (symmetry breaking).
+type fcPacker struct {
+	st     *searchState
+	groups []fcWork
+	used   *grid.Mask
+	assign map[int]grid.Rect
+
+	budget     triple
+	best       float64 // best total miss found
+	bestAssign map[int]grid.Rect
+	nodes      int
+}
+
+func (pk *fcPacker) solve(gi int) {
+	pk.nodes++
+	if pk.nodes > 2_000_000 {
+		return // safety valve; incumbent-so-far stands
+	}
+	if gi == len(pk.groups) {
+		miss := pk.currentMiss()
+		if miss < pk.best {
+			pk.best = miss
+			pk.bestAssign = make(map[int]grid.Rect, len(pk.assign))
+			for k, v := range pk.assign {
+				pk.bestAssign[k] = v
+			}
+		}
+		return
+	}
+	g := pk.groups[gi]
+	need := len(g.group.requests)
+	pk.placeInGroup(gi, 0, 0, need)
+}
+
+// placeInGroup assigns the j-th request of group gi using slots starting
+// at index from. placedCount tracks how many of the group's areas were
+// placed so far.
+func (pk *fcPacker) placeInGroup(gi, j, from, remaining int) {
+	g := pk.groups[gi]
+	if j == len(g.group.requests) {
+		pk.solve(gi + 1)
+		return
+	}
+	req := g.group.requests[j]
+	mode := pk.st.p.FCAreas[req].Mode
+
+	// Option 1: place it using some slot >= from.
+	for si := from; si < len(g.slots); si++ {
+		slot := g.slots[si]
+		if pk.used.OverlapsRect(slot) {
+			continue
+		}
+		pk.used.SetRect(slot)
+		pk.assign[req] = slot
+		pk.placeInGroup(gi, j+1, si+1, remaining-1)
+		delete(pk.assign, req)
+		pk.used.ClearRect(slot)
+		if pk.best == 0 {
+			return // cannot do better than zero miss
+		}
+	}
+
+	// Option 2: skip it (metric mode only).
+	if mode == core.RelocMetric {
+		pk.placeInGroup(gi, j+1, from, remaining-1)
+	}
+}
+
+func (pk *fcPacker) currentMiss() float64 {
+	miss := 0.0
+	for _, g := range pk.groups {
+		for _, req := range g.group.requests {
+			if _, ok := pk.assign[req]; !ok {
+				miss += pk.st.p.FCAreas[req].EffectiveWeight()
+			}
+		}
+	}
+	return miss
+}

@@ -1,0 +1,133 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// multiDevice has two identical CLB+DSP neighborhoods so that two regions
+// with the same requirements can be placed signature-identically.
+func multiDevice() *device.Device {
+	cols := make([]device.TypeID, 18)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[3] = device.V5DSP
+	cols[9] = device.V5DSP
+	cols[14] = device.V5BRAM
+	d, err := device.NewColumnar("multi", cols, 4, device.V5Types(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestMultiRegionFC: one area compatible with BOTH regions (the paper's
+// general s_{c,n}); the solver must co-shape the two regions.
+func TestMultiRegionFC(t *testing.T) {
+	p := &core.Problem{
+		Device: multiDevice(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 2, device.ClassDSP: 1}},
+			{Name: "B", Req: device.Requirements{device.ClassCLB: 2, device.ClassDSP: 1}},
+		},
+		FCAreas: []core.FCRequest{
+			{Region: 0, AlsoCompatible: []int{1}, Mode: core.RelocConstraint},
+		},
+		Objective: core.DefaultObjective(),
+	}
+	sol, err := (&Engine{}).Solve(context.Background(), p, core.SolveOptions{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	fc := sol.FC[0]
+	if !fc.Placed {
+		t.Fatal("area not placed")
+	}
+	for ri := range p.Regions {
+		if !p.Device.Compatible(sol.Regions[ri], fc.Rect) {
+			t.Fatalf("area %v not compatible with region %d at %v", fc.Rect, ri, sol.Regions[ri])
+		}
+	}
+}
+
+// TestMultiRegionFCWidening: a DSP region and a BRAM region can only
+// share a signature by widening both over the D..B column span — a
+// solution the width-minimal candidate set alone would miss. This guards
+// the EnumerateAllCandidates path.
+func TestMultiRegionFCWidening(t *testing.T) {
+	p := &core.Problem{
+		Device: multiDevice(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 2, device.ClassDSP: 1}},
+			{Name: "B", Req: device.Requirements{device.ClassCLB: 2, device.ClassBRAM: 1}},
+		},
+		FCAreas: []core.FCRequest{
+			{Region: 0, AlsoCompatible: []int{1}, Mode: core.RelocConstraint},
+		},
+		Objective: core.DefaultObjective(),
+	}
+	sol, err := (&Engine{}).Solve(context.Background(), p, core.SolveOptions{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatalf("feasible instance reported %v (width-minimal completeness gap?)", err)
+	}
+	if err := sol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	for ri := range p.Regions {
+		if !p.Device.Compatible(sol.Regions[ri], sol.FC[0].Rect) {
+			t.Fatalf("area not compatible with region %d", ri)
+		}
+	}
+}
+
+// TestMultiRegionFCInfeasible: with 2-tile DSP and BRAM needs, a shared
+// signature needs height-2 windows over the unique D..B span at x=9, of
+// which only two disjoint ones exist — region A, region B and their
+// shared area cannot all fit.
+func TestMultiRegionFCInfeasible(t *testing.T) {
+	p := &core.Problem{
+		Device: multiDevice(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 4, device.ClassDSP: 2}},
+			{Name: "B", Req: device.Requirements{device.ClassCLB: 4, device.ClassBRAM: 2}},
+		},
+		FCAreas: []core.FCRequest{
+			{Region: 0, AlsoCompatible: []int{1}, Mode: core.RelocConstraint},
+		},
+		Objective: core.DefaultObjective(),
+	}
+	_, err := (&Engine{}).Solve(context.Background(), p, core.SolveOptions{TimeLimit: 60 * time.Second})
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+	// The same request in metric mode degrades to a miss.
+	p.FCAreas[0].Mode = core.RelocMetric
+	sol, err := (&Engine{}).Solve(context.Background(), p, core.SolveOptions{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Metrics(p).RelocationMiss != 1 {
+		t.Fatalf("miss = %g, want 1", sol.Metrics(p).RelocationMiss)
+	}
+}
+
+// TestMultiRegionDedup: duplicated entries in AlsoCompatible collapse.
+func TestMultiRegionDedup(t *testing.T) {
+	req := core.FCRequest{Region: 1, AlsoCompatible: []int{1, 0, 0}}
+	got := req.CompatRegions()
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("compat regions = %v", got)
+	}
+}

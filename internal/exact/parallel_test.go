@@ -1,0 +1,52 @@
+package exact
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sdr"
+)
+
+// TestParallelMatchesSequential verifies the parallel exact engine
+// reaches the same lexicographic optimum as the sequential one.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *core.Problem
+	}{{"SDR", sdr.Problem()}, {"SDR2", sdr.SDR2()}, {"SDR3", sdr.SDR3()}} {
+		seq, err := (&Engine{}).Solve(context.Background(), tc.p, core.SolveOptions{TimeLimit: 60 * time.Second})
+		if err != nil {
+			t.Fatalf("%s seq: %v", tc.name, err)
+		}
+		par, err := (&Engine{}).Solve(context.Background(), tc.p, core.SolveOptions{TimeLimit: 60 * time.Second, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s par: %v", tc.name, err)
+		}
+		if err := par.Validate(tc.p); err != nil {
+			t.Fatalf("%s par invalid: %v", tc.name, err)
+		}
+		ms, mp := seq.Metrics(tc.p), par.Metrics(tc.p)
+		if !seq.Proven || !par.Proven {
+			t.Fatalf("%s: proven seq=%v par=%v", tc.name, seq.Proven, par.Proven)
+		}
+		if ms.WastedFrames != mp.WastedFrames || ms.RelocationMiss != mp.RelocationMiss {
+			t.Fatalf("%s: seq waste %d/miss %g, par waste %d/miss %g",
+				tc.name, ms.WastedFrames, ms.RelocationMiss, mp.WastedFrames, mp.RelocationMiss)
+		}
+		if ms.WireLength != mp.WireLength {
+			t.Fatalf("%s: seq wl %g != par wl %g", tc.name, ms.WireLength, mp.WireLength)
+		}
+	}
+}
+
+// TestParallelInfeasible: parallel workers agree on infeasibility.
+func TestParallelInfeasible(t *testing.T) {
+	base := sdr.Problem()
+	p := base.WithFCConstraints([]int{base.RegionIndex(sdr.MatchedFilter)}, 1)
+	_, err := (&Engine{}).Solve(context.Background(), p, core.SolveOptions{Workers: 4, TimeLimit: 60 * time.Second})
+	if err != core.ErrInfeasible {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}

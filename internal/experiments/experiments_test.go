@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1ReproducesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"Matched Filter":   1040,
+		"Carrier Recovery": 280,
+		"Demodulator":      240,
+		"Signal Decoder":   462,
+		"Video Decoder":    2180,
+	}
+	total := 0
+	for _, r := range rows {
+		if want[r.Region] != r.Frames {
+			t.Fatalf("%s: %d frames, paper says %d", r.Region, r.Frames, want[r.Region])
+		}
+		total += r.Frames
+	}
+	if total != 4202 {
+		t.Fatalf("total = %d, want 4202", total)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "4202") {
+		t.Fatal("formatted table missing total")
+	}
+}
+
+func TestFeasibilityReproducesPaperShape(t *testing.T) {
+	rows, err := Feasibility(context.Background(), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Feasible != r.PaperFeasible {
+			t.Fatalf("%s: measured %v, paper %v", r.Region, r.Feasible, r.PaperFeasible)
+		}
+	}
+	out := FormatFeasibility(rows)
+	if !strings.Contains(out, "INFEASIBLE") {
+		t.Fatal("formatted output missing infeasible rows")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(context.Background(), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byKey := map[string]Table2Row{}
+	for _, r := range rows {
+		byKey[r.Algorithm+"/"+r.Design] = r
+	}
+	tess := byKey["[8] tessellation/SDR"]
+	opt := byKey["[10] MILP (no reloc)/SDR"]
+	sdr2 := byKey["PA (this work)/SDR2"]
+	sdr3 := byKey["PA (this work)/SDR3"]
+	// Qualitative shape of Table II: the heuristic wastes more than the
+	// MILP optimum; SDR2 matches the relocation-free optimum; SDR3 is
+	// between SDR2 and the heuristic.
+	if tess.Wasted <= opt.Wasted {
+		t.Fatalf("tessellation waste %d not above optimum %d", tess.Wasted, opt.Wasted)
+	}
+	if sdr2.Wasted != opt.Wasted {
+		t.Fatalf("SDR2 waste %d != relocation-free optimum %d (paper: equal)", sdr2.Wasted, opt.Wasted)
+	}
+	if sdr3.Wasted < sdr2.Wasted || sdr3.Wasted >= tess.Wasted {
+		t.Fatalf("SDR3 waste %d not between SDR2 %d and heuristic %d", sdr3.Wasted, sdr2.Wasted, tess.Wasted)
+	}
+	if sdr2.FCAreas != 6 || sdr3.FCAreas != 9 {
+		t.Fatalf("FC areas = %d/%d, want 6/9", sdr2.FCAreas, sdr3.FCAreas)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "SDR3") {
+		t.Fatal("formatted table incomplete")
+	}
+}
+
+func TestFloorplanFigures(t *testing.T) {
+	for _, design := range []string{"SDR2", "SDR3"} {
+		p, sol, err := Floorplan(context.Background(), design, 60*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", design, err)
+		}
+		if err := sol.Validate(p); err != nil {
+			t.Fatalf("%s: %v", design, err)
+		}
+	}
+	if _, _, err := Floorplan(context.Background(), "nope", time.Second); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestConceptFigures(t *testing.T) {
+	f1 := Figure1()
+	if !strings.Contains(f1, "Compatible(A,B) = true") || !strings.Contains(f1, "Compatible(A,C) = false") {
+		t.Fatalf("Figure 1 narrative wrong:\n%s", f1)
+	}
+	f2, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "f1") || !strings.Contains(f2, "f2") {
+		t.Fatalf("Figure 2 missing forbidden areas:\n%s", f2)
+	}
+	if !strings.Contains(f2, "P0") {
+		t.Fatalf("Figure 2 missing portions:\n%s", f2)
+	}
+}
+
+func TestRuntimeReport(t *testing.T) {
+	rep, err := Runtime(context.Background(), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Relocations != 9 {
+		t.Fatalf("relocations = %d, want 9 (2 per relocatable region + 3 returns)", rep.Relocations)
+	}
+	for name, d := range rep.RegionLatency {
+		if d <= 0 || d >= rep.FullDevice {
+			t.Fatalf("%s latency %s not within (0, full-device %s)", name, d, rep.FullDevice)
+		}
+	}
+	if rep.StorageWith >= rep.StorageWithout {
+		t.Fatal("relocation must reduce bitstream storage on SDR2")
+	}
+	out := FormatRuntime(rep)
+	if !strings.Contains(out, "full-device") || !strings.Contains(out, "storage") {
+		t.Fatalf("report incomplete:\n%s", out)
+	}
+}

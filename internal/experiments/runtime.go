@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/reconfig"
+	"repro/internal/sdr"
+)
+
+// RuntimeReport quantifies the run-time benefits of the relocation-aware
+// floorplan (the claims of the paper's introduction), measured on the
+// SDR2 solution through the reconfiguration-manager simulation.
+type RuntimeReport struct {
+	// FullDevice is the simulated full-device reconfiguration time.
+	FullDevice time.Duration
+	// RegionLatency maps region name to its partial-reconfiguration
+	// (and relocation) latency.
+	RegionLatency map[string]time.Duration
+	// Relocations is the number of relocations exercised.
+	Relocations int
+	// RelocationBusy is the summed configuration-port time of those
+	// relocations.
+	RelocationBusy time.Duration
+	// StorageWith / StorageWithout are total stored bitstream bytes for
+	// ModesPerRegion modes per module, with one relocatable image per
+	// mode versus one image per (mode, slot).
+	ModesPerRegion              int
+	StorageWith, StorageWithout int
+}
+
+// Runtime floorplans SDR2, brings the system up, migrates every
+// relocatable module through all of its reserved areas, and reports
+// latency and storage figures.
+func Runtime(ctx context.Context, budget time.Duration) (*RuntimeReport, error) {
+	p, sol, err := Floorplan(ctx, "SDR2", budget)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := reconfig.New(p, sol, reconfig.DefaultFrameTime)
+	if err != nil {
+		return nil, err
+	}
+	for ri := range p.Regions {
+		if err := mgr.Configure(ri, int64(ri), 0); err != nil {
+			return nil, fmt.Errorf("experiments: configure %s: %w", p.Regions[ri].Name, err)
+		}
+	}
+	before := mgr.Stats()
+	for _, ri := range sdr.RelocatableRegions(p) {
+		slots := mgr.Slots(ri)
+		for s := 1; s < len(slots); s++ {
+			if err := mgr.Relocate(ri, s); err != nil {
+				return nil, fmt.Errorf("experiments: relocate %s: %w", p.Regions[ri].Name, err)
+			}
+		}
+		if err := mgr.Relocate(ri, 0); err != nil {
+			return nil, err
+		}
+	}
+	after := mgr.Stats()
+
+	rep := &RuntimeReport{
+		FullDevice:     mgr.FullDeviceReconfig(),
+		RegionLatency:  map[string]time.Duration{},
+		Relocations:    after.Relocations - before.Relocations,
+		RelocationBusy: after.BusyTime - before.BusyTime,
+		ModesPerRegion: 4,
+	}
+	for ri, r := range p.Regions {
+		rep.RegionLatency[r.Name] = mgr.RegionReconfig(ri)
+	}
+	rows, err := mgr.StorageReport(rep.ModesPerRegion)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		rep.StorageWith += row.WithRelocation
+		rep.StorageWithout += row.WithoutRelocation
+	}
+	return rep, nil
+}
+
+// FormatRuntime renders the runtime report.
+func FormatRuntime(r *RuntimeReport) string {
+	var b strings.Builder
+	b.WriteString("Runtime relocation benefits (SDR2 floorplan, simulated ICAP)\n")
+	fmt.Fprintf(&b, "  full-device reconfiguration: %s\n", r.FullDevice)
+	for _, name := range []string{sdr.MatchedFilter, sdr.CarrierRecovery, sdr.Demodulator, sdr.SignalDecoder, sdr.VideoDecoder} {
+		if d, ok := r.RegionLatency[name]; ok {
+			fmt.Fprintf(&b, "  %-18s partial reconfig/relocation: %s\n", name, d)
+		}
+	}
+	fmt.Fprintf(&b, "  exercised %d relocations in %s of port time\n", r.Relocations, r.RelocationBusy)
+	save := 100 * (1 - float64(r.StorageWith)/float64(r.StorageWithout))
+	fmt.Fprintf(&b, "  bitstream storage (%d modes/region): %d B relocatable vs %d B per-slot (-%.0f%%)\n",
+		r.ModesPerRegion, r.StorageWith, r.StorageWithout, save)
+	return b.String()
+}

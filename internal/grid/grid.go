@@ -1,0 +1,195 @@
+// Package grid provides the small integer-geometry kernel shared by the
+// device model, the partitioner, and the floorplanning engines.
+//
+// All coordinates are tile coordinates: x grows left to right (columns),
+// y grows top to bottom (rows). A Rect covers whole tiles; the tile at
+// (c, r) is covered by rect iff X <= c < X+W and Y <= r < Y+H.
+package grid
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle of tiles, given by its top-left corner
+// (X, Y) and its positive width W and height H in tiles.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// NewRect returns the rectangle with top-left corner (x, y), width w and
+// height h. It panics if w or h is not positive; use the zero Rect to
+// represent "no rectangle".
+func NewRect(x, y, w, h int) Rect {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("grid: non-positive rect %dx%d", w, h))
+	}
+	return Rect{X: x, Y: y, W: w, H: h}
+}
+
+// Empty reports whether r covers no tiles.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Area returns the number of tiles covered by r.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.W * r.H
+}
+
+// X2 returns the exclusive right edge of r (first column not covered).
+func (r Rect) X2() int { return r.X + r.W }
+
+// Y2 returns the exclusive bottom edge of r (first row not covered).
+func (r Rect) Y2() int { return r.Y + r.H }
+
+// Contains reports whether tile (c, r) lies inside the rectangle.
+func (r Rect) Contains(c, row int) bool {
+	return !r.Empty() && c >= r.X && c < r.X2() && row >= r.Y && row < r.Y2()
+}
+
+// ContainsRect reports whether other lies entirely inside r.
+// An empty other is contained in everything.
+func (r Rect) ContainsRect(other Rect) bool {
+	if other.Empty() {
+		return true
+	}
+	if r.Empty() {
+		return false
+	}
+	return other.X >= r.X && other.X2() <= r.X2() &&
+		other.Y >= r.Y && other.Y2() <= r.Y2()
+}
+
+// Overlaps reports whether r and other share at least one tile.
+func (r Rect) Overlaps(other Rect) bool {
+	if r.Empty() || other.Empty() {
+		return false
+	}
+	return r.X < other.X2() && other.X < r.X2() &&
+		r.Y < other.Y2() && other.Y < r.Y2()
+}
+
+// Intersect returns the overlapping rectangle of r and other.
+// The second result is false when the rectangles are disjoint, in which
+// case the returned Rect is the zero value.
+func (r Rect) Intersect(other Rect) (Rect, bool) {
+	if !r.Overlaps(other) {
+		return Rect{}, false
+	}
+	x1 := max(r.X, other.X)
+	y1 := max(r.Y, other.Y)
+	x2 := min(r.X2(), other.X2())
+	y2 := min(r.Y2(), other.Y2())
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}, true
+}
+
+// Union returns the smallest rectangle covering both r and other.
+// If either is empty, the other is returned.
+func (r Rect) Union(other Rect) Rect {
+	if r.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return r
+	}
+	x1 := min(r.X, other.X)
+	y1 := min(r.Y, other.Y)
+	x2 := max(r.X2(), other.X2())
+	y2 := max(r.Y2(), other.Y2())
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Translate returns r moved by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{X: r.X + dx, Y: r.Y + dy, W: r.W, H: r.H}
+}
+
+// SameShape reports whether r and other have identical width and height.
+func (r Rect) SameShape(other Rect) bool {
+	return r.W == other.W && r.H == other.H
+}
+
+// CenterX2 returns twice the x coordinate of the rectangle center. Working
+// with doubled coordinates keeps centers exact for odd sizes without
+// leaving integer arithmetic.
+func (r Rect) CenterX2() int { return 2*r.X + r.W }
+
+// CenterY2 returns twice the y coordinate of the rectangle center.
+func (r Rect) CenterY2() int { return 2*r.Y + r.H }
+
+// HalfPerimeter returns W + H, the half-perimeter of the rectangle.
+func (r Rect) HalfPerimeter() int { return r.W + r.H }
+
+// String renders the rectangle as "(x,y) wxh".
+func (r Rect) String() string {
+	return fmt.Sprintf("(%d,%d) %dx%d", r.X, r.Y, r.W, r.H)
+}
+
+// Columns calls fn for each column index covered by r, left to right.
+func (r Rect) Columns(fn func(c int)) {
+	for c := r.X; c < r.X2(); c++ {
+		fn(c)
+	}
+}
+
+// Tiles calls fn for every tile covered by r in column-major order.
+func (r Rect) Tiles(fn func(c, row int)) {
+	for c := r.X; c < r.X2(); c++ {
+		for row := r.Y; row < r.Y2(); row++ {
+			fn(c, row)
+		}
+	}
+}
+
+// AnyOverlap reports whether r overlaps any rectangle in rs.
+func AnyOverlap(r Rect, rs []Rect) bool {
+	for _, o := range rs {
+		if r.Overlaps(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Disjoint reports whether all rectangles in rs are pairwise disjoint.
+func Disjoint(rs []Rect) bool {
+	for i := range rs {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[i].Overlaps(rs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Interval is a half-open integer interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the number of integers in the interval (zero when inverted).
+func (iv Interval) Len() int {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Overlap returns the length of the intersection of two intervals.
+func (iv Interval) Overlap(other Interval) int {
+	lo := max(iv.Lo, other.Lo)
+	hi := min(iv.Hi, other.Hi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v int) bool { return v >= iv.Lo && v < iv.Hi }
+
+// XInterval returns the column interval spanned by r.
+func (r Rect) XInterval() Interval { return Interval{Lo: r.X, Hi: r.X2()} }
+
+// YInterval returns the row interval spanned by r.
+func (r Rect) YInterval() Interval { return Interval{Lo: r.Y, Hi: r.Y2()} }

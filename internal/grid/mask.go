@@ -1,0 +1,146 @@
+package grid
+
+import "math/bits"
+
+// Mask is a dense occupancy bitmap over a W x H tile grid. It is the
+// workhorse of the combinatorial placement engines: overlap tests against
+// the set of already-placed rectangles reduce to word-wise AND.
+//
+// Bits are stored row-major: the tile (c, r) maps to bit r*W + c.
+type Mask struct {
+	w, h  int
+	words []uint64
+}
+
+// NewMask returns an empty mask for a w x h grid.
+func NewMask(w, h int) *Mask {
+	if w <= 0 || h <= 0 {
+		panic("grid: non-positive mask dimensions")
+	}
+	n := (w*h + 63) / 64
+	return &Mask{w: w, h: h, words: make([]uint64, n)}
+}
+
+// Clone returns a deep copy of the mask.
+func (m *Mask) Clone() *Mask {
+	cp := &Mask{w: m.w, h: m.h, words: make([]uint64, len(m.words))}
+	copy(cp.words, m.words)
+	return cp
+}
+
+// W returns the grid width.
+func (m *Mask) W() int { return m.w }
+
+// H returns the grid height.
+func (m *Mask) H() int { return m.h }
+
+func (m *Mask) bit(c, r int) (word, off int) {
+	idx := r*m.w + c
+	return idx >> 6, idx & 63
+}
+
+// Get reports whether tile (c, r) is set.
+func (m *Mask) Get(c, r int) bool {
+	w, off := m.bit(c, r)
+	return m.words[w]&(1<<uint(off)) != 0
+}
+
+// Set marks tile (c, r).
+func (m *Mask) Set(c, r int) {
+	w, off := m.bit(c, r)
+	m.words[w] |= 1 << uint(off)
+}
+
+// Clear unmarks tile (c, r).
+func (m *Mask) Clear(c, r int) {
+	w, off := m.bit(c, r)
+	m.words[w] &^= 1 << uint(off)
+}
+
+// SetRect marks every tile covered by rect. Tiles outside the grid are
+// ignored.
+func (m *Mask) SetRect(rect Rect) {
+	m.forRowSpans(rect, func(word int, bitsMask uint64) bool {
+		m.words[word] |= bitsMask
+		return true
+	})
+}
+
+// ClearRect unmarks every tile covered by rect.
+func (m *Mask) ClearRect(rect Rect) {
+	m.forRowSpans(rect, func(word int, bitsMask uint64) bool {
+		m.words[word] &^= bitsMask
+		return true
+	})
+}
+
+// OverlapsRect reports whether any tile covered by rect is set.
+func (m *Mask) OverlapsRect(rect Rect) bool {
+	overlap := false
+	m.forRowSpans(rect, func(word int, bitsMask uint64) bool {
+		if m.words[word]&bitsMask != 0 {
+			overlap = true
+			return false
+		}
+		return true
+	})
+	return overlap
+}
+
+// Count returns the number of set tiles.
+func (m *Mask) Count() int {
+	n := 0
+	for _, w := range m.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether at least one tile is set.
+func (m *Mask) Any() bool {
+	for _, w := range m.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears the whole mask.
+func (m *Mask) Reset() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+}
+
+// forRowSpans visits, word by word, the bit spans covered by rect clipped
+// to the grid, invoking fn with a word index and the bits of that word
+// belonging to the span. fn returns false to stop early.
+func (m *Mask) forRowSpans(rect Rect, fn func(word int, bitsMask uint64) bool) {
+	clipped, ok := rect.Intersect(Rect{X: 0, Y: 0, W: m.w, H: m.h})
+	if !ok {
+		return
+	}
+	for r := clipped.Y; r < clipped.Y2(); r++ {
+		start := r*m.w + clipped.X
+		end := start + clipped.W // exclusive
+		for start < end {
+			word := start >> 6
+			off := start & 63
+			n := 64 - off
+			if rem := end - start; rem < n {
+				n = rem
+			}
+			var span uint64
+			if n == 64 {
+				span = ^uint64(0)
+			} else {
+				span = ((uint64(1) << uint(n)) - 1) << uint(off)
+			}
+			if !fn(word, span) {
+				return
+			}
+			start += n
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package heuristic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Annealing is a simulated-annealing floorplanner in the spirit of
+// Bolchini, Miele and Sandionigi [9]: it perturbs region placements over
+// the candidate sets and accepts cost increases with the Metropolis
+// criterion, driving down an energy that blends overlap (as a penalty),
+// wasted frames and wire length. Free-compatible areas are packed
+// greedily on the best placement found; in metric mode unplaceable areas
+// contribute their weight to the reported miss cost, and in constraint
+// mode the run fails if packing is impossible.
+type Annealing struct {
+	// Iterations per temperature step (0 = 200).
+	Iterations int
+	// Steps is the number of temperature steps (0 = 120).
+	Steps int
+	// Start and End temperatures (0 = 2000 / 0.1).
+	Start, End float64
+	// Restarts bounds the fresh-seed retries used to satisfy
+	// free-compatible-area requests (0 = 8; 1 effectively disables).
+	Restarts int
+}
+
+// Name implements core.Engine.
+func (a *Annealing) Name() string { return "annealing" }
+
+// energy blends the solution cost for annealing: overlaps dominate, then
+// relocation misses (checked only at the end), then waste, then wire
+// length.
+func annealEnergy(overlapTiles, waste int, wl float64) float64 {
+	return float64(overlapTiles)*1e9 + float64(waste)*1e3 + wl
+}
+
+// Solve implements core.Engine. When the problem carries free-compatible
+// area requests, the annealer restarts with fresh seeds (up to Restarts
+// times) until the greedy packer can satisfy them — annealing itself only
+// shapes the region placement.
+func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	restarts := a.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	if len(p.FCAreas) == 0 {
+		restarts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < restarts; attempt++ {
+		seedOpts := opts
+		seedOpts.Seed = opts.Seed + int64(attempt)*7919
+		sol, err := a.solveOnce(ctx, p, seedOpts)
+		if err == nil {
+			return sol, nil
+		}
+		lastErr = err
+		if !errors.Is(err, core.ErrNoSolution) {
+			return nil, err
+		}
+		if ctxDone(ctx) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+func (a *Annealing) solveOnce(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	iters := a.Iterations
+	if iters <= 0 {
+		iters = 200
+	}
+	steps := a.Steps
+	if steps <= 0 {
+		steps = 120
+	}
+	tStart := a.Start
+	if tStart <= 0 {
+		tStart = 2000
+	}
+	tEnd := a.End
+	if tEnd <= 0 {
+		tEnd = 0.1
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	cands := make([][]core.Candidate, len(p.Regions))
+	for i, r := range p.Regions {
+		cands[i] = core.EnumerateCandidates(p.Device, r.Req)
+		if len(cands[i]) == 0 {
+			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
+		}
+	}
+
+	// Initial state: random candidate per region.
+	state := make([]int, len(p.Regions))
+	for i := range state {
+		state[i] = rng.Intn(len(cands[i]))
+	}
+	rects := func(s []int) []grid.Rect {
+		out := make([]grid.Rect, len(s))
+		for i, ci := range s {
+			out[i] = cands[i][ci].Rect
+		}
+		return out
+	}
+	cost := func(s []int) float64 {
+		rs := rects(s)
+		overlap := 0
+		for i := range rs {
+			for j := i + 1; j < len(rs); j++ {
+				if inter, ok := rs[i].Intersect(rs[j]); ok {
+					overlap += inter.Area()
+				}
+			}
+		}
+		waste := 0
+		for i, ci := range s {
+			waste += cands[i][ci].Waste
+		}
+		return annealEnergy(overlap, waste, core.WireLengthOf(p, rs))
+	}
+
+	cur := cost(state)
+	best := append([]int(nil), state...)
+	bestCost := cur
+
+	temp := tStart
+	cool := math.Pow(tEnd/tStart, 1/float64(steps-1))
+	for step := 0; step < steps; step++ {
+		if ctxDone(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
+		}
+		for it := 0; it < iters; it++ {
+			ri := rng.Intn(len(state))
+			old := state[ri]
+			state[ri] = rng.Intn(len(cands[ri]))
+			next := cost(state)
+			if next <= cur || rng.Float64() < math.Exp((cur-next)/temp) {
+				cur = next
+				if cur < bestCost {
+					bestCost = cur
+					copy(best, state)
+				}
+			} else {
+				state[ri] = old
+			}
+		}
+		temp *= cool
+	}
+
+	rs := rects(best)
+	if !grid.Disjoint(rs) {
+		return nil, core.ErrNoSolution
+	}
+	for i, r := range rs {
+		if !p.Device.CanPlace(r) {
+			return nil, fmt.Errorf("core: annealing produced illegal placement %v for region %d", r, i)
+		}
+	}
+	mask := grid.NewMask(p.Device.Width(), p.Device.Height())
+	for _, r := range rs {
+		mask.SetRect(r)
+	}
+	fc, ok := GreedyFC(p, rs, mask)
+	if !ok {
+		return nil, core.ErrNoSolution
+	}
+	return &core.Solution{
+		Regions: rs,
+		FC:      fc,
+		Engine:  a.Name(),
+		Elapsed: time.Since(start),
+	}, nil
+}

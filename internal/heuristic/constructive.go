@@ -1,0 +1,269 @@
+// Package heuristic provides the non-MILP floorplanning algorithms of the
+// paper's experimental context:
+//
+//   - Constructive: a deterministic greedy placer producing the "first
+//     feasible solution" that seeds the HO algorithm (and warm-starts the
+//     MILP engines),
+//   - Annealing: a simulated-annealing floorplanner in the spirit of
+//     Bolchini et al. [9] (wire-length-driven),
+//   - Tessellation: a greedy columnar packer in the spirit of Vipin &
+//     Fahmy's reconfiguration-centric floorplanner [8] (bitstream-size
+//     driven, left-to-right kernel packing).
+package heuristic
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Constructive is a deterministic greedy floorplanner: regions in
+// decreasing resource-footprint order, each at its least-waste free
+// candidate, followed by greedy free-compatible-area packing with
+// bounded backtracking over the region candidates.
+type Constructive struct {
+	// MaxBacktrack bounds how many alternative candidates per region the
+	// placer may try when free-compatible areas cannot be packed
+	// (0 = 32).
+	MaxBacktrack int
+}
+
+// Name implements core.Engine.
+func (c *Constructive) Name() string { return "constructive" }
+
+// Solve implements core.Engine.
+func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	maxBT := c.MaxBacktrack
+	if maxBT <= 0 {
+		maxBT = 32
+	}
+
+	cands := make([][]core.Candidate, len(p.Regions))
+	for i, r := range p.Regions {
+		cands[i] = core.EnumerateCandidates(p.Device, r.Req)
+		if len(cands[i]) == 0 {
+			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
+		}
+	}
+
+	order := placementOrder(p, cands)
+	mask := grid.NewMask(p.Device.Width(), p.Device.Height())
+	placed := make([]grid.Rect, len(p.Regions))
+
+	var place func(k int) bool
+	place = func(k int) bool {
+		if ctxDone(ctx) {
+			return false
+		}
+		if k == len(order) {
+			return true
+		}
+		ri := order[k]
+		tried := 0
+		for _, cand := range cands[ri] {
+			if tried >= maxBT {
+				break
+			}
+			if mask.OverlapsRect(cand.Rect) {
+				continue
+			}
+			tried++
+			mask.SetRect(cand.Rect)
+			placed[ri] = cand.Rect
+			if place(k + 1) {
+				return true
+			}
+			mask.ClearRect(cand.Rect)
+			placed[ri] = grid.Rect{}
+		}
+		return false
+	}
+	if !place(0) {
+		return nil, core.ErrInfeasible
+	}
+
+	fc, ok := GreedyFC(p, placed, mask)
+	if !ok {
+		// Greedy FC packing failed for a constraint-mode area; retry the
+		// whole construction with FC packing interleaved as a filter.
+		sol, err := c.solveWithFCFilter(ctx, p, cands, order, maxBT)
+		if err != nil {
+			return nil, err
+		}
+		sol.Engine = c.Name()
+		sol.Elapsed = time.Since(start)
+		return sol, nil
+	}
+	sol := &core.Solution{
+		Regions: placed,
+		FC:      fc,
+		Engine:  c.Name(),
+		Elapsed: time.Since(start),
+	}
+	return sol, nil
+}
+
+// solveWithFCFilter redoes the construction, rejecting any complete
+// placement whose free-compatible areas cannot be greedily packed.
+func (c *Constructive) solveWithFCFilter(ctx context.Context, p *core.Problem, cands [][]core.Candidate, order []int, maxBT int) (*core.Solution, error) {
+	mask := grid.NewMask(p.Device.Width(), p.Device.Height())
+	placed := make([]grid.Rect, len(p.Regions))
+	var result *core.Solution
+
+	var place func(k int) bool
+	place = func(k int) bool {
+		if ctxDone(ctx) {
+			return false
+		}
+		if k == len(order) {
+			fc, ok := GreedyFC(p, placed, mask)
+			if !ok {
+				return false
+			}
+			result = &core.Solution{
+				Regions: append([]grid.Rect(nil), placed...),
+				FC:      fc,
+			}
+			return true
+		}
+		ri := order[k]
+		tried := 0
+		for _, cand := range cands[ri] {
+			if tried >= maxBT {
+				break
+			}
+			if mask.OverlapsRect(cand.Rect) {
+				continue
+			}
+			tried++
+			mask.SetRect(cand.Rect)
+			placed[ri] = cand.Rect
+			if place(k + 1) {
+				return true
+			}
+			mask.ClearRect(cand.Rect)
+			placed[ri] = grid.Rect{}
+		}
+		return false
+	}
+	if !place(0) {
+		return nil, core.ErrInfeasible
+	}
+	return result, nil
+}
+
+// placementOrder sorts region indices by decreasing placement difficulty:
+// fewer candidates first, larger frame footprint first among ties.
+func placementOrder(p *core.Problem, cands [][]core.Candidate) []int {
+	order := make([]int, len(p.Regions))
+	for i := range order {
+		order[i] = i
+	}
+	frames := make([]int, len(p.Regions))
+	for i, r := range p.Regions {
+		f, err := p.Device.FramesForRequirements(r.Req)
+		if err == nil {
+			frames[i] = f
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		if len(cands[ra]) != len(cands[rb]) {
+			return len(cands[ra]) < len(cands[rb])
+		}
+		if frames[ra] != frames[rb] {
+			return frames[ra] > frames[rb]
+		}
+		return ra < rb
+	})
+	return order
+}
+
+// GreedyFC packs the problem's free-compatible areas against fixed region
+// placements, first-fit in compatible-placement order. mask must contain
+// exactly the region rectangles; it is restored before returning. The
+// boolean result is false when some constraint-mode area could not be
+// placed.
+func GreedyFC(p *core.Problem, regions []grid.Rect, mask *grid.Mask) ([]core.FCPlacement, bool) {
+	fc := make([]core.FCPlacement, len(p.FCAreas))
+	var placedRects []grid.Rect
+	ok := true
+	// Constraint-mode requests first so optional areas never squeeze
+	// out mandatory ones.
+	idxs := make([]int, len(p.FCAreas))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.SliceStable(idxs, func(a, b int) bool {
+		ma := p.FCAreas[idxs[a]].Mode
+		mb := p.FCAreas[idxs[b]].Mode
+		if ma != mb {
+			return ma == core.RelocConstraint
+		}
+		return idxs[a] < idxs[b]
+	})
+	for _, i := range idxs {
+		req := p.FCAreas[i]
+		fc[i] = core.FCPlacement{Request: i}
+		src := regions[req.Region]
+		found := false
+		for _, slot := range p.Device.CompatiblePlacements(src) {
+			if slot == src || mask.OverlapsRect(slot) {
+				continue
+			}
+			if !compatibleWithAll(p, regions, req, slot) {
+				continue
+			}
+			mask.SetRect(slot)
+			placedRects = append(placedRects, slot)
+			fc[i].Placed = true
+			fc[i].Rect = slot
+			found = true
+			break
+		}
+		if !found && req.Mode == core.RelocConstraint {
+			ok = false
+		}
+	}
+	for _, r := range placedRects {
+		mask.ClearRect(r)
+	}
+	if !ok {
+		return nil, false
+	}
+	return fc, true
+}
+
+// compatibleWithAll checks a slot against every region the request lists
+// (the s_{c,n} generalization: one area serving several regions).
+func compatibleWithAll(p *core.Problem, regions []grid.Rect, req core.FCRequest, slot grid.Rect) bool {
+	for _, ri := range req.CompatRegions() {
+		if !p.Device.Compatible(regions[ri], slot) {
+			return false
+		}
+		if slot.Overlaps(regions[ri]) {
+			return false
+		}
+	}
+	return true
+}
+
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIterationLimitStatus(t *testing.T) {
+	// An LP that needs more than one iteration, capped at one.
+	m := NewModel()
+	x := m.AddVariable("x", 0, Inf, -1)
+	y := m.AddVariable("y", 0, Inf, -1)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 2}}, LE, 10)
+	m.AddConstraint("c2", []Term{{x, 2}, {y, 1}}, LE, 10)
+	sol := Solve(m, Options{MaxIterations: 1})
+	if sol.Status != StatusIterationLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestNaNOverridesFallBack(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 5, -1)
+	y := m.AddVariable("y", 0, 5, -1)
+	// Override only y's upper bound; x keeps its model bound via NaN.
+	lo := []float64{math.NaN(), math.NaN()}
+	hi := []float64{math.NaN(), 2}
+	sol := SolveWithBounds(m, Options{}, lo, hi)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[x]-5) > 1e-6 || math.Abs(sol.X[y]-2) > 1e-6 {
+		t.Fatalf("x=%g y=%g, want 5, 2", sol.X[x], sol.X[y])
+	}
+}
+
+func TestShortOverrideSlices(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 5, -1)
+	m.AddVariable("y", 0, 5, -1)
+	// Shorter-than-model override slices only affect their prefix.
+	sol := SolveWithBounds(m, Options{}, nil, []float64{1})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[x]-1) > 1e-6 {
+		t.Fatalf("x=%g, want 1", sol.X[x])
+	}
+}
+
+func TestFixedVariables(t *testing.T) {
+	// All variables fixed: the solver must just evaluate feasibility.
+	m := NewModel()
+	x := m.AddVariable("x", 3, 3, 1)
+	y := m.AddVariable("y", 4, 4, 1)
+	m.AddConstraint("c", []Term{{x, 1}, {y, 1}}, LE, 10)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-7) > 1e-6 {
+		t.Fatalf("sol = %+v", sol)
+	}
+	// And detect infeasibility of fixed points.
+	m2 := NewModel()
+	a := m2.AddVariable("a", 3, 3, 0)
+	m2.AddConstraint("c", []Term{{a, 1}}, GE, 4)
+	if s := Solve(m2, Options{}); s.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestBealeCyclingExample(t *testing.T) {
+	// Beale's classic cycling LP; Dantzig pricing with the Bland
+	// fallback must terminate at the optimum -0.05.
+	m := NewModel()
+	x1 := m.AddVariable("x1", 0, Inf, -0.75)
+	x2 := m.AddVariable("x2", 0, Inf, 150)
+	x3 := m.AddVariable("x3", 0, Inf, -0.02)
+	x4 := m.AddVariable("x4", 0, Inf, 6)
+	m.AddConstraint("r1", []Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	m.AddConstraint("r2", []Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	m.AddConstraint("r3", []Term{{x3, 1}}, LE, 1)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("objective = %g, want -0.05", sol.Objective)
+	}
+}
+
+func TestEmptyConstraintSet(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", -2, 7, 1)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal || math.Abs(sol.X[x]-(-2)) > 1e-9 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestZeroCoefficientDropped(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 1, 0)
+	m.AddConstraint("c", []Term{{x, 0}}, LE, -1) // 0 <= -1: infeasible
+	sol := Solve(m, Options{})
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible (empty row with negative rhs)", sol.Status)
+	}
+}
+
+func TestObjectiveConstantFreeRows(t *testing.T) {
+	// GE row satisfied at the initial point exercises the negative-slack
+	// path without artificials.
+	m := NewModel()
+	x := m.AddVariable("x", 2, 10, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, GE, 1)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal || math.Abs(sol.X[x]-2) > 1e-9 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}

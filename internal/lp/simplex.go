@@ -1,0 +1,648 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of an LP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterationLimit
+	StatusNumericalFailure
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterationLimit:
+		return "iteration-limit"
+	case StatusNumericalFailure:
+		return "numerical-failure"
+	}
+	return "unknown"
+}
+
+// Solution is the result of an LP solve.
+type Solution struct {
+	Status     Status
+	Objective  float64
+	X          []float64 // structural variable values
+	Iterations int
+}
+
+// Options tunes the simplex solver. The zero value selects defaults.
+type Options struct {
+	// MaxIterations bounds the total simplex iterations across both
+	// phases (0 = default).
+	MaxIterations int
+	// Tol is the feasibility/optimality tolerance (0 = default 1e-7).
+	Tol float64
+}
+
+const (
+	defaultTol    = 1e-7
+	refactorEvery = 120
+	// blandTrigger is the number of consecutive degenerate iterations
+	// after which the solver switches to Bland's anti-cycling rule.
+	blandTrigger = 60
+)
+
+// variable status within the simplex tableau.
+type vstat int8
+
+const (
+	nbLower vstat = iota // nonbasic at lower bound
+	nbUpper              // nonbasic at upper bound
+	nbFree               // nonbasic free variable, value 0
+	basic
+)
+
+type sparseEntry struct {
+	row  int
+	coef float64
+}
+
+// simplex holds the working state of one solve.
+type simplex struct {
+	m, n    int // rows, total columns (structural + slack + artificial)
+	nStruct int
+	cols    [][]sparseEntry
+	lo, hi  []float64
+	cost    []float64 // current phase costs
+	cost2   []float64 // phase-2 costs
+	b       []float64
+
+	basis   []int   // row -> column
+	stat    []vstat // column -> status
+	x       []float64
+	binv    [][]float64 // m x m basis inverse
+	tol     float64
+	iters   int
+	maxIter int
+
+	degenStreak int
+	bland       bool
+
+	// scratch buffers
+	y     []float64
+	alpha []float64
+}
+
+// Solve minimizes the model objective subject to its constraints and
+// bounds. Integrality markers are ignored (use internal/milp).
+func Solve(m *Model, opts Options) Solution {
+	return SolveWithBounds(m, opts, nil, nil)
+}
+
+// SolveWithBounds solves the model with per-variable bound overrides.
+// Either override slice may be nil (use model bounds); individual entries
+// equal to NaN also fall back to the model bound. This is the entry point
+// used by branch-and-bound nodes.
+func SolveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) Solution {
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	nStruct := m.NumVariables()
+	rows := m.NumConstraints()
+
+	s := &simplex{
+		m:       rows,
+		nStruct: nStruct,
+		tol:     tol,
+	}
+	s.maxIter = opts.MaxIterations
+	if s.maxIter <= 0 {
+		s.maxIter = 2000 + 40*(rows+nStruct)
+	}
+
+	// Assemble columns: structural then one slack per row.
+	total := nStruct + rows
+	s.cols = make([][]sparseEntry, total, total+rows)
+	s.lo = make([]float64, total, total+rows)
+	s.hi = make([]float64, total, total+rows)
+	s.cost2 = make([]float64, total, total+rows)
+	for j := 0; j < nStruct; j++ {
+		s.lo[j] = m.lo[j]
+		s.hi[j] = m.hi[j]
+		if loOverride != nil && j < len(loOverride) && !math.IsNaN(loOverride[j]) {
+			s.lo[j] = loOverride[j]
+		}
+		if hiOverride != nil && j < len(hiOverride) && !math.IsNaN(hiOverride[j]) {
+			s.hi[j] = hiOverride[j]
+		}
+		if s.lo[j] > s.hi[j]+tol {
+			return Solution{Status: StatusInfeasible}
+		}
+		if s.lo[j] > s.hi[j] {
+			s.lo[j] = s.hi[j]
+		}
+		s.cost2[j] = m.obj[j]
+	}
+	for r, row := range m.rows {
+		for _, t := range row {
+			s.cols[t.Var] = append(s.cols[t.Var], sparseEntry{row: r, coef: t.Coef})
+		}
+	}
+	s.b = append([]float64(nil), m.rhs...)
+	for r := 0; r < rows; r++ {
+		j := nStruct + r
+		s.cols[j] = []sparseEntry{{row: r, coef: 1}}
+		switch m.senses[r] {
+		case LE:
+			s.lo[j], s.hi[j] = 0, Inf
+		case GE:
+			s.lo[j], s.hi[j] = -Inf, 0
+		case EQ:
+			s.lo[j], s.hi[j] = 0, 0
+		}
+	}
+	s.n = total
+	s.y = make([]float64, rows)
+	s.alpha = make([]float64, rows)
+
+	if status := s.initialize(); status != StatusOptimal {
+		return Solution{Status: status, Iterations: s.iters}
+	}
+
+	// Phase 1 if artificials were needed.
+	if s.n > total {
+		s.cost = make([]float64, s.n)
+		for j := total; j < s.n; j++ {
+			s.cost[j] = 1
+		}
+		st := s.run()
+		if st != StatusOptimal {
+			if st == StatusUnbounded {
+				// A minimization of a nonnegative sum cannot be
+				// unbounded; treat as numerical failure.
+				st = StatusNumericalFailure
+			}
+			return Solution{Status: st, Iterations: s.iters}
+		}
+		if s.phaseObjective() > 1e-6 {
+			return Solution{Status: StatusInfeasible, Iterations: s.iters}
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := total; j < s.n; j++ {
+			s.lo[j], s.hi[j] = 0, 0
+			if s.stat[j] != basic {
+				s.stat[j] = nbLower
+				s.x[j] = 0
+			}
+		}
+	}
+
+	// Phase 2.
+	s.cost = make([]float64, s.n)
+	copy(s.cost, s.cost2)
+	s.bland = false
+	s.degenStreak = 0
+	st := s.run()
+	if st != StatusOptimal {
+		return Solution{Status: st, Iterations: s.iters}
+	}
+
+	x := make([]float64, nStruct)
+	copy(x, s.x[:nStruct])
+	obj := 0.0
+	for j := 0; j < nStruct; j++ {
+		obj += s.cost2[j] * x[j]
+	}
+	return Solution{Status: StatusOptimal, Objective: obj, X: x, Iterations: s.iters}
+}
+
+// initialize sets the starting point: structurals at a finite bound (or 0
+// if free), slacks basic where feasible, artificials elsewhere.
+func (s *simplex) initialize() Status {
+	s.x = make([]float64, s.n, s.n+s.m)
+	s.stat = make([]vstat, s.n, s.n+s.m)
+	for j := 0; j < s.nStruct; j++ {
+		switch {
+		case !math.IsInf(s.lo[j], -1):
+			s.stat[j] = nbLower
+			s.x[j] = s.lo[j]
+		case !math.IsInf(s.hi[j], 1):
+			s.stat[j] = nbUpper
+			s.x[j] = s.hi[j]
+		default:
+			s.stat[j] = nbFree
+			s.x[j] = 0
+		}
+	}
+
+	// Row activity of the nonbasic structurals.
+	act := make([]float64, s.m)
+	for j := 0; j < s.nStruct; j++ {
+		if v := s.x[j]; v != 0 {
+			for _, e := range s.cols[j] {
+				act[e.row] += e.coef * v
+			}
+		}
+	}
+
+	s.basis = make([]int, s.m)
+	s.binv = make([][]float64, s.m)
+	for r := 0; r < s.m; r++ {
+		s.binv[r] = make([]float64, s.m)
+	}
+	for r := 0; r < s.m; r++ {
+		slack := s.nStruct + r
+		resid := s.b[r] - act[r]
+		if resid >= s.lo[slack]-s.tol && resid <= s.hi[slack]+s.tol {
+			// Slack is basic and feasible.
+			s.basis[r] = slack
+			s.stat[slack] = basic
+			s.x[slack] = clamp(resid, s.lo[slack], s.hi[slack])
+			s.binv[r][r] = 1
+			continue
+		}
+		// Clamp the slack at its nearest bound and cover the residual
+		// with an artificial variable.
+		var sv float64
+		if resid < s.lo[slack] {
+			sv = s.lo[slack]
+			s.stat[slack] = nbLower
+		} else {
+			sv = s.hi[slack]
+			s.stat[slack] = nbUpper
+		}
+		s.x[slack] = sv
+		gap := resid - sv
+		sign := 1.0
+		if gap < 0 {
+			sign = -1.0
+		}
+		aj := len(s.cols)
+		s.cols = append(s.cols, []sparseEntry{{row: r, coef: sign}})
+		s.lo = append(s.lo, 0)
+		s.hi = append(s.hi, Inf)
+		s.cost2 = append(s.cost2, 0)
+		s.x = append(s.x, math.Abs(gap))
+		s.stat = append(s.stat, basic)
+		s.basis[r] = aj
+		s.binv[r][r] = 1 / sign
+		s.n++
+	}
+	return StatusOptimal
+}
+
+func (s *simplex) phaseObjective() float64 {
+	v := 0.0
+	for j, c := range s.cost {
+		if c != 0 {
+			v += c * s.x[j]
+		}
+	}
+	return v
+}
+
+// run iterates the bounded-variable revised simplex until optimality,
+// unboundedness, or the iteration limit.
+func (s *simplex) run() Status {
+	sinceRefactor := 0
+	for {
+		if s.iters >= s.maxIter {
+			return StatusIterationLimit
+		}
+		s.iters++
+		sinceRefactor++
+		if sinceRefactor >= refactorEvery {
+			if !s.refactorize() {
+				return StatusNumericalFailure
+			}
+			sinceRefactor = 0
+		}
+
+		s.computeDuals()
+		enter, dir := s.price()
+		if enter < 0 {
+			return StatusOptimal
+		}
+
+		// alpha = B^{-1} a_enter
+		for r := range s.alpha {
+			s.alpha[r] = 0
+		}
+		for _, e := range s.cols[enter] {
+			if e.coef == 0 {
+				continue
+			}
+			for r := 0; r < s.m; r++ {
+				s.alpha[r] += s.binv[r][e.row] * e.coef
+			}
+		}
+
+		leaveRow, step, flip, ok := s.ratioTest(enter, dir)
+		if !ok {
+			return StatusUnbounded
+		}
+		if step < s.tol {
+			s.degenStreak++
+			if s.degenStreak > blandTrigger {
+				s.bland = true
+			}
+		} else {
+			s.degenStreak = 0
+			s.bland = false
+		}
+
+		// Move the entering variable and update basic values.
+		s.x[enter] += dir * step
+		if step != 0 {
+			for r := 0; r < s.m; r++ {
+				if s.alpha[r] != 0 {
+					s.x[s.basis[r]] -= dir * step * s.alpha[r]
+				}
+			}
+		}
+
+		if flip {
+			// Bound flip: the entering variable moved to its other
+			// bound; the basis is unchanged.
+			if dir > 0 {
+				s.stat[enter] = nbUpper
+				s.x[enter] = s.hi[enter]
+			} else {
+				s.stat[enter] = nbLower
+				s.x[enter] = s.lo[enter]
+			}
+			continue
+		}
+
+		leave := s.basis[leaveRow]
+		// The leaving variable settles at the bound it hit.
+		if dir*s.alpha[leaveRow] > 0 {
+			s.stat[leave] = nbLower
+			s.x[leave] = s.lo[leave]
+		} else {
+			s.stat[leave] = nbUpper
+			s.x[leave] = s.hi[leave]
+		}
+		if math.IsInf(s.lo[leave], -1) && math.IsInf(s.hi[leave], 1) {
+			s.stat[leave] = nbFree
+			s.x[leave] = 0
+		}
+
+		// Pivot: update the explicit inverse.
+		piv := s.alpha[leaveRow]
+		if math.Abs(piv) < 1e-10 {
+			if !s.refactorize() {
+				return StatusNumericalFailure
+			}
+			sinceRefactor = 0
+			continue
+		}
+		invPiv := 1 / piv
+		rowR := s.binv[leaveRow]
+		for c := 0; c < s.m; c++ {
+			rowR[c] *= invPiv
+		}
+		for r := 0; r < s.m; r++ {
+			if r == leaveRow {
+				continue
+			}
+			f := s.alpha[r]
+			if f == 0 {
+				continue
+			}
+			rr := s.binv[r]
+			for c := 0; c < s.m; c++ {
+				rr[c] -= f * rowR[c]
+			}
+		}
+		s.basis[leaveRow] = enter
+		s.stat[enter] = basic
+	}
+}
+
+// computeDuals sets y = c_B^T B^{-1}.
+func (s *simplex) computeDuals() {
+	for c := 0; c < s.m; c++ {
+		s.y[c] = 0
+	}
+	for r := 0; r < s.m; r++ {
+		cb := s.cost[s.basis[r]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[r]
+		for c := 0; c < s.m; c++ {
+			s.y[c] += cb * row[c]
+		}
+	}
+}
+
+// price selects the entering column and its direction (+1 to increase, -1
+// to decrease), or (-1, 0) at optimality. Dantzig pricing with a Bland
+// fallback under degeneracy.
+func (s *simplex) price() (enter int, dir float64) {
+	best := -1
+	bestScore := s.tol
+	bestDir := 0.0
+	for j := 0; j < s.n; j++ {
+		st := s.stat[j]
+		if st == basic {
+			continue
+		}
+		if s.lo[j] == s.hi[j] && st != nbFree {
+			continue // fixed variable can never improve
+		}
+		d := s.reducedCost(j)
+		var score, dj float64
+		switch st {
+		case nbLower:
+			if d < -s.tol {
+				score, dj = -d, 1
+			}
+		case nbUpper:
+			if d > s.tol {
+				score, dj = d, -1
+			}
+		case nbFree:
+			if d < -s.tol {
+				score, dj = -d, 1
+			} else if d > s.tol {
+				score, dj = d, -1
+			}
+		}
+		if dj == 0 {
+			continue
+		}
+		if s.bland {
+			return j, dj
+		}
+		if score > bestScore {
+			best, bestScore, bestDir = j, score, dj
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestDir
+}
+
+func (s *simplex) reducedCost(j int) float64 {
+	d := s.cost[j]
+	for _, e := range s.cols[j] {
+		d -= s.y[e.row] * e.coef
+	}
+	return d
+}
+
+// ratioTest computes the maximal step for the entering variable. It
+// returns the limiting basic row (or -1), the step, whether the limit is
+// the entering variable's own opposite bound (a bound flip), and false
+// when the problem is unbounded in this direction.
+func (s *simplex) ratioTest(enter int, dir float64) (leaveRow int, step float64, flip bool, ok bool) {
+	step = math.Inf(1)
+	leaveRow = -1
+	// Entering variable's own range.
+	if r := s.hi[enter] - s.lo[enter]; !math.IsInf(r, 1) {
+		step = r
+		flip = true
+	}
+	for r := 0; r < s.m; r++ {
+		a := dir * s.alpha[r]
+		if math.Abs(a) < 1e-9 {
+			continue
+		}
+		bi := s.basis[r]
+		var limit float64
+		if a > 0 {
+			if math.IsInf(s.lo[bi], -1) {
+				continue
+			}
+			limit = (s.x[bi] - s.lo[bi]) / a
+		} else {
+			if math.IsInf(s.hi[bi], 1) {
+				continue
+			}
+			limit = (s.x[bi] - s.hi[bi]) / a
+		}
+		if limit < 0 {
+			limit = 0
+		}
+		better := limit < step-1e-12
+		tie := !better && limit <= step+1e-12
+		if better ||
+			(tie && leaveRow >= 0 && s.tieBreak(r, leaveRow)) ||
+			(tie && leaveRow < 0 && flip) {
+			step = limit
+			leaveRow = r
+			flip = false
+		}
+	}
+	if math.IsInf(step, 1) {
+		return -1, 0, false, false
+	}
+	return leaveRow, step, flip, true
+}
+
+// tieBreak prefers r over current when ratios tie: Bland's rule picks the
+// lowest basis column index; otherwise prefer the larger pivot magnitude
+// for numerical stability.
+func (s *simplex) tieBreak(r, current int) bool {
+	if s.bland {
+		return s.basis[r] < s.basis[current]
+	}
+	return math.Abs(s.alpha[r]) > math.Abs(s.alpha[current])
+}
+
+// refactorize rebuilds the basis inverse from scratch (Gauss-Jordan with
+// partial pivoting) and recomputes the basic variable values. Returns
+// false if the basis matrix is numerically singular.
+func (s *simplex) refactorize() bool {
+	m := s.m
+	// Dense basis matrix.
+	bm := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		bm[r] = make([]float64, 2*m)
+		bm[r][m+r] = 1
+	}
+	for c := 0; c < m; c++ {
+		for _, e := range s.cols[s.basis[c]] {
+			bm[e.row][c] = e.coef
+		}
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(bm[r][col]) > math.Abs(bm[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(bm[piv][col]) < 1e-11 {
+			return false
+		}
+		bm[col], bm[piv] = bm[piv], bm[col]
+		inv := 1 / bm[col][col]
+		for c := col; c < 2*m; c++ {
+			bm[col][c] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := bm[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < 2*m; c++ {
+				bm[r][c] -= f * bm[col][c]
+			}
+		}
+	}
+	for r := 0; r < m; r++ {
+		copy(s.binv[r], bm[r][m:])
+	}
+
+	// Recompute basic values: xB = B^{-1} (b - N xN).
+	rhs := append([]float64(nil), s.b...)
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] == basic {
+			continue
+		}
+		if v := s.x[j]; v != 0 {
+			for _, e := range s.cols[j] {
+				rhs[e.row] -= e.coef * v
+			}
+		}
+	}
+	for r := 0; r < m; r++ {
+		v := 0.0
+		row := s.binv[r]
+		for c := 0; c < m; c++ {
+			v += row[c] * rhs[c]
+		}
+		s.x[s.basis[r]] = v
+	}
+	return true
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// String renders a short human-readable description of a solution.
+func (sol Solution) String() string {
+	return fmt.Sprintf("%s obj=%.6g iters=%d", sol.Status, sol.Objective, sol.Iterations)
+}

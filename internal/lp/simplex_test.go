@@ -1,0 +1,432 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	// min -x, x in [0, 5] -> x = 5, obj = -5.
+	m := NewModel()
+	x := m.AddVariable("x", 0, 5, -1)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.X[x], 5, 1e-6, "x")
+	approx(t, sol.Objective, -5, 1e-6, "obj")
+}
+
+func TestSolveClassic2D(t *testing.T) {
+	// max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+	// Optimum (2, 6) with value 36 (classic Dantzig example).
+	m := NewModel()
+	x := m.AddVariable("x", 0, Inf, -3)
+	y := m.AddVariable("y", 0, Inf, -5)
+	m.AddConstraint("c1", []Term{{x, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{y, 2}}, LE, 12)
+	m.AddConstraint("c3", []Term{{x, 3}, {y, 2}}, LE, 18)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, -36, 1e-6, "obj")
+	approx(t, sol.X[x], 2, 1e-6, "x")
+	approx(t, sol.X[y], 6, 1e-6, "y")
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + 2y  s.t. x + y = 10, x - y >= -2, x,y >= 0.
+	// Push y down: y = x... x + y = 10, y = 10 - x; obj = x + 20 - 2x = 20 - x;
+	// maximize x: x - (10-x) >= -2 always true for x >= 4; x <= 10 (y >= 0).
+	// So x = 10, y = 0, obj = 10.
+	m := NewModel()
+	x := m.AddVariable("x", 0, Inf, 1)
+	y := m.AddVariable("y", 0, Inf, 2)
+	m.AddConstraint("sum", []Term{{x, 1}, {y, 1}}, EQ, 10)
+	m.AddConstraint("diff", []Term{{x, 1}, {y, -1}}, GE, -2)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, 10, 1e-6, "obj")
+	approx(t, sol.X[x], 10, 1e-6, "x")
+	approx(t, sol.X[y], 0, 1e-6, "y")
+}
+
+func TestSolveGEConstraints(t *testing.T) {
+	// Diet-style: min 2x + 3y  s.t. x + y >= 4, x + 3y >= 6, x,y >= 0.
+	// Vertices: (4,0): 8; (3,1): 9; (0,4)?? check (6,0): x+y=6 ok -> 12.
+	// Intersection x+y=4, x+3y=6 -> 2y=2, y=1, x=3 -> obj 9. (4,0): x+3y=4 <6 infeasible.
+	// (6,0) obj 12, (0,4) obj 12. So optimum is (3,1) = 9.
+	m := NewModel()
+	x := m.AddVariable("x", 0, Inf, 2)
+	y := m.AddVariable("y", 0, Inf, 3)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, GE, 4)
+	m.AddConstraint("c2", []Term{{x, 1}, {y, 3}}, GE, 6)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, 9, 1e-6, "obj")
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 10, 1)
+	m.AddConstraint("lo", []Term{{x, 1}}, GE, 5)
+	m.AddConstraint("hi", []Term{{x, 1}}, LE, 3)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveInfeasibleBounds(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 10, 1)
+	lo := []float64{11}
+	hi := []float64{math.NaN()}
+	sol := SolveWithBounds(m, Options{}, lo, hi)
+	_ = x
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, Inf, -1)
+	y := m.AddVariable("y", 0, Inf, 0)
+	m.AddConstraint("c", []Term{{x, 1}, {y, -1}}, LE, 1)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveFreeVariable(t *testing.T) {
+	// min x  s.t. x >= -7 via constraint, x free.
+	m := NewModel()
+	x := m.AddVariable("x", -Inf, Inf, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, GE, -7)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.X[x], -7, 1e-6, "x")
+}
+
+func TestSolveNegativeBounds(t *testing.T) {
+	// min x + y with x in [-5, -1], y in [-3, 8], x + y >= -6.
+	// Optimum at x + y = -6 with both as low as possible: e.g. x=-5, y=-1 -> -6.
+	m := NewModel()
+	x := m.AddVariable("x", -5, -1, 1)
+	y := m.AddVariable("y", -3, 8, 1)
+	m.AddConstraint("c", []Term{{x, 1}, {y, 1}}, GE, -6)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, -6, 1e-6, "obj")
+	if err := m.CheckFeasible(sol.X, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveBoundFlipPath(t *testing.T) {
+	// Forces bound flips: maximize sum of variables with a single coupling
+	// constraint that binds only two of them.
+	m := NewModel()
+	var vars []VarID
+	for i := 0; i < 6; i++ {
+		vars = append(vars, m.AddVariable("v", 0, 1, -1))
+	}
+	m.AddConstraint("c", []Term{{vars[0], 1}, {vars[1], 1}}, LE, 1)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, -5, 1e-6, "obj")
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A degenerate LP (redundant constraints meeting at the optimum).
+	m := NewModel()
+	x := m.AddVariable("x", 0, Inf, -1)
+	y := m.AddVariable("y", 0, Inf, -1)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, LE, 2)
+	m.AddConstraint("c2", []Term{{x, 1}}, LE, 1)
+	m.AddConstraint("c3", []Term{{y, 1}}, LE, 1)
+	m.AddConstraint("c4", []Term{{x, 2}, {y, 2}}, LE, 4)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.Objective, -2, 1e-6, "obj")
+}
+
+func TestSolveEqualityPhase1(t *testing.T) {
+	// Multiple equalities requiring artificial variables.
+	// x + y + z = 6, x - y = 1, y + z = 4 -> x = 2, y = 1, z = 3.
+	m := NewModel()
+	x := m.AddVariable("x", 0, Inf, 1)
+	y := m.AddVariable("y", 0, Inf, 1)
+	z := m.AddVariable("z", 0, Inf, 1)
+	m.AddConstraint("e1", []Term{{x, 1}, {y, 1}, {z, 1}}, EQ, 6)
+	m.AddConstraint("e2", []Term{{x, 1}, {y, -1}}, EQ, 1)
+	m.AddConstraint("e3", []Term{{y, 1}, {z, 1}}, EQ, 4)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	approx(t, sol.X[x], 2, 1e-6, "x")
+	approx(t, sol.X[y], 1, 1e-6, "y")
+	approx(t, sol.X[z], 3, 1e-6, "z")
+}
+
+func TestSolutionSatisfiesModel(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 10, -2)
+	y := m.AddVariable("y", -4, 4, 1)
+	z := m.AddVariable("z", 0, Inf, 3)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 2}, {z, -1}}, LE, 8)
+	m.AddConstraint("c2", []Term{{x, -1}, {y, 1}}, GE, -9)
+	m.AddConstraint("c3", []Term{{y, 1}, {z, 1}}, EQ, 2)
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if err := m.CheckFeasible(sol.X, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, m.Objective(sol.X), sol.Objective, 1e-6, "objective consistency")
+}
+
+// bruteForce2D finds the optimum of a 2-variable LP by enumerating all
+// vertex candidates (pairwise intersections of constraint lines and bound
+// lines) — an independent oracle for the property test below.
+type line struct{ a, b, c float64 } // a*x + b*y = c
+
+func bruteForce2D(m *Model, tol float64) (float64, bool) {
+	var lines []line
+	for r := 0; r < m.NumConstraints(); r++ {
+		var a, b float64
+		for _, t := range m.rows[r] {
+			switch t.Var {
+			case 0:
+				a = t.Coef
+			case 1:
+				b = t.Coef
+			}
+		}
+		lines = append(lines, line{a, b, m.rhs[r]})
+	}
+	for v := 0; v < 2; v++ {
+		av, bv := 1.0, 0.0
+		if v == 1 {
+			av, bv = 0, 1
+		}
+		if !math.IsInf(m.lo[v], -1) {
+			lines = append(lines, line{av, bv, m.lo[v]})
+		}
+		if !math.IsInf(m.hi[v], 1) {
+			lines = append(lines, line{av, bv, m.hi[v]})
+		}
+	}
+	bestObj := math.Inf(1)
+	found := false
+	try := func(x, y float64) {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return
+		}
+		pt := []float64{x, y}
+		if m.CheckFeasible(pt, tol) != nil {
+			return
+		}
+		obj := m.Objective(pt)
+		if obj < bestObj {
+			bestObj, found = obj, true
+		}
+	}
+	for i := range lines {
+		for j := i + 1; j < len(lines); j++ {
+			l1, l2 := lines[i], lines[j]
+			det := l1.a*l2.b - l2.a*l1.b
+			if math.Abs(det) < 1e-9 {
+				continue
+			}
+			x := (l1.c*l2.b - l2.c*l1.b) / det
+			y := (l1.a*l2.c - l2.a*l1.c) / det
+			try(x, y)
+		}
+	}
+	return bestObj, found
+}
+
+// TestRandom2DAgainstBruteForce cross-checks the simplex against the vertex
+// enumeration oracle on random bounded 2-variable LPs.
+func TestRandom2DAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		m := NewModel()
+		for v := 0; v < 2; v++ {
+			lo := float64(rng.Intn(7) - 3)
+			hi := lo + float64(1+rng.Intn(8))
+			obj := float64(rng.Intn(11) - 5)
+			m.AddVariable("v", lo, hi, obj)
+		}
+		nCons := 1 + rng.Intn(4)
+		for c := 0; c < nCons; c++ {
+			terms := []Term{
+				{0, float64(rng.Intn(9) - 4)},
+				{1, float64(rng.Intn(9) - 4)},
+			}
+			sense := Sense(rng.Intn(3))
+			rhs := float64(rng.Intn(21) - 10)
+			m.AddConstraint("c", terms, sense, rhs)
+		}
+		want, feasible := bruteForce2D(m, 1e-7)
+		sol := Solve(m, Options{})
+		if !feasible {
+			if sol.Status == StatusOptimal {
+				// The oracle's vertex set is complete for bounded
+				// problems, so an optimal solve here means the oracle
+				// missed a vertex only if the solution is feasible.
+				if err := m.CheckFeasible(sol.X, 1e-6); err != nil {
+					t.Fatalf("trial %d: solver claims optimal but infeasible: %v", trial, err)
+				}
+				t.Fatalf("trial %d: oracle says infeasible, solver found obj %g", trial, sol.Objective)
+			}
+			continue
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v, oracle obj %g", trial, sol.Status, want)
+		}
+		if err := m.CheckFeasible(sol.X, 1e-6); err != nil {
+			t.Fatalf("trial %d: solver solution infeasible: %v", trial, err)
+		}
+		if sol.Objective > want+1e-5 {
+			t.Fatalf("trial %d: solver obj %g worse than oracle %g", trial, sol.Objective, want)
+		}
+		if sol.Objective < want-1e-5 {
+			t.Fatalf("trial %d: solver obj %g better than oracle %g (solution must be infeasible)", trial, sol.Objective, want)
+		}
+	}
+}
+
+// TestQuickFeasibilityInvariant: whatever the solver returns as optimal is
+// feasible and matches its reported objective.
+func TestQuickFeasibilityInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		n := 2 + rng.Intn(5)
+		for v := 0; v < n; v++ {
+			lo := float64(rng.Intn(5))
+			m.AddVariable("v", lo, lo+float64(1+rng.Intn(10)), float64(rng.Intn(13)-6))
+		}
+		for c := 0; c < 1+rng.Intn(6); c++ {
+			var terms []Term
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					terms = append(terms, Term{VarID(v), float64(rng.Intn(7) - 3)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			m.AddConstraint("c", terms, Sense(rng.Intn(3)), float64(rng.Intn(31)-5))
+		}
+		sol := Solve(m, Options{})
+		if sol.Status != StatusOptimal {
+			return true // nothing to verify
+		}
+		if err := m.CheckFeasible(sol.X, 1e-5); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if math.Abs(m.Objective(sol.X)-sol.Objective) > 1e-5 {
+			t.Logf("seed %d: objective mismatch", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactTerms(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 1, 0)
+	y := m.AddVariable("y", 0, 1, 0)
+	m.AddConstraint("c", []Term{{x, 1}, {y, 2}, {x, 3}, {y, -2}}, LE, 4)
+	row := m.rows[0]
+	if len(row) != 1 || row[0].Var != x || row[0].Coef != 4 {
+		t.Fatalf("compacted row = %+v", row)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 0, 5, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, LE, 3)
+	cp := m.Clone()
+	cp.SetBounds(x, 0, 1)
+	cp.SetObjective(x, -1)
+	if lo, hi := m.Bounds(x); lo != 0 || hi != 5 {
+		t.Fatalf("clone mutated original bounds: [%g, %g]", lo, hi)
+	}
+	if m.obj[x] != 1 {
+		t.Fatalf("clone mutated original objective")
+	}
+}
+
+func TestLargeDenseLP(t *testing.T) {
+	// A larger assignment-like LP to exercise refactorization paths:
+	// min sum c_ij x_ij s.t. row sums = 1, col sums = 1, x in [0,1].
+	const n = 12
+	m := NewModel()
+	rng := rand.New(rand.NewSource(7))
+	vars := make([][]VarID, n)
+	cost := make([][]float64, n)
+	for i := range vars {
+		vars[i] = make([]VarID, n)
+		cost[i] = make([]float64, n)
+		for j := range vars[i] {
+			cost[i][j] = float64(rng.Intn(100))
+			vars[i][j] = m.AddVariable("x", 0, 1, cost[i][j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		var row, col []Term
+		for j := 0; j < n; j++ {
+			row = append(row, Term{vars[i][j], 1})
+			col = append(col, Term{vars[j][i], 1})
+		}
+		m.AddConstraint("r", row, EQ, 1)
+		m.AddConstraint("c", col, EQ, 1)
+	}
+	sol := Solve(m, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if err := m.CheckFeasible(sol.X, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	// LP relaxation of assignment is integral; verify against a greedy
+	// upper bound at least.
+	if sol.Objective < 0 {
+		t.Fatalf("objective %g < 0 impossible with nonnegative costs", sol.Objective)
+	}
+}

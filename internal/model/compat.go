@@ -1,0 +1,213 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// tid returns the paper's 1-based portion tile-type identifier tid_p.
+func (c *Compiled) tid(p int) float64 {
+	return float64(int(c.Part.Portions[p].Type) + 1)
+}
+
+// buildProfiles pins, for every compatibility-relevant area, the
+// offset-relative portion profiles:
+//
+//	S_{n,j}  = columns of area n overlapping the j-th portion at or right
+//	           of the first covered portion (0 beyond the coverage),
+//	TY_{n,j} = tid of that portion when covered, 0 otherwise.
+//
+// Both are gated by the offset variables o_{n,p}: since exactly one o is 1
+// (Equation 4), each big-M pair pins the profile to its true value.
+func (c *Compiled) buildProfiles() {
+	P := c.Part.NumPortions()
+	W := c.bigW()
+	nTypes := float64(c.Problem.Device.NumTypes())
+	for n := 0; n < c.nAreas; n++ {
+		if !c.isCompatArea(n) {
+			continue
+		}
+		name := c.areaName(n)
+		c.profS[n] = make([]lp.VarID, P)
+		c.profT[n] = make([]lp.VarID, P)
+		for j := 0; j < P; j++ {
+			c.profS[n][j] = c.LP.AddVariable(fmt.Sprintf("%s.S[%d]", name, j), 0, W, 0)
+			c.profT[n][j] = c.LP.AddVariable(fmt.Sprintf("%s.TY[%d]", name, j), 0, nTypes, 0)
+		}
+		for j := 0; j < P; j++ {
+			for p := 0; p < P; p++ {
+				pfx := fmt.Sprintf("%s.S%d.o%d", name, j, p)
+				if p+j < P {
+					// o_p=1 -> S_j = ov_{p+j}.
+					c.LP.AddConstraint(pfx+".ub", []lp.Term{
+						{Var: c.profS[n][j], Coef: 1}, {Var: c.ov[n][p+j], Coef: -1}, {Var: c.off[n][p], Coef: W},
+					}, lp.LE, W)
+					c.LP.AddConstraint(pfx+".lb", []lp.Term{
+						{Var: c.profS[n][j], Coef: 1}, {Var: c.ov[n][p+j], Coef: -1}, {Var: c.off[n][p], Coef: -W},
+					}, lp.GE, -W)
+					// o_p=1 -> TY_j = tid_{p+j} * k_{p+j}.
+					c.LP.AddConstraint(pfx+".tub", []lp.Term{
+						{Var: c.profT[n][j], Coef: 1}, {Var: c.k[n][p+j], Coef: -c.tid(p + j)}, {Var: c.off[n][p], Coef: nTypes},
+					}, lp.LE, nTypes)
+					c.LP.AddConstraint(pfx+".tlb", []lp.Term{
+						{Var: c.profT[n][j], Coef: 1}, {Var: c.k[n][p+j], Coef: -c.tid(p + j)}, {Var: c.off[n][p], Coef: -nTypes},
+					}, lp.GE, -nTypes)
+				} else {
+					// o_p=1 -> the j-th relative portion is off-device.
+					c.LP.AddConstraint(pfx+".zero", []lp.Term{
+						{Var: c.profS[n][j], Coef: 1}, {Var: c.off[n][p], Coef: W},
+					}, lp.LE, W)
+					c.LP.AddConstraint(pfx+".tzero", []lp.Term{
+						{Var: c.profT[n][j], Coef: 1}, {Var: c.off[n][p], Coef: nTypes},
+					}, lp.LE, nTypes)
+				}
+			}
+		}
+	}
+}
+
+// buildProfileCompatibility emits, per FC request, Equations 6 and 7 plus
+// the profile equalities (the Equation 8-10 equivalent); metric-mode
+// requests get the v_c relaxation of Section V on the profile part.
+func (c *Compiled) buildProfileCompatibility() {
+	P := c.Part.NumPortions()
+	W := c.bigW()
+	nTypes := float64(c.Problem.Device.NumTypes())
+	for f, fc := range c.Problem.FCAreas {
+		af := c.regionCount() + f
+		v := c.viol[f]
+		// s_{c,n}: the area must match every region it serves.
+		compat := fc.CompatRegions()
+		for _, n := range compat {
+			name := fmt.Sprintf("compat.fc%d.r%d", f, n)
+			shapeViol := lp.VarID(-1)
+			if v >= 0 && len(compat) > 1 {
+				shapeViol = v
+			}
+			c.emitShapeEqualities(name, af, n, shapeViol)
+			for j := 0; j < P; j++ {
+				sTerms := []lp.Term{{Var: c.profS[af][j], Coef: 1}, {Var: c.profS[n][j], Coef: -1}}
+				tTerms := []lp.Term{{Var: c.profT[af][j], Coef: 1}, {Var: c.profT[n][j], Coef: -1}}
+				if v < 0 {
+					c.LP.AddConstraint(fmt.Sprintf("%s.S%d", name, j), sTerms, lp.EQ, 0)
+					c.LP.AddConstraint(fmt.Sprintf("%s.T%d", name, j), tTerms, lp.EQ, 0)
+					continue
+				}
+				c.LP.AddConstraint(fmt.Sprintf("%s.S%d.ub", name, j),
+					append(append([]lp.Term(nil), sTerms...), lp.Term{Var: v, Coef: -W}), lp.LE, 0)
+				c.LP.AddConstraint(fmt.Sprintf("%s.S%d.lb", name, j),
+					append(append([]lp.Term(nil), sTerms...), lp.Term{Var: v, Coef: W}), lp.GE, 0)
+				c.LP.AddConstraint(fmt.Sprintf("%s.T%d.ub", name, j),
+					append(append([]lp.Term(nil), tTerms...), lp.Term{Var: v, Coef: -nTypes}), lp.LE, 0)
+				c.LP.AddConstraint(fmt.Sprintf("%s.T%d.lb", name, j),
+					append(append([]lp.Term(nil), tTerms...), lp.Term{Var: v, Coef: nTypes}), lp.GE, 0)
+			}
+		}
+	}
+}
+
+// emitShapeEqualities emits Equation 6 (equal heights) and Equation 7
+// (equal number of covered portions) for FC area af versus region n.
+//
+// For single-region requests both stay hard even in metric mode, exactly
+// as in the paper — they never make the model infeasible because the FC
+// area can always mirror the region. For the s_{c,n} generalization
+// (viol >= 0 with several regions) a mirror cannot satisfy two regions of
+// different shapes simultaneously, so the equalities are v_c-relaxed.
+func (c *Compiled) emitShapeEqualities(name string, af, n int, viol lp.VarID) {
+	H := c.bigH()
+	P := float64(c.Part.NumPortions())
+	eq6 := []lp.Term{{Var: c.h[af], Coef: 1}, {Var: c.h[n], Coef: -1}}
+	terms := make([]lp.Term, 0, 2*c.Part.NumPortions()+1)
+	for p := 0; p < c.Part.NumPortions(); p++ {
+		terms = append(terms,
+			lp.Term{Var: c.k[af][p], Coef: 1},
+			lp.Term{Var: c.k[n][p], Coef: -1})
+	}
+	if viol < 0 {
+		c.LP.AddConstraint(name+".eq6", eq6, lp.EQ, 0)
+		c.LP.AddConstraint(name+".eq7", terms, lp.EQ, 0)
+		return
+	}
+	c.LP.AddConstraint(name+".eq6.ub",
+		append(append([]lp.Term(nil), eq6...), lp.Term{Var: viol, Coef: -H}), lp.LE, 0)
+	c.LP.AddConstraint(name+".eq6.lb",
+		append(append([]lp.Term(nil), eq6...), lp.Term{Var: viol, Coef: H}), lp.GE, 0)
+	c.LP.AddConstraint(name+".eq7.ub",
+		append(append([]lp.Term(nil), terms...), lp.Term{Var: viol, Coef: -P}), lp.LE, 0)
+	c.LP.AddConstraint(name+".eq7.lb",
+		append(append([]lp.Term(nil), terms...), lp.Term{Var: viol, Coef: P}), lp.GE, 0)
+}
+
+// buildPairwiseCompatibility emits Equations 9 and 10 verbatim: for every
+// FC request (c, n) with s_{c,n}=1, every pair of potential first portions
+// (pc, pn) and every relative index i, big-M gated tile-count equalities
+// and the tightened type-mismatch cuts.
+func (c *Compiled) buildPairwiseCompatibility() {
+	P := c.Part.NumPortions()
+	H := c.Problem.Device.Height()
+	bigM := c.bigW() * c.bigH() // maxW * |R|
+	for f, fc := range c.Problem.FCAreas {
+		af := c.regionCount() + f
+		v := c.viol[f]
+		compat := fc.CompatRegions()
+		for _, n := range compat {
+			name := fmt.Sprintf("pw.fc%d.r%d", f, n)
+			shapeViol := lp.VarID(-1)
+			if v >= 0 && len(compat) > 1 {
+				shapeViol = v
+			}
+			c.emitShapeEqualities(name, af, n, shapeViol)
+			for pc := 0; pc < P; pc++ {
+				for pn := 0; pn < P; pn++ {
+					for i := -(P - 1); i <= P-1; i++ {
+						if pc+i < 0 || pc+i >= P || pn+i < 0 || pn+i >= P {
+							continue
+						}
+						guard := []lp.Term{
+							{Var: c.off[af][pc], Coef: bigM},
+							{Var: c.off[n][pn], Coef: bigM},
+							{Var: c.k[n][pn+i], Coef: bigM},
+						}
+						// Equation 10 (tightened Equation 8): active only on
+						// type mismatch.
+						if c.tid(pc+i) != c.tid(pn+i) {
+							terms := []lp.Term{
+								{Var: c.off[af][pc], Coef: 1},
+								{Var: c.off[n][pn], Coef: 1},
+								{Var: c.k[n][pn+i], Coef: 1},
+							}
+							rhs := 2.0
+							if v >= 0 {
+								terms = append(terms, lp.Term{Var: v, Coef: -1})
+							}
+							c.LP.AddConstraint(fmt.Sprintf("%s.eq10.%d.%d.%d", name, pc, pn, i),
+								terms, lp.LE, rhs)
+						}
+						// Equation 9: sum_r l_c = sum_r l_n when the guard
+						// variables are all 1.
+						ub := make([]lp.Term, 0, 2*H+4)
+						lb := make([]lp.Term, 0, 2*H+4)
+						for r := 0; r < H; r++ {
+							ub = append(ub, lp.Term{Var: c.l[af][pc+i][r], Coef: 1}, lp.Term{Var: c.l[n][pn+i][r], Coef: -1})
+							lb = append(lb, lp.Term{Var: c.l[af][pc+i][r], Coef: 1}, lp.Term{Var: c.l[n][pn+i][r], Coef: -1})
+						}
+						ub = append(ub, guard...)
+						rhsUB := 3 * bigM
+						for _, g := range guard {
+							lb = append(lb, lp.Term{Var: g.Var, Coef: -bigM})
+						}
+						rhsLB := -3 * bigM
+						if v >= 0 {
+							ub = append(ub, lp.Term{Var: v, Coef: -bigM})
+							lb = append(lb, lp.Term{Var: v, Coef: bigM})
+						}
+						c.LP.AddConstraint(fmt.Sprintf("%s.eq9u.%d.%d.%d", name, pc, pn, i), ub, lp.LE, rhsUB)
+						c.LP.AddConstraint(fmt.Sprintf("%s.eq9l.%d.%d.%d", name, pc, pn, i), lb, lp.GE, rhsLB)
+					}
+				}
+			}
+		}
+	}
+}

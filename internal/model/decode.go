@@ -1,0 +1,60 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Decode converts a MILP solution vector into a floorplan Solution.
+// Integer variables are rounded; metric-mode FC areas with v_c = 1 are
+// reported as missed (their rectangle in the MILP is a relaxed
+// placeholder).
+func (c *Compiled) Decode(x []float64) (*core.Solution, error) {
+	if len(x) != c.LP.NumVariables() {
+		return nil, fmt.Errorf("model: solution vector has %d entries, want %d", len(x), c.LP.NumVariables())
+	}
+	ri := func(v float64) int { return int(math.Round(v)) }
+	rectOf := func(area int) grid.Rect {
+		return grid.Rect{
+			X: ri(x[c.x[area]]),
+			Y: ri(x[c.y[area]]),
+			W: ri(x[c.w[area]]),
+			H: ri(x[c.h[area]]),
+		}
+	}
+	sol := &core.Solution{
+		Regions: make([]grid.Rect, c.regionCount()),
+		FC:      make([]core.FCPlacement, len(c.Problem.FCAreas)),
+	}
+	for n := 0; n < c.regionCount(); n++ {
+		sol.Regions[n] = rectOf(n)
+	}
+	for f := range c.Problem.FCAreas {
+		sol.FC[f] = core.FCPlacement{Request: f}
+		if v := c.viol[f]; v >= 0 && ri(x[v]) == 1 {
+			continue // missed metric-mode area
+		}
+		sol.FC[f].Placed = true
+		sol.FC[f].Rect = rectOf(c.regionCount() + f)
+	}
+	return sol, nil
+}
+
+// WastedFramesOf evaluates the waste part of the MILP objective on a
+// solution vector: covered frames minus the constant requirement.
+func (c *Compiled) WastedFramesOf(x []float64) int {
+	covered := 0.0
+	d := c.Problem.Device
+	for n := 0; n < c.regionCount(); n++ {
+		for p, por := range c.Part.Portions {
+			frames := float64(d.Type(por.Type).Frames)
+			for r := 0; r < d.Height(); r++ {
+				covered += frames * x[c.l[n][p][r]]
+			}
+		}
+	}
+	return int(math.Round(covered)) - c.reqFrames
+}

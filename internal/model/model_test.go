@@ -1,0 +1,427 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/exact"
+	"repro/internal/grid"
+	"repro/internal/heuristic"
+	"repro/internal/sdr"
+)
+
+// smallDevice is a 12x3 columnar fabric with BRAM columns at 2 and 8 and
+// a DSP column at 5 — small enough for MILP solves in test time.
+func smallDevice() *device.Device {
+	cols := make([]device.TypeID, 12)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[2], cols[8] = device.V5BRAM, device.V5BRAM
+	cols[5] = device.V5DSP
+	d, err := device.NewColumnar("small", cols, 3, device.V5Types(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func smallProblem(fcCount int, mode core.RelocMode) *core.Problem {
+	p := &core.Problem{
+		Device: smallDevice(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 3, device.ClassDSP: 1}},
+			{Name: "B", Req: device.Requirements{device.ClassCLB: 2, device.ClassBRAM: 1}},
+		},
+		Nets:      []core.Net{{A: 0, B: 1, Weight: 8}},
+		Objective: core.DefaultObjective(),
+	}
+	for k := 0; k < fcCount; k++ {
+		p.FCAreas = append(p.FCAreas, core.FCRequest{Region: 0, Mode: mode})
+	}
+	return p
+}
+
+// tinyDevice is an 8x2 fabric with one BRAM column (2) and one DSP column
+// (4) — small enough that even infeasibility proofs finish quickly.
+func tinyDevice() *device.Device {
+	cols := []device.TypeID{
+		device.V5CLB, device.V5CLB, device.V5BRAM, device.V5CLB,
+		device.V5DSP, device.V5CLB, device.V5CLB, device.V5CLB,
+	}
+	d, err := device.NewColumnar("tiny", cols, 2, device.V5Types(), nil)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func solveO(t *testing.T, p *core.Problem, enc Encoding, skipWire bool) (*core.Solution, error) {
+	t.Helper()
+	eng := &OEngine{Encoding: enc, SkipWireStage: skipWire}
+	sol, err := eng.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	if verr := sol.Validate(p); verr != nil {
+		t.Fatalf("O solution invalid: %v", verr)
+	}
+	return sol, nil
+}
+
+func TestOMatchesExactNoFC(t *testing.T) {
+	p := smallProblem(0, core.RelocConstraint)
+	want, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := solveO(t, p, EncodingProfile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Proven {
+		t.Fatal("small instance must be proven optimal")
+	}
+	gw := got.Metrics(p).WastedFrames
+	ww := want.Metrics(p).WastedFrames
+	if gw != ww {
+		t.Fatalf("MILP waste %d != exact waste %d", gw, ww)
+	}
+}
+
+func TestOMatchesExactWithFC(t *testing.T) {
+	p := smallProblem(1, core.RelocConstraint)
+	want, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := solveO(t, p, EncodingProfile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := got.Metrics(p).WastedFrames
+	ww := want.Metrics(p).WastedFrames
+	if got.Proven && gw != ww {
+		t.Fatalf("MILP waste %d != exact waste %d", gw, ww)
+	}
+	if !got.Proven && gw < ww {
+		t.Fatalf("MILP waste %d below exact optimum %d (formulation admits illegal placements)", gw, ww)
+	}
+}
+
+func TestPairwiseEncodingAgrees(t *testing.T) {
+	p := smallProblem(1, core.RelocConstraint)
+	profile, err := solveO(t, p, EncodingProfile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairwise, err := solveO(t, p, EncodingPairwise, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := profile.Metrics(p).WastedFrames
+	ww := pairwise.Metrics(p).WastedFrames
+	if profile.Proven && pairwise.Proven && pw != ww {
+		t.Fatalf("profile encoding waste %d != pairwise %d", pw, ww)
+	}
+}
+
+func TestOInfeasibleFC(t *testing.T) {
+	// The region consumes the full (only) DSP column, so a
+	// free-compatible area cannot exist; constraint mode must prove
+	// infeasibility — the MILP analogue of the paper's Matched Filter /
+	// Video Decoder feasibility result.
+	p := &core.Problem{
+		Device: tinyDevice(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 4, device.ClassDSP: 2}},
+		},
+		Objective: core.DefaultObjective(),
+	}
+	p.FCAreas = []core.FCRequest{{Region: 0, Mode: core.RelocConstraint}}
+	// Cross-check with the exact engine first.
+	if _, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{}); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("exact engine: %v, want infeasible", err)
+	}
+	eng := &OEngine{SkipWireStage: true}
+	_, err := eng.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 60 * time.Second})
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestOMetricModeMiss(t *testing.T) {
+	// Region A consumes the only DSP column of the tiny device entirely,
+	// so its free-compatible area is impossible and must be missed.
+	p := &core.Problem{
+		Device: tinyDevice(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 4, device.ClassDSP: 2}},
+		},
+		Objective: core.DefaultObjective(),
+	}
+	p.FCAreas = []core.FCRequest{{Region: 0, Mode: core.RelocMetric}}
+	sol, err := solveO(t, p, EncodingProfile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sol.Metrics(p)
+	if m.PlacedFC != 0 || m.RelocationMiss != 1 {
+		t.Fatalf("metrics = %+v, want one miss", m)
+	}
+}
+
+func TestHOImprovesOrMatchesSeed(t *testing.T) {
+	p := smallProblem(1, core.RelocConstraint)
+	seed, err := (&heuristic.Constructive{}).Solve(context.Background(), p, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &HOEngine{Seed: seed, SkipWireStage: true}
+	sol, err := eng.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 90 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := sol.Validate(p); verr != nil {
+		t.Fatal(verr)
+	}
+	if sol.Metrics(p).WastedFrames > seed.Metrics(p).WastedFrames {
+		t.Fatalf("HO waste %d worse than seed %d", sol.Metrics(p).WastedFrames, seed.Metrics(p).WastedFrames)
+	}
+}
+
+// TestWarmStartCrossValidation: every solution of the exact engine (and
+// the heuristics) must be feasible in the compiled MILP — the strongest
+// formulation check we have, exercised across random problems.
+func TestWarmStartCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		fcCount := rng.Intn(3)
+		mode := core.RelocMode(rng.Intn(2))
+		p := smallProblem(fcCount, mode)
+		sol, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{})
+		if errors.Is(err, core.ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, enc := range []Encoding{EncodingProfile, EncodingPairwise} {
+			c, err := Build(p, Options{Encoding: enc})
+			if err != nil {
+				t.Fatalf("trial %d enc %d: %v", trial, enc, err)
+			}
+			ws, err := c.WarmStartFrom(sol)
+			if err != nil {
+				t.Fatalf("trial %d enc %d: exact solution infeasible in MILP: %v", trial, enc, err)
+			}
+			// The MILP's waste evaluation must agree with the metric.
+			if got, want := c.WastedFramesOf(ws), sol.Metrics(p).WastedFrames; got != want {
+				t.Fatalf("trial %d enc %d: MILP waste %d != metric %d", trial, enc, got, want)
+			}
+		}
+	}
+}
+
+// TestWarmStartOnFX70T compiles the full FX70T SDR2 model and verifies the
+// exact engine's optimum against it — formulation fidelity at real scale,
+// without paying for a full MILP solve.
+func TestWarmStartOnFX70T(t *testing.T) {
+	p := sdr.SDR2()
+	sol, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WarmStartFrom(sol); err != nil {
+		t.Fatalf("SDR2 optimum infeasible in the compiled MILP: %v", err)
+	}
+}
+
+// TestDecodeRoundTrip: warm start then decode reproduces the original
+// placements.
+func TestDecodeRoundTrip(t *testing.T) {
+	p := smallProblem(1, core.RelocConstraint)
+	sol, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := c.WarmStartFrom(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Decode(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sol.Regions {
+		if back.Regions[i] != sol.Regions[i] {
+			t.Fatalf("region %d: %v -> %v", i, sol.Regions[i], back.Regions[i])
+		}
+	}
+	for i := range sol.FC {
+		if back.FC[i].Placed != sol.FC[i].Placed || back.FC[i].Rect != sol.FC[i].Rect {
+			t.Fatalf("FC %d changed in round trip", i)
+		}
+	}
+}
+
+// TestMILPRejectsIncompatibleFC: assemble the full variable assignment of
+// a placement whose FC area has a mismatched column signature; the
+// compiled constraints must reject it under both encodings.
+func TestMILPRejectsIncompatibleFC(t *testing.T) {
+	p := smallProblem(1, core.RelocConstraint)
+	for _, enc := range []Encoding{EncodingProfile, EncodingPairwise} {
+		c, err := Build(p, Options{Encoding: enc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, c.LP.NumVariables())
+		// Region A at (3,0) 4x1 covers C,C,D(5),C; region B legally at
+		// (0,2) 4x1; the FC area at (6,1) 4x1 covers C,C,B(8),C — same
+		// width, height and portion count as A, but the wrong types.
+		c.assignArea(x, 0, grid.Rect{X: 3, Y: 0, W: 4, H: 1})
+		c.assignArea(x, 1, grid.Rect{X: 0, Y: 2, W: 4, H: 1})
+		c.assignArea(x, 2, grid.Rect{X: 6, Y: 1, W: 4, H: 1})
+		c.assignPairVars(x, []grid.Rect{{X: 3, Y: 0, W: 4, H: 1}, {X: 0, Y: 2, W: 4, H: 1}, {X: 6, Y: 1, W: 4, H: 1}}, make([]bool, 3))
+		c.assignNets(x, []grid.Rect{{X: 3, Y: 0, W: 4, H: 1}, {X: 0, Y: 2, W: 4, H: 1}, {X: 6, Y: 1, W: 4, H: 1}})
+		if err := c.LP.CheckFeasible(x, 1e-6); err == nil {
+			t.Fatalf("enc %d: incompatible FC placement accepted by the formulation", enc)
+		}
+		// Sanity: the same assignment with a compatible FC area (the
+		// mirrored span around the DSP column, rows shifted) passes.
+		x2 := make([]float64, c.LP.NumVariables())
+		c.assignArea(x2, 0, grid.Rect{X: 3, Y: 0, W: 4, H: 1})
+		c.assignArea(x2, 1, grid.Rect{X: 0, Y: 2, W: 4, H: 1})
+		c.assignArea(x2, 2, grid.Rect{X: 3, Y: 1, W: 4, H: 1})
+		rects := []grid.Rect{{X: 3, Y: 0, W: 4, H: 1}, {X: 0, Y: 2, W: 4, H: 1}, {X: 3, Y: 1, W: 4, H: 1}}
+		c.assignPairVars(x2, rects, make([]bool, 3))
+		c.assignNets(x2, rects)
+		if err := c.LP.CheckFeasible(x2, 1e-6); err != nil {
+			t.Fatalf("enc %d: compatible FC placement rejected: %v", enc, err)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := smallProblem(0, core.RelocConstraint)
+	if _, err := Build(p, Options{Encoding: Encoding(99)}); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+	bad := *p
+	bad.Regions = nil
+	if _, err := Build(&bad, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestModelSizeScalesWithEncoding(t *testing.T) {
+	p := smallProblem(2, core.RelocConstraint)
+	prof, err := Build(p, Options{Encoding: EncodingProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := Build(p, Options{Encoding: EncodingPairwise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.LP.NumConstraints() >= pw.LP.NumConstraints() {
+		t.Fatalf("profile encoding (%d constraints) should be smaller than pairwise (%d)",
+			prof.LP.NumConstraints(), pw.LP.NumConstraints())
+	}
+}
+
+func TestWireStageReducesWL(t *testing.T) {
+	// With the wire stage, total wire length must be <= the waste-only
+	// result for the same proven waste.
+	p := smallProblem(0, core.RelocConstraint)
+	wasteOnly, err := solveO(t, p, EncodingProfile, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := solveO(t, p, EncodingProfile, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := wasteOnly.Metrics(p)
+	mf := full.Metrics(p)
+	if mf.WastedFrames > mw.WastedFrames {
+		t.Fatalf("wire stage increased waste: %d vs %d", mf.WastedFrames, mw.WastedFrames)
+	}
+	if mf.WireLength > mw.WireLength+1e-9 {
+		t.Fatalf("wire stage did not reduce wire length: %g vs %g", mf.WireLength, mw.WireLength)
+	}
+}
+
+// TestMultiRegionFCInMILP: the s_{c,n} generalization in the MILP — the
+// widening instance that defeats width-minimal candidate sets. The MILP
+// has no such restriction; its optimum must validate and agree with the
+// exact engine (which falls back to full enumeration for these regions).
+func TestMultiRegionFCInMILP(t *testing.T) {
+	cols := make([]device.TypeID, 18)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[3] = device.V5DSP
+	cols[9] = device.V5DSP
+	cols[14] = device.V5BRAM
+	d, err := device.NewColumnar("multi", cols, 4, device.V5Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Problem{
+		Device: d,
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 2, device.ClassDSP: 1}},
+			{Name: "B", Req: device.Requirements{device.ClassCLB: 2, device.ClassBRAM: 1}},
+		},
+		FCAreas: []core.FCRequest{
+			{Region: 0, AlsoCompatible: []int{1}, Mode: core.RelocConstraint},
+		},
+		Objective: core.DefaultObjective(),
+	}
+	want, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-validate the exact optimum against the compiled MILP.
+	c, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := c.WarmStartFrom(want)
+	if err != nil {
+		t.Fatalf("exact multi-region optimum infeasible in MILP: %v", err)
+	}
+	// Solve the MILP itself, warm-started with the exact optimum, and
+	// compare waste.
+	eng := &OEngine{SkipWireStage: true, Seed: want}
+	got, err := eng.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 15 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := got.Validate(p); verr != nil {
+		t.Fatal(verr)
+	}
+	gw := got.Metrics(p).WastedFrames
+	ww := want.Metrics(p).WastedFrames
+	if got.Proven && want.Proven && gw != ww {
+		t.Fatalf("MILP waste %d != exact %d", gw, ww)
+	}
+	if gw < ww && want.Proven {
+		t.Fatalf("MILP waste %d beats proven exact optimum %d", gw, ww)
+	}
+	_ = ws
+}

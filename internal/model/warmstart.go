@@ -1,0 +1,167 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// WarmStartFrom converts a floorplan solution into a full assignment of
+// the MILP's variables, suitable as a branch-and-bound incumbent. Missed
+// metric-mode FC areas are assigned their region's rectangle with v_c = 1
+// (the Section V relaxation makes that feasible). The result is verified
+// against the compiled model, so a non-nil return is guaranteed feasible —
+// which doubles as a cross-check of the formulation in tests.
+func (c *Compiled) WarmStartFrom(sol *core.Solution) ([]float64, error) {
+	if err := sol.Validate(c.Problem); err != nil {
+		return nil, fmt.Errorf("model: warm start source: %w", err)
+	}
+	x := make([]float64, c.LP.NumVariables())
+
+	rects := make([]grid.Rect, c.nAreas)
+	missed := make([]bool, c.nAreas)
+	for n := 0; n < c.regionCount(); n++ {
+		rects[n] = sol.Regions[n]
+	}
+	for f, fc := range sol.FC {
+		area := c.regionCount() + f
+		if fc.Placed {
+			rects[area] = fc.Rect
+		} else {
+			// Mirror the region: satisfies the hard shape equalities;
+			// overlap and forbidden crossings are absorbed by v_c = 1.
+			rects[area] = sol.Regions[c.Problem.FCAreas[f].Region]
+			missed[area] = true
+			x[c.viol[f]] = 1
+		}
+	}
+
+	for n := 0; n < c.nAreas; n++ {
+		c.assignArea(x, n, rects[n])
+	}
+	c.assignPairVars(x, rects, missed)
+	c.assignNets(x, rects)
+
+	if err := c.LP.CheckFeasible(x, 1e-6); err != nil {
+		return nil, fmt.Errorf("model: warm start infeasible against compiled model: %w", err)
+	}
+	return x, nil
+}
+
+// assignArea fills every per-area variable from the rectangle.
+func (c *Compiled) assignArea(x []float64, n int, r grid.Rect) {
+	d := c.Problem.Device
+	x[c.x[n]] = float64(r.X)
+	x[c.w[n]] = float64(r.W)
+	x[c.y[n]] = float64(r.Y)
+	x[c.h[n]] = float64(r.H)
+	for row := 0; row < d.Height(); row++ {
+		if row >= r.Y && row < r.Y2() {
+			x[c.a[n][row]] = 1
+		}
+	}
+	firstCovered := -1
+	for p, por := range c.Part.Portions {
+		ov := grid.Interval{Lo: r.X, Hi: r.X2()}.Overlap(grid.Interval{Lo: por.X1, Hi: por.X2 + 1})
+		switch {
+		case r.X2() <= por.X1:
+			x[c.left[n][p]] = 1
+		case r.X >= por.X2+1:
+			x[c.rt[n][p]] = 1
+		default:
+			x[c.k[n][p]] = 1
+			if firstCovered < 0 {
+				firstCovered = p
+			}
+		}
+		if r.X >= por.X1 {
+			x[c.uu[n][p]] = 1
+		}
+		if r.X2() <= por.X2+1 {
+			x[c.tt[n][p]] = 1
+		}
+		x[c.ov[n][p]] = float64(ov)
+		if c.l[n] != nil {
+			for row := 0; row < d.Height(); row++ {
+				if row >= r.Y && row < r.Y2() {
+					x[c.l[n][p][row]] = float64(ov)
+				}
+			}
+		}
+	}
+	if c.off[n] != nil && firstCovered >= 0 {
+		x[c.off[n][firstCovered]] = 1
+	}
+	if c.profS[n] != nil {
+		P := c.Part.NumPortions()
+		for j := 0; j < P; j++ {
+			p := firstCovered + j
+			if p >= P {
+				break
+			}
+			ov := grid.Interval{Lo: r.X, Hi: r.X2()}.Overlap(
+				grid.Interval{Lo: c.Part.Portions[p].X1, Hi: c.Part.Portions[p].X2 + 1})
+			x[c.profS[n][j]] = float64(ov)
+			if ov > 0 {
+				x[c.profT[n][j]] = c.tid(p)
+			}
+		}
+	}
+	for fa, rect := range c.Part.Forbidden {
+		if r.X2() > rect.X {
+			x[c.q[n][fa]] = 1
+		}
+	}
+}
+
+// assignPairVars sets the non-overlap disjunction binaries (when present)
+// from the geometry; pairs involving a missed FC area may legitimately
+// leave all four at zero (their constraint is relaxed by v_c).
+func (c *Compiled) assignPairVars(x []float64, rects []grid.Rect, missed []bool) {
+	for i := 0; i < c.nAreas; i++ {
+		for j := i + 1; j < c.nAreas; j++ {
+			d, ok := c.delta[[2]int{i, j}]
+			if !ok {
+				continue // sequence-pair mode: no binaries for this pair
+			}
+			a, b := rects[i], rects[j]
+			switch {
+			case a.X2() <= b.X:
+				x[d[0]] = 1
+			case b.X2() <= a.X:
+				x[d[1]] = 1
+			case a.Y2() <= b.Y:
+				x[d[2]] = 1
+			case b.Y2() <= a.Y:
+				x[d[3]] = 1
+			default:
+				// Overlapping rectangles: only legal when one side is a
+				// missed metric-mode FC, whose v_c = 1 relaxes the
+				// disjunction; leave all four indicators at zero.
+				_ = missed
+			}
+		}
+	}
+}
+
+// assignNets sets the wire-length auxiliaries.
+func (c *Compiled) assignNets(x []float64, rects []grid.Rect) {
+	for e, net := range c.Problem.Nets {
+		a, b := rects[net.A], rects[net.B]
+		cxA := float64(a.CenterX2()) / 2
+		cxB := float64(b.CenterX2()) / 2
+		cyA := float64(a.CenterY2()) / 2
+		cyB := float64(b.CenterY2()) / 2
+		dx := cxA - cxB
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := cyA - cyB
+		if dy < 0 {
+			dy = -dy
+		}
+		x[c.dx[e]] = dx
+		x[c.dy[e]] = dy
+	}
+}

@@ -1,0 +1,220 @@
+// Package partition implements the revised FPGA partitioning procedure of
+// Section III of the paper ("columnar partitioning"): the device is cut
+// into columnar portions — maximal rectangles of same-type tiles spanning
+// the entire device height — while hard blocks remain as forbidden areas
+// overlapping the portions.
+//
+// The resulting Partitioning enjoys the two properties the MILP extension
+// relies on: adjacent portions always have different tile types
+// (Property .3) and portions can be ordered left to right (Property .4).
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// ErrNotColumnar is returned when the device cannot be columnar
+// partitioned (step 4 of the procedure fails: after forbidden-tile
+// replacement some column is not uniform in tile type).
+var ErrNotColumnar = errors.New("partition: device cannot be columnar partitioned")
+
+// Portion is a fixed rectangular area of the FPGA containing tiles of a
+// single type and extending over the full device height.
+type Portion struct {
+	// Index is the 0-based left-to-right portion number (Property .4).
+	Index int
+	// X1 and X2 are the leftmost and rightmost columns of the portion,
+	// both inclusive, matching the paper's xa1/xa2 convention.
+	X1, X2 int
+	// Type is the tile type filling the portion.
+	Type device.TypeID
+}
+
+// Width returns the number of columns spanned by the portion.
+func (p Portion) Width() int { return p.X2 - p.X1 + 1 }
+
+// Rect returns the portion's rectangle on a device of height h.
+func (p Portion) Rect(h int) grid.Rect {
+	return grid.Rect{X: p.X1, Y: 0, W: p.Width(), H: h}
+}
+
+func (p Portion) String() string {
+	return fmt.Sprintf("P%d[cols %d..%d, type %d]", p.Index, p.X1, p.X2, p.Type)
+}
+
+// Partitioning is the result of columnar-partitioning a device: the set P
+// of columnar portions plus the set A of forbidden areas (disjoint from P
+// in the formulation sense — portions cover the device entirely and the
+// forbidden areas overlap them).
+type Partitioning struct {
+	Device    *device.Device
+	Portions  []Portion
+	Forbidden []grid.Rect
+
+	colPortion []int // column -> portion index
+}
+
+// Columnar runs the revised partitioning procedure on d:
+//
+//  1. every tile belonging to a forbidden area is replaced by a
+//     non-forbidden tile of the same column;
+//  2. remaining tiles are scanned top-to-bottom, left-to-right, greedily
+//     growing same-type rectangles right and then down;
+//  3. a portion that cannot be extended to the device bottom makes the
+//     device non-columnar-partitionable (ErrNotColumnar);
+//  4. forbidden areas are reported by position and size.
+func Columnar(d *device.Device) (*Partitioning, error) {
+	w := d.Width()
+
+	// Step 1: effective type per column after forbidden-tile replacement.
+	colType := make([]device.TypeID, w)
+	for c := 0; c < w; c++ {
+		t, err := effectiveColumnType(d, c)
+		if err != nil {
+			return nil, err
+		}
+		colType[c] = t
+	}
+
+	// Steps 2-5: on a column-uniform grid the greedy growth yields the
+	// maximal runs of equal-type columns, each spanning the full height.
+	var portions []Portion
+	colPortion := make([]int, w)
+	for c := 0; c < w; {
+		start := c
+		t := colType[c]
+		for c < w && colType[c] == t {
+			c++
+		}
+		idx := len(portions)
+		portions = append(portions, Portion{Index: idx, X1: start, X2: c - 1, Type: t})
+		for cc := start; cc < c; cc++ {
+			colPortion[cc] = idx
+		}
+	}
+
+	p := &Partitioning{
+		Device:     d,
+		Portions:   portions,
+		Forbidden:  append([]grid.Rect(nil), d.Forbidden()...),
+		colPortion: colPortion,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// effectiveColumnType returns the uniform tile type of column c after the
+// forbidden-tile replacement of step 1, or an error when the column's
+// non-forbidden tiles disagree (the device is not columnar) or the whole
+// column is forbidden.
+func effectiveColumnType(d *device.Device, c int) (device.TypeID, error) {
+	var t device.TypeID
+	found := false
+	for r := 0; r < d.Height(); r++ {
+		if d.InForbidden(c, r) {
+			continue
+		}
+		ct := d.TypeAt(c, r)
+		if !found {
+			t, found = ct, true
+			continue
+		}
+		if ct != t {
+			return 0, fmt.Errorf("%w: column %d mixes tile types %d and %d", ErrNotColumnar, c, t, ct)
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("%w: column %d is entirely forbidden", ErrNotColumnar, c)
+	}
+	return t, nil
+}
+
+// NumPortions returns |P|.
+func (p *Partitioning) NumPortions() int { return len(p.Portions) }
+
+// PortionOfColumn returns the portion containing column c.
+func (p *Partitioning) PortionOfColumn(c int) Portion {
+	return p.Portions[p.colPortion[c]]
+}
+
+// PortionIndexOfColumn returns the index of the portion containing column c.
+func (p *Partitioning) PortionIndexOfColumn(c int) int { return p.colPortion[c] }
+
+// TypeSequence returns the portion tile-type sequence tid_p, left to right.
+func (p *Partitioning) TypeSequence() []device.TypeID {
+	out := make([]device.TypeID, len(p.Portions))
+	for i, por := range p.Portions {
+		out[i] = por.Type
+	}
+	return out
+}
+
+// PortionsCovered returns the portion indices whose column span intersects
+// the x-interval [x, x+w).
+func (p *Partitioning) PortionsCovered(x, w int) []int {
+	var out []int
+	for _, por := range p.Portions {
+		if x < por.X2+1 && por.X1 < x+w {
+			out = append(out, por.Index)
+		}
+	}
+	return out
+}
+
+// OverlapColumns returns the number of columns shared between the
+// x-interval [x, x+w) and portion idx.
+func (p *Partitioning) OverlapColumns(x, w, idx int) int {
+	por := p.Portions[idx]
+	return grid.Interval{Lo: x, Hi: x + w}.Overlap(grid.Interval{Lo: por.X1, Hi: por.X2 + 1})
+}
+
+// Validate checks the construction invariants: portions are non-empty,
+// ordered, disjoint, cover every column exactly once, have uniform
+// effective type, and adjacent portions have different types
+// (Properties .3 and .4).
+func (p *Partitioning) Validate() error {
+	w := p.Device.Width()
+	covered := make([]bool, w)
+	prevEnd := -1
+	for i, por := range p.Portions {
+		if por.Index != i {
+			return fmt.Errorf("partition: portion %d has index %d", i, por.Index)
+		}
+		if por.X1 > por.X2 {
+			return fmt.Errorf("partition: portion %d is empty (%d..%d)", i, por.X1, por.X2)
+		}
+		if por.X1 != prevEnd+1 {
+			return fmt.Errorf("partition: portion %d starts at %d, want %d", i, por.X1, prevEnd+1)
+		}
+		prevEnd = por.X2
+		if i > 0 && p.Portions[i-1].Type == por.Type {
+			return fmt.Errorf("partition: adjacent portions %d and %d share type %d (Property .3 violated)", i-1, i, por.Type)
+		}
+		for c := por.X1; c <= por.X2; c++ {
+			if c < 0 || c >= w {
+				return fmt.Errorf("partition: portion %d column %d out of range", i, c)
+			}
+			if covered[c] {
+				return fmt.Errorf("partition: column %d covered twice", c)
+			}
+			covered[c] = true
+			t, err := effectiveColumnType(p.Device, c)
+			if err != nil {
+				return err
+			}
+			if t != por.Type {
+				return fmt.Errorf("partition: column %d has type %d, portion %d claims %d", c, t, i, por.Type)
+			}
+		}
+	}
+	if prevEnd != w-1 {
+		return fmt.Errorf("partition: portions cover columns up to %d, device has %d", prevEnd, w)
+	}
+	return nil
+}

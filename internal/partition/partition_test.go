@@ -1,0 +1,217 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+func TestColumnarFX70T(t *testing.T) {
+	d := device.VirtexFX70T()
+	p, err := Columnar(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: C*3 B C*4 D C*4 B C*9 B C*4 D C*4 B C*7 -> 13 portions.
+	if p.NumPortions() != 13 {
+		t.Fatalf("portions = %d, want 13", p.NumPortions())
+	}
+	if len(p.Forbidden) != 1 {
+		t.Fatalf("forbidden = %d, want 1", len(p.Forbidden))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2Partitioning mirrors the Figure 2 walkthrough: the hard
+// blocks become forbidden areas and the fabric is cut into columnar
+// portions ordered left to right.
+func TestFigure2Partitioning(t *testing.T) {
+	d := device.Figure2Device()
+	p, err := Columnar(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: blue x2, green, blue, orange, blue x2, green, blue x3, orange.
+	// Runs: [0,1] [2] [3] [4] [5,6] [7] [8,9,10] [11] = 8 portions.
+	if p.NumPortions() != 8 {
+		t.Fatalf("portions = %d, want 8", p.NumPortions())
+	}
+	if len(p.Forbidden) != 2 {
+		t.Fatalf("forbidden = %d, want 2 (f1, f2)", len(p.Forbidden))
+	}
+	// Property .4: ordered left to right.
+	for i := 1; i < p.NumPortions(); i++ {
+		if p.Portions[i].X1 != p.Portions[i-1].X2+1 {
+			t.Fatalf("portion %d not adjacent to predecessor", i)
+		}
+	}
+	// Property .3: adjacent portions differ in type.
+	for i := 1; i < p.NumPortions(); i++ {
+		if p.Portions[i].Type == p.Portions[i-1].Type {
+			t.Fatalf("portions %d and %d share a type", i-1, i)
+		}
+	}
+}
+
+func TestForbiddenReplacementUsesColumnType(t *testing.T) {
+	// A device whose forbidden block covers tiles typed differently from
+	// the rest of the column: step 1 must replace them with the column's
+	// non-forbidden type.
+	types := []device.TileType{
+		{Name: "clb", Class: device.ClassCLB, Frames: 4},
+		{Name: "ppc", Class: device.ClassIO, Frames: 1},
+	}
+	cells := []device.TypeID{
+		0, 0, 0,
+		0, 1, 0,
+		0, 0, 0,
+	}
+	d, err := device.New("hardblock", 3, 3, types, cells,
+		[]grid.Rect{{X: 1, Y: 1, W: 1, H: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Columnar(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPortions() != 1 {
+		t.Fatalf("portions = %d, want 1 (whole fabric is CLB after replacement)", p.NumPortions())
+	}
+	if p.Portions[0].Type != 0 {
+		t.Fatalf("portion type = %d, want CLB", p.Portions[0].Type)
+	}
+}
+
+func TestNonColumnarRejected(t *testing.T) {
+	types := []device.TileType{
+		{Name: "a", Class: device.ClassCLB, Frames: 1},
+		{Name: "b", Class: device.ClassBRAM, Frames: 1},
+	}
+	cells := []device.TypeID{
+		0, 1,
+		1, 0,
+	}
+	d, err := device.New("checker", 2, 2, types, cells, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Columnar(d); !errors.Is(err, ErrNotColumnar) {
+		t.Fatalf("err = %v, want ErrNotColumnar", err)
+	}
+}
+
+func TestFullyForbiddenColumnRejected(t *testing.T) {
+	types := []device.TileType{{Name: "a", Class: device.ClassCLB, Frames: 1}}
+	d, err := device.New("blocked", 2, 2, types,
+		[]device.TypeID{0, 0, 0, 0},
+		[]grid.Rect{{X: 0, Y: 0, W: 1, H: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Columnar(d); !errors.Is(err, ErrNotColumnar) {
+		t.Fatalf("err = %v, want ErrNotColumnar", err)
+	}
+}
+
+func TestPortionLookups(t *testing.T) {
+	d := device.VirtexFX70T()
+	p, err := Columnar(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < d.Width(); c++ {
+		por := p.PortionOfColumn(c)
+		if c < por.X1 || c > por.X2 {
+			t.Fatalf("column %d mapped to portion %v", c, por)
+		}
+		if p.PortionIndexOfColumn(c) != por.Index {
+			t.Fatalf("index lookup mismatch at column %d", c)
+		}
+	}
+	seq := p.TypeSequence()
+	if len(seq) != p.NumPortions() {
+		t.Fatalf("type sequence length %d", len(seq))
+	}
+}
+
+func TestPortionsCoveredAndOverlap(t *testing.T) {
+	d := device.VirtexFX70T()
+	p, err := Columnar(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns 4..9 intersect the portions containing columns 4-7 (CLB),
+	// 8 (DSP) and 9-12 (CLB): exactly 3 portions.
+	covered := p.PortionsCovered(4, 6)
+	if len(covered) != 3 {
+		t.Fatalf("covered = %v, want 3 portions", covered)
+	}
+	total := 0
+	for _, idx := range covered {
+		total += p.OverlapColumns(4, 6, idx)
+	}
+	if total != 6 {
+		t.Fatalf("overlap columns sum = %d, want 6", total)
+	}
+	// Portions covered must be contiguous (columnar geometry).
+	for i := 1; i < len(covered); i++ {
+		if covered[i] != covered[i-1]+1 {
+			t.Fatalf("covered portions not contiguous: %v", covered)
+		}
+	}
+}
+
+// TestQuickPartitionInvariants: any generated columnar device partitions
+// into a valid partitioning whose portions tile the column axis.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed int64, w8, h8 uint8) bool {
+		w := 5 + int(w8%60)
+		h := 2 + int(h8%10)
+		d := device.MustGenerate(device.GeneratorConfig{
+			Width: w, Height: h,
+			BRAMEvery: 5, DSPEvery: 9,
+			ForbiddenBlocks: 2, ForbiddenMaxH: h - 1,
+			Seed: seed,
+		})
+		p, err := Columnar(d)
+		if err != nil {
+			// Only acceptable failure: a fully forbidden column.
+			return errors.Is(err, ErrNotColumnar)
+		}
+		if p.Validate() != nil {
+			return false
+		}
+		// Portion column map is total and consistent.
+		for c := 0; c < w; c++ {
+			por := p.PortionOfColumn(c)
+			if c < por.X1 || c > por.X2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortionRectAndString(t *testing.T) {
+	p := Portion{Index: 2, X1: 4, X2: 7, Type: 1}
+	if p.Width() != 4 {
+		t.Fatalf("width = %d", p.Width())
+	}
+	r := p.Rect(8)
+	want := grid.Rect{X: 4, Y: 0, W: 4, H: 8}
+	if r != want {
+		t.Fatalf("rect = %v, want %v", r, want)
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,315 @@
+// Package reconfig simulates the run-time side of a relocation-aware
+// partially-reconfigurable system — the use case that motivates the
+// paper's floorplanner.
+//
+// A Manager takes a floorplanned design (regions plus the free-compatible
+// areas the floorplanner reserved) and operates it over simulated time:
+// module modes are configured into region slots through the
+// configuration-memory model of internal/bitstream, relocations move a
+// running mode to a reserved compatible slot via the address-rewriting
+// filter, and every operation is charged the configuration-port time of
+// the frames it writes.
+//
+// The Manager quantifies the two benefits the paper's introduction
+// claims for bitstream relocation:
+//
+//   - design re-use: one stored bitstream per module mode serves every
+//     compatible slot, instead of one bitstream per (mode, slot) — see
+//     StorageReport;
+//   - rapid run-time change: moving a module is a partial
+//     reconfiguration of just its frames, orders of magnitude below a
+//     full-device reconfiguration — see Stats and FullDeviceReconfig.
+package reconfig
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// DefaultFrameTime is the simulated configuration-port time per frame
+// (the order of magnitude of an ICAP write of one frame).
+const DefaultFrameTime = 6 * time.Microsecond
+
+// Slot is one location a region's bitstreams can live in: the region's
+// own placement (index 0) or one of its free-compatible areas.
+type Slot struct {
+	Region int
+	Index  int
+	Area   grid.Rect
+}
+
+// Manager operates a floorplanned design at run time.
+type Manager struct {
+	dev       *device.Device
+	problem   *core.Problem
+	cm        *bitstream.ConfigMemory
+	frameTime time.Duration
+
+	slots   [][]Slot // per region: placement + FC areas
+	current []int    // per region: occupied slot index, -1 if unloaded
+	mode    []int64  // per region: loaded mode seed (valid when current >= 0)
+	store   map[storeKey]*bitstream.Bitstream
+
+	stats Stats
+}
+
+type storeKey struct {
+	region int
+	mode   int64
+}
+
+// Stats accumulates the manager's activity.
+type Stats struct {
+	// Configurations counts initial mode loads.
+	Configurations int
+	// ModeSwitches counts reconfigurations of a region in place.
+	ModeSwitches int
+	// Relocations counts moves between compatible slots.
+	Relocations int
+	// FramesWritten is the total configuration frames written.
+	FramesWritten int
+	// BusyTime is the summed configuration-port time.
+	BusyTime time.Duration
+}
+
+// New builds a manager from a validated problem/solution pair.
+func New(p *core.Problem, sol *core.Solution, frameTime time.Duration) (*Manager, error) {
+	if err := sol.Validate(p); err != nil {
+		return nil, fmt.Errorf("reconfig: %w", err)
+	}
+	if frameTime <= 0 {
+		frameTime = DefaultFrameTime
+	}
+	m := &Manager{
+		dev:       p.Device,
+		problem:   p,
+		cm:        bitstream.NewConfigMemory(p.Device),
+		frameTime: frameTime,
+		slots:     make([][]Slot, len(p.Regions)),
+		current:   make([]int, len(p.Regions)),
+		mode:      make([]int64, len(p.Regions)),
+		store:     map[storeKey]*bitstream.Bitstream{},
+	}
+	for ri, r := range sol.Regions {
+		m.slots[ri] = []Slot{{Region: ri, Index: 0, Area: r}}
+		m.current[ri] = -1
+	}
+	for _, fc := range sol.FC {
+		if !fc.Placed {
+			continue
+		}
+		ri := p.FCAreas[fc.Request].Region
+		m.slots[ri] = append(m.slots[ri], Slot{
+			Region: ri,
+			Index:  len(m.slots[ri]),
+			Area:   fc.Rect,
+		})
+	}
+	return m, nil
+}
+
+// Slots returns the slots available to a region (home placement first).
+func (m *Manager) Slots(region int) []Slot {
+	return append([]Slot(nil), m.slots[region]...)
+}
+
+// CurrentSlot returns the slot a region currently occupies, or -1.
+func (m *Manager) CurrentSlot(region int) int { return m.current[region] }
+
+// Stats returns the accumulated activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// taskName labels a region's configuration in the config memory.
+func (m *Manager) taskName(region int) string {
+	return fmt.Sprintf("region-%d:%s", region, m.problem.Regions[region].Name)
+}
+
+// bitstreamFor returns (building and caching on first use) the single
+// stored bitstream of a region mode, generated for the region's home
+// slot. Thanks to relocatability the same stored image serves every slot.
+func (m *Manager) bitstreamFor(region int, mode int64) (*bitstream.Bitstream, error) {
+	key := storeKey{region: region, mode: mode}
+	if bs, ok := m.store[key]; ok {
+		return bs, nil
+	}
+	bs, err := bitstream.Generate(m.dev, m.slots[region][0].Area, mode)
+	if err != nil {
+		return nil, err
+	}
+	m.store[key] = bs
+	return bs, nil
+}
+
+// charge accounts for writing a bitstream through the configuration port.
+func (m *Manager) charge(bs *bitstream.Bitstream) {
+	m.stats.FramesWritten += bs.FrameCount()
+	m.stats.BusyTime += time.Duration(bs.FrameCount()) * m.frameTime
+}
+
+// Configure loads a module mode into one of the region's slots.
+func (m *Manager) Configure(region int, mode int64, slot int) error {
+	if err := m.checkSlot(region, slot); err != nil {
+		return err
+	}
+	if m.current[region] >= 0 {
+		return fmt.Errorf("reconfig: region %d already configured (unload or switch modes)", region)
+	}
+	bs, err := m.bitstreamFor(region, mode)
+	if err != nil {
+		return err
+	}
+	placed, err := bitstream.Relocate(m.dev, bs, m.slots[region][slot].Area)
+	if err != nil {
+		return err
+	}
+	if err := m.cm.Load(placed, m.taskName(region)); err != nil {
+		return err
+	}
+	m.current[region] = slot
+	m.mode[region] = mode
+	m.stats.Configurations++
+	m.charge(placed)
+	return nil
+}
+
+// SwitchMode reconfigures the region in place with a different mode (the
+// SDR scenario: mutually exclusive implementations of one module).
+func (m *Manager) SwitchMode(region int, mode int64) error {
+	slot := m.current[region]
+	if slot < 0 {
+		return fmt.Errorf("reconfig: region %d is not configured", region)
+	}
+	bs, err := m.bitstreamFor(region, mode)
+	if err != nil {
+		return err
+	}
+	placed, err := bitstream.Relocate(m.dev, bs, m.slots[region][slot].Area)
+	if err != nil {
+		return err
+	}
+	m.cm.Unload(m.taskName(region))
+	if err := m.cm.Load(placed, m.taskName(region)); err != nil {
+		return err
+	}
+	m.mode[region] = mode
+	m.stats.ModeSwitches++
+	m.charge(placed)
+	return nil
+}
+
+// Relocate moves the region's running mode to another of its slots: the
+// stored bitstream is retargeted by the filter and written to the new
+// area, then the old area is released. This is the operation the
+// floorplanner's free-compatible areas exist for.
+func (m *Manager) Relocate(region, slot int) error {
+	if err := m.checkSlot(region, slot); err != nil {
+		return err
+	}
+	cur := m.current[region]
+	if cur < 0 {
+		return fmt.Errorf("reconfig: region %d is not configured", region)
+	}
+	if cur == slot {
+		return nil
+	}
+	bs, err := m.bitstreamFor(region, m.mode[region])
+	if err != nil {
+		return err
+	}
+	moved, err := bitstream.Relocate(m.dev, bs, m.slots[region][slot].Area)
+	if err != nil {
+		return err
+	}
+	// Configure the target first (it is reserved, so it must be free),
+	// then release the source — make-before-break.
+	tmpTask := m.taskName(region) + ":moving"
+	if err := m.cm.Load(moved, tmpTask); err != nil {
+		return err
+	}
+	m.cm.Unload(m.taskName(region))
+	m.cm.Unload(tmpTask)
+	if err := m.cm.Load(moved, m.taskName(region)); err != nil {
+		return err
+	}
+	m.current[region] = slot
+	m.stats.Relocations++
+	m.charge(moved)
+	return nil
+}
+
+// Unload releases a region's configuration.
+func (m *Manager) Unload(region int) {
+	if m.current[region] < 0 {
+		return
+	}
+	m.cm.Unload(m.taskName(region))
+	m.current[region] = -1
+}
+
+func (m *Manager) checkSlot(region, slot int) error {
+	if region < 0 || region >= len(m.slots) {
+		return fmt.Errorf("reconfig: unknown region %d", region)
+	}
+	if slot < 0 || slot >= len(m.slots[region]) {
+		return fmt.Errorf("reconfig: region %d has no slot %d (has %d)", region, slot, len(m.slots[region]))
+	}
+	return nil
+}
+
+// FullDeviceReconfig returns the simulated time of reconfiguring the
+// whole device — the baseline partial reconfiguration beats (the paper's
+// "as FPGA gets larger, it takes longer to reconfigure the entire chip").
+func (m *Manager) FullDeviceReconfig() time.Duration {
+	return time.Duration(m.dev.TotalFrames()) * m.frameTime
+}
+
+// RegionReconfig returns the simulated time of reconfiguring one region.
+func (m *Manager) RegionReconfig(region int) time.Duration {
+	frames := m.dev.FramesInRect(m.slots[region][0].Area)
+	return time.Duration(frames) * m.frameTime
+}
+
+// StorageEntry describes the bitstream storage needed for one region.
+type StorageEntry struct {
+	Region string
+	Modes  int
+	Slots  int
+	// WithRelocation is the stored bytes using one relocatable image
+	// per mode.
+	WithRelocation int
+	// WithoutRelocation is the stored bytes when every (mode, slot)
+	// pair needs its own image (no relocation filter available).
+	WithoutRelocation int
+}
+
+// StorageReport quantifies the design re-use benefit: stored bitstream
+// bytes per region for a given number of modes, with and without
+// relocation.
+func (m *Manager) StorageReport(modesPerRegion int) ([]StorageEntry, error) {
+	var out []StorageEntry
+	for ri, slots := range m.slots {
+		bs, err := m.bitstreamFor(ri, 0)
+		if err != nil {
+			return nil, err
+		}
+		data, err := bs.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StorageEntry{
+			Region:            m.problem.Regions[ri].Name,
+			Modes:             modesPerRegion,
+			Slots:             len(slots),
+			WithRelocation:    modesPerRegion * len(data),
+			WithoutRelocation: modesPerRegion * len(slots) * len(data),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package reconfig
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/sdr"
+)
+
+func sdr2Manager(t *testing.T) (*Manager, *core.Problem) {
+	t.Helper()
+	p := sdr.SDR2()
+	sol, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, sol, DefaultFrameTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func TestSlotsFromFloorplan(t *testing.T) {
+	m, p := sdr2Manager(t)
+	for ri, r := range p.Regions {
+		want := 1
+		switch r.Name {
+		case sdr.CarrierRecovery, sdr.Demodulator, sdr.SignalDecoder:
+			want = 3 // home + 2 free-compatible areas
+		}
+		if got := len(m.Slots(ri)); got != want {
+			t.Fatalf("%s: %d slots, want %d", r.Name, got, want)
+		}
+	}
+}
+
+func TestConfigureAndModeSwitch(t *testing.T) {
+	m, p := sdr2Manager(t)
+	ri := p.RegionIndex(sdr.CarrierRecovery)
+	if err := m.Configure(ri, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.CurrentSlot(ri) != 0 {
+		t.Fatalf("slot = %d", m.CurrentSlot(ri))
+	}
+	if err := m.Configure(ri, 101, 0); err == nil {
+		t.Fatal("double configure accepted")
+	}
+	if err := m.SwitchMode(ri, 101); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Configurations != 1 || st.ModeSwitches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Each operation writes the region's 280 frames.
+	if st.FramesWritten != 2*280 {
+		t.Fatalf("frames = %d, want 560", st.FramesWritten)
+	}
+	if st.BusyTime != time.Duration(560)*DefaultFrameTime {
+		t.Fatalf("busy = %s", st.BusyTime)
+	}
+}
+
+func TestRelocateBetweenSlots(t *testing.T) {
+	m, p := sdr2Manager(t)
+	ri := p.RegionIndex(sdr.SignalDecoder)
+	if err := m.Configure(ri, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 1; slot < len(m.Slots(ri)); slot++ {
+		if err := m.Relocate(ri, slot); err != nil {
+			t.Fatalf("relocating to slot %d: %v", slot, err)
+		}
+		if m.CurrentSlot(ri) != slot {
+			t.Fatalf("current slot = %d, want %d", m.CurrentSlot(ri), slot)
+		}
+	}
+	// Back home.
+	if err := m.Relocate(ri, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Relocations; got != 3 {
+		t.Fatalf("relocations = %d", got)
+	}
+	// Relocating to the current slot is a no-op.
+	if err := m.Relocate(ri, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Relocations; got != 3 {
+		t.Fatalf("no-op relocation counted: %d", got)
+	}
+}
+
+func TestRelocateRequiresConfigured(t *testing.T) {
+	m, p := sdr2Manager(t)
+	ri := p.RegionIndex(sdr.Demodulator)
+	if err := m.Relocate(ri, 1); err == nil {
+		t.Fatal("relocating an unconfigured region accepted")
+	}
+	if err := m.Relocate(ri, 99); err == nil {
+		t.Fatal("unknown slot accepted")
+	}
+	if err := m.Relocate(99, 0); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestAllRegionsRunningThenRelocate(t *testing.T) {
+	m, p := sdr2Manager(t)
+	// Configure every region at its home slot.
+	for ri := range p.Regions {
+		if err := m.Configure(ri, int64(ri), 0); err != nil {
+			t.Fatalf("configure %s: %v", p.Regions[ri].Name, err)
+		}
+	}
+	// With the whole design running, the relocatable regions can still
+	// move into their reserved areas — that is what Definition .2's
+	// free-compatibility guarantees.
+	for _, ri := range sdr.RelocatableRegions(p) {
+		if err := m.Relocate(ri, 1); err != nil {
+			t.Fatalf("relocate %s: %v", p.Regions[ri].Name, err)
+		}
+	}
+}
+
+func TestUnloadFreesSlot(t *testing.T) {
+	m, p := sdr2Manager(t)
+	ri := p.RegionIndex(sdr.CarrierRecovery)
+	if err := m.Configure(ri, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Unload(ri)
+	if m.CurrentSlot(ri) != -1 {
+		t.Fatal("unload did not clear the slot")
+	}
+	if err := m.Configure(ri, 2, 1); err != nil {
+		t.Fatalf("configuring after unload: %v", err)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	m, p := sdr2Manager(t)
+	full := m.FullDeviceReconfig()
+	ri := p.RegionIndex(sdr.CarrierRecovery)
+	partial := m.RegionReconfig(ri)
+	if partial >= full {
+		t.Fatalf("partial %s not below full %s", partial, full)
+	}
+	// Carrier Recovery is 280 of the device's frames.
+	if partial != 280*DefaultFrameTime {
+		t.Fatalf("partial = %s", partial)
+	}
+}
+
+func TestStorageReport(t *testing.T) {
+	m, p := sdr2Manager(t)
+	rows, err := m.StorageReport(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(p.Regions) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Slots > 1 && r.WithoutRelocation != r.Slots*r.WithRelocation {
+			t.Fatalf("%s: storage math wrong: %+v", r.Region, r)
+		}
+		if r.Slots == 1 && r.WithoutRelocation != r.WithRelocation {
+			t.Fatalf("%s: single-slot region should need identical storage", r.Region)
+		}
+	}
+}
+
+func TestNewRejectsInvalidSolution(t *testing.T) {
+	p := sdr.SDR2()
+	sol := &core.Solution{} // empty: invalid
+	if _, err := New(p, sol, 0); err == nil {
+		t.Fatal("invalid solution accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package sdr builds the software-defined-radio case study of Section VI:
+// five reconfigurable regions on a Virtex-5 FX70T, chained by a 64-bit
+// bus, with the resource requirements of Table I — plus the derived SDR2
+// and SDR3 instances that request free-compatible areas for the
+// relocatable regions, and a synthetic design generator for scaling
+// studies.
+package sdr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Region names of the SDR design, in bus order.
+const (
+	MatchedFilter   = "Matched Filter"
+	CarrierRecovery = "Carrier Recovery"
+	Demodulator     = "Demodulator"
+	SignalDecoder   = "Signal Decoder"
+	VideoDecoder    = "Video Decoder"
+)
+
+// BusWidth is the width of the bus chaining the SDR modules.
+const BusWidth = 64
+
+// TableI returns the resource requirements of the five SDR regions
+// exactly as published (CLB/BRAM/DSP tiles per region).
+func TableI() []core.Region {
+	return []core.Region{
+		{Name: MatchedFilter, Req: device.Requirements{device.ClassCLB: 25, device.ClassDSP: 5}},
+		{Name: CarrierRecovery, Req: device.Requirements{device.ClassCLB: 7, device.ClassDSP: 1}},
+		{Name: Demodulator, Req: device.Requirements{device.ClassCLB: 5, device.ClassBRAM: 2}},
+		{Name: SignalDecoder, Req: device.Requirements{device.ClassCLB: 12, device.ClassBRAM: 1}},
+		{Name: VideoDecoder, Req: device.Requirements{device.ClassCLB: 55, device.ClassBRAM: 2, device.ClassDSP: 5}},
+	}
+}
+
+// Problem returns the plain SDR floorplanning instance (no relocation
+// requirements): Table I regions on the FX70T, bus nets in module order,
+// and the paper's evaluation objective.
+func Problem() *core.Problem {
+	regions := TableI()
+	nets := make([]core.Net, 0, len(regions)-1)
+	for i := 0; i+1 < len(regions); i++ {
+		nets = append(nets, core.Net{A: i, B: i + 1, Weight: BusWidth})
+	}
+	return &core.Problem{
+		Device:    device.VirtexFX70T(),
+		Regions:   regions,
+		Nets:      nets,
+		Objective: core.DefaultObjective(),
+	}
+}
+
+// RelocatableRegions returns the indices of the regions for which the
+// paper's feasibility analysis finds free-compatible areas: Carrier
+// Recovery, Demodulator and Signal Decoder.
+func RelocatableRegions(p *core.Problem) []int {
+	return []int{
+		p.RegionIndex(CarrierRecovery),
+		p.RegionIndex(Demodulator),
+		p.RegionIndex(SignalDecoder),
+	}
+}
+
+// SDR2 returns the instance requesting 2 constraint-mode free-compatible
+// areas for each relocatable region.
+func SDR2() *core.Problem {
+	p := Problem()
+	return p.WithFCConstraints(RelocatableRegions(p), 2)
+}
+
+// SDR3 returns the instance requesting 3 constraint-mode free-compatible
+// areas for each relocatable region.
+func SDR3() *core.Problem {
+	p := Problem()
+	return p.WithFCConstraints(RelocatableRegions(p), 3)
+}
+
+// WithMetricFC returns the SDR instance requesting count metric-mode
+// free-compatible areas (weight per area) for every relocatable region —
+// the Section V "relocation as a metrics" variant.
+func WithMetricFC(count int, weight float64) *core.Problem {
+	p := Problem()
+	for _, ri := range RelocatableRegions(p) {
+		for k := 0; k < count; k++ {
+			p.FCAreas = append(p.FCAreas, core.FCRequest{
+				Region: ri, Mode: core.RelocMetric, Weight: weight,
+			})
+		}
+	}
+	return p
+}
+
+// GeneratorConfig parameterizes Synthetic.
+type GeneratorConfig struct {
+	// Regions is the number of reconfigurable regions.
+	Regions int
+	// Device is the target; nil selects the FX70T.
+	Device *device.Device
+	// MaxCLB, MaxBRAM, MaxDSP bound each region's requirements.
+	MaxCLB, MaxBRAM, MaxDSP int
+	// ChainNets adds a bus net between consecutive regions.
+	ChainNets bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Synthetic generates a random design in the style of the SDR case study:
+// heterogeneous per-region requirements on a columnar device. Requirements
+// are clamped so a single region always fits the device.
+func Synthetic(cfg GeneratorConfig) (*core.Problem, error) {
+	if cfg.Regions <= 0 {
+		return nil, fmt.Errorf("sdr: need at least one region, got %d", cfg.Regions)
+	}
+	d := cfg.Device
+	if d == nil {
+		d = device.VirtexFX70T()
+	}
+	if cfg.MaxCLB <= 0 {
+		cfg.MaxCLB = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := d.CountClasses(d.Bounds())
+	p := &core.Problem{Device: d, Objective: core.DefaultObjective()}
+	for i := 0; i < cfg.Regions; i++ {
+		req := device.Requirements{}
+		req[device.ClassCLB] = 1 + rng.Intn(cfg.MaxCLB)
+		if cfg.MaxBRAM > 0 && rng.Intn(2) == 0 {
+			req[device.ClassBRAM] = 1 + rng.Intn(cfg.MaxBRAM)
+		}
+		if cfg.MaxDSP > 0 && rng.Intn(2) == 0 {
+			req[device.ClassDSP] = 1 + rng.Intn(cfg.MaxDSP)
+		}
+		for class, n := range req {
+			if limit := total[class] / 2; n > limit && limit > 0 {
+				req[class] = limit
+			}
+		}
+		p.Regions = append(p.Regions, core.Region{
+			Name: fmt.Sprintf("R%d", i),
+			Req:  req,
+		})
+		if cfg.ChainNets && i > 0 {
+			p.Nets = append(p.Nets, core.Net{A: i - 1, B: i, Weight: 32})
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,112 @@
+package sdr
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	regions := TableI()
+	if len(regions) != 5 {
+		t.Fatalf("regions = %d, want 5", len(regions))
+	}
+	totals := device.Requirements{}
+	for _, r := range regions {
+		for cl, n := range r.Req {
+			totals[cl] += n
+		}
+	}
+	if totals[device.ClassCLB] != 104 || totals[device.ClassBRAM] != 5 || totals[device.ClassDSP] != 11 {
+		t.Fatalf("totals = %v, want 104/5/11 (Table I)", totals)
+	}
+}
+
+func TestProblemShape(t *testing.T) {
+	p := Problem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nets) != 4 {
+		t.Fatalf("nets = %d, want 4 (sequential bus)", len(p.Nets))
+	}
+	for i, n := range p.Nets {
+		if n.A != i || n.B != i+1 || n.Weight != BusWidth {
+			t.Fatalf("net %d = %+v", i, n)
+		}
+	}
+	frames, err := p.RequiredFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 4202 {
+		t.Fatalf("total frames = %d, want 4202", frames)
+	}
+}
+
+func TestSDR2SDR3Shapes(t *testing.T) {
+	p2 := SDR2()
+	if len(p2.FCAreas) != 6 {
+		t.Fatalf("SDR2 FC areas = %d, want 6", len(p2.FCAreas))
+	}
+	p3 := SDR3()
+	if len(p3.FCAreas) != 9 {
+		t.Fatalf("SDR3 FC areas = %d, want 9", len(p3.FCAreas))
+	}
+	for _, fc := range p3.FCAreas {
+		if fc.Mode != core.RelocConstraint {
+			t.Fatal("SDR3 areas must be constraint mode")
+		}
+	}
+	reloc := RelocatableRegions(p3)
+	if len(reloc) != 3 {
+		t.Fatalf("relocatable regions = %v", reloc)
+	}
+	for _, ri := range reloc {
+		name := p3.Regions[ri].Name
+		if name == MatchedFilter || name == VideoDecoder {
+			t.Fatalf("region %s must not be relocatable", name)
+		}
+	}
+}
+
+func TestWithMetricFC(t *testing.T) {
+	p := WithMetricFC(2, 1.5)
+	if len(p.FCAreas) != 6 {
+		t.Fatalf("FC areas = %d, want 6", len(p.FCAreas))
+	}
+	for _, fc := range p.FCAreas {
+		if fc.Mode != core.RelocMetric || fc.Weight != 1.5 {
+			t.Fatalf("request = %+v", fc)
+		}
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	p, err := Synthetic(GeneratorConfig{Regions: 4, MaxCLB: 10, MaxBRAM: 2, MaxDSP: 1, ChainNets: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nets) != 3 {
+		t.Fatalf("nets = %d, want 3", len(p.Nets))
+	}
+	// Determinism.
+	q, err := Synthetic(GeneratorConfig{Regions: 4, MaxCLB: 10, MaxBRAM: 2, MaxDSP: 1, ChainNets: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Regions {
+		for cl, n := range p.Regions[i].Req {
+			if q.Regions[i].Req[cl] != n {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+	if _, err := Synthetic(GeneratorConfig{Regions: 0}); err == nil {
+		t.Fatal("zero regions accepted")
+	}
+}

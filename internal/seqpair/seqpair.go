@@ -1,0 +1,246 @@
+// Package seqpair implements the sequence-pair representation of a
+// floorplan (Murata et al.), used by the paper's HO (Heuristic-Optimal)
+// algorithm: the sequence pair of a heuristic solution is extracted and
+// added as a constraint to the MILP so that only placements consistent
+// with the pair's relative-position relations are explored.
+//
+// Convention: for modules i and j,
+//
+//	i before j in both S1 and S2  =>  i is left of j,
+//	i before j in S1, after in S2 =>  i is above j.
+package seqpair
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Rel is the relative position of module i with respect to module j
+// encoded by a sequence pair.
+type Rel int
+
+// Relations derivable from a sequence pair.
+const (
+	Left Rel = iota
+	Right
+	Above
+	Below
+)
+
+func (r Rel) String() string {
+	switch r {
+	case Left:
+		return "left-of"
+	case Right:
+		return "right-of"
+	case Above:
+		return "above"
+	case Below:
+		return "below"
+	}
+	return "?"
+}
+
+// Pair is a sequence pair over n modules: two permutations of 0..n-1.
+type Pair struct {
+	S1, S2 []int
+}
+
+// Validate checks that both sequences are permutations of 0..n-1.
+func (p Pair) Validate(n int) error {
+	for name, s := range map[string][]int{"S1": p.S1, "S2": p.S2} {
+		if len(s) != n {
+			return fmt.Errorf("seqpair: %s has length %d, want %d", name, len(s), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return fmt.Errorf("seqpair: %s is not a permutation of 0..%d", name, n-1)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// positions returns pos[i] = index of module i in s.
+func positions(s []int) []int {
+	pos := make([]int, len(s))
+	for idx, v := range s {
+		pos[v] = idx
+	}
+	return pos
+}
+
+// Relation returns the relative position of module i with respect to j.
+func (p Pair) Relation(i, j int) Rel {
+	p1 := positions(p.S1)
+	p2 := positions(p.S2)
+	return relation(p1, p2, i, j)
+}
+
+func relation(p1, p2 []int, i, j int) Rel {
+	before1 := p1[i] < p1[j]
+	before2 := p2[i] < p2[j]
+	switch {
+	case before1 && before2:
+		return Left
+	case !before1 && !before2:
+		return Right
+	case before1 && !before2:
+		return Above
+	default:
+		return Below
+	}
+}
+
+// FromPlacement extracts a sequence pair consistent with a set of
+// pairwise-disjoint rectangles, using the transitive-constraint-graph
+// rule: a pure horizontal relation (x-disjoint with overlapping y
+// projections) constrains both sequences, a pure vertical relation
+// (y-disjoint with overlapping x projections) constrains S1 one way and
+// S2 the other, and a doubly-disjoint ("diagonal") pair constrains only
+// the sequence where its two readings agree — the other sequence is free,
+// and whichever order the topological sort picks yields a relation the
+// placement satisfies. This avoids the cycles that a naive
+// "horizontal takes precedence" extraction can create (e.g. pinwheels
+// with diagonal pairs).
+func FromPlacement(rects []grid.Rect) (Pair, error) {
+	n := len(rects)
+	// e1[i][j]: i must precede j in S1; e2 likewise for S2.
+	e1 := make([][]bool, n)
+	e2 := make([][]bool, n)
+	for i := range e1 {
+		e1[i] = make([]bool, n)
+		e2[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := rects[i], rects[j]
+			xDisjointIJ := a.X2() <= b.X // i left of j
+			xDisjointJI := b.X2() <= a.X
+			yDisjointIJ := a.Y2() <= b.Y // i above j
+			yDisjointJI := b.Y2() <= a.Y
+			switch {
+			case xDisjointIJ && yDisjointIJ:
+				// i up-left of j: both readings put i before j in S1.
+				e1[i][j] = true
+			case xDisjointIJ && yDisjointJI:
+				// i down-left of j: both readings put i before j in S2.
+				e2[i][j] = true
+			case xDisjointJI && yDisjointIJ:
+				e2[j][i] = true
+			case xDisjointJI && yDisjointJI:
+				e1[j][i] = true
+			case xDisjointIJ:
+				// Pure left: i before j in both sequences.
+				e1[i][j], e2[i][j] = true, true
+			case xDisjointJI:
+				e1[j][i], e2[j][i] = true, true
+			case yDisjointIJ:
+				// Pure above: i before j in S1, after in S2.
+				e1[i][j], e2[j][i] = true, true
+			case yDisjointJI:
+				e1[j][i], e2[i][j] = true, true
+			default:
+				return Pair{}, fmt.Errorf("seqpair: rectangles %d %v and %d %v overlap", i, a, j, b)
+			}
+		}
+	}
+	s1, err := topo(n, func(i, j int) bool { return e1[i][j] })
+	if err != nil {
+		return Pair{}, fmt.Errorf("seqpair: S1 %w", err)
+	}
+	s2, err := topo(n, func(i, j int) bool { return e2[i][j] })
+	if err != nil {
+		return Pair{}, fmt.Errorf("seqpair: S2 %w", err)
+	}
+	p := Pair{S1: s1, S2: s2}
+	if !p.ConsistentWith(rects) {
+		return Pair{}, fmt.Errorf("seqpair: extraction produced an inconsistent pair (placement bug)")
+	}
+	return p, nil
+}
+
+// topo returns a deterministic topological order of 0..n-1 under the edge
+// predicate (edge(i, j) means i must precede j).
+func topo(n int, edge func(i, j int) bool) ([]int, error) {
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && edge(i, j) {
+				indeg[j]++
+			}
+		}
+	}
+	var order []int
+	used := make([]bool, n)
+	for len(order) < n {
+		pick := -1
+		for v := 0; v < n; v++ {
+			if !used[v] && indeg[v] == 0 {
+				pick = v
+				break
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("relations are cyclic")
+		}
+		used[pick] = true
+		order = append(order, pick)
+		for j := 0; j < n; j++ {
+			if j != pick && !used[j] && edge(pick, j) {
+				indeg[j]--
+			}
+		}
+	}
+	return order, nil
+}
+
+// ConsistentWith reports whether the rectangles respect every relation of
+// the pair: Left(i,j) requires rects[i] entirely left of rects[j], Above
+// requires it entirely above.
+func (p Pair) ConsistentWith(rects []grid.Rect) bool {
+	n := len(rects)
+	if p.Validate(n) != nil {
+		return false
+	}
+	p1 := positions(p.S1)
+	p2 := positions(p.S2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch relation(p1, p2, i, j) {
+			case Left:
+				if rects[i].X2() > rects[j].X {
+					return false
+				}
+			case Right:
+				if rects[j].X2() > rects[i].X {
+					return false
+				}
+			case Above:
+				if rects[i].Y2() > rects[j].Y {
+					return false
+				}
+			case Below:
+				if rects[j].Y2() > rects[i].Y {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Relations enumerates the relation of every ordered pair (i, j), i < j,
+// calling fn with the relation of i relative to j.
+func (p Pair) Relations(n int, fn func(i, j int, rel Rel)) {
+	p1 := positions(p.S1)
+	p2 := positions(p.S2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			fn(i, j, relation(p1, p2, i, j))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package seqpair
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestValidate(t *testing.T) {
+	good := Pair{S1: []int{2, 0, 1}, S2: []int{0, 1, 2}}
+	if err := good.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	bad := Pair{S1: []int{0, 0, 1}, S2: []int{0, 1, 2}}
+	if err := bad.Validate(3); err == nil {
+		t.Fatal("duplicate entry accepted")
+	}
+	short := Pair{S1: []int{0}, S2: []int{0}}
+	if err := short.Validate(2); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestRelationConvention(t *testing.T) {
+	// S1 = (a b), S2 = (a b): a left of b.
+	p := Pair{S1: []int{0, 1}, S2: []int{0, 1}}
+	if p.Relation(0, 1) != Left {
+		t.Fatalf("relation = %v, want left", p.Relation(0, 1))
+	}
+	if p.Relation(1, 0) != Right {
+		t.Fatalf("inverse relation = %v, want right", p.Relation(1, 0))
+	}
+	// S1 = (a b), S2 = (b a): a above b.
+	p = Pair{S1: []int{0, 1}, S2: []int{1, 0}}
+	if p.Relation(0, 1) != Above {
+		t.Fatalf("relation = %v, want above", p.Relation(0, 1))
+	}
+	if p.Relation(1, 0) != Below {
+		t.Fatalf("inverse relation = %v, want below", p.Relation(1, 0))
+	}
+}
+
+func TestFromPlacementSimple(t *testing.T) {
+	rects := []grid.Rect{
+		{X: 0, Y: 0, W: 2, H: 2}, // 0: top-left
+		{X: 3, Y: 0, W: 2, H: 2}, // 1: right of 0
+		{X: 0, Y: 3, W: 2, H: 2}, // 2: below 0
+	}
+	p, err := FromPlacement(rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ConsistentWith(rects) {
+		t.Fatalf("extracted pair %+v not consistent with source placement", p)
+	}
+	if p.Relation(0, 1) != Left {
+		t.Fatalf("0 vs 1 = %v", p.Relation(0, 1))
+	}
+	// 0 and 2 are disjoint on both axes? No: x-ranges overlap, so above.
+	if p.Relation(0, 2) != Above {
+		t.Fatalf("0 vs 2 = %v", p.Relation(0, 2))
+	}
+}
+
+func TestFromPlacementPinwheel(t *testing.T) {
+	// The classic pinwheel packing that defeats naive relation orders.
+	rects := []grid.Rect{
+		{X: 0, Y: 0, W: 2, H: 1},
+		{X: 2, Y: 0, W: 1, H: 2},
+		{X: 1, Y: 2, W: 2, H: 1},
+		{X: 0, Y: 1, W: 1, H: 2},
+	}
+	p, err := FromPlacement(rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ConsistentWith(rects) {
+		t.Fatalf("pair %+v inconsistent with pinwheel", p)
+	}
+}
+
+func TestFromPlacementOverlapRejected(t *testing.T) {
+	rects := []grid.Rect{
+		{X: 0, Y: 0, W: 3, H: 3},
+		{X: 1, Y: 1, W: 3, H: 3},
+	}
+	if _, err := FromPlacement(rects); err == nil {
+		t.Fatal("overlapping rects accepted")
+	}
+}
+
+// randomPacking builds a random set of disjoint rectangles by rejection
+// sampling on a grid.
+func randomPacking(rng *rand.Rand, n, w, h int) []grid.Rect {
+	var out []grid.Rect
+	for tries := 0; len(out) < n && tries < 500; tries++ {
+		r := grid.Rect{
+			X: rng.Intn(w), Y: rng.Intn(h),
+			W: 1 + rng.Intn(5), H: 1 + rng.Intn(4),
+		}
+		if r.X2() > w || r.Y2() > h {
+			continue
+		}
+		if grid.AnyOverlap(r, out) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestQuickExtractionConsistent: extraction from any random packing yields
+// a valid pair whose relations the packing satisfies.
+func TestQuickExtractionConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rects := randomPacking(rng, 2+rng.Intn(8), 30, 12)
+		if len(rects) < 2 {
+			return true
+		}
+		p, err := FromPlacement(rects)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if p.Validate(len(rects)) != nil {
+			return false
+		}
+		return p.ConsistentWith(rects)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConsistencyImpliesDisjoint: any placement consistent with a
+// pair is overlap-free (the property HO relies on to drop the
+// non-overlap binaries).
+func TestQuickConsistencyImpliesDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rects := randomPacking(rng, 2+rng.Intn(6), 25, 10)
+		if len(rects) < 2 {
+			return true
+		}
+		p, err := FromPlacement(rects)
+		if err != nil {
+			return false
+		}
+		// Perturb into arbitrary rects; if still consistent, must be disjoint.
+		pert := make([]grid.Rect, len(rects))
+		for i, r := range rects {
+			pert[i] = grid.Rect{
+				X: r.X + rng.Intn(3) - 1, Y: r.Y + rng.Intn(3) - 1,
+				W: r.W, H: r.H,
+			}
+		}
+		if p.ConsistentWith(pert) && !grid.Disjoint(pert) {
+			t.Logf("seed %d: consistent but overlapping", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationsEnumeration(t *testing.T) {
+	p := Pair{S1: []int{0, 1, 2}, S2: []int{2, 0, 1}}
+	count := 0
+	p.Relations(3, func(i, j int, rel Rel) {
+		count++
+		if rel != p.Relation(i, j) {
+			t.Fatalf("Relations(%d,%d) = %v, Relation = %v", i, j, rel, p.Relation(i, j))
+		}
+	})
+	if count != 3 {
+		t.Fatalf("enumerated %d pairs, want 3", count)
+	}
+}
+
+func TestRelString(t *testing.T) {
+	for _, r := range []Rel{Left, Right, Above, Below} {
+		if r.String() == "?" {
+			t.Fatalf("missing String for %d", r)
+		}
+	}
+}
