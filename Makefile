@@ -1,0 +1,42 @@
+# Tier-1 verification and build targets.
+#
+#   make check   format + vet + build + race tests (the CI gate)
+#   make build   compile every package and the CLI/daemon binaries into bin/
+#   make serve   run the floorplanning service daemon locally
+#   make test    plain test run (no race detector; faster)
+
+GO      ?= go
+BIN     := bin
+
+.PHONY: check fmt vet build test race serve clean
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/floorplanner ./cmd/floorplanner
+	$(GO) build -o $(BIN)/floorpland   ./cmd/floorpland
+	$(GO) build -o $(BIN)/relocate     ./cmd/relocate
+	$(GO) build -o $(BIN)/experiments  ./cmd/experiments
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+serve: build
+	$(BIN)/floorpland -addr :8080
+
+clean:
+	rm -rf $(BIN)

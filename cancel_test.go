@@ -1,0 +1,83 @@
+package floorplanner_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	floorplanner "repro"
+)
+
+// cancelProblem is large enough that both the exact search and the
+// annealer run for many seconds if left alone: the tests cancel them
+// mid-solve and assert a prompt return. The serving layer's deadline
+// handling (internal/server) depends on this promptness.
+func cancelProblem(t *testing.T) *floorplanner.Problem {
+	t.Helper()
+	dev := floorplanner.VirtexFX70T()
+	n := 20
+	regions := make([]floorplanner.Region, n)
+	for i := range regions {
+		regions[i] = floorplanner.Region{
+			Name: fmt.Sprintf("r%02d", i),
+			Req: floorplanner.Requirements{
+				floorplanner.ClassCLB: 8 + i%5,
+			},
+		}
+		if i%3 == 0 {
+			regions[i].Req[floorplanner.ClassBRAM] = 1
+		}
+	}
+	nets := make([]floorplanner.Net, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		nets = append(nets, floorplanner.Net{A: i, B: i + 1, Weight: 16})
+	}
+	return &floorplanner.Problem{
+		Device:    dev,
+		Regions:   regions,
+		Nets:      nets,
+		Objective: floorplanner.DefaultObjective(),
+	}
+}
+
+func testCancelReturnsPromptly(t *testing.T, engine string) {
+	p := cancelProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(100*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+
+	start := time.Now()
+	sol, err := floorplanner.Solve(ctx, p, floorplanner.Options{
+		Engine: engine,
+		// No TimeLimit: only the canceled context can stop the solve.
+		Seed: 1,
+	})
+	elapsed := time.Since(start)
+
+	// Generous bound for loaded CI machines; unbounded solves of this
+	// instance run for minutes.
+	if elapsed > 5*time.Second {
+		t.Fatalf("%s: Solve returned %s after cancellation, want prompt return", engine, elapsed)
+	}
+	// A solution found before the cancel is legal (unproven incumbent);
+	// otherwise the engine must report a budget error, not hang or panic.
+	if err == nil {
+		if sol == nil {
+			t.Fatalf("%s: nil solution with nil error", engine)
+		}
+		if err := sol.Validate(p); err != nil {
+			t.Fatalf("%s: post-cancel incumbent invalid: %v", engine, err)
+		}
+	}
+	t.Logf("%s: returned in %s (err=%v)", engine, elapsed, err)
+}
+
+func TestSolveCanceledContextExact(t *testing.T) {
+	testCancelReturnsPromptly(t, "exact")
+}
+
+func TestSolveCanceledContextAnnealing(t *testing.T) {
+	testCancelReturnsPromptly(t, "annealing")
+}

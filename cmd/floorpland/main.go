@@ -1,0 +1,110 @@
+// Command floorpland runs the floorplanning service daemon: an HTTP/JSON
+// API over the floorplanner engines with a solution cache, a bounded
+// worker pool and Prometheus-style metrics.
+//
+// Usage:
+//
+//	floorpland -addr :8080 -workers 4 -queue 128 -cache 512
+//
+// Endpoints:
+//
+//	POST /v1/solve    solve a problem (floorplanner.Problem JSON + options)
+//	GET  /v1/engines  list available engines
+//	GET  /healthz     liveness probe
+//	GET  /metrics     counters and latency histograms
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// requests, drains in-flight solves and cancels queued ones.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "floorpland:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent solves")
+		queue        = flag.Int("queue", 64, "queued solves before 429 backpressure")
+		cacheSize    = flag.Int("cache", 256, "cached solutions (LRU)")
+		engine       = flag.String("default-engine", "exact", "engine used when a request names none")
+		defaultLimit = flag.Duration("default-time", 30*time.Second, "time limit when a request names none")
+		maxLimit     = flag.Duration("max-time", 2*time.Minute, "per-request time limit cap")
+		drainTimeout = flag.Duration("drain", 2*time.Minute, "shutdown drain budget for in-flight solves")
+		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	if _, err := floorplanner.NewEngine(*engine); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Workers:          *workers,
+		QueueSize:        *queue,
+		CacheSize:        *cacheSize,
+		DefaultEngine:    *engine,
+		DefaultTimeLimit: *defaultLimit,
+		MaxTimeLimit:     *maxLimit,
+		Logger:           log,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cacheSize)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Info("shutting down", "signal", sig.String())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Warn("http shutdown", "err", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		return fmt.Errorf("draining worker pool: %w", err)
+	}
+	log.Info("drained, bye")
+	return nil
+}

@@ -66,6 +66,8 @@ type (
 	Objective = core.Objective
 	// Solution is a computed floorplan.
 	Solution = core.Solution
+	// FCPlacement records the outcome of one FCRequest in a Solution.
+	FCPlacement = core.FCPlacement
 	// Metrics are a solution's raw cost terms.
 	Metrics = core.Metrics
 	// Engine is a floorplanning algorithm.

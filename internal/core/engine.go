@@ -26,6 +26,18 @@ type SolveOptions struct {
 	Workers int
 }
 
+// Normalized returns a copy of the options with engine-independent
+// defaults applied: Workers <= 0 becomes 1 (sequential). Every engine is
+// expected to normalize its options on entry so that callers — notably
+// the serving layer — can pass user-supplied knobs through uniformly
+// without re-implementing the defaulting rules.
+func (o SolveOptions) Normalized() SolveOptions {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
 // Engine is a floorplanning algorithm: given a problem it produces a
 // validated solution or reports infeasibility.
 type Engine interface {

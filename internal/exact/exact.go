@@ -131,6 +131,7 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	opts = opts.Normalized()
 	start := time.Now()
 
 	st := &searchState{
@@ -199,7 +200,7 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 		st.minTail[k] = st.minTail[k+1] + st.cands[st.order[k]][0].Waste
 	}
 
-	workers := opts.Workers
+	workers := opts.Workers // >= 1 after normalization
 	var (
 		bestSol *core.Solution
 		nodes   int64

@@ -47,6 +47,7 @@ func annealEnergy(overlapTiles, waste int, wl float64) float64 {
 // times) until the greedy packer can satisfy them — annealing itself only
 // shapes the region placement.
 func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	opts = opts.Normalized()
 	restarts := a.Restarts
 	if restarts <= 0 {
 		restarts = 8

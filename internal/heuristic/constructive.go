@@ -40,6 +40,7 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	opts = opts.Normalized()
 	start := time.Now()
 	maxBT := c.MaxBacktrack
 	if maxBT <= 0 {

@@ -37,6 +37,7 @@ func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.So
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	opts = opts.Normalized()
 	start := time.Now()
 	d := p.Device
 

@@ -119,6 +119,7 @@ func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 
 // solveLexicographic runs the two-pass lexicographic MILP solve.
 func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions, name string, seed *core.Solution, maxNodes int, skipWire bool) (*core.Solution, error) {
+	opts = opts.Normalized()
 	start := time.Now()
 	budget := opts.TimeLimit
 	mopts := milp.Options{

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheEntry is a finished solve outcome. Only definitive outcomes are
+// cached: a validated solution, or a proven infeasibility. Transient
+// failures (timeouts, cancellations) are never stored.
+type cacheEntry struct {
+	sol *core.Solution // nil when the problem is infeasible
+	err error          // nil or core.ErrInfeasible
+}
+
+// lruCache is a fixed-capacity LRU map from canonical problem key to
+// solve outcome, safe for concurrent use. Cached solutions are shared
+// between requests and must be treated as immutable by all readers.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key   string
+	entry cacheEntry
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *lruCache) get(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) put(key string, entry cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).entry = entry
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, entry: entry})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup deduplicates concurrent identical solves: the first caller
+// of do for a key becomes the leader and runs fn; followers block until
+// the leader finishes (or their own context ends) and share the result.
+// The slot is removed when the leader returns, so a later request for the
+// same key starts fresh (the cache, not the flight group, provides
+// longer-term reuse).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done  chan struct{}
+	entry cacheEntry
+}
+
+// do runs fn once per key among concurrent callers. It reports whether
+// this caller led the solve. A follower whose ctx ends before the leader
+// finishes returns ctx.Err(); the leader is not interrupted.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() cacheEntry) (cacheEntry, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.entry, false, nil
+		case <-ctx.Done():
+			return cacheEntry{}, false, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.entry = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.entry, true, nil
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func entryFor(engine string) cacheEntry {
+	return cacheEntry{sol: &core.Solution{Engine: engine}}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", entryFor("a"))
+	c.put("b", entryFor("b"))
+	c.put("c", entryFor("c")) // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %s missing", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUGetRefreshesRecency(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", entryFor("a"))
+	c.put("b", entryFor("b"))
+	c.get("a")                // a now most recent
+	c.put("c", entryFor("c")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("refreshed entry evicted instead of stale one")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestLRUPutUpdatesInPlace(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", entryFor("old"))
+	c.put("a", entryFor("new"))
+	e, ok := c.get("a")
+	if !ok || e.sol.Engine != "new" {
+		t.Fatalf("entry = %+v, want updated", e)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestFlightGroupRunsOnce(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const followers = 16
+
+	var wg sync.WaitGroup
+	leaders := atomic.Int64{}
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entry, led, err := g.do(context.Background(), "k", func() cacheEntry {
+				calls.Add(1)
+				<-release
+				return entryFor("shared")
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if led {
+				leaders.Add(1)
+			}
+			if entry.sol == nil || entry.sol.Engine != "shared" {
+				t.Errorf("entry = %+v, want shared", entry)
+			}
+		}()
+	}
+	// Give every goroutine a chance to join the flight before releasing.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	if n := leaders.Load(); n != 1 {
+		t.Fatalf("%d leaders, want 1", n)
+	}
+}
+
+func TestFlightGroupFollowerHonorsContext(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	go func() {
+		g.do(context.Background(), "k", func() cacheEntry {
+			close(started)
+			<-release
+			return cacheEntry{}
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, _, err := g.do(ctx, "k", func() cacheEntry { return cacheEntry{} })
+	if err == nil {
+		t.Fatal("follower ignored its context")
+	}
+	if time.Since(begin) > time.Second {
+		t.Fatal("follower did not return promptly on context end")
+	}
+}
+
+func TestFlightGroupNewFlightAfterCompletion(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	run := func() {
+		_, _, err := g.do(context.Background(), "k", func() cacheEntry {
+			calls.Add(1)
+			return cacheEntry{}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	run()
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("sequential calls deduplicated: fn ran %d times, want 2", n)
+	}
+}

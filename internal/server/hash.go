@@ -1,0 +1,41 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// hashedRequest is the canonical form fed to the hasher: the problem plus
+// every solve knob that can change the answer. encoding/json emits map
+// keys (device.Requirements) in sorted order and struct fields in
+// declaration order, so the serialization is stable across processes —
+// the same instance always maps to the same cache key.
+type hashedRequest struct {
+	Problem     *core.Problem `json:"problem"`
+	Engine      string        `json:"engine"`
+	TimeLimitNS int64         `json:"time_limit_ns"`
+	Seed        int64         `json:"seed"`
+	Workers     int           `json:"workers"`
+}
+
+// problemKey returns the canonical SHA-256 key of (problem, engine, opts).
+// opts must already be normalized so that equivalent spellings of the
+// defaults (Workers 0 vs 1) collapse to one key.
+func problemKey(p *core.Problem, engine string, opts core.SolveOptions) (string, error) {
+	data, err := json.Marshal(hashedRequest{
+		Problem:     p,
+		Engine:      engine,
+		TimeLimitNS: int64(opts.TimeLimit),
+		Seed:        opts.Seed,
+		Workers:     opts.Workers,
+	})
+	if err != nil {
+		return "", fmt.Errorf("server: hashing problem: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func TestProblemKeyStable(t *testing.T) {
+	opts := core.SolveOptions{TimeLimit: time.Second, Seed: 1, Workers: 2}
+	k1, err := problemKey(testProblem(t, 0), "exact", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := problemKey(testProblem(t, 0), "exact", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("identical problems hash differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", k1)
+	}
+}
+
+// Requirements is a map; the canonical serialization must not depend on
+// insertion order.
+func TestProblemKeyMapOrderIndependent(t *testing.T) {
+	opts := core.SolveOptions{}.Normalized()
+	p1 := testProblem(t, 0)
+	p1.Regions[0].Req = device.Requirements{}
+	p1.Regions[0].Req[device.ClassCLB] = 3
+	p1.Regions[0].Req[device.ClassDSP] = 1
+	p2 := testProblem(t, 0)
+	p2.Regions[0].Req = device.Requirements{}
+	p2.Regions[0].Req[device.ClassDSP] = 1
+	p2.Regions[0].Req[device.ClassCLB] = 3
+
+	k1, err := problemKey(p1, "exact", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := problemKey(p2, "exact", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("requirement insertion order changed the key")
+	}
+}
+
+func TestProblemKeyDiscriminates(t *testing.T) {
+	base := core.SolveOptions{TimeLimit: time.Second, Seed: 1, Workers: 1}
+	ref, err := problemKey(testProblem(t, 0), "exact", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name   string
+		p      *core.Problem
+		engine string
+		opts   core.SolveOptions
+	}{
+		{"problem", testProblem(t, 1), "exact", base},
+		{"engine", testProblem(t, 0), "annealing", base},
+		{"time limit", testProblem(t, 0), "exact", core.SolveOptions{TimeLimit: 2 * time.Second, Seed: 1, Workers: 1}},
+		{"seed", testProblem(t, 0), "exact", core.SolveOptions{TimeLimit: time.Second, Seed: 2, Workers: 1}},
+		{"workers", testProblem(t, 0), "exact", core.SolveOptions{TimeLimit: time.Second, Seed: 1, Workers: 2}},
+	}
+	for _, v := range variants {
+		k, err := problemKey(v.p, v.engine, v.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == ref {
+			t.Errorf("changing %s did not change the key", v.name)
+		}
+	}
+}
+
+// Normalization collapses equivalent spellings of the defaults before
+// hashing, so Workers 0 and 1 share a cache entry.
+func TestProblemKeyNormalizedWorkers(t *testing.T) {
+	k0, err := problemKey(testProblem(t, 0), "exact", core.SolveOptions{Workers: 0}.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := problemKey(testProblem(t, 0), "exact", core.SolveOptions{Workers: 1}.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 != k1 {
+		t.Fatal("normalized Workers 0 and 1 hash differently")
+	}
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// solveBuckets are the latency histogram upper bounds in seconds, chosen
+// to span the paper's workloads: sub-millisecond heuristic solves up to
+// minute-scale exact/MILP proofs.
+var solveBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+// counts[i] counts observations <= solveBuckets[i]; counts[len(buckets)]
+// is the overflow (+Inf) bucket. sumNanos accumulates total observed time.
+type histogram struct {
+	counts   []atomic.Int64
+	sumNanos atomic.Int64
+	total    atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(solveBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	idx := len(solveBuckets)
+	for i, ub := range solveBuckets {
+		if secs <= ub {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.total.Add(1)
+}
+
+// metrics is the server's observability state: flat atomic counters plus
+// one latency histogram per engine. All fields are safe for concurrent
+// use; the per-engine map is guarded by mu for creation only.
+type metrics struct {
+	solvesStarted   atomic.Int64
+	solvesCompleted atomic.Int64
+	solvesFailed    atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	dedupJoined     atomic.Int64
+	queueRejected   atomic.Int64
+	requests        atomic.Int64
+
+	queueDepth func() int // live gauge, set by the server
+
+	mu        sync.Mutex
+	perEngine map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		perEngine:  map[string]*histogram{},
+		queueDepth: func() int { return 0 },
+	}
+}
+
+// engineHistogram returns (creating if needed) the named engine's
+// solve-time histogram.
+func (m *metrics) engineHistogram(engine string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.perEngine[engine]
+	if !ok {
+		h = newHistogram()
+		m.perEngine[engine] = h
+	}
+	return h
+}
+
+// render writes the metrics in the Prometheus text exposition format.
+func (m *metrics) render() string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("floorpland_requests_total", "HTTP requests accepted on /v1/solve.", m.requests.Load())
+	counter("floorpland_solves_started_total", "Solves handed to the worker pool.", m.solvesStarted.Load())
+	counter("floorpland_solves_completed_total", "Solves that produced a solution or a proven infeasibility.", m.solvesCompleted.Load())
+	counter("floorpland_solves_failed_total", "Solves that errored, timed out or were canceled.", m.solvesFailed.Load())
+	counter("floorpland_cache_hits_total", "Solve requests answered from the solution cache.", m.cacheHits.Load())
+	counter("floorpland_cache_misses_total", "Solve requests not present in the solution cache.", m.cacheMisses.Load())
+	counter("floorpland_dedup_joined_total", "Solve requests that joined an identical in-flight solve.", m.dedupJoined.Load())
+	counter("floorpland_queue_rejected_total", "Solve requests rejected with 429 because the queue was full.", m.queueRejected.Load())
+	fmt.Fprintf(&b, "# HELP floorpland_queue_depth Solves waiting in the pool queue.\n# TYPE floorpland_queue_depth gauge\nfloorpland_queue_depth %d\n", m.queueDepth())
+
+	m.mu.Lock()
+	engines := make([]string, 0, len(m.perEngine))
+	for name := range m.perEngine {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	hists := make([]*histogram, len(engines))
+	for i, name := range engines {
+		hists[i] = m.perEngine[name]
+	}
+	m.mu.Unlock()
+
+	if len(engines) > 0 {
+		b.WriteString("# HELP floorpland_solve_seconds Solve latency by engine.\n# TYPE floorpland_solve_seconds histogram\n")
+	}
+	for i, name := range engines {
+		h := hists[i]
+		cum := int64(0)
+		for j, ub := range solveBuckets {
+			cum += h.counts[j].Load()
+			fmt.Fprintf(&b, "floorpland_solve_seconds_bucket{engine=%q,le=%q} %d\n", name, trimFloat(ub), cum)
+		}
+		cum += h.counts[len(solveBuckets)].Load()
+		fmt.Fprintf(&b, "floorpland_solve_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "floorpland_solve_seconds_sum{engine=%q} %g\n", name, time.Duration(h.sumNanos.Load()).Seconds())
+		fmt.Fprintf(&b, "floorpland_solve_seconds_count{engine=%q} %d\n", name, h.total.Load())
+	}
+	return b.String()
+}
+
+// trimFloat formats a bucket bound without trailing zeros (0.05, 1, 30).
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+}

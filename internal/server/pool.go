@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Pool errors.
+var (
+	// errQueueFull reports backpressure: the queue has no room, the
+	// caller should retry later (HTTP 429).
+	errQueueFull = errors.New("server: solve queue is full")
+	// errShuttingDown reports that the pool no longer accepts work or
+	// that a queued task was canceled by shutdown.
+	errShuttingDown = errors.New("server: shutting down")
+)
+
+// solveTask is one unit of pool work: run fn under ctx and publish the
+// outcome on done.
+type solveTask struct {
+	ctx  context.Context
+	fn   func(ctx context.Context) (*core.Solution, error)
+	sol  *core.Solution
+	err  error
+	done chan struct{}
+}
+
+// workerPool runs solves on a fixed set of goroutines behind a bounded
+// queue. Submission is non-blocking: when the queue is full the caller
+// gets errQueueFull immediately (backpressure) instead of piling up.
+//
+// Shutdown semantics: close() stops admissions, lets in-flight solves
+// drain, and fails queued-but-unstarted tasks with errShuttingDown.
+type workerPool struct {
+	tasks chan *solveTask
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newWorkerPool starts workers goroutines behind a queue of queueSize
+// waiting slots.
+func newWorkerPool(workers, queueSize int) *workerPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueSize < 0 {
+		queueSize = 0
+	}
+	p := &workerPool{
+		tasks: make(chan *solveTask, queueSize),
+		stop:  make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for {
+		// Check stop first: a stopping pool must cancel queued tasks,
+		// not race the drain loop to start them.
+		select {
+		case <-p.stop:
+			p.drainQueue()
+			return
+		default:
+		}
+		select {
+		case t := <-p.tasks:
+			p.run(t)
+		case <-p.stop:
+			p.drainQueue()
+			return
+		}
+	}
+}
+
+// drainQueue cancels every still-queued task instead of running it.
+func (p *workerPool) drainQueue() {
+	for {
+		select {
+		case t := <-p.tasks:
+			t.err = errShuttingDown
+			close(t.done)
+		default:
+			return
+		}
+	}
+}
+
+// run executes one task, skipping the solve when the submitter's context
+// already ended while the task sat in the queue.
+func (p *workerPool) run(t *solveTask) {
+	if err := t.ctx.Err(); err != nil {
+		t.err = err
+	} else {
+		t.sol, t.err = t.fn(t.ctx)
+	}
+	close(t.done)
+}
+
+// submit enqueues fn and returns the task handle, or errQueueFull /
+// errShuttingDown without blocking.
+func (p *workerPool) submit(ctx context.Context, fn func(ctx context.Context) (*core.Solution, error)) (*solveTask, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errShuttingDown
+	}
+	p.mu.Unlock()
+	t := &solveTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.tasks <- t:
+		return t, nil
+	default:
+		return nil, errQueueFull
+	}
+}
+
+// wait blocks until the task finishes or ctx ends. A task abandoned by
+// its waiter still runs to completion on the worker.
+func (t *solveTask) wait(ctx context.Context) (*core.Solution, error) {
+	select {
+	case <-t.done:
+		return t.sol, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// queueDepth returns the number of queued-but-unstarted tasks.
+func (p *workerPool) queueDepth() int { return len(p.tasks) }
+
+// close stops admissions and waits — bounded by ctx — for the workers to
+// drain in-flight solves and cancel queued ones.
+func (p *workerPool) close(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		// A submit racing with close can slip a task into the queue
+		// after the workers exited; fail it rather than strand it.
+		p.drainQueue()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// blockingFn returns a solve function that signals started and blocks
+// until release (or ctx ends).
+func blockingFn(started chan<- struct{}, release <-chan struct{}) func(context.Context) (*core.Solution, error) {
+	return func(ctx context.Context) (*core.Solution, error) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		select {
+		case <-release:
+			return &core.Solution{Engine: "blocking"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	defer p.close(context.Background())
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+
+	// First task occupies the worker...
+	t1, err := p.submit(context.Background(), blockingFn(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...second fills the queue...
+	if _, err := p.submit(context.Background(), blockingFn(nil, release)); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.queueDepth(); d != 1 {
+		t.Fatalf("queueDepth = %d, want 1", d)
+	}
+	// ...third must be rejected immediately.
+	if _, err := p.submit(context.Background(), blockingFn(nil, release)); !errors.Is(err, errQueueFull) {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	_ = t1
+}
+
+func TestPoolSkipsTasksWithDeadContext(t *testing.T) {
+	p := newWorkerPool(1, 4)
+	defer p.close(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	task, err := p.submit(ctx, func(context.Context) (*core.Solution, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = task.wait(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("pool ran a task whose context had already ended")
+	}
+}
+
+func TestPoolCloseDrainsInFlightAndCancelsQueued(t *testing.T) {
+	p := newWorkerPool(1, 2)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+
+	inflight, err := p.submit(context.Background(), blockingFn(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := p.submit(context.Background(), blockingFn(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- p.close(context.Background()) }()
+
+	// Give close a moment to reach the stop signal, then let the
+	// in-flight solve finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	sol, err := inflight.wait(context.Background())
+	if err != nil || sol == nil {
+		t.Fatalf("in-flight solve not drained: sol=%v err=%v", sol, err)
+	}
+	if _, err := queued.wait(context.Background()); !errors.Is(err, errShuttingDown) {
+		t.Fatalf("queued task err = %v, want errShuttingDown", err)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := p.submit(context.Background(), blockingFn(nil, release)); !errors.Is(err, errShuttingDown) {
+		t.Fatalf("submit after close err = %v, want errShuttingDown", err)
+	}
+}
+
+func TestPoolCloseHonorsContext(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := p.submit(context.Background(), blockingFn(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("close err = %v, want deadline exceeded while a solve blocks", err)
+	}
+}

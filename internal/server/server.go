@@ -1,0 +1,439 @@
+// Package server implements the floorplanning service daemon: an
+// HTTP/JSON front end over floorplanner.Solve that amortizes repeated
+// solves and bounds concurrency.
+//
+// Request flow (see DESIGN.md, "The service daemon"):
+//
+//	POST /v1/solve
+//	    → canonical hash of (problem, engine, options)      (hash.go)
+//	    → LRU solution cache lookup                         (cache.go)
+//	    → single-flight join of identical in-flight solves  (cache.go)
+//	    → bounded worker pool with queue backpressure       (pool.go)
+//	    → engine (exact, milp-o, milp-ho, heuristics)
+//
+// Definitive outcomes — a validated solution or a proven infeasibility —
+// are cached; transient failures (timeouts, cancellations, shutdown) are
+// not. When the queue is full the server answers 429 with a Retry-After
+// hint instead of queueing unboundedly. /metrics exposes counters and
+// per-engine latency histograms in the Prometheus text format.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SolveFunc computes a floorplan for p with the named engine. The
+// default implementation dispatches through the floorplanner package;
+// tests substitute controlled solvers.
+type SolveFunc func(ctx context.Context, p *core.Problem, engine string, opts core.SolveOptions) (*core.Solution, error)
+
+// Config tunes the daemon. The zero value is usable: every field has a
+// production-minded default.
+type Config struct {
+	// Workers is the number of concurrent solves (default 2).
+	Workers int
+	// QueueSize bounds the solves waiting behind the workers; beyond it
+	// requests get 429 (default 64).
+	QueueSize int
+	// CacheSize bounds the solution cache entries (default 256).
+	CacheSize int
+	// DefaultEngine answers requests that name no engine (default
+	// "exact").
+	DefaultEngine string
+	// DefaultTimeLimit applies when a request names no time limit
+	// (default 30s).
+	DefaultTimeLimit time.Duration
+	// MaxTimeLimit caps the per-request time limit (default 2m).
+	MaxTimeLimit time.Duration
+	// MaxSolveWorkers caps the per-solve parallelism a request may ask
+	// for (default GOMAXPROCS).
+	MaxSolveWorkers int
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// Engines lists the accepted engine names; empty accepts any name
+	// the Solve function accepts.
+	Engines []string
+	// Solve overrides the solver (tests); nil uses floorplanner.Solve.
+	Solve SolveFunc
+	// Logger receives structured request logs; nil uses slog.Default.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = "exact"
+	}
+	if c.DefaultTimeLimit <= 0 {
+		c.DefaultTimeLimit = 30 * time.Second
+	}
+	if c.MaxTimeLimit <= 0 {
+		c.MaxTimeLimit = 2 * time.Minute
+	}
+	if c.MaxSolveWorkers <= 0 {
+		c.MaxSolveWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the floorplanning daemon: hash → cache → single-flight →
+// worker pool → engine, with metrics over every stage.
+type Server struct {
+	cfg     Config
+	pool    *workerPool
+	cache   *lruCache
+	flights flightGroup
+	metrics *metrics
+	log     *slog.Logger
+	closing atomic.Bool
+}
+
+// New builds a Server from cfg (zero value fine; see Config defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if len(cfg.Engines) == 0 && cfg.Solve == nil {
+		// With the default solver the engine set is known up front, so
+		// unknown names fail fast with 400 instead of a failed solve.
+		cfg.Engines = defaultEngineNames()
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueSize),
+		cache:   newLRUCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		log:     cfg.Logger,
+	}
+	s.metrics.queueDepth = s.pool.queueDepth
+	return s
+}
+
+// Close stops admissions, drains in-flight solves and cancels queued
+// ones, bounded by ctx.
+func (s *Server) Close(ctx context.Context) error {
+	s.closing.Store(true)
+	return s.pool.close(ctx)
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/engines", s.handleEngines)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.logRequests(mux)
+}
+
+// SolveRequest is the POST /v1/solve body.
+type SolveRequest struct {
+	// Problem is the floorplanning instance (floorplanner.Problem JSON).
+	Problem *core.Problem `json:"problem"`
+	// Engine selects the algorithm; empty uses the server default.
+	Engine string `json:"engine,omitempty"`
+	// TimeLimitMS bounds the solve in milliseconds; 0 uses the server
+	// default, values above the server maximum are clamped.
+	TimeLimitMS int64 `json:"time_limit_ms,omitempty"`
+	// Seed drives randomized engines.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds per-solve parallelism; clamped to the server
+	// maximum.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SolveResponse is the POST /v1/solve reply.
+type SolveResponse struct {
+	// Status is "ok", "infeasible", "no_solution" or "error".
+	Status string `json:"status"`
+	// Key is the canonical problem hash (the cache key).
+	Key string `json:"key"`
+	// Cached reports a solution served from the cache.
+	Cached bool `json:"cached"`
+	// Deduped reports a solution shared from an identical concurrent
+	// request's solve.
+	Deduped bool `json:"deduped,omitempty"`
+	// Engine echoes the engine that produced the solution.
+	Engine string `json:"engine,omitempty"`
+	// Solution is the floorplan (status "ok" only).
+	Solution *core.Solution `json:"solution,omitempty"`
+	// Metrics are the solution's raw cost terms (status "ok" only).
+	Metrics *core.Metrics `json:"metrics,omitempty"`
+	// Objective is the problem objective value (status "ok" only).
+	Objective *float64 `json:"objective,omitempty"`
+	// Error carries detail for status "error".
+	Error string `json:"error,omitempty"`
+}
+
+// EnginesResponse is the GET /v1/engines reply.
+type EnginesResponse struct {
+	Engines []string `json:"engines"`
+	Default string   `json:"default"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if req.Problem == nil {
+		s.writeError(w, http.StatusBadRequest, "request has no problem")
+		return
+	}
+	if err := req.Problem.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid problem: "+err.Error())
+		return
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = s.cfg.DefaultEngine
+	}
+	if !s.engineAllowed(engine) {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown engine %q", engine))
+		return
+	}
+	if req.TimeLimitMS < 0 || req.Workers < 0 {
+		s.writeError(w, http.StatusBadRequest, "time_limit_ms and workers must be non-negative")
+		return
+	}
+
+	opts := core.SolveOptions{
+		TimeLimit: s.clampTimeLimit(time.Duration(req.TimeLimitMS) * time.Millisecond),
+		Seed:      req.Seed,
+		Workers:   min(max(req.Workers, 0), s.cfg.MaxSolveWorkers),
+	}.Normalized()
+
+	key, err := problemKey(req.Problem, engine, opts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.requests.Add(1)
+
+	if entry, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		s.respondEntry(w, r, key, engine, req.Problem, entry, true, false)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	// The solve context bounds queue wait plus solve: the engine's own
+	// TimeLimit normally fires first, the deadline is the backstop.
+	solveCtx, cancel := context.WithTimeout(r.Context(), opts.TimeLimit+5*time.Second)
+	defer cancel()
+
+	entry, led, err := s.flights.do(solveCtx, key, func() cacheEntry {
+		return s.runSolve(solveCtx, key, engine, req.Problem, opts)
+	})
+	if err != nil {
+		// Follower whose own request ended while the leader kept solving.
+		s.writeError(w, http.StatusGatewayTimeout, "request canceled while awaiting shared solve: "+err.Error())
+		return
+	}
+	if !led {
+		s.metrics.dedupJoined.Add(1)
+	}
+	s.respondEntry(w, r, key, engine, req.Problem, entry, false, !led)
+}
+
+// runSolve is the single-flight leader path: queue on the pool, run the
+// engine, record metrics, and cache definitive outcomes.
+func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Problem, opts core.SolveOptions) cacheEntry {
+	task, err := s.pool.submit(ctx, func(ctx context.Context) (*core.Solution, error) {
+		s.metrics.solvesStarted.Add(1)
+		started := time.Now()
+		sol, err := s.solve(ctx, p, engine, opts)
+		s.metrics.engineHistogram(engine).observe(time.Since(started))
+		if err == nil || errors.Is(err, core.ErrInfeasible) {
+			s.metrics.solvesCompleted.Add(1)
+		} else {
+			s.metrics.solvesFailed.Add(1)
+		}
+		return sol, err
+	})
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.metrics.queueRejected.Add(1)
+		}
+		return cacheEntry{err: err}
+	}
+	sol, err := task.wait(ctx)
+	entry := cacheEntry{sol: sol, err: err}
+	if err == nil || errors.Is(err, core.ErrInfeasible) {
+		s.cache.put(key, entry)
+	}
+	return entry
+}
+
+func (s *Server) solve(ctx context.Context, p *core.Problem, engine string, opts core.SolveOptions) (*core.Solution, error) {
+	if s.cfg.Solve != nil {
+		return s.cfg.Solve(ctx, p, engine, opts)
+	}
+	return defaultSolve(ctx, p, engine, opts)
+}
+
+// respondEntry translates a solve outcome into the HTTP reply.
+func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, key, engine string, p *core.Problem, entry cacheEntry, cached, deduped bool) {
+	resp := SolveResponse{Key: key, Cached: cached, Deduped: deduped}
+	switch {
+	case entry.err == nil && entry.sol != nil:
+		resp.Status = "ok"
+		resp.Engine = entry.sol.Engine
+		resp.Solution = entry.sol
+		m := entry.sol.Metrics(p)
+		resp.Metrics = &m
+		obj := entry.sol.Objective(p)
+		resp.Objective = &obj
+		s.writeJSON(w, http.StatusOK, resp)
+	case errors.Is(entry.err, core.ErrInfeasible):
+		resp.Status = "infeasible"
+		resp.Engine = engine
+		s.writeJSON(w, http.StatusOK, resp)
+	case errors.Is(entry.err, core.ErrNoSolution):
+		resp.Status = "no_solution"
+		resp.Engine = engine
+		resp.Error = "no solution found within the time limit"
+		s.writeJSON(w, http.StatusOK, resp)
+	case errors.Is(entry.err, errQueueFull):
+		w.Header().Set("Retry-After", s.retryAfter())
+		s.writeError(w, http.StatusTooManyRequests, "solve queue is full, retry later")
+	case errors.Is(entry.err, errShuttingDown):
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+	case errors.Is(entry.err, context.DeadlineExceeded), errors.Is(entry.err, context.Canceled):
+		s.writeError(w, http.StatusGatewayTimeout, "solve canceled: "+entry.err.Error())
+	default:
+		s.writeError(w, http.StatusInternalServerError, "solve failed: "+entry.err.Error())
+	}
+}
+
+// retryAfter estimates seconds until queue space frees up: one solve
+// time-slice per queued task per worker, floored at 1s.
+func (s *Server) retryAfter() string {
+	secs := s.pool.queueDepth() / s.cfg.Workers
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) clampTimeLimit(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = s.cfg.DefaultTimeLimit
+	}
+	if d > s.cfg.MaxTimeLimit {
+		d = s.cfg.MaxTimeLimit
+	}
+	return d
+}
+
+func (s *Server) engineAllowed(name string) bool {
+	if len(s.cfg.Engines) == 0 {
+		return true
+	}
+	for _, e := range s.cfg.Engines {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	engines := s.cfg.Engines
+	if len(engines) == 0 {
+		engines = defaultEngineNames()
+	}
+	s.writeJSON(w, http.StatusOK, EnginesResponse{Engines: engines, Default: s.cfg.DefaultEngine})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.metrics.render())
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("encoding response", "err", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, SolveResponse{Status: "error", Error: msg})
+}
+
+// statusWriter captures the response code for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"elapsed", time.Since(started).Round(time.Microsecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// testDevice is a small columnar device on which the exact engine solves
+// test instances in milliseconds.
+func testDevice(t testing.TB) *device.Device {
+	t.Helper()
+	cols := make([]device.TypeID, 16)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[4] = device.V5BRAM
+	cols[9] = device.V5DSP
+	dev, err := device.NewColumnar("srvtest", cols, 4, device.V5Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// testProblem builds the i-th distinct test instance: varying the CLB
+// requirement makes each instance hash to its own cache key.
+func testProblem(t testing.TB, i int) *core.Problem {
+	t.Helper()
+	return &core.Problem{
+		Device: testDevice(t),
+		Regions: []core.Region{
+			{Name: "a", Req: device.Requirements{device.ClassCLB: 3 + i, device.ClassDSP: 1}},
+			{Name: "b", Req: device.Requirements{device.ClassCLB: 2, device.ClassBRAM: 1}},
+		},
+		Nets: []core.Net{{A: 0, B: 1, Weight: 8}},
+	}
+}
+
+// fakeSolution returns a structurally index-aligned solution for p,
+// sufficient for the response path (metrics, objective) without running
+// an engine.
+func fakeSolution(p *core.Problem) *core.Solution {
+	sol := &core.Solution{
+		Regions: make([]grid.Rect, len(p.Regions)),
+		FC:      make([]core.FCPlacement, len(p.FCAreas)),
+		Engine:  "fake",
+	}
+	for i := range sol.FC {
+		sol.FC[i] = core.FCPlacement{Request: i}
+	}
+	return sol
+}
+
+// postSolve sends req to url and decodes the reply.
+func postSolve(t testing.TB, client *http.Client, url string, req SolveRequest) (int, SolveResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := client.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var resp SolveResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decoding response (HTTP %d): %v", httpResp.StatusCode, err)
+	}
+	return httpResp.StatusCode, resp
+}
+
+// scrapeCounter fetches /metrics and returns the value of the named
+// series (flat counters and gauges only).
+func scrapeCounter(t testing.TB, client *http.Client, url, name string) int64 {
+	t.Helper()
+	httpResp, err := client.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, data)
+	return 0
+}

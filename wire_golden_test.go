@@ -1,0 +1,143 @@
+package floorplanner_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/device"
+)
+
+// The JSON forms of Problem and Solution are the service wire format
+// (cmd/floorplanner files, POST /v1/solve bodies and replies). These
+// golden-file tests lock the encoding: an unintended field rename or
+// representation change fails against the committed files.
+//
+// Regenerate after an *intended* format change with:
+//
+//	go test -run TestGolden -update-golden .
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden wire-format files")
+
+// goldenProblem exercises every Problem field: device, regions, nets,
+// constraint- and metric-mode FC requests, and a non-default objective.
+func goldenProblem(t *testing.T) *floorplanner.Problem {
+	t.Helper()
+	cols := make([]device.TypeID, 12)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[3] = device.V5BRAM
+	cols[8] = device.V5DSP
+	dev, err := floorplanner.NewColumnarDevice("golden", cols, 4, device.V5Types(),
+		[]floorplanner.Rect{{X: 6, Y: 0, W: 1, H: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &floorplanner.Problem{
+		Device: dev,
+		Regions: []floorplanner.Region{
+			{Name: "filter", Req: floorplanner.Requirements{floorplanner.ClassCLB: 4, floorplanner.ClassDSP: 1}},
+			{Name: "decoder", Req: floorplanner.Requirements{floorplanner.ClassCLB: 3, floorplanner.ClassBRAM: 1}},
+		},
+		Nets: []floorplanner.Net{{A: 0, B: 1, Weight: 64}},
+		FCAreas: []floorplanner.FCRequest{
+			{Region: 0, Mode: floorplanner.RelocConstraint},
+			{Region: 1, Mode: floorplanner.RelocMetric, Weight: 2.5},
+		},
+		Objective: floorplanner.Objective{WireLength: 1, Resource: 2, Relocation: 4},
+	}
+}
+
+// goldenSolution is a hand-built solution with every field populated.
+func goldenSolution() *floorplanner.Solution {
+	return &floorplanner.Solution{
+		Regions: []floorplanner.Rect{
+			{X: 7, Y: 0, W: 3, H: 2},
+			{X: 2, Y: 0, W: 3, H: 2},
+		},
+		FC: []floorplanner.FCPlacement{
+			{Request: 0, Placed: true, Rect: floorplanner.Rect{X: 7, Y: 2, W: 3, H: 2}},
+			{Request: 1, Placed: false},
+		},
+		Engine:  "exact",
+		Proven:  true,
+		Elapsed: 1500 * time.Millisecond,
+		Nodes:   4242,
+	}
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", name) }
+
+func checkGolden(t *testing.T, name string, v any) []byte {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s: encoding drifted from golden file\ngot:\n%s\nwant:\n%s\n(run with -update-golden if the change is intended)", name, got, want)
+	}
+	return want
+}
+
+func TestGoldenProblemRoundTrip(t *testing.T) {
+	p := goldenProblem(t)
+	golden := checkGolden(t, "problem.golden.json", p)
+
+	var decoded floorplanner.Problem
+	if err := json.Unmarshal(golden, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Validate(); err != nil {
+		t.Fatalf("decoded problem invalid: %v", err)
+	}
+	if !reflect.DeepEqual(p, &decoded) {
+		t.Fatalf("round-trip lost information:\nencoded: %+v\ndecoded: %+v", p, &decoded)
+	}
+
+	// Re-encoding the decoded problem must be byte-identical: the format
+	// is canonical, not merely losslessly invertible.
+	reencoded, err := json.MarshalIndent(&decoded, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(append(reencoded, '\n')) != string(golden) {
+		t.Fatal("re-encoding the decoded problem changed the bytes")
+	}
+}
+
+func TestGoldenSolutionRoundTrip(t *testing.T) {
+	s := goldenSolution()
+	golden := checkGolden(t, "solution.golden.json", s)
+
+	var decoded floorplanner.Solution
+	if err := json.Unmarshal(golden, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, &decoded) {
+		t.Fatalf("round-trip lost information:\nencoded: %+v\ndecoded: %+v", s, &decoded)
+	}
+	if err := decoded.Validate(goldenProblem(t)); err != nil {
+		t.Fatalf("decoded golden solution does not validate against the golden problem: %v", err)
+	}
+}
