@@ -4,11 +4,12 @@
 #   make build   compile every package and the CLI/daemon binaries into bin/
 #   make serve   run the floorplanning service daemon locally
 #   make test    plain test run (no race detector; faster)
+#   make bench   candidate-enumeration cache benchmarks (hit vs miss)
 
 GO      ?= go
 BIN     := bin
 
-.PHONY: check fmt vet build test race serve clean
+.PHONY: check fmt vet build test race bench serve clean
 
 check: fmt vet build race
 
@@ -34,6 +35,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCandidate' -benchmem -benchtime 1x .
 
 serve: build
 	$(BIN)/floorpland -addr :8080

@@ -385,6 +385,50 @@ func BenchmarkCandidateEnumeration(b *testing.B) {
 	b.ReportMetric(float64(n), "candidates")
 }
 
+// BenchmarkCandidateCache compares a memoized candidate lookup against
+// direct enumeration of the same shape — the speedup the portfolio's
+// racing members share when they hit core.CachedCandidates (the "hit"
+// case pays one mutex acquisition; "miss" pays the full sweep).
+func BenchmarkCandidateCache(b *testing.B) {
+	req := device.Requirements{device.ClassCLB: 55, device.ClassBRAM: 2, device.ClassDSP: 5}
+	b.Run("miss", func(b *testing.B) {
+		d := device.VirtexFX70T()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = len(core.EnumerateCandidates(d, req))
+		}
+		b.ReportMetric(float64(n), "candidates")
+	})
+	b.Run("hit", func(b *testing.B) {
+		d := device.VirtexFX70T()
+		core.CachedCandidates(d, req) // warm the entry
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = len(core.CachedCandidates(d, req))
+		}
+		b.ReportMetric(float64(n), "candidates")
+	})
+}
+
+// BenchmarkPortfolioRace measures the portfolio engine end to end on the
+// paper's SDR design: wall clock should track the fastest proving member
+// (the exact engine), not the sum of all five members.
+func BenchmarkPortfolioRace(b *testing.B) {
+	p := sdr.Problem()
+	for i := 0; i < b.N; i++ {
+		sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+			Engine: "portfolio", TimeLimit: benchBudget, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Proven {
+			b.Fatal("portfolio missed the proven optimum on SDR")
+		}
+	}
+}
+
 // BenchmarkPublicAPI exercises the facade end to end (what a downstream
 // user pays for a quickstart-sized problem).
 func BenchmarkPublicAPI(b *testing.B) {

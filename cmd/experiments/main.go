@@ -39,11 +39,12 @@ func run() error {
 		fig4        = flag.Bool("fig4", false, "Figure 4: SDR2 floorplan")
 		fig5        = flag.Bool("fig5", false, "Figure 5: SDR3 floorplan")
 		runtime     = flag.Bool("runtime", false, "runtime relocation benefits (latency, storage)")
+		portfolioF  = flag.Bool("portfolio", false, "portfolio race: engines under one shared budget per design")
 		budget      = flag.Duration("budget", 60*time.Second, "per-solve time budget")
 		svgDir      = flag.String("svgdir", "", "also write figures as SVG into this directory")
 	)
 	flag.Parse()
-	if !(*table1 || *feasibility || *table2 || *fig1 || *fig2 || *fig4 || *fig5 || *runtime) {
+	if !(*table1 || *feasibility || *table2 || *fig1 || *fig2 || *fig4 || *fig5 || *runtime || *portfolioF) {
 		*all = true
 	}
 	ctx := context.Background()
@@ -95,6 +96,13 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.FormatRuntime(rep))
+	}
+	if *all || *portfolioF {
+		rows, err := experiments.PortfolioRace(ctx, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPortfolio(rows))
 	}
 	return nil
 }

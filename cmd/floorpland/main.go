@@ -5,13 +5,15 @@
 // Usage:
 //
 //	floorpland -addr :8080 -workers 4 -queue 128 -cache 512
+//	floorpland -default-engine portfolio -default-time 10s
 //
 // Endpoints:
 //
 //	POST /v1/solve    solve a problem (floorplanner.Problem JSON + options)
 //	GET  /v1/engines  list available engines
 //	GET  /healthz     liveness probe
-//	GET  /metrics     counters and latency histograms
+//	GET  /metrics     counters and latency histograms; when the portfolio
+//	                  engine runs, also per-member race/win/latency counters
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // requests, drains in-flight solves and cancels queued ones.

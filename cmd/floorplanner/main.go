@@ -4,6 +4,8 @@
 // Usage:
 //
 //	floorplanner -design SDR2 -engine exact -time 30s -ascii
+//	floorplanner -design SDR3 -engine portfolio -time 10s
+//	floorplanner -design SDR2 -engine portfolio -members exact,constructive,tessellation
 //	floorplanner -problem my-problem.json -svg plan.svg -out solution.json
 //
 // A problem file is JSON with the shape of floorplanner.Problem; the
@@ -37,6 +39,7 @@ func run() error {
 		problemPath = flag.String("problem", "", "path to a problem JSON file")
 		design      = flag.String("design", "", "built-in design: SDR, SDR2 or SDR3")
 		engine      = flag.String("engine", "exact", "engine: "+strings.Join(floorplanner.EngineNames(), ", "))
+		members     = flag.String("members", "", "comma-separated member engines raced by -engine portfolio (empty = default race)")
 		timeLimit   = flag.Duration("time", 60*time.Second, "solve time limit")
 		seed        = flag.Int64("seed", 1, "seed for randomized engines")
 		workers     = flag.Int("workers", 0, "parallel workers (engine dependent)")
@@ -54,11 +57,20 @@ func run() error {
 		return err
 	}
 
+	var memberList []string
+	if *members != "" {
+		if *engine != "portfolio" {
+			return fmt.Errorf("-members requires -engine portfolio")
+		}
+		memberList = strings.Split(*members, ",")
+	}
+
 	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
 		Engine:    *engine,
 		TimeLimit: *timeLimit,
 		Seed:      *seed,
 		Workers:   *workers,
+		Members:   memberList,
 	})
 	switch {
 	case errors.Is(err, floorplanner.ErrInfeasible):

@@ -1,0 +1,10 @@
+//go:build race
+
+package floorplanner_test
+
+import "time"
+
+// contractEpsilon under the race detector: instrumentation slows every
+// engine severalfold, so the contract keeps the same shape (prompt return
+// after TimeLimit) with a proportionally larger allowance.
+const contractEpsilon = 2 * time.Second

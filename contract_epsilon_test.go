@@ -1,0 +1,11 @@
+//go:build !race
+
+package floorplanner_test
+
+import "time"
+
+// contractEpsilon is the slack the deadline-contract tests grant past
+// TimeLimit: enough for one deadline-poll interval in the slowest engine
+// (a single simplex pivot on the contract instance costs tens of
+// milliseconds) plus model decode and validation.
+const contractEpsilon = 250 * time.Millisecond

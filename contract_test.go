@@ -1,0 +1,142 @@
+package floorplanner_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/sdr"
+)
+
+// contractProblem builds an instance chosen to be adversarial for every
+// engine under a tiny budget: a long chain of heavily-weighted nets (the
+// wire-length pass matters), mixed CLB/BRAM requirements (candidate
+// filtering matters), and a relocation-constrained FC area (the paper's
+// hard mode). At n=12 the MILP encoding has ~8500 constraints — far more
+// than any engine can solve to optimality in 200ms, so a prompt return
+// exercises the deadline path, not a fast solve.
+func contractProblem(n int) *floorplanner.Problem {
+	dev := floorplanner.VirtexFX70T()
+	regions := make([]floorplanner.Region, n)
+	for i := range regions {
+		regions[i] = floorplanner.Region{
+			Name: fmt.Sprintf("r%02d", i),
+			Req:  floorplanner.Requirements{floorplanner.ClassCLB: 8 + i%5},
+		}
+		if i%3 == 0 {
+			regions[i].Req[floorplanner.ClassBRAM] = 1
+		}
+	}
+	nets := make([]floorplanner.Net, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		nets = append(nets, floorplanner.Net{A: i, B: i + 1, Weight: 16})
+	}
+	p := &floorplanner.Problem{
+		Device:    dev,
+		Regions:   regions,
+		Nets:      nets,
+		Objective: floorplanner.DefaultObjective(),
+	}
+	p.FCAreas = []floorplanner.FCRequest{{Region: 0, Mode: floorplanner.RelocConstraint}}
+	return p
+}
+
+// TestEngineDeadlineContract asserts the deadline half of the engine
+// contract (DESIGN.md "Engine contract"): every registered engine,
+// given a TimeLimit far below what the instance needs, returns within
+// TimeLimit plus a small epsilon. The epsilon (contractEpsilon, larger
+// under the race detector) absorbs the granularity of the engines'
+// deadline polls — e.g. one simplex pivot on an ~8500-constraint model.
+func TestEngineDeadlineContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deadline contract test runs every engine; skipped in -short")
+	}
+	p := contractProblem(12)
+	const limit = 200 * time.Millisecond
+	for _, name := range floorplanner.EngineNames() {
+		t.Run(name, func(t *testing.T) {
+			start := time.Now()
+			sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+				Engine:    name,
+				TimeLimit: limit,
+				Seed:      1,
+			})
+			elapsed := time.Since(start)
+			if elapsed > limit+contractEpsilon {
+				t.Errorf("returned after %s, want ≤ %s", elapsed, limit+contractEpsilon)
+			}
+			switch {
+			case err == nil:
+				if sol == nil {
+					t.Fatal("nil solution with nil error")
+				}
+				if verr := sol.Validate(p); verr != nil {
+					t.Errorf("returned invalid solution: %v", verr)
+				}
+			case errors.Is(err, floorplanner.ErrNoSolution),
+				errors.Is(err, floorplanner.ErrInfeasible):
+				// A bounded solve may legitimately fail; it must say so
+				// with the contract's sentinel errors.
+			default:
+				t.Errorf("budget exhaustion surfaced as unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+// TestEngineCancellationContract asserts the context half of the
+// contract: a canceled context makes every engine return promptly even
+// when its TimeLimit is generous.
+func TestEngineCancellationContract(t *testing.T) {
+	p := contractProblem(12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range floorplanner.EngineNames() {
+		t.Run(name, func(t *testing.T) {
+			start := time.Now()
+			_, err := floorplanner.Solve(ctx, p, floorplanner.Options{
+				Engine:    name,
+				TimeLimit: time.Hour,
+				Seed:      1,
+			})
+			if elapsed := time.Since(start); elapsed > contractEpsilon {
+				t.Errorf("returned after %s on a pre-canceled context, want ≤ %s", elapsed, contractEpsilon)
+			}
+			if err == nil {
+				t.Error("nil error on a pre-canceled context")
+			}
+		})
+	}
+}
+
+// TestPortfolioTracksFastestMember asserts the portfolio's wall-clock
+// behavior on a real instance: the exact engine proves SDR's optimum in
+// well under a second, so the portfolio must accept it and return far
+// sooner than its 30s budget — its latency tracks the fastest proving
+// member, not the sum (or max) of all members.
+func TestPortfolioTracksFastestMember(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full portfolio race; skipped in -short")
+	}
+	p := sdr.Problem()
+	const budget = 30 * time.Second
+	start := time.Now()
+	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+		Engine:    "portfolio",
+		TimeLimit: budget,
+		Seed:      1,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Proven {
+		t.Error("portfolio did not surface the proven optimum on SDR")
+	}
+	if elapsed > budget/2 {
+		t.Errorf("portfolio took %s of its %s budget; early acceptance of the proven winner should cut the race short", elapsed, budget)
+	}
+}

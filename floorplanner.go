@@ -33,6 +33,8 @@
 //	constructive deterministic greedy placer
 //	annealing    simulated-annealing baseline in the spirit of [9]
 //	tessellation greedy columnar packer in the spirit of [8]
+//	portfolio    races exact, milp-ho and the heuristics concurrently
+//	             under one shared time budget and returns the best answer
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // paper-versus-measured evaluation.
@@ -48,6 +50,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/heuristic"
 	"repro/internal/model"
+	"repro/internal/portfolio"
 )
 
 // Re-exported problem/solution types: the stable public surface.
@@ -139,6 +142,9 @@ type Options struct {
 	Seed int64
 	// Workers bounds parallelism where supported.
 	Workers int
+	// Members selects the "portfolio" engine's racing members by name
+	// (empty = the default race); ignored by every other engine.
+	Members []string
 }
 
 // NewEngine instantiates an engine by name.
@@ -156,20 +162,50 @@ func NewEngine(name string) (Engine, error) {
 		return &heuristic.Annealing{}, nil
 	case "tessellation":
 		return &heuristic.Tessellation{}, nil
+	case "portfolio":
+		return portfolio.New(), nil
 	default:
 		return nil, fmt.Errorf("floorplanner: unknown engine %q", name)
 	}
 }
 
+// NewPortfolio builds a portfolio engine racing the named members
+// (empty = the default race: exact, milp-ho and the three heuristics).
+// Infeasibility verdicts are trusted only from the proving engines
+// (exact, milp-o, milp-ho).
+func NewPortfolio(members ...string) (Engine, error) {
+	ms := make([]portfolio.Member, 0, len(members))
+	for _, name := range members {
+		if name == "portfolio" {
+			return nil, fmt.Errorf("floorplanner: portfolio cannot race itself")
+		}
+		eng, err := NewEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, portfolio.Member{
+			Engine:          eng,
+			TrustInfeasible: name == "exact" || name == "milp-o" || name == "milp-ho",
+		})
+	}
+	return portfolio.New(ms...), nil
+}
+
 // EngineNames lists the available engines.
 func EngineNames() []string {
-	return []string{"exact", "milp-o", "milp-ho", "constructive", "annealing", "tessellation"}
+	return []string{"exact", "milp-o", "milp-ho", "constructive", "annealing", "tessellation", "portfolio"}
 }
 
 // Solve runs the selected engine on the problem. The returned solution is
 // validated against the problem before being returned.
 func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
-	eng, err := NewEngine(opts.Engine)
+	var eng Engine
+	var err error
+	if opts.Engine == "portfolio" && len(opts.Members) > 0 {
+		eng, err = NewPortfolio(opts.Members...)
+	} else {
+		eng, err = NewEngine(opts.Engine)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestCachedCandidatesMemoizes(t *testing.T) {
+	d := device.VirtexFX70T()
+	req := device.Requirements{device.ClassCLB: 7, device.ClassBRAM: 1}
+
+	a := CachedCandidates(d, req)
+	b := CachedCandidates(d, req)
+	if len(a) == 0 {
+		t.Fatal("no candidates for a placeable shape")
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("repeated lookups did not share the memoized slice")
+	}
+	if want := EnumerateCandidates(d, req); !reflect.DeepEqual(a, want) {
+		t.Fatal("cached candidates differ from direct enumeration")
+	}
+
+	all := CachedAllCandidates(d, req)
+	if len(all) > 0 && len(a) > 0 && &all[0] == &a[0] {
+		t.Fatal("all-candidates and width-minimal lists share one cache entry")
+	}
+}
+
+func TestCachedCandidatesKeyedByDeviceIdentity(t *testing.T) {
+	req := device.Requirements{device.ClassCLB: 5}
+	a := CachedCandidates(device.VirtexFX70T(), req)
+	b := CachedCandidates(device.VirtexFX70T(), req)
+	// Two equal-looking devices are distinct models: same contents, but
+	// the lists must come from separate entries (no stale pointer hits).
+	if len(a) > 0 && len(b) > 0 && &a[0] == &b[0] {
+		t.Fatal("look-alike devices shared one cache entry")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical devices enumerated different candidates")
+	}
+}
+
+func TestCachedCandidatesRequirementsOrderInsensitive(t *testing.T) {
+	// Map iteration order is random; the key must not depend on it, and
+	// zero-valued classes must not split entries.
+	d := device.VirtexFX70T()
+	a := CachedCandidates(d, device.Requirements{device.ClassCLB: 9, device.ClassDSP: 2})
+	b := CachedCandidates(d, device.Requirements{device.ClassDSP: 2, device.ClassCLB: 9, device.ClassBRAM: 0})
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("equivalent requirements missed the cache")
+	}
+}
+
+func TestCachedCandidatesSingleFlight(t *testing.T) {
+	d := device.VirtexFX70T()
+	req := device.Requirements{device.ClassCLB: 11}
+	const racers = 16
+	out := make([][]Candidate, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = CachedCandidates(d, req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if len(out[i]) == 0 || &out[i][0] != &out[0][0] {
+			t.Fatalf("racer %d got a private enumeration; want one shared slice", i)
+		}
+	}
+}
+
+func TestCandCacheEvictsFIFO(t *testing.T) {
+	c := &candCache{m: make(map[candKey]*candEntry)}
+	d := device.VirtexFX70T()
+	first := device.Requirements{device.ClassCLB: 1}
+	got := c.get(d, first, false)
+	for i := 0; i < candCacheCap; i++ {
+		// Distinct keys via distinct requirement sizes; enough of them to
+		// push the first entry out.
+		c.get(d, device.Requirements{device.ClassCLB: i + 2}, false)
+	}
+	c.mu.Lock()
+	size := len(c.m)
+	_, stillThere := c.m[candKey{dev: d, req: reqKey(first), all: false}]
+	c.mu.Unlock()
+	if size != candCacheCap {
+		t.Fatalf("cache holds %d entries, want the cap %d", size, candCacheCap)
+	}
+	if stillThere {
+		t.Fatal("oldest entry survived eviction")
+	}
+	// A re-lookup must re-enumerate into a fresh entry, not resurrect the
+	// evicted slice.
+	again := c.get(d, first, false)
+	if len(got) > 0 && len(again) > 0 && &got[0] == &again[0] {
+		t.Fatal("evicted entry was resurrected instead of re-enumerated")
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("re-enumeration after eviction produced different candidates")
+	}
+}
+
+func TestReqKeyDeterministic(t *testing.T) {
+	req := device.Requirements{device.ClassCLB: 3, device.ClassBRAM: 2, device.ClassDSP: 1}
+	want := reqKey(req)
+	for i := 0; i < 20; i++ {
+		if got := reqKey(req); got != want {
+			t.Fatalf("reqKey unstable: %q vs %q", got, want)
+		}
+	}
+	if reqKey(device.Requirements{}) != "" {
+		t.Fatal("empty requirements should key to the empty string")
+	}
+	if want == "" {
+		t.Fatal("non-empty requirements keyed to the empty string")
+	}
+}

@@ -131,6 +131,9 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
+	}
 	opts = opts.Normalized()
 	start := time.Now()
 
@@ -170,9 +173,9 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 	st.cands = make([][]core.Candidate, len(p.Regions))
 	for i, r := range p.Regions {
 		if needsAll[i] {
-			st.cands[i] = core.EnumerateAllCandidates(p.Device, r.Req)
+			st.cands[i] = core.CachedAllCandidates(p.Device, r.Req)
 		} else {
-			st.cands[i] = core.EnumerateCandidates(p.Device, r.Req)
+			st.cands[i] = core.CachedCandidates(p.Device, r.Req)
 		}
 		if len(st.cands[i]) == 0 {
 			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
@@ -198,6 +201,12 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 	st.minTail = make([]int, len(st.order)+1)
 	for k := len(st.order) - 1; k >= 0; k-- {
 		st.minTail[k] = st.minTail[k+1] + st.cands[st.order[k]][0].Waste
+	}
+
+	// Candidate enumeration and ordering above can take a while on a cold
+	// cache; re-check the context before committing to the search.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
 	}
 
 	workers := opts.Workers // >= 1 after normalization

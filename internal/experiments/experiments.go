@@ -22,6 +22,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristic"
 	"repro/internal/partition"
+	"repro/internal/portfolio"
 	"repro/internal/sdr"
 )
 
@@ -212,6 +213,81 @@ func FormatTable2(rows []Table2Row) string {
 		}
 		fmt.Fprintf(&b, "%-22s %-6s %9d %14d %14s %10.0f %7v %9s\n",
 			r.Algorithm, r.Design, r.FCAreas, r.Wasted, paper, r.WireLength, r.Proven, r.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// PortfolioRow is one SDR instance of the portfolio race comparison.
+type PortfolioRow struct {
+	Design string
+	// Winner is the member engine whose solution the portfolio accepted.
+	Winner string
+	// Wasted and WireLength are the winning solution's cost terms.
+	Wasted     int
+	WireLength float64
+	// Elapsed is the portfolio's wall-clock; with members racing
+	// concurrently it tracks the decisive member, not the sum.
+	Elapsed time.Duration
+	// Members records each member's own latency and outcome.
+	Members []portfolio.MemberStats
+}
+
+// PortfolioRace runs the portfolio engine on the three SDR instances
+// under the shared budget, reporting per-member latencies alongside the
+// accepted winner — the serving-layer view of the paper's exact-vs-
+// heuristic comparison (Section VI under wall-clock budgets).
+func PortfolioRace(ctx context.Context, budget time.Duration) ([]PortfolioRow, error) {
+	var rows []PortfolioRow
+	for _, design := range []string{"SDR", "SDR2", "SDR3"} {
+		var p *core.Problem
+		switch design {
+		case "SDR":
+			p = sdr.Problem()
+		case "SDR2":
+			p = sdr.SDR2()
+		case "SDR3":
+			p = sdr.SDR3()
+		}
+		pf := &portfolio.Portfolio{Stats: portfolio.NewStats()}
+		start := time.Now()
+		sol, err := pf.Solve(ctx, p, core.SolveOptions{TimeLimit: budget, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: portfolio on %s: %w", design, err)
+		}
+		if err := sol.Validate(p); err != nil {
+			return nil, fmt.Errorf("experiments: portfolio on %s produced invalid solution: %w", design, err)
+		}
+		m := sol.Metrics(p)
+		rows = append(rows, PortfolioRow{
+			Design:     design,
+			Winner:     sol.Engine,
+			Wasted:     m.WastedFrames,
+			WireLength: m.WireLength,
+			Elapsed:    time.Since(start),
+			Members:    pf.Stats.Snapshot(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatPortfolio renders the portfolio race comparison.
+func FormatPortfolio(rows []PortfolioRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Portfolio race: engines under one shared budget per design\n")
+	fmt.Fprintf(&b, "%-6s %-24s %14s %10s %9s\n", "Design", "winner", "wasted frames", "wirelen", "time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-24s %14d %10.0f %9s\n",
+			r.Design, r.Winner, r.Wasted, r.WireLength, r.Elapsed.Round(time.Millisecond))
+		for _, ms := range r.Members {
+			verdict := "ok"
+			if ms.Failures > 0 {
+				verdict = "failed"
+			}
+			if ms.Wins > 0 {
+				verdict = "WON"
+			}
+			fmt.Fprintf(&b, "    %-20s %9s  %s\n", ms.Name, ms.Total.Round(time.Millisecond), verdict)
+		}
 	}
 	return b.String()
 }

@@ -45,9 +45,11 @@ func annealEnergy(overlapTiles, waste int, wl float64) float64 {
 // Solve implements core.Engine. When the problem carries free-compatible
 // area requests, the annealer restarts with fresh seeds (up to Restarts
 // times) until the greedy packer can satisfy them — annealing itself only
-// shapes the region placement.
+// shapes the region placement. opts.TimeLimit bounds the WHOLE solve:
+// restarts share one deadline instead of each getting a fresh budget.
 func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
 	opts = opts.Normalized()
+	deadline := deadlineFor(time.Now(), opts)
 	restarts := a.Restarts
 	if restarts <= 0 {
 		restarts = 8
@@ -57,9 +59,12 @@ func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveO
 	}
 	var lastErr error
 	for attempt := 0; attempt < restarts; attempt++ {
+		if expired(ctx, deadline) {
+			break
+		}
 		seedOpts := opts
 		seedOpts.Seed = opts.Seed + int64(attempt)*7919
-		sol, err := a.solveOnce(ctx, p, seedOpts)
+		sol, err := a.solveOnce(ctx, deadline, p, seedOpts)
 		if err == nil {
 			return sol, nil
 		}
@@ -67,14 +72,30 @@ func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveO
 		if !errors.Is(err, core.ErrNoSolution) {
 			return nil, err
 		}
-		if ctxDone(ctx) {
-			break
-		}
+	}
+	if lastErr == nil {
+		lastErr = core.ErrNoSolution
 	}
 	return nil, lastErr
 }
 
-func (a *Annealing) solveOnce(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+// coolingRate returns the per-step multiplicative factor that takes the
+// temperature from tStart to tEnd in steps-1 multiplications. Degenerate
+// schedules — a single step, or an inverted Start <= End pair that would
+// yield a heating (>1) or NaN factor — fall back to a constant
+// temperature instead of dividing by zero.
+func coolingRate(tStart, tEnd float64, steps int) float64 {
+	if steps < 2 || tEnd >= tStart {
+		return 1
+	}
+	cool := math.Pow(tEnd/tStart, 1/float64(steps-1))
+	if math.IsNaN(cool) || cool <= 0 || cool > 1 {
+		return 1
+	}
+	return cool
+}
+
+func (a *Annealing) solveOnce(ctx context.Context, deadline time.Time, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -95,15 +116,11 @@ func (a *Annealing) solveOnce(ctx context.Context, p *core.Problem, opts core.So
 	if tEnd <= 0 {
 		tEnd = 0.1
 	}
-	deadline := time.Time{}
-	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
-	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	cands := make([][]core.Candidate, len(p.Regions))
 	for i, r := range p.Regions {
-		cands[i] = core.EnumerateCandidates(p.Device, r.Req)
+		cands[i] = core.CachedCandidates(p.Device, r.Req)
 		if len(cands[i]) == 0 {
 			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
 		}
@@ -143,12 +160,15 @@ func (a *Annealing) solveOnce(ctx context.Context, p *core.Problem, opts core.So
 	bestCost := cur
 
 	temp := tStart
-	cool := math.Pow(tEnd/tStart, 1/float64(steps-1))
+	cool := coolingRate(tStart, tEnd, steps)
+anneal:
 	for step := 0; step < steps; step++ {
-		if ctxDone(ctx) || (!deadline.IsZero() && time.Now().After(deadline)) {
-			break
-		}
 		for it := 0; it < iters; it++ {
+			// Checked per move, not per temperature step, so an expired
+			// budget costs at most one more cost evaluation.
+			if expired(ctx, deadline) {
+				break anneal
+			}
 			ri := rng.Intn(len(state))
 			old := state[ri]
 			state[ri] = rng.Intn(len(cands[ri]))

@@ -1,0 +1,65 @@
+package heuristic
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sdr"
+)
+
+func TestCoolingRateGuards(t *testing.T) {
+	cases := []struct {
+		name         string
+		tStart, tEnd float64
+		steps        int
+		wantOne      bool
+	}{
+		{"single step", 2000, 0.1, 1, true},
+		{"zero steps", 2000, 0.1, 0, true},
+		{"negative steps", 2000, 0.1, -3, true},
+		{"inverted schedule", 0.1, 2000, 120, true},
+		{"flat schedule", 5, 5, 120, true},
+		{"normal schedule", 2000, 0.1, 120, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := coolingRate(tc.tStart, tc.tEnd, tc.steps)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("coolingRate(%v, %v, %d) = %v", tc.tStart, tc.tEnd, tc.steps, got)
+			}
+			if tc.wantOne && got != 1 {
+				t.Fatalf("coolingRate(%v, %v, %d) = %v, want the no-cooling guard value 1", tc.tStart, tc.tEnd, tc.steps, got)
+			}
+			if !tc.wantOne && !(got > 0 && got < 1) {
+				t.Fatalf("coolingRate(%v, %v, %d) = %v, want a rate in (0, 1)", tc.tStart, tc.tEnd, tc.steps, got)
+			}
+		})
+	}
+}
+
+// TestAnnealingSingleStep regression-tests the Steps==1 configuration,
+// which used to compute a 1/(steps-1) division by zero in the cooling
+// schedule. The solve must terminate and produce either a valid solution
+// or a sentinel error — never hang on a degenerate temperature.
+func TestAnnealingSingleStep(t *testing.T) {
+	p := sdr.Problem()
+	for _, a := range []*Annealing{
+		{Steps: 1, Iterations: 25},
+		{Steps: 1, Iterations: 25, Start: 0.1, End: 2000}, // inverted, used to cool at +Inf
+	} {
+		sol, err := a.Solve(context.Background(), p, core.SolveOptions{Seed: 1, TimeLimit: 10 * time.Second})
+		switch {
+		case err == nil:
+			if verr := sol.Validate(p); verr != nil {
+				t.Fatalf("Steps=1 returned invalid solution: %v", verr)
+			}
+		case errors.Is(err, core.ErrNoSolution), errors.Is(err, core.ErrInfeasible):
+		default:
+			t.Fatalf("Steps=1 solve failed unexpectedly: %v", err)
+		}
+	}
+}

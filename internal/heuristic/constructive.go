@@ -42,6 +42,7 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 	}
 	opts = opts.Normalized()
 	start := time.Now()
+	deadline := deadlineFor(start, opts)
 	maxBT := c.MaxBacktrack
 	if maxBT <= 0 {
 		maxBT = 32
@@ -49,7 +50,7 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 
 	cands := make([][]core.Candidate, len(p.Regions))
 	for i, r := range p.Regions {
-		cands[i] = core.EnumerateCandidates(p.Device, r.Req)
+		cands[i] = core.CachedCandidates(p.Device, r.Req)
 		if len(cands[i]) == 0 {
 			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
 		}
@@ -59,9 +60,11 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 	mask := grid.NewMask(p.Device.Width(), p.Device.Height())
 	placed := make([]grid.Rect, len(p.Regions))
 
+	aborted := false
 	var place func(k int) bool
 	place = func(k int) bool {
-		if ctxDone(ctx) {
+		if expired(ctx, deadline) {
+			aborted = true
 			return false
 		}
 		if k == len(order) {
@@ -84,10 +87,16 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 			}
 			mask.ClearRect(cand.Rect)
 			placed[ri] = grid.Rect{}
+			if aborted {
+				return false
+			}
 		}
 		return false
 	}
 	if !place(0) {
+		if aborted {
+			return nil, core.ErrNoSolution
+		}
 		return nil, core.ErrInfeasible
 	}
 
@@ -95,7 +104,7 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 	if !ok {
 		// Greedy FC packing failed for a constraint-mode area; retry the
 		// whole construction with FC packing interleaved as a filter.
-		sol, err := c.solveWithFCFilter(ctx, p, cands, order, maxBT)
+		sol, err := c.solveWithFCFilter(ctx, deadline, p, cands, order, maxBT)
 		if err != nil {
 			return nil, err
 		}
@@ -113,15 +122,19 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 }
 
 // solveWithFCFilter redoes the construction, rejecting any complete
-// placement whose free-compatible areas cannot be greedily packed.
-func (c *Constructive) solveWithFCFilter(ctx context.Context, p *core.Problem, cands [][]core.Candidate, order []int, maxBT int) (*core.Solution, error) {
+// placement whose free-compatible areas cannot be greedily packed. The
+// deadline bounds the backtracking: on expiry the search stops and the
+// engine reports an exhausted budget rather than (unproven) infeasibility.
+func (c *Constructive) solveWithFCFilter(ctx context.Context, deadline time.Time, p *core.Problem, cands [][]core.Candidate, order []int, maxBT int) (*core.Solution, error) {
 	mask := grid.NewMask(p.Device.Width(), p.Device.Height())
 	placed := make([]grid.Rect, len(p.Regions))
 	var result *core.Solution
 
+	aborted := false
 	var place func(k int) bool
 	place = func(k int) bool {
-		if ctxDone(ctx) {
+		if expired(ctx, deadline) {
+			aborted = true
 			return false
 		}
 		if k == len(order) {
@@ -152,10 +165,16 @@ func (c *Constructive) solveWithFCFilter(ctx context.Context, p *core.Problem, c
 			}
 			mask.ClearRect(cand.Rect)
 			placed[ri] = grid.Rect{}
+			if aborted {
+				return false
+			}
 		}
 		return false
 	}
 	if !place(0) {
+		if aborted {
+			return nil, core.ErrNoSolution
+		}
 		return nil, core.ErrInfeasible
 	}
 	return result, nil
@@ -267,4 +286,22 @@ func ctxDone(ctx context.Context) bool {
 	default:
 		return false
 	}
+}
+
+// deadlineFor converts opts.TimeLimit into an absolute deadline (zero
+// when unlimited).
+func deadlineFor(start time.Time, opts core.SolveOptions) time.Time {
+	if opts.TimeLimit <= 0 {
+		return time.Time{}
+	}
+	return start.Add(opts.TimeLimit)
+}
+
+// expired reports whether the solve must stop: context canceled or the
+// engine's own deadline passed.
+func expired(ctx context.Context, deadline time.Time) bool {
+	if ctxDone(ctx) {
+		return true
+	}
+	return !deadline.IsZero() && time.Now().After(deadline)
 }

@@ -39,6 +39,7 @@ func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.So
 	}
 	opts = opts.Normalized()
 	start := time.Now()
+	deadline := deadlineFor(start, opts)
 	d := p.Device
 
 	// Decreasing frame-footprint order (largest bitstream first).
@@ -64,11 +65,16 @@ func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.So
 	mask := grid.NewMask(d.Width(), d.Height())
 	placed := make([]grid.Rect, len(p.Regions))
 	for _, ri := range order {
-		if ctxDone(ctx) {
+		if expired(ctx, deadline) {
 			return nil, core.ErrNoSolution
 		}
-		r, ok := ts.placeOne(d, p.Regions[ri].Req, mask)
+		r, ok := ts.placeOne(ctx, deadline, d, p.Regions[ri].Req, mask)
 		if !ok {
+			if expired(ctx, deadline) {
+				// The sweep was cut short by the budget; infeasibility
+				// was not established.
+				return nil, core.ErrNoSolution
+			}
 			return nil, fmt.Errorf("%w: tessellation could not place region %q", core.ErrInfeasible, p.Regions[ri].Name)
 		}
 		mask.SetRect(r)
@@ -92,7 +98,11 @@ func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.So
 // kernel. Unlike the MILP, the choice is greedy per region — earlier
 // regions are never reconsidered, so the global waste stays above the
 // optimum whenever regions compete for scarce BRAM/DSP columns.
-func (ts *Tessellation) placeOne(d *device.Device, req device.Requirements, mask *grid.Mask) (grid.Rect, bool) {
+//
+// The sweep checks the deadline once per column so an expired budget
+// returns the best kernel found so far (or none, which the caller maps
+// to an exhausted-budget error rather than infeasibility).
+func (ts *Tessellation) placeOne(ctx context.Context, deadline time.Time, d *device.Device, req device.Requirements, mask *grid.Mask) (grid.Rect, bool) {
 	W, H := d.Width(), d.Height()
 	q := ts.BandQuantum
 	if q <= 0 {
@@ -101,6 +111,9 @@ func (ts *Tessellation) placeOne(d *device.Device, req device.Requirements, mask
 	best := grid.Rect{}
 	bestWaste := -1
 	for x := 0; x < W; x++ {
+		if expired(ctx, deadline) {
+			break
+		}
 		for h := H - H%q; h >= q; h -= q {
 			for y := 0; y+h <= H; y += q {
 				// Widen until satisfied.

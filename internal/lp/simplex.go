@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Status reports the outcome of an LP solve.
@@ -48,6 +49,10 @@ type Options struct {
 	MaxIterations int
 	// Tol is the feasibility/optimality tolerance (0 = default 1e-7).
 	Tol float64
+	// Deadline, when nonzero, bounds the wall-clock time of the solve.
+	// A solve cut short by the deadline reports StatusIterationLimit,
+	// which callers already treat as "no usable relaxation".
+	Deadline time.Time
 }
 
 const (
@@ -83,13 +88,14 @@ type simplex struct {
 	cost2   []float64 // phase-2 costs
 	b       []float64
 
-	basis   []int   // row -> column
-	stat    []vstat // column -> status
-	x       []float64
-	binv    [][]float64 // m x m basis inverse
-	tol     float64
-	iters   int
-	maxIter int
+	basis    []int   // row -> column
+	stat     []vstat // column -> status
+	x        []float64
+	binv     [][]float64 // m x m basis inverse
+	tol      float64
+	iters    int
+	maxIter  int
+	deadline time.Time
 
 	degenStreak int
 	bland       bool
@@ -110,6 +116,9 @@ func Solve(m *Model, opts Options) Solution {
 // equal to NaN also fall back to the model bound. This is the entry point
 // used by branch-and-bound nodes.
 func SolveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) Solution {
+	if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+		return Solution{Status: StatusIterationLimit}
+	}
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = defaultTol
@@ -126,6 +135,7 @@ func SolveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) S
 	if s.maxIter <= 0 {
 		s.maxIter = 2000 + 40*(rows+nStruct)
 	}
+	s.deadline = opts.Deadline
 
 	// Assemble columns: structural then one slack per row.
 	total := nStruct + rows
@@ -256,6 +266,12 @@ func (s *simplex) initialize() Status {
 	s.binv = make([][]float64, s.m)
 	for r := 0; r < s.m; r++ {
 		s.binv[r] = make([]float64, s.m)
+		// The dense basis inverse is the biggest allocation of the solve
+		// (m*m floats — hundreds of MB on floorplanning-sized models), so
+		// the deadline is polled while it is built, not only per pivot.
+		if r&511 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return StatusIterationLimit
+		}
 	}
 	for r := 0; r < s.m; r++ {
 		slack := s.nStruct + r
@@ -314,6 +330,11 @@ func (s *simplex) run() Status {
 	sinceRefactor := 0
 	for {
 		if s.iters >= s.maxIter {
+			return StatusIterationLimit
+		}
+		// A clock read is trivial next to a pivot, so the deadline is
+		// polled every iteration.
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 			return StatusIterationLimit
 		}
 		s.iters++

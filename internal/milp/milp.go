@@ -147,11 +147,19 @@ func Solve(ctx context.Context, m *lp.Model, opts Options) Result {
 	}
 	intVars := m.IntegerVariables()
 
+	lpOpts := opts.LP
+	// Bound each node's relaxation solve by the overall deadline: the
+	// search checks its budget between nodes, so a single runaway
+	// simplex must not be able to blow past it.
+	if lpOpts.Deadline.IsZero() || (!deadline.IsZero() && deadline.Before(lpOpts.Deadline)) {
+		lpOpts.Deadline = deadline
+	}
+
 	st := &search{
 		model:     m,
 		intVars:   intVars,
 		intTol:    intTol,
-		lpOpts:    opts.LP,
+		lpOpts:    lpOpts,
 		incumbent: math.Inf(1),
 		deadline:  deadline,
 		ctx:       ctx,
@@ -190,12 +198,12 @@ func Solve(ctx context.Context, m *lp.Model, opts Options) Result {
 		res.Status = StatusInfeasible
 	case st.rootUnbounded:
 		res.Status = StatusUnbounded
-	case st.best == nil && st.exhausted:
+	case st.best == nil && st.exhausted && !st.lpCut:
 		res.Status = StatusInfeasible
 	case st.best == nil:
 		res.Status = StatusNoSolution
 		res.Objective = math.Inf(1)
-	case st.exhausted || res.Bound >= st.incumbent-1e-9:
+	case !st.lpCut && (st.exhausted || res.Bound >= st.incumbent-1e-9):
 		res.Status = StatusOptimal
 		res.Objective = st.incumbent
 		res.X = st.best
@@ -231,6 +239,11 @@ type search struct {
 	rootInfeasible bool
 	rootUnbounded  bool
 	stopped        bool
+	// lpCut records that at least one node was dropped because its LP
+	// relaxation hit the iteration/deadline budget rather than being
+	// solved. An "exhausted" queue then proves nothing: neither
+	// optimality nor infeasibility may be claimed.
+	lpCut bool
 }
 
 func nanSlice(n int) []float64 {
@@ -407,6 +420,9 @@ func (st *search) processNode(nd *node) {
 		// possible without a solution, so drop the node conservatively
 		// only when it carried no solution.
 		if sol.X == nil {
+			st.mu.Lock()
+			st.lpCut = true
+			st.mu.Unlock()
 			return
 		}
 	}

@@ -41,17 +41,22 @@ func (e *OEngine) Name() string { return "milp-o" }
 
 // Solve implements core.Engine.
 func (e *OEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
+	}
+	opts = opts.Normalized()
+	start := time.Now()
 	compiled, err := Build(p, Options{Encoding: e.Encoding})
 	if err != nil {
 		return nil, err
 	}
 	seed := e.Seed
 	if seed == nil && !e.SkipWarmStart {
-		if s, err := (&heuristic.Constructive{}).Solve(ctx, p, opts); err == nil {
+		if s, err := (&heuristic.Constructive{}).Solve(ctx, p, seedBudget(opts)); err == nil {
 			seed = s
 		}
 	}
-	return solveLexicographic(ctx, compiled, opts, e.Name(), seed, e.MaxNodes, e.SkipWireStage)
+	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage)
 }
 
 // HOEngine is the paper's HO (Heuristic Optimal) algorithm: a heuristic
@@ -76,10 +81,15 @@ func (e *HOEngine) Name() string { return "milp-ho" }
 
 // Solve implements core.Engine.
 func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
+	}
+	opts = opts.Normalized()
+	start := time.Now()
 	seed := e.Seed
 	if seed == nil {
 		var err error
-		seed, err = (&heuristic.Constructive{}).Solve(ctx, p, opts)
+		seed, err = (&heuristic.Constructive{}).Solve(ctx, p, seedBudget(opts))
 		if err != nil {
 			return nil, fmt.Errorf("model: HO seed: %w", err)
 		}
@@ -114,7 +124,34 @@ func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 	if err != nil {
 		return nil, err
 	}
-	return solveLexicographic(ctx, compiled, opts, e.Name(), seed, e.MaxNodes, e.SkipWireStage)
+	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage)
+}
+
+// seedBudget carves the warm-start heuristic's slice out of the caller's
+// budget (a quarter, so the MILP keeps the bulk of it). Zero stays zero:
+// an unlimited solve runs an unlimited seed.
+func seedBudget(opts core.SolveOptions) core.SolveOptions {
+	if opts.TimeLimit > 0 {
+		opts.TimeLimit /= 4
+	}
+	return opts
+}
+
+// remainingBudget shrinks opts.TimeLimit by what has already elapsed
+// since start, so seed time is not paid twice. A fully consumed budget
+// leaves a minimal slice: the MILP still gets to surface its warm-start
+// incumbent, and the overrun stays bounded by this slice.
+func remainingBudget(opts core.SolveOptions, start time.Time) core.SolveOptions {
+	if opts.TimeLimit <= 0 {
+		return opts
+	}
+	const minSlice = 5 * time.Millisecond
+	rem := opts.TimeLimit - time.Since(start)
+	if rem < minSlice {
+		rem = minSlice
+	}
+	opts.TimeLimit = rem
+	return opts
 }
 
 // solveLexicographic runs the two-pass lexicographic MILP solve.
@@ -144,6 +181,16 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 	case milp.StatusInfeasible:
 		return nil, core.ErrInfeasible
 	case milp.StatusNoSolution:
+		// Budget exhausted without an incumbent. The validated seed is
+		// still a legal floorplan: return it unimproved rather than
+		// claiming failure after a successful heuristic run.
+		if seed != nil && seed.Validate(c.Problem) == nil {
+			fallback := *seed
+			fallback.Engine = name
+			fallback.Proven = false
+			fallback.Elapsed = time.Since(start)
+			return &fallback, nil
+		}
 		return nil, core.ErrNoSolution
 	case milp.StatusUnbounded:
 		return nil, errors.New("model: MILP relaxation unbounded (formulation bug)")
@@ -152,7 +199,19 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 	nodes := res.Nodes
 	finalX := res.X
 
-	if !skipWire && len(c.Problem.Nets) > 0 {
+	wirePass := !skipWire && len(c.Problem.Nets) > 0
+	remaining := time.Duration(0)
+	if wirePass && budget > 0 {
+		// Never extend past the caller's budget: an exhausted budget
+		// skips the wire pass instead of borrowing extra wall-clock
+		// (the engine deadline contract, see DESIGN.md).
+		remaining = budget - time.Since(start)
+		if remaining <= 0 {
+			wirePass = false
+			proven = false
+		}
+	}
+	if wirePass {
 		c.StageWireLength(res.X)
 		m2 := milp.Options{
 			Workers:   opts.Workers,
@@ -160,10 +219,6 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 			WarmStart: res.X,
 		}
 		if budget > 0 {
-			remaining := budget - time.Since(start)
-			if remaining < time.Second {
-				remaining = time.Second
-			}
 			m2.TimeLimit = remaining
 		}
 		res2 := milp.Solve(ctx, c.LP, m2)

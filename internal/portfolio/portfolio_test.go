@@ -1,0 +1,240 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// testProblem mirrors the core package's fixture: two regions and one net
+// on the Virtex-5 FX70T, small enough that solutions can be written by
+// hand and validated for real.
+func testProblem() *core.Problem {
+	return &core.Problem{
+		Device: device.VirtexFX70T(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 25, device.ClassDSP: 5}},
+			{Name: "B", Req: device.Requirements{device.ClassCLB: 5, device.ClassBRAM: 2}},
+		},
+		Nets:      []core.Net{{A: 0, B: 1, Weight: 64}},
+		Objective: core.DefaultObjective(),
+	}
+}
+
+// nearSolution places B next to A (short net).
+func nearSolution() *core.Solution {
+	return &core.Solution{
+		Regions: []grid.Rect{
+			{X: 4, Y: 0, W: 6, H: 5},
+			{X: 10, Y: 0, W: 4, H: 2},
+		},
+		FC: []core.FCPlacement{},
+	}
+}
+
+// farSolution places B at the bottom edge (long net, worse objective).
+func farSolution() *core.Solution {
+	return &core.Solution{
+		Regions: []grid.Rect{
+			{X: 4, Y: 0, W: 6, H: 5},
+			{X: 10, Y: 6, W: 4, H: 2},
+		},
+		FC: []core.FCPlacement{},
+	}
+}
+
+// stub is a scripted member engine: it waits delay (honoring ctx), then
+// returns its canned result. A non-nil canceled channel is closed when the
+// stub observes cancellation, letting tests assert losers were stopped.
+type stub struct {
+	name     string
+	sol      *core.Solution
+	err      error
+	delay    time.Duration
+	canceled chan struct{}
+}
+
+func (s *stub) Name() string { return s.name }
+
+func (s *stub) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	if s.delay > 0 {
+		t := time.NewTimer(s.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			if s.canceled != nil {
+				close(s.canceled)
+			}
+			return nil, ctx.Err()
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	cp := *s.sol
+	return &cp, nil
+}
+
+func TestPortfolioPicksBestObjective(t *testing.T) {
+	p := testProblem()
+	near, far := nearSolution(), farSolution()
+	if near.Objective(p) >= far.Objective(p) {
+		t.Fatalf("fixture broken: near objective %v !< far objective %v", near.Objective(p), far.Objective(p))
+	}
+	pf := &Portfolio{Members: []Member{
+		{Engine: &stub{name: "worse", sol: far}},
+		{Engine: &stub{name: "better", sol: near, delay: 20 * time.Millisecond}},
+	}}
+	sol, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine != "portfolio(better)" {
+		t.Fatalf("winner = %q, want portfolio(better)", sol.Engine)
+	}
+	if got := sol.Objective(p); got != near.Objective(p) {
+		t.Fatalf("objective = %v, want the better member's %v", got, near.Objective(p))
+	}
+}
+
+func TestPortfolioProvenWinnerCancelsLosers(t *testing.T) {
+	p := testProblem()
+	proven := nearSolution()
+	proven.Proven = true
+	loserCanceled := make(chan struct{})
+	pf := &Portfolio{Members: []Member{
+		{Engine: &stub{name: "fast", sol: proven}},
+		{Engine: &stub{name: "slow", sol: farSolution(), delay: time.Minute, canceled: loserCanceled}},
+	}}
+	start := time.Now()
+	sol, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("proven winner did not short-circuit the race: %s", elapsed)
+	}
+	if sol.Engine != "portfolio(fast)" {
+		t.Fatalf("winner = %q, want portfolio(fast)", sol.Engine)
+	}
+	select {
+	case <-loserCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loser was never canceled")
+	}
+}
+
+func TestPortfolioTrustedInfeasibleBeatsBudgetFailure(t *testing.T) {
+	p := testProblem()
+	pf := &Portfolio{Members: []Member{
+		{Engine: &stub{name: "exactish", err: core.ErrInfeasible}, TrustInfeasible: true},
+		{Engine: &stub{name: "heur", err: core.ErrNoSolution}},
+	}}
+	_, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second})
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible from the trusted member", err)
+	}
+}
+
+func TestPortfolioUntrustedInfeasibleDegrades(t *testing.T) {
+	p := testProblem()
+	pf := &Portfolio{Members: []Member{
+		{Engine: &stub{name: "heur", err: core.ErrInfeasible}},
+	}}
+	_, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second})
+	if errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("an untrusted infeasibility claim must not surface as a proof (err = %v)", err)
+	}
+	if !errors.Is(err, core.ErrNoSolution) {
+		t.Fatalf("err = %v, want ErrNoSolution", err)
+	}
+}
+
+func TestPortfolioInfeasibleBeatsOtherErrors(t *testing.T) {
+	p := testProblem()
+	pf := &Portfolio{Members: []Member{
+		{Engine: &stub{name: "broken", err: errors.New("disk on fire")}},
+		{Engine: &stub{name: "exactish", err: core.ErrInfeasible, delay: 10 * time.Millisecond}, TrustInfeasible: true},
+	}}
+	_, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second})
+	if !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible to outrank a member crash", err)
+	}
+}
+
+func TestPortfolioReportsMemberErrors(t *testing.T) {
+	p := testProblem()
+	pf := &Portfolio{Members: []Member{
+		{Engine: &stub{name: "broken", err: errors.New("disk on fire")}},
+	}}
+	_, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("err = %v, want the failing member named", err)
+	}
+}
+
+func TestPortfolioRejectsInvalidSolution(t *testing.T) {
+	p := testProblem()
+	overlapping := &core.Solution{
+		Regions: []grid.Rect{
+			{X: 4, Y: 0, W: 6, H: 5},
+			{X: 4, Y: 0, W: 6, H: 5}, // overlaps region A and lacks B's BRAM
+		},
+		FC: []core.FCPlacement{},
+	}
+	pf := &Portfolio{Members: []Member{
+		{Engine: &stub{name: "cheater", sol: overlapping}},
+		{Engine: &stub{name: "honest", sol: nearSolution(), delay: 20 * time.Millisecond}},
+	}}
+	sol, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine != "portfolio(honest)" {
+		t.Fatalf("winner = %q, want portfolio(honest): an invalid floorplan must not win", sol.Engine)
+	}
+}
+
+func TestPortfolioStats(t *testing.T) {
+	p := testProblem()
+	st := NewStats()
+	proven := nearSolution()
+	proven.Proven = true
+	pf := &Portfolio{
+		Members: []Member{
+			{Engine: &stub{name: "winner", sol: proven}},
+			{Engine: &stub{name: "loser", err: core.ErrNoSolution}},
+		},
+		Stats: st,
+	}
+	if _, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	byName := make(map[string]MemberStats, len(snap))
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	w, l := byName["winner"], byName["loser"]
+	if w.Races != 1 || w.Wins != 1 || w.Failures != 0 {
+		t.Fatalf("winner stats = %+v, want 1 race, 1 win", w)
+	}
+	if l.Races != 1 || l.Wins != 0 || l.Failures != 1 {
+		t.Fatalf("loser stats = %+v, want 1 race, 1 failure", l)
+	}
+}
+
+func TestPortfolioNilStatsSafe(t *testing.T) {
+	p := testProblem()
+	pf := &Portfolio{Members: []Member{{Engine: &stub{name: "only", sol: nearSolution()}}}}
+	if _, err := pf.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package portfolio
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemberStats is one member's cumulative race record.
+type MemberStats struct {
+	// Name is the member engine's Name().
+	Name string
+	// Races counts completed runs (failed or not) observed by the race
+	// collector; abandoned stragglers are not counted.
+	Races int64
+	// Wins counts races this member's solution won.
+	Wins int64
+	// Failures counts runs that returned an error.
+	Failures int64
+	// Total is the summed member wall-clock over all counted runs.
+	Total time.Duration
+}
+
+// Stats aggregates per-member race counters; safe for concurrent use.
+// The daemon exposes a Snapshot of the process-wide Shared() recorder on
+// /metrics.
+type Stats struct {
+	mu sync.Mutex
+	m  map[string]*MemberStats
+}
+
+// NewStats returns an empty recorder.
+func NewStats() *Stats { return &Stats{m: make(map[string]*MemberStats)} }
+
+var shared = NewStats()
+
+// Shared returns the process-wide recorder used by portfolio engines
+// built through New (and thus by the facade and the daemon).
+func Shared() *Stats { return shared }
+
+func (s *Stats) member(name string) *MemberStats {
+	ms, ok := s.m[name]
+	if !ok {
+		ms = &MemberStats{Name: name}
+		s.m[name] = ms
+	}
+	return ms
+}
+
+func (s *Stats) recordRun(name string, elapsed time.Duration, err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.member(name)
+	ms.Races++
+	ms.Total += elapsed
+	if err != nil {
+		ms.Failures++
+	}
+}
+
+func (s *Stats) recordWin(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.member(name).Wins++
+}
+
+// Snapshot returns the current counters sorted by member name.
+func (s *Stats) Snapshot() []MemberStats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MemberStats, 0, len(s.m))
+	for _, ms := range s.m {
+		out = append(out, *ms)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	floorplanner "repro"
 	"repro/internal/core"
+	"repro/internal/portfolio"
 )
 
 // defaultSolve dispatches to the public floorplanner entry point, so the
@@ -21,3 +22,9 @@ func defaultSolve(ctx context.Context, p *core.Problem, engine string, opts core
 
 // defaultEngineNames lists the engines the default solver accepts.
 func defaultEngineNames() []string { return floorplanner.EngineNames() }
+
+// defaultPortfolioStats exposes the process-wide portfolio race counters
+// (per-member races, wins, failures, cumulative latency) that /metrics
+// renders; portfolio engines built through the floorplanner facade all
+// record into this shared recorder.
+func defaultPortfolioStats() []portfolio.MemberStats { return portfolio.Shared().Snapshot() }

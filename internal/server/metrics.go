@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/portfolio"
 )
 
 // solveBuckets are the latency histogram upper bounds in seconds, chosen
@@ -55,6 +57,9 @@ type metrics struct {
 	requests        atomic.Int64
 
 	queueDepth func() int // live gauge, set by the server
+	// portfolioStats, when set, supplies the portfolio engine's
+	// per-member race counters for rendering.
+	portfolioStats func() []portfolio.MemberStats
 
 	mu        sync.Mutex
 	perEngine map[string]*histogram
@@ -122,6 +127,27 @@ func (m *metrics) render() string {
 		fmt.Fprintf(&b, "floorpland_solve_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", name, cum)
 		fmt.Fprintf(&b, "floorpland_solve_seconds_sum{engine=%q} %g\n", name, time.Duration(h.sumNanos.Load()).Seconds())
 		fmt.Fprintf(&b, "floorpland_solve_seconds_count{engine=%q} %d\n", name, h.total.Load())
+	}
+
+	if m.portfolioStats != nil {
+		if stats := m.portfolioStats(); len(stats) > 0 {
+			b.WriteString("# HELP floorpland_portfolio_member_races_total Portfolio races each member engine ran in.\n# TYPE floorpland_portfolio_member_races_total counter\n")
+			for _, ms := range stats {
+				fmt.Fprintf(&b, "floorpland_portfolio_member_races_total{member=%q} %d\n", ms.Name, ms.Races)
+			}
+			b.WriteString("# HELP floorpland_portfolio_member_wins_total Portfolio races each member engine won.\n# TYPE floorpland_portfolio_member_wins_total counter\n")
+			for _, ms := range stats {
+				fmt.Fprintf(&b, "floorpland_portfolio_member_wins_total{member=%q} %d\n", ms.Name, ms.Wins)
+			}
+			b.WriteString("# HELP floorpland_portfolio_member_failures_total Portfolio member runs that returned an error.\n# TYPE floorpland_portfolio_member_failures_total counter\n")
+			for _, ms := range stats {
+				fmt.Fprintf(&b, "floorpland_portfolio_member_failures_total{member=%q} %d\n", ms.Name, ms.Failures)
+			}
+			b.WriteString("# HELP floorpland_portfolio_member_seconds_sum Cumulative portfolio member solve time.\n# TYPE floorpland_portfolio_member_seconds_sum counter\n")
+			for _, ms := range stats {
+				fmt.Fprintf(&b, "floorpland_portfolio_member_seconds_sum{member=%q} %g\n", ms.Name, ms.Total.Seconds())
+			}
+		}
 	}
 	return b.String()
 }

@@ -129,6 +129,7 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 	}
 	s.metrics.queueDepth = s.pool.queueDepth
+	s.metrics.portfolioStats = defaultPortfolioStats
 	return s
 }
 
