@@ -171,8 +171,9 @@ func NewEngine(name string) (Engine, error) {
 
 // NewPortfolio builds a portfolio engine racing the named members
 // (empty = the default race: exact, milp-ho and the three heuristics).
-// Infeasibility verdicts are trusted only from the proving engines
-// (exact, milp-o, milp-ho).
+// Infeasibility verdicts are trusted only from engines that search the
+// full solution space (exact, milp-o); milp-ho's MILP is restricted to
+// its seed's sequence pair, so its verdicts are not proofs.
 func NewPortfolio(members ...string) (Engine, error) {
 	ms := make([]portfolio.Member, 0, len(members))
 	for _, name := range members {
@@ -185,7 +186,7 @@ func NewPortfolio(members ...string) (Engine, error) {
 		}
 		ms = append(ms, portfolio.Member{
 			Engine:          eng,
-			TrustInfeasible: name == "exact" || name == "milp-o" || name == "milp-ho",
+			TrustInfeasible: name == "exact" || name == "milp-o",
 		})
 	}
 	return portfolio.New(ms...), nil

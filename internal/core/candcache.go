@@ -17,7 +17,15 @@ import (
 // Keys use device pointer identity: two Device values are only considered
 // the same model when they are literally the same object, which is always
 // true within one solve (engines share the Problem's device) and never
-// produces stale hits for look-alike custom devices.
+// produces stale hits for look-alike custom devices. This relies on
+// device.Device being immutable after construction (which its API
+// enforces — it exposes no mutators and documents its accessor slices as
+// read-only): mutating a cached Device through unsafe means would serve
+// stale candidate lists. It also means the cache retains a reference to
+// every keyed Device (up to candCacheCap of them) for the process
+// lifetime; per-request throwaway devices occupy slots without ever
+// producing hits, which the FIFO eviction bounds but does not avoid —
+// long-lived services should prefer the shared catalog devices.
 //
 // Entries carry a sync.Once so concurrent requesters of the same key
 // share a single enumeration instead of duplicating the work and

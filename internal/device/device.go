@@ -14,6 +14,12 @@ import (
 // Rows are numbered 0..H-1 top to bottom, columns 0..W-1 left to right.
 // In the paper rows correspond to clock regions: a tile is one column wide
 // and one clock region tall.
+//
+// A Device is immutable once constructed: all fields are unexported, no
+// method mutates them, and accessors that expose internal slices document
+// them as read-only. Callers must not modify those slices — parts of the
+// system (notably core's candidate cache) key derived data on Device
+// pointer identity and depend on this immutability.
 type Device struct {
 	name      string
 	w, h      int

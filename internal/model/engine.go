@@ -56,7 +56,7 @@ func (e *OEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpt
 			seed = s
 		}
 	}
-	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage)
+	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage, false)
 }
 
 // HOEngine is the paper's HO (Heuristic Optimal) algorithm: a heuristic
@@ -91,7 +91,11 @@ func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 		var err error
 		seed, err = (&heuristic.Constructive{}).Solve(ctx, p, seedBudget(opts))
 		if err != nil {
-			return nil, fmt.Errorf("model: HO seed: %w", err)
+			// The constructive placer's give-up (bounded backtracking
+			// exhausted) is not an infeasibility proof. Do not wrap err:
+			// letting its ErrInfeasible escape through a MILP engine would
+			// let callers such as the portfolio mistake it for one.
+			return nil, fmt.Errorf("model: HO seed: %v: %w", err, core.ErrNoSolution)
 		}
 	}
 	if err := seed.Validate(p); err != nil {
@@ -124,7 +128,7 @@ func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 	if err != nil {
 		return nil, err
 	}
-	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage)
+	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage, true)
 }
 
 // seedBudget carves the warm-start heuristic's slice out of the caller's
@@ -155,7 +159,11 @@ func remainingBudget(opts core.SolveOptions, start time.Time) core.SolveOptions 
 }
 
 // solveLexicographic runs the two-pass lexicographic MILP solve.
-func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions, name string, seed *core.Solution, maxNodes int, skipWire bool) (*core.Solution, error) {
+// restricted marks a MILP over a subset of the solution space (the HO
+// flow's seed-derived sequence pair): its infeasibility verdict does not
+// extend to the full problem and is therefore never reported as
+// core.ErrInfeasible — the engine falls back to the seed instead.
+func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions, name string, seed *core.Solution, maxNodes int, skipWire, restricted bool) (*core.Solution, error) {
 	opts = opts.Normalized()
 	start := time.Now()
 	budget := opts.TimeLimit
@@ -178,12 +186,16 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 
 	res := milp.Solve(ctx, c.LP, mopts)
 	switch res.Status {
-	case milp.StatusInfeasible:
-		return nil, core.ErrInfeasible
-	case milp.StatusNoSolution:
-		// Budget exhausted without an incumbent. The validated seed is
-		// still a legal floorplan: return it unimproved rather than
-		// claiming failure after a successful heuristic run.
+	case milp.StatusInfeasible, milp.StatusNoSolution:
+		if res.Status == milp.StatusInfeasible && !restricted {
+			return nil, core.ErrInfeasible
+		}
+		// Budget exhausted without an incumbent, or the restricted space
+		// admits no placement (reachable when warm-start mapping or the
+		// encoding excludes the seed itself — not a proof for the full
+		// problem). The validated seed is still a legal floorplan: return
+		// it unimproved rather than claiming failure, or worse a false
+		// infeasibility proof, after a successful heuristic run.
 		if seed != nil && seed.Validate(c.Problem) == nil {
 			fallback := *seed
 			fallback.Engine = name

@@ -176,6 +176,33 @@ func TestOMetricModeMiss(t *testing.T) {
 	}
 }
 
+func TestHONeverClaimsInfeasibilityProof(t *testing.T) {
+	// Same provably-infeasible instance as TestOInfeasibleFC. The HO flow
+	// must not surface ErrInfeasible for it: its seed is a heuristic whose
+	// give-up proves nothing, and its MILP only covers the seed-restricted
+	// space — a false proof here would make the portfolio (which trusts
+	// exact/milp-o verdicts) cancel the race on possibly-feasible inputs.
+	p := &core.Problem{
+		Device: tinyDevice(),
+		Regions: []core.Region{
+			{Name: "A", Req: device.Requirements{device.ClassCLB: 4, device.ClassDSP: 2}},
+		},
+		Objective: core.DefaultObjective(),
+	}
+	p.FCAreas = []core.FCRequest{{Region: 0, Mode: core.RelocConstraint}}
+	eng := &HOEngine{SkipWireStage: true}
+	_, err := eng.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 30 * time.Second})
+	if err == nil {
+		t.Fatal("expected an error on the infeasible instance")
+	}
+	if errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("HO claimed an infeasibility proof it cannot have: %v", err)
+	}
+	if !errors.Is(err, core.ErrNoSolution) {
+		t.Fatalf("err = %v, want ErrNoSolution", err)
+	}
+}
+
 func TestHOImprovesOrMatchesSeed(t *testing.T) {
 	p := smallProblem(1, core.RelocConstraint)
 	seed, err := (&heuristic.Constructive{}).Solve(context.Background(), p, core.SolveOptions{})

@@ -78,11 +78,13 @@ func New(members ...Member) *Portfolio {
 
 // DefaultMembers is the standard race: the exact engine (the only
 // default member whose infeasibility verdicts are proofs), the paper's
-// HO flow, and the three fast heuristics.
+// HO flow, and the three fast heuristics. milp-ho is deliberately NOT
+// trusted: its MILP is restricted to the seed's sequence pair, so its
+// infeasibility verdicts do not extend to the full problem.
 func DefaultMembers() []Member {
 	return []Member{
 		{Engine: &exact.Engine{}, TrustInfeasible: true},
-		{Engine: &model.HOEngine{}, TrustInfeasible: true},
+		{Engine: &model.HOEngine{}},
 		{Engine: &heuristic.Constructive{}},
 		{Engine: &heuristic.Annealing{}},
 		{Engine: &heuristic.Tessellation{}},

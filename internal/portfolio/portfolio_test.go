@@ -231,6 +231,19 @@ func TestPortfolioStats(t *testing.T) {
 	}
 }
 
+func TestDefaultMembersTrustOnlyFullSpaceEngines(t *testing.T) {
+	// Only the exact engine searches the full space among the defaults;
+	// milp-ho's MILP is restricted to its seed's sequence pair, so
+	// trusting its infeasibility verdicts would turn heuristic give-ups
+	// into false proofs.
+	for _, m := range DefaultMembers() {
+		want := m.Engine.Name() == "exact"
+		if m.TrustInfeasible != want {
+			t.Errorf("member %s: TrustInfeasible = %v, want %v", m.Engine.Name(), m.TrustInfeasible, want)
+		}
+	}
+}
+
 func TestPortfolioNilStatsSafe(t *testing.T) {
 	p := testProblem()
 	pf := &Portfolio{Members: []Member{{Engine: &stub{name: "only", sol: nearSolution()}}}}
