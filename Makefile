@@ -3,13 +3,14 @@
 #   make check   format + vet + build + race tests (the CI gate)
 #   make build   compile every package and the CLI/daemon binaries into bin/
 #   make serve   run the floorplanning service daemon locally
-#   make test    plain test run (no race detector; faster)
-#   make bench   candidate-enumeration cache benchmarks (hit vs miss)
+#   make test      plain test run (no race detector; faster)
+#   make bench     candidate-enumeration cache benchmarks (hit vs miss)
+#   make obs-bench telemetry overhead benchmarks (bare vs no-op vs recorder)
 
 GO      ?= go
 BIN     := bin
 
-.PHONY: check fmt vet build test race bench serve clean
+.PHONY: check fmt vet build test race bench obs-bench serve clean
 
 check: fmt vet build race
 
@@ -38,6 +39,9 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCandidate' -benchmem -benchtime 1x .
+
+obs-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead' -benchmem .
 
 serve: build
 	$(BIN)/floorpland -addr :8080

@@ -26,6 +26,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/milp"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sdr"
 )
 
@@ -440,6 +441,53 @@ func BenchmarkPublicAPI(b *testing.B) {
 		}
 		_ = floorplanner.RenderASCII(p, sol)
 	}
+}
+
+// BenchmarkObsOverhead quantifies the telemetry layer's cost on a full
+// exact solve of a small instance (the DESIGN.md "Observability" section
+// promises the no-op default stays under 2% of solve time):
+//
+//	bare     nil Probe — the default path every pre-existing caller takes
+//	nop      the explicit zero-allocation no-op probe
+//	recorder the full recording probe (mutex + slice appends)
+//
+// Compare bare vs nop to see the instrumentation's intrinsic cost, and
+// recorder to see what the daemon pays per observed solve.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := smallMILPProblem()
+	solve := func(b *testing.B, probe floorplanner.Probe) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sol, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{
+				TimeLimit: benchBudget, Probe: probe,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Proven {
+				b.Fatal("not proven")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { solve(b, nil) })
+	b.Run("nop", func(b *testing.B) { solve(b, obs.Nop) })
+	b.Run("recorder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := floorplanner.NewRecorder()
+			sol, err := (&exact.Engine{}).Solve(context.Background(), p, core.SolveOptions{
+				TimeLimit: benchBudget, Probe: rec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Proven {
+				b.Fatal("not proven")
+			}
+			if len(rec.Incumbents("")) == 0 {
+				b.Fatal("recorder saw no incumbents")
+			}
+		}
+	})
 }
 
 // --- helpers ---

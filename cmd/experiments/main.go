@@ -6,6 +6,7 @@
 //	experiments -all -budget 60s
 //	experiments -table2
 //	experiments -fig4 -svgdir out/
+//	experiments -telemetry -design SDR2 -budget 10s
 package main
 
 import (
@@ -40,11 +41,13 @@ func run() error {
 		fig5        = flag.Bool("fig5", false, "Figure 5: SDR3 floorplan")
 		runtime     = flag.Bool("runtime", false, "runtime relocation benefits (latency, storage)")
 		portfolioF  = flag.Bool("portfolio", false, "portfolio race: engines under one shared budget per design")
+		telemetry   = flag.Bool("telemetry", false, "per-engine solve telemetry (nodes, pivots, incumbents)")
+		design      = flag.String("design", "SDR2", "SDR instance for -telemetry: SDR, SDR2 or SDR3")
 		budget      = flag.Duration("budget", 60*time.Second, "per-solve time budget")
 		svgDir      = flag.String("svgdir", "", "also write figures as SVG into this directory")
 	)
 	flag.Parse()
-	if !(*table1 || *feasibility || *table2 || *fig1 || *fig2 || *fig4 || *fig5 || *runtime || *portfolioF) {
+	if !(*table1 || *feasibility || *table2 || *fig1 || *fig2 || *fig4 || *fig5 || *runtime || *portfolioF || *telemetry) {
 		*all = true
 	}
 	ctx := context.Background()
@@ -103,6 +106,13 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.FormatPortfolio(rows))
+	}
+	if *all || *telemetry {
+		rows, err := experiments.Telemetry(ctx, *design, *budget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTelemetry(rows))
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	floorpland -addr :8080 -workers 4 -queue 128 -cache 512
 //	floorpland -default-engine portfolio -default-time 10s
+//	floorpland -pprof localhost:6060   # profiler on a separate listener
 //
 // Endpoints:
 //
@@ -26,9 +27,11 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -54,6 +57,7 @@ func run() error {
 		maxLimit     = flag.Duration("max-time", 2*time.Minute, "per-request time limit cap")
 		drainTimeout = flag.Duration("drain", 2*time.Minute, "shutdown drain budget for in-flight solves")
 		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -74,7 +78,26 @@ func run() error {
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
 		Logger:           log,
+		Version:          buildVersion(),
 	})
+
+	if *pprofAddr != "" {
+		// The profiler gets its own mux on its own listener so the
+		// debugging surface is never reachable through the public API
+		// address. Bind it to localhost in production.
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				log.Warn("pprof server", "err", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -109,4 +132,13 @@ func run() error {
 	}
 	log.Info("drained, bye")
 	return nil
+}
+
+// buildVersion labels the floorpland_build_info metric from the binary's
+// embedded module metadata ("dev" for uninstalled builds).
+func buildVersion() string {
+	if info, ok := debug.ReadBuildInfo(); ok && info.Main.Version != "" && info.Main.Version != "(devel)" {
+		return info.Main.Version
+	}
+	return "dev"
 }

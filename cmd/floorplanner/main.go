@@ -5,6 +5,7 @@
 //
 //	floorplanner -design SDR2 -engine exact -time 30s -ascii
 //	floorplanner -design SDR3 -engine portfolio -time 10s
+//	floorplanner -design SDR2 -engine milp-ho -trace   # telemetry table
 //	floorplanner -design SDR2 -engine portfolio -members exact,constructive,tessellation
 //	floorplanner -problem my-problem.json -svg plan.svg -out solution.json
 //
@@ -46,6 +47,7 @@ func run() error {
 		outPath     = flag.String("out", "", "write the solution as JSON to this file")
 		ascii       = flag.Bool("ascii", true, "print the floorplan as ASCII art")
 		svgPath     = flag.String("svg", "", "write the floorplan as SVG to this file")
+		trace       = flag.Bool("trace", false, "print solve telemetry: per-span counters and the incumbent trajectory")
 	)
 	flag.Parse()
 
@@ -65,13 +67,25 @@ func run() error {
 		memberList = strings.Split(*members, ",")
 	}
 
-	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+	solveOpts := floorplanner.Options{
 		Engine:    *engine,
 		TimeLimit: *timeLimit,
 		Seed:      *seed,
 		Workers:   *workers,
 		Members:   memberList,
-	})
+	}
+	var rec *floorplanner.Recorder
+	if *trace {
+		rec = floorplanner.NewRecorder()
+		solveOpts.Probe = rec
+	}
+	sol, err := floorplanner.Solve(context.Background(), p, solveOpts)
+	if rec != nil {
+		// Print the telemetry before the outcome so it survives even the
+		// error paths below.
+		fmt.Print(rec.Table())
+		fmt.Println()
+	}
 	switch {
 	case errors.Is(err, floorplanner.ErrInfeasible):
 		fmt.Println("INFEASIBLE: no floorplan satisfies the constraints")

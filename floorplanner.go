@@ -50,6 +50,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/heuristic"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 )
 
@@ -77,6 +78,17 @@ type (
 	Engine = core.Engine
 	// SolveOptions carries engine-independent solver knobs.
 	SolveOptions = core.SolveOptions
+
+	// Probe observes a solve (telemetry); see the internal obs package
+	// docs for the event taxonomy. nil means no observation at zero cost.
+	Probe = obs.Probe
+	// Span is one engine's (or stage's) observation scope on a Probe.
+	Span = obs.Span
+	// Recorder is the in-memory Probe used for traces and telemetry
+	// tables; construct with NewRecorder.
+	Recorder = obs.Recorder
+	// Trace is the wire-format snapshot of a recorded solve.
+	Trace = obs.Trace
 
 	// Device is the tile-level FPGA model.
 	Device = device.Device
@@ -145,7 +157,15 @@ type Options struct {
 	// Members selects the "portfolio" engine's racing members by name
 	// (empty = the default race); ignored by every other engine.
 	Members []string
+	// Probe, when non-nil, observes the solve: counters, incumbent
+	// trajectory and span outcomes. Use NewRecorder for the built-in
+	// recording probe.
+	Probe Probe
 }
+
+// NewRecorder returns a recording probe: pass it in Options.Probe, then
+// read the telemetry via its Trace or Table methods.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // NewEngine instantiates an engine by name.
 func NewEngine(name string) (Engine, error) {
@@ -214,6 +234,7 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 		TimeLimit: opts.TimeLimit,
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
+		Probe:     opts.Probe,
 	})
 	if err != nil {
 		return nil, err

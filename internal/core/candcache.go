@@ -5,8 +5,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // The candidate cache memoizes EnumerateCandidates/EnumerateAllCandidates
@@ -55,6 +57,17 @@ type candCache struct {
 
 var sharedCandCache = &candCache{m: make(map[candKey]*candEntry)}
 
+// Process-wide hit/miss counters for the candidate cache, surfaced on the
+// daemon's /metrics. A miss is a call that ran the enumeration; a hit is
+// a call served from a memoized (or in-flight) entry.
+var candCacheHits, candCacheMisses atomic.Int64
+
+// CandCacheStats reports the process-wide candidate-cache hit/miss
+// counts accumulated since start.
+func CandCacheStats() (hits, misses int64) {
+	return candCacheHits.Load(), candCacheMisses.Load()
+}
+
 // reqKey canonicalizes a Requirements map (class iteration order is
 // random) into a deterministic cache key component.
 func reqKey(req device.Requirements) string {
@@ -85,15 +98,25 @@ func (c *candCache) entry(key candKey) *candEntry {
 	return e
 }
 
-func (c *candCache) get(d *device.Device, req device.Requirements, all bool) []Candidate {
+func (c *candCache) get(d *device.Device, req device.Requirements, all bool, sp obs.Span) []Candidate {
 	e := c.entry(candKey{dev: d, req: reqKey(req), all: all})
+	ran := false
 	e.once.Do(func() {
+		ran = true
 		if all {
 			e.cands = EnumerateAllCandidates(d, req)
 		} else {
 			e.cands = EnumerateCandidates(d, req)
 		}
 	})
+	sp = obs.OrNop(sp)
+	if ran {
+		candCacheMisses.Add(1)
+		sp.Add(obs.CacheMisses, 1)
+	} else {
+		candCacheHits.Add(1)
+		sp.Add(obs.CacheHits, 1)
+	}
 	return e.cands
 }
 
@@ -101,12 +124,24 @@ func (c *candCache) get(d *device.Device, req device.Requirements, all bool) []C
 // requirements). The returned slice is shared between callers and MUST be
 // treated as read-only.
 func CachedCandidates(d *device.Device, req device.Requirements) []Candidate {
-	return sharedCandCache.get(d, req, false)
+	return sharedCandCache.get(d, req, false, nil)
 }
 
 // CachedAllCandidates is EnumerateAllCandidates memoized per (device,
 // requirements). The returned slice is shared between callers and MUST be
 // treated as read-only.
 func CachedAllCandidates(d *device.Device, req device.Requirements) []Candidate {
-	return sharedCandCache.get(d, req, true)
+	return sharedCandCache.get(d, req, true, nil)
+}
+
+// CachedCandidatesFor is CachedCandidates with the hit or miss also
+// reported on the caller's telemetry span.
+func CachedCandidatesFor(d *device.Device, req device.Requirements, sp obs.Span) []Candidate {
+	return sharedCandCache.get(d, req, false, sp)
+}
+
+// CachedAllCandidatesFor is CachedAllCandidates with the hit or miss also
+// reported on the caller's telemetry span.
+func CachedAllCandidatesFor(d *device.Device, req device.Requirements, sp obs.Span) []Candidate {
+	return sharedCandCache.get(d, req, true, sp)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 func TestCachedCandidatesMemoizes(t *testing.T) {
@@ -80,11 +81,11 @@ func TestCandCacheEvictsFIFO(t *testing.T) {
 	c := &candCache{m: make(map[candKey]*candEntry)}
 	d := device.VirtexFX70T()
 	first := device.Requirements{device.ClassCLB: 1}
-	got := c.get(d, first, false)
+	got := c.get(d, first, false, nil)
 	for i := 0; i < candCacheCap; i++ {
 		// Distinct keys via distinct requirement sizes; enough of them to
 		// push the first entry out.
-		c.get(d, device.Requirements{device.ClassCLB: i + 2}, false)
+		c.get(d, device.Requirements{device.ClassCLB: i + 2}, false, nil)
 	}
 	c.mu.Lock()
 	size := len(c.m)
@@ -98,12 +99,45 @@ func TestCandCacheEvictsFIFO(t *testing.T) {
 	}
 	// A re-lookup must re-enumerate into a fresh entry, not resurrect the
 	// evicted slice.
-	again := c.get(d, first, false)
+	again := c.get(d, first, false, nil)
 	if len(got) > 0 && len(again) > 0 && &got[0] == &again[0] {
 		t.Fatal("evicted entry was resurrected instead of re-enumerated")
 	}
 	if !reflect.DeepEqual(got, again) {
 		t.Fatal("re-enumeration after eviction produced different candidates")
+	}
+}
+
+func TestCandCacheStatsAndSpanCounters(t *testing.T) {
+	d := device.VirtexFX70T()
+	req := device.Requirements{device.ClassCLB: 13, device.ClassDSP: 1}
+	rec := obs.NewRecorder()
+	sp := rec.Span("test")
+
+	hits0, misses0 := CandCacheStats()
+	CachedCandidatesFor(d, req, sp) // first sight of this key: a miss
+	CachedCandidatesFor(d, req, sp) // memoized: a hit
+	hits1, misses1 := CandCacheStats()
+
+	if misses1-misses0 < 1 {
+		t.Errorf("process miss counter moved by %d, want >= 1", misses1-misses0)
+	}
+	if hits1-hits0 < 1 {
+		t.Errorf("process hit counter moved by %d, want >= 1", hits1-hits0)
+	}
+	if got := rec.TotalFor("test", obs.CacheMisses); got != 1 {
+		t.Errorf("span recorded %d cache misses, want 1", got)
+	}
+	if got := rec.TotalFor("test", obs.CacheHits); got != 1 {
+		t.Errorf("span recorded %d cache hits, want 1", got)
+	}
+	// The probe-free entry points keep counting process-wide.
+	CachedCandidates(d, req)
+	if hits2, _ := CandCacheStats(); hits2-hits1 < 1 {
+		t.Errorf("probe-free lookup did not count as a hit")
+	}
+	if got := rec.TotalFor("test", obs.CacheHits); got != 1 {
+		t.Errorf("probe-free lookup leaked onto the span: %d hits", got)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrInfeasible is returned by engines when the problem provably has no
@@ -24,18 +26,46 @@ type SolveOptions struct {
 	Seed int64
 	// Workers bounds parallelism for engines that support it (0 = 1).
 	Workers int
+	// Probe observes the solve (telemetry): engines open spans on it,
+	// count work, and report incumbents. nil means no observation (the
+	// zero-overhead obs.Nop probe). Probes must be safe for concurrent
+	// use — parallel engines emit from several goroutines.
+	Probe obs.Probe
 }
 
 // Normalized returns a copy of the options with engine-independent
-// defaults applied: Workers <= 0 becomes 1 (sequential). Every engine is
-// expected to normalize its options on entry so that callers — notably
-// the serving layer — can pass user-supplied knobs through uniformly
-// without re-implementing the defaulting rules.
+// defaults applied: Workers <= 0 becomes 1 (sequential), a nil Probe
+// becomes the no-op probe. Every engine is expected to normalize its
+// options on entry so that callers — notably the serving layer — can
+// pass user-supplied knobs through uniformly without re-implementing the
+// defaulting rules.
 func (o SolveOptions) Normalized() SolveOptions {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.Probe == nil {
+		o.Probe = obs.Nop
+	}
 	return o
+}
+
+// ObsOutcome maps an engine's Solve result onto the telemetry outcome
+// taxonomy, for the span End every engine emits on return.
+func ObsOutcome(sol *Solution, err error) obs.Outcome {
+	switch {
+	case err == nil && sol != nil && sol.Proven:
+		return obs.OutcomeProven
+	case err == nil:
+		return obs.OutcomeSolved
+	case errors.Is(err, ErrInfeasible):
+		return obs.OutcomeInfeasible
+	case errors.Is(err, ErrNoSolution),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeNoSolution
+	default:
+		return obs.OutcomeError
+	}
 }
 
 // Engine is a floorplanning algorithm: given a problem it produces a

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Engine is the combinatorial exact floorplanner.
@@ -75,16 +76,21 @@ type sharedBest struct {
 	best  triple
 	sol   *core.Solution
 	nodes atomic.Int64
+	p     *core.Problem
+	sp    obs.Span
 }
 
 // tryInstall installs a candidate solution if it improves the shared
-// incumbent; it returns the current best either way.
+// incumbent; it returns the current best either way. Incumbent telemetry
+// is emitted under the mutex so the trajectory stays monotone even with
+// racing workers.
 func (sb *sharedBest) tryInstall(t triple, sol *core.Solution) triple {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
 	if t.less(sb.best) {
 		sb.best = t
 		sb.sol = sol
+		sb.sp.Incumbent(sol.Objective(sb.p))
 	}
 	return sb.best
 }
@@ -110,12 +116,20 @@ type searchState struct {
 	best          triple
 	bestSol       *core.Solution
 	nodes         int64
+	pruned        int64
 	maxNodes      int64
 	deadline      time.Time
 	ctx           context.Context
 	checkTick     int64
 	aborted       bool
 	lastPublished int64 // nodes already added to shared.nodes
+
+	// sp is the engine's telemetry span; node/prune counts are flushed to
+	// it in batches (at budget-check ticks and once at search exit) so the
+	// hot DFS loop pays no per-node probe call.
+	sp            obs.Span
+	lastObsNodes  int64
+	lastObsPruned int64
 
 	// shared, when non-nil, is the cross-worker incumbent of a parallel
 	// solve; best is then a local (possibly stale) copy and bestSol is
@@ -127,15 +141,24 @@ type searchState struct {
 }
 
 // Solve implements core.Engine.
-func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
-	}
+func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (sol *core.Solution, err error) {
 	opts = opts.Normalized()
 	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	// The span opens before any early return so that validation failures
+	// and pre-canceled contexts still produce a terminal record.
+	sp := opts.Probe.Span(e.Name())
+	defer func() { sp.End(core.ObsOutcome(sol, err), obs.SlackUntil(deadline)) }()
+
+	if err = p.Validate(); err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, cerr)
+	}
 
 	st := &searchState{
 		p:        p,
@@ -145,12 +168,11 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 		best:     triple{miss: math.Inf(1), waste: math.MaxInt64 / 4, wl: math.Inf(1)},
 		maxNodes: e.MaxNodes,
 		ctx:      ctx,
+		deadline: deadline,
+		sp:       sp,
 	}
 	if st.maxNodes <= 0 {
 		st.maxNodes = 50_000_000
-	}
-	if opts.TimeLimit > 0 {
-		st.deadline = start.Add(opts.TimeLimit)
 	}
 
 	// Group FC requests by compatibility set.
@@ -173,9 +195,9 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 	st.cands = make([][]core.Candidate, len(p.Regions))
 	for i, r := range p.Regions {
 		if needsAll[i] {
-			st.cands[i] = core.CachedAllCandidates(p.Device, r.Req)
+			st.cands[i] = core.CachedAllCandidatesFor(p.Device, r.Req, sp)
 		} else {
-			st.cands[i] = core.CachedCandidates(p.Device, r.Req)
+			st.cands[i] = core.CachedCandidatesFor(p.Device, r.Req, sp)
 		}
 		if len(st.cands[i]) == 0 {
 			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
@@ -205,8 +227,8 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 
 	// Candidate enumeration and ordering above can take a while on a cold
 	// cache; re-check the context before committing to the search.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, cerr)
 	}
 
 	workers := opts.Workers // >= 1 after normalization
@@ -217,6 +239,7 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 	)
 	if workers <= 1 {
 		st.placeRegion(0, 0)
+		st.flushObs()
 		bestSol, nodes, aborted = st.bestSol, st.nodes, st.aborted
 	} else {
 		bestSol, nodes, aborted = e.solveParallel(st, workers)
@@ -241,7 +264,7 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 // incumbent. The template state contributes its precomputed candidate
 // sets, ordering and FC groups (all read-only during the search).
 func (e *Engine) solveParallel(tmpl *searchState, workers int) (*core.Solution, int64, bool) {
-	shared := &sharedBest{best: tmpl.best}
+	shared := &sharedBest{best: tmpl.best, p: tmpl.p, sp: tmpl.sp}
 	states := make([]*searchState, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -258,6 +281,7 @@ func (e *Engine) solveParallel(tmpl *searchState, workers int) (*core.Solution, 
 			maxNodes:   tmpl.maxNodes,
 			deadline:   tmpl.deadline,
 			ctx:        tmpl.ctx,
+			sp:         tmpl.sp,
 			shared:     shared,
 			rootStride: workers,
 			rootOffset: w,
@@ -267,6 +291,7 @@ func (e *Engine) solveParallel(tmpl *searchState, workers int) (*core.Solution, 
 		go func() {
 			defer wg.Done()
 			ws.placeRegion(0, 0)
+			ws.flushObs()
 		}()
 	}
 	wg.Wait()
@@ -313,12 +338,26 @@ func buildGroups(p *core.Problem) []fcGroup {
 	return out
 }
 
+// flushObs reports the node/prune counts accumulated since the last
+// flush to the telemetry span.
+func (st *searchState) flushObs() {
+	if d := st.nodes - st.lastObsNodes; d > 0 {
+		st.sp.Add(obs.Nodes, d)
+		st.lastObsNodes = st.nodes
+	}
+	if d := st.pruned - st.lastObsPruned; d > 0 {
+		st.sp.Add(obs.Pruned, d)
+		st.lastObsPruned = st.pruned
+	}
+}
+
 func (st *searchState) outOfBudget() bool {
 	if st.aborted {
 		return true
 	}
 	st.checkTick++
 	if st.checkTick&1023 == 0 {
+		st.flushObs()
 		totalNodes := st.nodes
 		if st.shared != nil {
 			totalNodes = st.shared.nodes.Add(st.nodes - st.lastPublished)
@@ -392,6 +431,7 @@ func (st *searchState) placeRegion(k int, wasteSoFar int) {
 		// trips no later candidate can help.
 		lb := triple{miss: 0, waste: wasteSoFar + cand.Waste + st.minTail[k+1], wl: 0}
 		if !lb.less(st.best) {
+			st.pruned += int64(len(st.cands[ri]) - idx)
 			break
 		}
 		if st.mask.OverlapsRect(cand.Rect) {
@@ -408,6 +448,8 @@ func (st *searchState) placeRegion(k int, wasteSoFar int) {
 		lb.miss = missLB
 		if feasible && lb.less(st.best) {
 			st.placeRegion(k+1, wasteSoFar+cand.Waste)
+		} else {
+			st.pruned++
 		}
 
 		st.mask.ClearRect(cand.Rect)
@@ -551,6 +593,7 @@ func (st *searchState) finishRegions(waste int) {
 	}
 	st.best = got
 	st.bestSol = sol
+	st.sp.Incumbent(sol.Objective(st.p))
 }
 
 // solveFC packs the free-compatible areas given the fixed region

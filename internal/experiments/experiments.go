@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -21,6 +22,8 @@ import (
 	"repro/internal/exact"
 	"repro/internal/grid"
 	"repro/internal/heuristic"
+	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/portfolio"
 	"repro/internal/sdr"
@@ -290,6 +293,110 @@ func FormatPortfolio(rows []PortfolioRow) string {
 		}
 	}
 	return b.String()
+}
+
+// TelemetryRow is one engine's probe-layer telemetry on one SDR instance.
+type TelemetryRow struct {
+	Design  string
+	Engine  string
+	Outcome string
+	// Nodes, Pivots and Backtracks are the work counters summed over the
+	// engine's spans; Incumbents counts improvement events (capped points
+	// included).
+	Nodes      int64
+	Pivots     int64
+	Backtracks int64
+	Incumbents int
+	// Best is the final incumbent objective (NaN when none was found).
+	Best    float64
+	Elapsed time.Duration
+}
+
+// telemetryEngines are the engines the telemetry sweep runs, in report
+// order. milp-o is omitted: on the full SDR instances its exhaustive MILP
+// dominates the sweep's wall-clock without adding counter coverage beyond
+// milp-ho.
+func telemetryEngines() []core.Engine {
+	return []core.Engine{
+		&exact.Engine{},
+		&model.HOEngine{},
+		&heuristic.Constructive{},
+		&heuristic.Annealing{},
+		&heuristic.Tessellation{},
+		portfolio.New(),
+	}
+}
+
+// Telemetry runs every engine on the named SDR instance under a recording
+// probe and reports the per-engine work counters and incumbent
+// trajectories — the paper's Section VI effort comparison restated in
+// solver-internal units (nodes, pivots, improvements) instead of
+// wall-clock alone.
+func Telemetry(ctx context.Context, design string, budget time.Duration) ([]TelemetryRow, error) {
+	p, _, err := problemFor(design)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TelemetryRow
+	for _, eng := range telemetryEngines() {
+		rec := obs.NewRecorder()
+		start := time.Now()
+		sol, serr := eng.Solve(ctx, p, core.SolveOptions{TimeLimit: budget, Seed: 1, Probe: rec})
+		row := TelemetryRow{
+			Design:     design,
+			Engine:     eng.Name(),
+			Outcome:    string(core.ObsOutcome(sol, serr)),
+			Nodes:      rec.Total(obs.Nodes),
+			Pivots:     rec.Total(obs.Pivots),
+			Backtracks: rec.Total(obs.Backtracks),
+			Incumbents: len(rec.Incumbents("")) + rec.DroppedIncumbents(),
+			Elapsed:    time.Since(start),
+		}
+		if pts := rec.Incumbents(eng.Name()); len(pts) > 0 {
+			row.Best = pts[len(pts)-1].Objective
+		} else {
+			row.Best = math.NaN()
+		}
+		if serr != nil && !errors.Is(serr, core.ErrInfeasible) && !errors.Is(serr, core.ErrNoSolution) {
+			return nil, fmt.Errorf("experiments: telemetry %s on %s: %w", eng.Name(), design, serr)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTelemetry renders the per-engine telemetry table.
+func FormatTelemetry(rows []TelemetryRow) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Solve telemetry on %s: per-engine work counters\n", rows[0].Design)
+	}
+	fmt.Fprintf(&b, "%-14s %-12s %10s %10s %10s %11s %10s %9s\n",
+		"Engine", "outcome", "nodes", "pivots", "backtracks", "incumbents", "best", "time")
+	for _, r := range rows {
+		best := "-"
+		if !math.IsNaN(r.Best) {
+			best = fmt.Sprintf("%.0f", r.Best)
+		}
+		fmt.Fprintf(&b, "%-14s %-12s %10d %10d %10d %11d %10s %9s\n",
+			r.Engine, r.Outcome, r.Nodes, r.Pivots, r.Backtracks, r.Incumbents, best,
+			r.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// problemFor resolves a design name to its SDR instance.
+func problemFor(design string) (*core.Problem, string, error) {
+	switch design {
+	case "SDR":
+		return sdr.Problem(), design, nil
+	case "SDR2":
+		return sdr.SDR2(), design, nil
+	case "SDR3":
+		return sdr.SDR3(), design, nil
+	default:
+		return nil, "", fmt.Errorf("experiments: unknown design %q", design)
+	}
 }
 
 // Floorplan solves the named SDR instance ("SDR", "SDR2" or "SDR3") and

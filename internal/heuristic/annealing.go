@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Annealing is a simulated-annealing floorplanner in the spirit of
@@ -47,9 +48,21 @@ func annealEnergy(overlapTiles, waste int, wl float64) float64 {
 // times) until the greedy packer can satisfy them — annealing itself only
 // shapes the region placement. opts.TimeLimit bounds the WHOLE solve:
 // restarts share one deadline instead of each getting a fresh budget.
-func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (sol *core.Solution, err error) {
 	opts = opts.Normalized()
 	deadline := deadlineFor(time.Now(), opts)
+	sp := opts.Probe.Span(a.Name())
+	// The raw energy descent has its own scale (overlap-dominated blend),
+	// so it goes to a sub-span; tracking the global best across restarts
+	// keeps that one trajectory monotone too.
+	esp := opts.Probe.Span(a.Name() + "/energy")
+	bestEnergy := math.Inf(1)
+	defer func() {
+		out := core.ObsOutcome(sol, err)
+		slack := obs.SlackUntil(deadline)
+		esp.End(out, slack)
+		sp.End(out, slack)
+	}()
 	restarts := a.Restarts
 	if restarts <= 0 {
 		restarts = 8
@@ -62,10 +75,12 @@ func (a *Annealing) Solve(ctx context.Context, p *core.Problem, opts core.SolveO
 		if expired(ctx, deadline) {
 			break
 		}
+		sp.Add(obs.Restarts, 1)
 		seedOpts := opts
 		seedOpts.Seed = opts.Seed + int64(attempt)*7919
-		sol, err := a.solveOnce(ctx, deadline, p, seedOpts)
+		sol, err := a.solveOnce(ctx, deadline, p, seedOpts, sp, esp, &bestEnergy)
 		if err == nil {
+			sp.Incumbent(sol.Objective(p))
 			return sol, nil
 		}
 		lastErr = err
@@ -95,7 +110,7 @@ func coolingRate(tStart, tEnd float64, steps int) float64 {
 	return cool
 }
 
-func (a *Annealing) solveOnce(ctx context.Context, deadline time.Time, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+func (a *Annealing) solveOnce(ctx context.Context, deadline time.Time, p *core.Problem, opts core.SolveOptions, sp, esp obs.Span, bestEnergy *float64) (*core.Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,7 +135,7 @@ func (a *Annealing) solveOnce(ctx context.Context, deadline time.Time, p *core.P
 
 	cands := make([][]core.Candidate, len(p.Regions))
 	for i, r := range p.Regions {
-		cands[i] = core.CachedCandidates(p.Device, r.Req)
+		cands[i] = core.CachedCandidatesFor(p.Device, r.Req, sp)
 		if len(cands[i]) == 0 {
 			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
 		}
@@ -158,6 +173,18 @@ func (a *Annealing) solveOnce(ctx context.Context, deadline time.Time, p *core.P
 	cur := cost(state)
 	best := append([]int(nil), state...)
 	bestCost := cur
+	if cur < *bestEnergy {
+		*bestEnergy = cur
+		esp.Incumbent(cur)
+	}
+
+	// Move/accept counts are accumulated locally and flushed once: the
+	// inner loop runs tens of thousands of times per restart.
+	var moves, accepted int64
+	defer func() {
+		sp.Add(obs.Moves, moves)
+		sp.Add(obs.Accepted, accepted)
+	}()
 
 	temp := tStart
 	cool := coolingRate(tStart, tEnd, steps)
@@ -173,11 +200,17 @@ anneal:
 			old := state[ri]
 			state[ri] = rng.Intn(len(cands[ri]))
 			next := cost(state)
+			moves++
 			if next <= cur || rng.Float64() < math.Exp((cur-next)/temp) {
+				accepted++
 				cur = next
 				if cur < bestCost {
 					bestCost = cur
 					copy(best, state)
+					if cur < *bestEnergy {
+						*bestEnergy = cur
+						esp.Incumbent(cur)
+					}
 				}
 			} else {
 				state[ri] = old

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Constructive is a deterministic greedy floorplanner: regions in
@@ -36,13 +37,15 @@ type Constructive struct {
 func (c *Constructive) Name() string { return "constructive" }
 
 // Solve implements core.Engine.
-func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (sol *core.Solution, err error) {
 	opts = opts.Normalized()
 	start := time.Now()
 	deadline := deadlineFor(start, opts)
+	sp := opts.Probe.Span(c.Name())
+	defer func() { sp.End(core.ObsOutcome(sol, err), obs.SlackUntil(deadline)) }()
+	if err = p.Validate(); err != nil {
+		return nil, err
+	}
 	maxBT := c.MaxBacktrack
 	if maxBT <= 0 {
 		maxBT = 32
@@ -50,7 +53,7 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 
 	cands := make([][]core.Candidate, len(p.Regions))
 	for i, r := range p.Regions {
-		cands[i] = core.CachedCandidates(p.Device, r.Req)
+		cands[i] = core.CachedCandidatesFor(p.Device, r.Req, sp)
 		if len(cands[i]) == 0 {
 			return nil, fmt.Errorf("%w: region %q cannot be placed anywhere", core.ErrInfeasible, r.Name)
 		}
@@ -59,6 +62,12 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 	order := placementOrder(p, cands)
 	mask := grid.NewMask(p.Device.Width(), p.Device.Height())
 	placed := make([]grid.Rect, len(p.Regions))
+
+	var nodes, backtracks int64
+	defer func() {
+		sp.Add(obs.Nodes, nodes)
+		sp.Add(obs.Backtracks, backtracks)
+	}()
 
 	aborted := false
 	var place func(k int) bool
@@ -80,11 +89,13 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 				continue
 			}
 			tried++
+			nodes++
 			mask.SetRect(cand.Rect)
 			placed[ri] = cand.Rect
 			if place(k + 1) {
 				return true
 			}
+			backtracks++
 			mask.ClearRect(cand.Rect)
 			placed[ri] = grid.Rect{}
 			if aborted {
@@ -104,20 +115,22 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 	if !ok {
 		// Greedy FC packing failed for a constraint-mode area; retry the
 		// whole construction with FC packing interleaved as a filter.
-		sol, err := c.solveWithFCFilter(ctx, deadline, p, cands, order, maxBT)
+		sol, err := c.solveWithFCFilter(ctx, deadline, p, cands, order, maxBT, sp)
 		if err != nil {
 			return nil, err
 		}
 		sol.Engine = c.Name()
 		sol.Elapsed = time.Since(start)
+		sp.Incumbent(sol.Objective(p))
 		return sol, nil
 	}
-	sol := &core.Solution{
+	sol = &core.Solution{
 		Regions: placed,
 		FC:      fc,
 		Engine:  c.Name(),
 		Elapsed: time.Since(start),
 	}
+	sp.Incumbent(sol.Objective(p))
 	return sol, nil
 }
 
@@ -125,10 +138,16 @@ func (c *Constructive) Solve(ctx context.Context, p *core.Problem, opts core.Sol
 // placement whose free-compatible areas cannot be greedily packed. The
 // deadline bounds the backtracking: on expiry the search stops and the
 // engine reports an exhausted budget rather than (unproven) infeasibility.
-func (c *Constructive) solveWithFCFilter(ctx context.Context, deadline time.Time, p *core.Problem, cands [][]core.Candidate, order []int, maxBT int) (*core.Solution, error) {
+func (c *Constructive) solveWithFCFilter(ctx context.Context, deadline time.Time, p *core.Problem, cands [][]core.Candidate, order []int, maxBT int, sp obs.Span) (*core.Solution, error) {
 	mask := grid.NewMask(p.Device.Width(), p.Device.Height())
 	placed := make([]grid.Rect, len(p.Regions))
 	var result *core.Solution
+
+	var nodes, backtracks int64
+	defer func() {
+		sp.Add(obs.Nodes, nodes)
+		sp.Add(obs.Backtracks, backtracks)
+	}()
 
 	aborted := false
 	var place func(k int) bool
@@ -158,11 +177,13 @@ func (c *Constructive) solveWithFCFilter(ctx context.Context, deadline time.Time
 				continue
 			}
 			tried++
+			nodes++
 			mask.SetRect(cand.Rect)
 			placed[ri] = cand.Rect
 			if place(k + 1) {
 				return true
 			}
+			backtracks++
 			mask.ClearRect(cand.Rect)
 			placed[ri] = grid.Rect{}
 			if aborted {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Tessellation is a greedy columnar packer in the spirit of Vipin &
@@ -33,13 +34,15 @@ type Tessellation struct {
 func (ts *Tessellation) Name() string { return "tessellation" }
 
 // Solve implements core.Engine.
-func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (sol *core.Solution, err error) {
 	opts = opts.Normalized()
 	start := time.Now()
 	deadline := deadlineFor(start, opts)
+	sp := opts.Probe.Span(ts.Name())
+	defer func() { sp.End(core.ObsOutcome(sol, err), obs.SlackUntil(deadline)) }()
+	if err = p.Validate(); err != nil {
+		return nil, err
+	}
 	d := p.Device
 
 	// Decreasing frame-footprint order (largest bitstream first).
@@ -69,6 +72,7 @@ func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.So
 			return nil, core.ErrNoSolution
 		}
 		r, ok := ts.placeOne(ctx, deadline, d, p.Regions[ri].Req, mask)
+		sp.Add(obs.Nodes, 1)
 		if !ok {
 			if expired(ctx, deadline) {
 				// The sweep was cut short by the budget; infeasibility
@@ -84,12 +88,14 @@ func (ts *Tessellation) Solve(ctx context.Context, p *core.Problem, opts core.So
 	if !ok {
 		return nil, core.ErrNoSolution
 	}
-	return &core.Solution{
+	sol = &core.Solution{
 		Regions: placed,
 		FC:      fc,
 		Engine:  ts.Name(),
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	sp.Incumbent(sol.Objective(p))
+	return sol, nil
 }
 
 // placeOne tessellates one region onto the free fabric: among all

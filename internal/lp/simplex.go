@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Status reports the outcome of an LP solve.
@@ -53,6 +55,10 @@ type Options struct {
 	// A solve cut short by the deadline reports StatusIterationLimit,
 	// which callers already treat as "no usable relaxation".
 	Deadline time.Time
+	// Obs, when non-nil, receives the pivot count of each solve (the
+	// obs.Pivots counter). The LP core is the sole reporter of pivots so
+	// layered callers (MILP branch-and-bound) never double-count.
+	Obs obs.Span
 }
 
 const (
@@ -116,6 +122,14 @@ func Solve(m *Model, opts Options) Solution {
 // equal to NaN also fall back to the model bound. This is the entry point
 // used by branch-and-bound nodes.
 func SolveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) Solution {
+	sol := solveWithBounds(m, opts, loOverride, hiOverride)
+	if opts.Obs != nil && sol.Iterations > 0 {
+		opts.Obs.Add(obs.Pivots, int64(sol.Iterations))
+	}
+	return sol
+}
+
+func solveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) Solution {
 	if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
 		return Solution{Status: StatusIterationLimit}
 	}

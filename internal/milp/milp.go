@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // Status reports the outcome of a MILP solve.
@@ -99,6 +100,11 @@ type Options struct {
 	// OnIncumbent, when non-nil, is invoked (serialized) whenever a new
 	// best solution is accepted.
 	OnIncumbent func(obj float64, x []float64)
+	// Obs, when non-nil, receives the solve's telemetry: node and prune
+	// counts plus the incumbent trajectory on the MILP objective scale.
+	// It is also handed to the LP relaxation solves (unless LP.Obs is
+	// already set), which report pivots on it.
+	Obs obs.Span
 }
 
 type node struct {
@@ -147,12 +153,16 @@ func Solve(ctx context.Context, m *lp.Model, opts Options) Result {
 	}
 	intVars := m.IntegerVariables()
 
+	sp := obs.OrNop(opts.Obs)
 	lpOpts := opts.LP
 	// Bound each node's relaxation solve by the overall deadline: the
 	// search checks its budget between nodes, so a single runaway
 	// simplex must not be able to blow past it.
 	if lpOpts.Deadline.IsZero() || (!deadline.IsZero() && deadline.Before(lpOpts.Deadline)) {
 		lpOpts.Deadline = deadline
+	}
+	if lpOpts.Obs == nil {
+		lpOpts.Obs = opts.Obs
 	}
 
 	st := &search{
@@ -165,6 +175,7 @@ func Solve(ctx context.Context, m *lp.Model, opts Options) Result {
 		ctx:       ctx,
 		maxNodes:  maxNodes,
 		onIncumb:  opts.OnIncumbent,
+		sp:        sp,
 	}
 
 	if opts.WarmStart != nil {
@@ -234,6 +245,9 @@ type search struct {
 	ctx      context.Context
 	maxNodes int
 	onIncumb func(float64, []float64)
+	// sp receives nodes/pruned counts and the incumbent trajectory on
+	// the MILP objective scale (pivots come from the LP layer directly).
+	sp obs.Span
 
 	exhausted      bool
 	rootInfeasible bool
@@ -273,6 +287,9 @@ func (st *search) accept(obj float64, x []float64) {
 	if improved {
 		st.incumbent = obj
 		st.best = append([]float64(nil), x...)
+		// Emitted under st.mu so the trajectory stays monotone even with
+		// racing workers.
+		st.sp.Incumbent(obj)
 	}
 	cb := st.onIncumb
 	st.mu.Unlock()
@@ -311,10 +328,12 @@ func (st *search) runSequential() {
 		// Bound-based prune before paying for the LP.
 		if nd.bound >= st.incumbent-1e-9 {
 			st.mu.Unlock()
+			st.sp.Add(obs.Pruned, 1)
 			continue
 		}
 		st.nodes++
 		st.mu.Unlock()
+		st.sp.Add(obs.Nodes, 1)
 		if st.outOfBudget() {
 			st.mu.Lock()
 			st.stopped = true
@@ -356,11 +375,13 @@ func (st *search) runParallel(workers int) {
 			nd := heap.Pop(&st.queue).(*node)
 			if nd.bound >= st.incumbent-1e-9 {
 				st.mu.Unlock()
+				st.sp.Add(obs.Pruned, 1)
 				continue
 			}
 			st.nodes++
 			st.active++
 			st.mu.Unlock()
+			st.sp.Add(obs.Nodes, 1)
 
 			if st.outOfBudget() {
 				st.mu.Lock()
@@ -431,6 +452,7 @@ func (st *search) processNode(nd *node) {
 	cutoff := st.incumbent
 	st.mu.Unlock()
 	if sol.Objective >= cutoff-1e-9 {
+		st.sp.Add(obs.Pruned, 1)
 		return // bound prune
 	}
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/heuristic"
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/seqpair"
 )
 
@@ -40,23 +41,31 @@ type OEngine struct {
 func (e *OEngine) Name() string { return "milp-o" }
 
 // Solve implements core.Engine.
-func (e *OEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
-	}
+func (e *OEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (sol *core.Solution, err error) {
 	opts = opts.Normalized()
 	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	sp := opts.Probe.Span(e.Name())
+	defer func() { sp.End(core.ObsOutcome(sol, err), obs.SlackUntil(deadline)) }()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, cerr)
+	}
 	compiled, err := Build(p, Options{Encoding: e.Encoding})
 	if err != nil {
 		return nil, err
 	}
 	seed := e.Seed
 	if seed == nil && !e.SkipWarmStart {
+		// The seed solve inherits opts.Probe and reports under its own
+		// "constructive" span.
 		if s, err := (&heuristic.Constructive{}).Solve(ctx, p, seedBudget(opts)); err == nil {
 			seed = s
 		}
 	}
-	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage, false)
+	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), sp, seed, e.MaxNodes, e.SkipWireStage, false)
 }
 
 // HOEngine is the paper's HO (Heuristic Optimal) algorithm: a heuristic
@@ -80,12 +89,18 @@ type HOEngine struct {
 func (e *HOEngine) Name() string { return "milp-ho" }
 
 // Solve implements core.Engine.
-func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, err)
-	}
+func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (sol *core.Solution, err error) {
 	opts = opts.Normalized()
 	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	sp := opts.Probe.Span(e.Name())
+	defer func() { sp.End(core.ObsOutcome(sol, err), obs.SlackUntil(deadline)) }()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrNoSolution, cerr)
+	}
 	seed := e.Seed
 	if seed == nil {
 		var err error
@@ -128,7 +143,7 @@ func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 	if err != nil {
 		return nil, err
 	}
-	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), seed, e.MaxNodes, e.SkipWireStage, true)
+	return solveLexicographic(ctx, compiled, remainingBudget(opts, start), e.Name(), sp, seed, e.MaxNodes, e.SkipWireStage, true)
 }
 
 // seedBudget carves the warm-start heuristic's slice out of the caller's
@@ -158,13 +173,35 @@ func remainingBudget(opts core.SolveOptions, start time.Time) core.SolveOptions 
 	return opts
 }
 
+// milpOutcome maps a MILP status onto the telemetry outcome taxonomy for
+// the per-pass sub-spans.
+func milpOutcome(s milp.Status) obs.Outcome {
+	switch s {
+	case milp.StatusOptimal:
+		return obs.OutcomeProven
+	case milp.StatusFeasible:
+		return obs.OutcomeSolved
+	case milp.StatusInfeasible:
+		return obs.OutcomeInfeasible
+	case milp.StatusNoSolution:
+		return obs.OutcomeNoSolution
+	}
+	return obs.OutcomeError
+}
+
 // solveLexicographic runs the two-pass lexicographic MILP solve.
 // restricted marks a MILP over a subset of the solution space (the HO
 // flow's seed-derived sequence pair): its infeasibility verdict does not
 // extend to the full problem and is therefore never reported as
 // core.ErrInfeasible — the engine falls back to the seed instead.
-func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions, name string, seed *core.Solution, maxNodes int, skipWire, restricted bool) (*core.Solution, error) {
+//
+// sp is the engine's telemetry span; it receives one final incumbent on
+// the problem-objective scale. Each MILP pass gets its own sub-span
+// ("<name>/waste", "<name>/wire") carrying the raw branch-and-bound
+// trajectory, whose objective scale differs per pass.
+func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions, name string, sp obs.Span, seed *core.Solution, maxNodes int, skipWire, restricted bool) (*core.Solution, error) {
 	opts = opts.Normalized()
+	sp = obs.OrNop(sp)
 	start := time.Now()
 	budget := opts.TimeLimit
 	mopts := milp.Options{
@@ -184,7 +221,14 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 		}
 	}
 
+	wasteSp := opts.Probe.Span(name + "/waste")
+	mopts.Obs = wasteSp
+	var wasteDeadline time.Time
+	if mopts.TimeLimit > 0 {
+		wasteDeadline = start.Add(mopts.TimeLimit)
+	}
 	res := milp.Solve(ctx, c.LP, mopts)
+	wasteSp.End(milpOutcome(res.Status), obs.SlackUntil(wasteDeadline))
 	switch res.Status {
 	case milp.StatusInfeasible, milp.StatusNoSolution:
 		if res.Status == milp.StatusInfeasible && !restricted {
@@ -201,6 +245,7 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 			fallback.Engine = name
 			fallback.Proven = false
 			fallback.Elapsed = time.Since(start)
+			sp.Incumbent(fallback.Objective(c.Problem))
 			return &fallback, nil
 		}
 		return nil, core.ErrNoSolution
@@ -225,15 +270,20 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 	}
 	if wirePass {
 		c.StageWireLength(res.X)
+		wireSp := opts.Probe.Span(name + "/wire")
 		m2 := milp.Options{
 			Workers:   opts.Workers,
 			MaxNodes:  maxNodes,
 			WarmStart: res.X,
+			Obs:       wireSp,
 		}
+		var wireDeadline time.Time
 		if budget > 0 {
 			m2.TimeLimit = remaining
+			wireDeadline = time.Now().Add(remaining)
 		}
 		res2 := milp.Solve(ctx, c.LP, m2)
+		wireSp.End(milpOutcome(res2.Status), obs.SlackUntil(wireDeadline))
 		nodes += res2.Nodes
 		if res2.X != nil {
 			finalX = res2.X
@@ -254,5 +304,6 @@ func solveLexicographic(ctx context.Context, c *Compiled, opts core.SolveOptions
 	if err := sol.Validate(c.Problem); err != nil {
 		return nil, fmt.Errorf("model: decoded MILP solution invalid: %w", err)
 	}
+	sp.Incumbent(sol.Objective(c.Problem))
 	return sol, nil
 }

@@ -1,0 +1,167 @@
+// Package obs is the solve-telemetry layer: a lightweight observer API
+// that turns every solve into an inspectable trajectory.
+//
+// Engines report work through a Probe handed in via core.SolveOptions:
+// each engine (and each internal stage, such as a MILP pass) opens a
+// Span, adds Counter deltas (branch-and-bound nodes, simplex pivots,
+// annealing moves, ...), emits an Incumbent event whenever it finds a
+// better solution, and Ends the span with a terminal Outcome and the
+// deadline slack left at return. The default probe is Nop, whose methods
+// are empty and allocation-free, so uninstrumented callers pay nothing
+// (see BenchmarkObsOverhead).
+//
+// Recorder is the in-memory Probe used by the daemon, the -trace CLI
+// flag and the tests: it aggregates counters per span, timestamps the
+// incumbent trajectory, and renders the result as a wire-format Trace or
+// a human-readable table.
+//
+// Conventions:
+//
+//   - Probes and Spans must be safe for concurrent use: parallel engines
+//     (exact workers, portfolio members) emit into one probe at once.
+//   - An engine's own span (named after the engine) carries incumbent
+//     objectives on the problem-objective scale, so the sequence is
+//     nonincreasing (quality is nondecreasing). Internal stages with a
+//     different natural scale — MILP pass objectives, annealing energy —
+//     use sub-spans named "<engine>/<stage>"; within any single span the
+//     incumbent sequence is still nonincreasing.
+//   - Every span that is opened is Ended exactly once, on every return
+//     path including context cancellation and deadline expiry.
+package obs
+
+import "time"
+
+// Counter identifies an engine work counter. Counters are aggregated per
+// span by recording probes; deltas may be batched by emitters.
+type Counter uint8
+
+// Work counters emitted by the engines and solver cores.
+const (
+	// Nodes counts search or branch-and-bound nodes expanded.
+	Nodes Counter = iota
+	// Pruned counts subtrees discarded by bounds before expansion.
+	Pruned
+	// Pivots counts simplex pivots (LP iterations).
+	Pivots
+	// Restarts counts annealing restarts (fresh-seed attempts).
+	Restarts
+	// Moves counts annealing moves proposed.
+	Moves
+	// Accepted counts annealing moves accepted.
+	Accepted
+	// Backtracks counts constructive placer backtrack steps.
+	Backtracks
+	// CacheHits counts candidate-cache hits.
+	CacheHits
+	// CacheMisses counts candidate-cache misses (full enumerations).
+	CacheMisses
+
+	numCounters
+)
+
+// counterNames are the stable identifiers used in traces, logs and
+// Prometheus labels.
+var counterNames = [numCounters]string{
+	Nodes:       "nodes",
+	Pruned:      "pruned",
+	Pivots:      "pivots",
+	Restarts:    "restarts",
+	Moves:       "moves",
+	Accepted:    "accepted",
+	Backtracks:  "backtracks",
+	CacheHits:   "cache_hits",
+	CacheMisses: "cache_misses",
+}
+
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// Counters enumerates every counter, for renderers that iterate them.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// Outcome labels a span's terminal state.
+type Outcome string
+
+// Span outcomes.
+const (
+	// OutcomeProven: a solution proven optimal was returned.
+	OutcomeProven Outcome = "proven"
+	// OutcomeSolved: a feasible (not proven optimal) solution was returned.
+	OutcomeSolved Outcome = "solved"
+	// OutcomeInfeasible: the problem was proven infeasible.
+	OutcomeInfeasible Outcome = "infeasible"
+	// OutcomeNoSolution: the budget expired without a solution.
+	OutcomeNoSolution Outcome = "no_solution"
+	// OutcomeError: the solve failed for another reason.
+	OutcomeError Outcome = "error"
+)
+
+// Probe observes solves. Implementations must be safe for concurrent
+// use; Span may be called multiple times with the same name (the
+// recorder merges them).
+type Probe interface {
+	// Span opens a named observation scope ("exact", "milp-o/wire", ...).
+	Span(name string) Span
+}
+
+// Span is one engine's (or stage's) observation scope.
+type Span interface {
+	// Add accumulates delta into the span's counter c. Emitters may batch
+	// deltas; only the sum is meaningful.
+	Add(c Counter, delta int64)
+	// Incumbent reports that a better solution was found, with its
+	// objective value on the span's scale. Within a span the reported
+	// values must be nonincreasing.
+	Incumbent(objective float64)
+	// End closes the span with its terminal outcome and the deadline
+	// slack remaining at return (zero when the solve had no deadline;
+	// negative on overrun). End is called exactly once per span.
+	End(outcome Outcome, slack time.Duration)
+}
+
+type nopProbe struct{}
+
+func (nopProbe) Span(string) Span { return NopSpan }
+
+type nopSpan struct{}
+
+func (nopSpan) Add(Counter, int64)         {}
+func (nopSpan) Incumbent(float64)          {}
+func (nopSpan) End(Outcome, time.Duration) {}
+
+// Nop is the zero-overhead default probe: every method is an empty,
+// allocation-free no-op.
+var Nop Probe = nopProbe{}
+
+// NopSpan is the span produced by Nop, usable directly where a Span
+// (not a Probe) is the plumbing unit, e.g. milp/lp options.
+var NopSpan Span = nopSpan{}
+
+// OrNop returns sp, or NopSpan when sp is nil, so plumbed-through spans
+// never need nil checks at emission sites.
+func OrNop(sp Span) Span {
+	if sp == nil {
+		return NopSpan
+	}
+	return sp
+}
+
+// SlackUntil returns the time remaining until deadline — the "deadline
+// slack at return" emitted on span End. A zero deadline (no budget)
+// returns zero.
+func SlackUntil(deadline time.Time) time.Duration {
+	if deadline.IsZero() {
+		return 0
+	}
+	return time.Until(deadline)
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/heuristic"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Member is one engine in the race.
@@ -106,11 +107,20 @@ type outcome struct {
 // best accepted answer. The returned solution's Engine field names the
 // winning member ("portfolio(exact)") so reports and the serving layer
 // can attribute it.
-func (pf *Portfolio) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
-	if err := p.Validate(); err != nil {
+func (pf *Portfolio) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (sol *core.Solution, err error) {
+	opts = opts.Normalized()
+	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	// Members inherit opts.Probe and open their own engine-named spans;
+	// the portfolio's span carries the race-level best trajectory.
+	sp := opts.Probe.Span(pf.Name())
+	defer func() { sp.End(core.ObsOutcome(sol, err), obs.SlackUntil(deadline)) }()
+	if err = p.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.Normalized()
 	members := pf.Members
 	if len(members) == 0 {
 		members = DefaultMembers()
@@ -119,13 +129,9 @@ func (pf *Portfolio) Solve(ctx context.Context, p *core.Problem, opts core.Solve
 	if grace <= 0 {
 		grace = 150 * time.Millisecond
 	}
-	start := time.Now()
-
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var deadline time.Time
-	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
+	if !deadline.IsZero() {
 		// Backstop: members enforce TimeLimit themselves; the context
 		// deadline catches any that only watch ctx.
 		var cancelD context.CancelFunc
@@ -209,6 +215,7 @@ collect:
 			obj := out.sol.Objective(p)
 			if best == nil || obj < bestObj || (obj == bestObj && out.sol.Proven && !best.Proven) {
 				best, bestIdx, bestObj = out.sol, out.idx, obj
+				sp.Incumbent(obj)
 			}
 			if out.sol.Proven && !accepted {
 				// Proven lexicographic optimum: accept, cancel losers.

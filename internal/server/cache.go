@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // cacheEntry is a finished solve outcome. Only definitive outcomes are
@@ -14,6 +15,10 @@ import (
 type cacheEntry struct {
 	sol *core.Solution // nil when the problem is infeasible
 	err error          // nil or core.ErrInfeasible
+	// trace is the solve's recorded telemetry; cached alongside the
+	// solution so "trace": true requests served from the cache still see
+	// the trajectory of the solve that produced the entry.
+	trace *obs.Trace
 }
 
 // lruCache is a fixed-capacity LRU map from canonical problem key to

@@ -17,6 +17,7 @@ func defaultSolve(ctx context.Context, p *core.Problem, engine string, opts core
 		TimeLimit: opts.TimeLimit,
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
+		Probe:     opts.Probe,
 	})
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -60,15 +61,34 @@ type metrics struct {
 	// portfolioStats, when set, supplies the portfolio engine's
 	// per-member race counters for rendering.
 	portfolioStats func() []portfolio.MemberStats
+	// candCacheStats, when set, supplies the process-wide candidate-cache
+	// hit/miss counters (core.CandCacheStats in production).
+	candCacheStats func() (hits, misses int64)
+
+	// version labels floorpland_build_info; start anchors the uptime gauge.
+	version string
+	start   time.Time
 
 	mu        sync.Mutex
 	perEngine map[string]*histogram
+	perTelem  map[string]*engineTelem
+}
+
+// engineTelem aggregates the probe-layer solve telemetry per engine for
+// /metrics: search nodes, simplex pivots and incumbent improvements.
+type engineTelem struct {
+	nodes      atomic.Int64
+	pivots     atomic.Int64
+	incumbents atomic.Int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		perEngine:  map[string]*histogram{},
+		perTelem:   map[string]*engineTelem{},
 		queueDepth: func() int { return 0 },
+		version:    "dev",
+		start:      time.Now(),
 	}
 }
 
@@ -85,6 +105,30 @@ func (m *metrics) engineHistogram(engine string) *histogram {
 	return h
 }
 
+// engineTelemetry returns (creating if needed) the named engine's probe
+// telemetry aggregates.
+func (m *metrics) engineTelemetry(engine string) *engineTelem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.perTelem[engine]
+	if !ok {
+		t = &engineTelem{}
+		m.perTelem[engine] = t
+	}
+	return t
+}
+
+// recordTelemetry folds one solve's probe totals into the per-engine
+// aggregates. engine is the requested engine name, so stage sub-spans
+// (MILP passes, warm-start seeds) accumulate under the engine the client
+// asked for.
+func (m *metrics) recordTelemetry(engine string, nodes, pivots, incumbents int64) {
+	t := m.engineTelemetry(engine)
+	t.nodes.Add(nodes)
+	t.pivots.Add(pivots)
+	t.incumbents.Add(incumbents)
+}
+
 // render writes the metrics in the Prometheus text exposition format.
 func (m *metrics) render() string {
 	var b strings.Builder
@@ -99,7 +143,18 @@ func (m *metrics) render() string {
 	counter("floorpland_cache_misses_total", "Solve requests not present in the solution cache.", m.cacheMisses.Load())
 	counter("floorpland_dedup_joined_total", "Solve requests that joined an identical in-flight solve.", m.dedupJoined.Load())
 	counter("floorpland_queue_rejected_total", "Solve requests rejected with 429 because the queue was full.", m.queueRejected.Load())
+	if m.candCacheStats != nil {
+		hits, misses := m.candCacheStats()
+		counter("floorpland_candidate_cache_hits_total", "Candidate enumerations served from the shared candidate cache.", hits)
+		counter("floorpland_candidate_cache_misses_total", "Candidate enumerations that ran the full sweep (cache misses).", misses)
+	}
 	fmt.Fprintf(&b, "# HELP floorpland_queue_depth Solves waiting in the pool queue.\n# TYPE floorpland_queue_depth gauge\nfloorpland_queue_depth %d\n", m.queueDepth())
+	// Labels must stay alphabetically sorted (the exposition lint test
+	// enforces this for every labeled sample).
+	fmt.Fprintf(&b, "# HELP floorpland_build_info Build metadata; the value is always 1.\n# TYPE floorpland_build_info gauge\nfloorpland_build_info{go_version=%q,version=%q} 1\n",
+		runtime.Version(), m.version)
+	fmt.Fprintf(&b, "# HELP floorpland_uptime_seconds Seconds since the server started.\n# TYPE floorpland_uptime_seconds gauge\nfloorpland_uptime_seconds %g\n",
+		time.Since(m.start).Seconds())
 
 	m.mu.Lock()
 	engines := make([]string, 0, len(m.perEngine))
@@ -111,7 +166,31 @@ func (m *metrics) render() string {
 	for i, name := range engines {
 		hists[i] = m.perEngine[name]
 	}
+	telemEngines := make([]string, 0, len(m.perTelem))
+	for name := range m.perTelem {
+		telemEngines = append(telemEngines, name)
+	}
+	sort.Strings(telemEngines)
+	telems := make([]*engineTelem, len(telemEngines))
+	for i, name := range telemEngines {
+		telems[i] = m.perTelem[name]
+	}
 	m.mu.Unlock()
+
+	if len(telemEngines) > 0 {
+		b.WriteString("# HELP floorpland_engine_nodes_total Search/branch-and-bound nodes expanded, by requested engine.\n# TYPE floorpland_engine_nodes_total counter\n")
+		for i, name := range telemEngines {
+			fmt.Fprintf(&b, "floorpland_engine_nodes_total{engine=%q} %d\n", name, telems[i].nodes.Load())
+		}
+		b.WriteString("# HELP floorpland_engine_pivots_total Simplex pivots spent in LP relaxations, by requested engine.\n# TYPE floorpland_engine_pivots_total counter\n")
+		for i, name := range telemEngines {
+			fmt.Fprintf(&b, "floorpland_engine_pivots_total{engine=%q} %d\n", name, telems[i].pivots.Load())
+		}
+		b.WriteString("# HELP floorpland_engine_incumbents_total Incumbent improvements observed, by requested engine.\n# TYPE floorpland_engine_incumbents_total counter\n")
+		for i, name := range telemEngines {
+			fmt.Fprintf(&b, "floorpland_engine_incumbents_total{engine=%q} %d\n", name, telems[i].incumbents.Load())
+		}
+	}
 
 	if len(engines) > 0 {
 		b.WriteString("# HELP floorpland_solve_seconds Solve latency by engine.\n# TYPE floorpland_solve_seconds histogram\n")

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/portfolio"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// populatedMetrics builds a metrics value exercising every family render
+// path: flat counters, gauges, per-engine telemetry and histograms,
+// candidate-cache counters, and portfolio member stats.
+func populatedMetrics() *metrics {
+	m := newMetrics()
+	m.requests.Add(3)
+	m.solvesStarted.Add(2)
+	m.solvesCompleted.Add(2)
+	m.cacheHits.Add(1)
+	m.cacheMisses.Add(2)
+	m.candCacheStats = func() (int64, int64) { return 7, 5 }
+	m.portfolioStats = func() []portfolio.MemberStats {
+		return []portfolio.MemberStats{{Name: "exact", Races: 1, Wins: 1, Total: time.Second}}
+	}
+	m.engineHistogram("exact").observe(42 * time.Millisecond)
+	m.engineHistogram("annealing").observe(3 * time.Millisecond)
+	m.recordTelemetry("exact", 120, 0, 4)
+	m.recordTelemetry("milp-ho", 15, 900, 2)
+	return m
+}
+
+// TestMetricsExpositionLint validates the full /metrics output against
+// the Prometheus text-format rules the renderer must uphold: every
+// sample's family is declared with a HELP and a TYPE line before its
+// first sample, no family is declared twice, and label sets are
+// alphabetically sorted within each sample.
+func TestMetricsExpositionLint(t *testing.T) {
+	body := populatedMetrics().render()
+
+	type family struct{ help, typ bool }
+	declared := map[string]*family{}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name, help, ok := strings.Cut(strings.TrimPrefix(line, "# HELP "), " ")
+			if !ok || help == "" {
+				t.Errorf("HELP line has no text: %q", line)
+			}
+			f := declared[name]
+			if f == nil {
+				f = &family{}
+				declared[name] = f
+			}
+			if f.help {
+				t.Errorf("family %s declared HELP twice", name)
+			}
+			f.help = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Errorf("TYPE line malformed: %q", line)
+			}
+			f := declared[name]
+			if f == nil || !f.help {
+				t.Errorf("family %s has TYPE before HELP", name)
+				if f == nil {
+					f = &family{}
+					declared[name] = f
+				}
+			}
+			if f.typ {
+				t.Errorf("family %s declared TYPE twice", name)
+			}
+			f.typ = true
+		case strings.HasPrefix(line, "#"), line == "":
+			t.Errorf("unexpected comment/blank line: %q", line)
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			fam := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name {
+					if f, ok := declared[base]; ok && f.typ {
+						fam = base
+					}
+					break
+				}
+			}
+			if f, ok := declared[fam]; !ok || !f.help || !f.typ {
+				t.Errorf("sample %q has no preceding HELP+TYPE for family %s", line, fam)
+			}
+			assertSortedLabels(t, line)
+		}
+	}
+}
+
+// assertSortedLabels checks the label names inside one sample line are
+// alphabetically ordered.
+func assertSortedLabels(t *testing.T, line string) {
+	t.Helper()
+	open := strings.IndexByte(line, '{')
+	if open < 0 {
+		return
+	}
+	close := strings.IndexByte(line, '}')
+	if close < open {
+		t.Errorf("unbalanced braces: %q", line)
+		return
+	}
+	var names []string
+	for _, pair := range strings.Split(line[open+1:close], ",") {
+		name, _, ok := strings.Cut(pair, "=")
+		if !ok {
+			t.Errorf("malformed label pair %q in %q", pair, line)
+			return
+		}
+		names = append(names, name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("labels not sorted in %q: %v", line, names)
+	}
+}
+
+// TestMetricsFamiliesGolden pins the exposition's family declarations
+// (every HELP/TYPE pair, in order) against a golden file, so renaming or
+// dropping a metric family is a deliberate, reviewed change. Values are
+// excluded: only the schema is golden. Refresh with `go test
+// ./internal/server -run Golden -update`.
+func TestMetricsFamiliesGolden(t *testing.T) {
+	body := populatedMetrics().render()
+	var families strings.Builder
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fmt.Fprintln(&families, strings.TrimPrefix(line, "# TYPE "))
+		}
+	}
+	got := families.String()
+
+	path := filepath.Join("testdata", "metrics_families.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (rerun with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric families changed.\ngot:\n%s\nwant:\n%s\n(rerun with -update if intended)", got, want)
+	}
+}

@@ -20,6 +20,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // SolveFunc computes a floorplan for p with the named engine. The
@@ -68,6 +71,8 @@ type Config struct {
 	Solve SolveFunc
 	// Logger receives structured request logs; nil uses slog.Default.
 	Logger *slog.Logger
+	// Version labels the floorpland_build_info metric (default "dev").
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.Version == "" {
+		c.Version = "dev"
 	}
 	return c
 }
@@ -130,6 +138,8 @@ func New(cfg Config) *Server {
 	}
 	s.metrics.queueDepth = s.pool.queueDepth
 	s.metrics.portfolioStats = defaultPortfolioStats
+	s.metrics.candCacheStats = core.CandCacheStats
+	s.metrics.version = cfg.Version
 	return s
 }
 
@@ -164,6 +174,11 @@ type SolveRequest struct {
 	// Workers bounds per-solve parallelism; clamped to the server
 	// maximum.
 	Workers int `json:"workers,omitempty"`
+	// Trace asks for the solve's telemetry (incumbent trajectory, work
+	// counters, span outcomes) to be embedded in the response. Telemetry
+	// is recorded either way; the flag only controls the response size,
+	// so it is deliberately NOT part of the cache key.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SolveResponse is the POST /v1/solve reply.
@@ -187,6 +202,9 @@ type SolveResponse struct {
 	Objective *float64 `json:"objective,omitempty"`
 	// Error carries detail for status "error".
 	Error string `json:"error,omitempty"`
+	// Trace is the solve telemetry, present when the request set
+	// "trace": true and the outcome carried a recording.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // EnginesResponse is the GET /v1/engines reply.
@@ -248,7 +266,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	if entry, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		s.respondEntry(w, r, key, engine, req.Problem, entry, true, false)
+		s.respondEntry(w, r, key, engine, req.Problem, entry, true, false, req.Trace)
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
@@ -269,12 +287,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !led {
 		s.metrics.dedupJoined.Add(1)
 	}
-	s.respondEntry(w, r, key, engine, req.Problem, entry, false, !led)
+	s.respondEntry(w, r, key, engine, req.Problem, entry, false, !led, req.Trace)
 }
 
 // runSolve is the single-flight leader path: queue on the pool, run the
-// engine, record metrics, and cache definitive outcomes.
+// engine under a recording probe, record metrics and telemetry, and cache
+// definitive outcomes (trace included, so cached answers keep their
+// trajectory).
 func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Problem, opts core.SolveOptions) cacheEntry {
+	rec := obs.NewRecorder()
+	opts.Probe = rec
 	task, err := s.pool.submit(ctx, func(ctx context.Context) (*core.Solution, error) {
 		s.metrics.solvesStarted.Add(1)
 		started := time.Now()
@@ -294,11 +316,29 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 		return cacheEntry{err: err}
 	}
 	sol, err := task.wait(ctx)
-	entry := cacheEntry{sol: sol, err: err}
+	nodes := rec.Total(obs.Nodes)
+	pivots := rec.Total(obs.Pivots)
+	incumbents := int64(len(rec.Incumbents(""))) + int64(rec.DroppedIncumbents())
+	s.metrics.recordTelemetry(engine, nodes, pivots, incumbents)
+	s.log.Info("solve telemetry",
+		"request_id", requestID(ctx),
+		"key", key,
+		"engine", engine,
+		"nodes", nodes,
+		"pivots", pivots,
+		"incumbents", incumbents,
+		"outcome", outcomeLabel(sol, err),
+	)
+	entry := cacheEntry{sol: sol, err: err, trace: rec.Trace()}
 	if err == nil || errors.Is(err, core.ErrInfeasible) {
 		s.cache.put(key, entry)
 	}
 	return entry
+}
+
+// outcomeLabel names a solve outcome for the telemetry log line.
+func outcomeLabel(sol *core.Solution, err error) string {
+	return string(core.ObsOutcome(sol, err))
 }
 
 func (s *Server) solve(ctx context.Context, p *core.Problem, engine string, opts core.SolveOptions) (*core.Solution, error) {
@@ -308,9 +348,13 @@ func (s *Server) solve(ctx context.Context, p *core.Problem, engine string, opts
 	return defaultSolve(ctx, p, engine, opts)
 }
 
-// respondEntry translates a solve outcome into the HTTP reply.
-func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, key, engine string, p *core.Problem, entry cacheEntry, cached, deduped bool) {
+// respondEntry translates a solve outcome into the HTTP reply. wantTrace
+// embeds the recorded telemetry on the definitive statuses.
+func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, key, engine string, p *core.Problem, entry cacheEntry, cached, deduped, wantTrace bool) {
 	resp := SolveResponse{Key: key, Cached: cached, Deduped: deduped}
+	if wantTrace {
+		resp.Trace = entry.trace
+	}
 	switch {
 	case entry.err == nil && entry.sol != nil:
 		resp.Status = "ok"
@@ -424,12 +468,37 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
+// requestIDKey keys the per-request ID in the request context.
+type requestIDKey struct{}
+
+// requestID returns the ID logRequests assigned, or "" outside a request.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns a 16-hex-char random request ID.
+func newRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(sw, r)
 		s.log.Info("request",
+			"request_id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.code,

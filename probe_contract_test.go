@@ -1,0 +1,137 @@
+package floorplanner_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/sdr"
+)
+
+// TestEngineProbeContract asserts the telemetry half of the engine
+// contract (DESIGN.md "Observability"): every registered engine, solving
+// the paper's SDR instance under a recording probe, (a) ends a span named
+// after the engine with a definitive outcome, (b) emits at least one
+// incumbent on that span, and (c) keeps that span's incumbent trajectory
+// nonincreasing — each emission must be an improvement on the problem
+// objective scale (stage sub-spans such as "milp-o/waste" or
+// "annealing/energy" carry their own scales and are exempt).
+func TestEngineProbeContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe contract test runs every engine on SDR; skipped in -short")
+	}
+	p := sdr.Problem()
+	for _, name := range floorplanner.EngineNames() {
+		t.Run(name, func(t *testing.T) {
+			rec := floorplanner.NewRecorder()
+			sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+				Engine:    name,
+				TimeLimit: 10 * time.Second,
+				Seed:      1,
+				Probe:     rec,
+			})
+			if err != nil {
+				t.Fatalf("solve failed: %v", err)
+			}
+			if sol == nil {
+				t.Fatal("nil solution with nil error")
+			}
+
+			end, ok := rec.EndOf(name)
+			if !ok {
+				t.Fatalf("engine span %q never ended; spans seen: %v", name, rec.SpanNames())
+			}
+			if got := string(end.Outcome); got != "proven" && got != "solved" {
+				t.Errorf("engine span ended with outcome %q on a successful solve", got)
+			}
+
+			pts := rec.Incumbents(name)
+			if len(pts) == 0 {
+				t.Fatalf("engine span %q emitted no incumbents; spans seen: %v", name, rec.SpanNames())
+			}
+			for i := 1; i < len(pts); i++ {
+				if pts[i].Objective > pts[i-1].Objective {
+					t.Errorf("incumbent %d worsened: %g after %g (trajectory must be nonincreasing)",
+						i, pts[i].Objective, pts[i-1].Objective)
+				}
+			}
+			// The last incumbent must be the returned solution's objective:
+			// the trajectory ends where the answer is.
+			if got, want := pts[len(pts)-1].Objective, sol.Objective(p); got != want {
+				t.Errorf("final incumbent %g != returned objective %g", got, want)
+			}
+		})
+	}
+}
+
+// TestEngineProbeEndsOnCancel asserts that the engine span reaches its
+// terminal End even when the solve never really starts: a pre-canceled
+// context must still produce exactly one end record per engine span, so a
+// trace can never show a span that silently vanished.
+func TestEngineProbeEndsOnCancel(t *testing.T) {
+	p := sdr.Problem()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range floorplanner.EngineNames() {
+		t.Run(name, func(t *testing.T) {
+			rec := floorplanner.NewRecorder()
+			_, err := floorplanner.Solve(ctx, p, floorplanner.Options{
+				Engine:    name,
+				TimeLimit: time.Hour,
+				Seed:      1,
+				Probe:     rec,
+			})
+			if err == nil {
+				t.Fatal("nil error on a pre-canceled context")
+			}
+			end, ok := rec.EndOf(name)
+			if !ok {
+				t.Fatalf("engine span %q never ended on the cancel path; spans seen: %v", name, rec.SpanNames())
+			}
+			if got := string(end.Outcome); got == "proven" || got == "solved" {
+				t.Errorf("canceled solve ended with success outcome %q", got)
+			}
+			ends := 0
+			for _, e := range rec.Ends() {
+				if e.Span == name {
+					ends++
+				}
+			}
+			if ends != 1 {
+				t.Errorf("engine span ended %d times, want exactly 1", ends)
+			}
+		})
+	}
+}
+
+// TestEngineProbeEndsOnDeadline asserts the same terminal guarantee on
+// the budget-exhaustion path: an impossibly small TimeLimit on a hard
+// instance must still end the engine span with a non-success outcome or a
+// genuine (validated) solution.
+func TestEngineProbeEndsOnDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deadline probe test runs every engine; skipped in -short")
+	}
+	p := contractProblem(12)
+	const limit = 150 * time.Millisecond
+	for _, name := range floorplanner.EngineNames() {
+		t.Run(name, func(t *testing.T) {
+			rec := floorplanner.NewRecorder()
+			sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+				Engine:    name,
+				TimeLimit: limit,
+				Seed:      1,
+				Probe:     rec,
+			})
+			end, ok := rec.EndOf(name)
+			if !ok {
+				t.Fatalf("engine span %q never ended on the deadline path; spans seen: %v", name, rec.SpanNames())
+			}
+			success := err == nil && sol != nil
+			if got := string(end.Outcome); success != (got == "proven" || got == "solved") {
+				t.Errorf("span outcome %q disagrees with solve result (sol=%v err=%v)", got, sol != nil, err)
+			}
+		})
+	}
+}
