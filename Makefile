@@ -6,11 +6,14 @@
 #   make test      plain test run (no race detector; faster)
 #   make bench     candidate-enumeration cache benchmarks (hit vs miss)
 #   make obs-bench telemetry overhead benchmarks (bare vs no-op vs recorder)
+#   make fuzz      short fuzz smoke over the wire-format decoders
+#                  (FUZZTIME=10s per target by default)
 
-GO      ?= go
-BIN     := bin
+GO       ?= go
+BIN      := bin
+FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench obs-bench serve clean
+.PHONY: check fmt vet build test race bench obs-bench fuzz serve clean
 
 check: fmt vet build race
 
@@ -42,6 +45,11 @@ bench:
 
 obs-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead' -benchmem .
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzProblemDecode      -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzSolveRequestDecode -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzDecode             -fuzztime $(FUZZTIME) ./internal/bitstream
 
 serve: build
 	$(BIN)/floorpland -addr :8080

@@ -32,6 +32,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +54,9 @@ func run() error {
 		queue        = flag.Int("queue", 64, "queued solves before 429 backpressure")
 		cacheSize    = flag.Int("cache", 256, "cached solutions (LRU)")
 		engine       = flag.String("default-engine", "exact", "engine used when a request names none")
+		fallback     = flag.String("fallback", "", "comma-separated engine chain for the \"fallback\" engine (empty = exact,milp-ho,constructive)")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive engine failures that open its circuit breaker (negative disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit breaker waits before a half-open probe")
 		defaultLimit = flag.Duration("default-time", 30*time.Second, "time limit when a request names none")
 		maxLimit     = flag.Duration("max-time", 2*time.Minute, "per-request time limit cap")
 		drainTimeout = flag.Duration("drain", 2*time.Minute, "shutdown drain budget for in-flight solves")
@@ -70,11 +74,22 @@ func run() error {
 	if _, err := floorplanner.NewEngine(*engine); err != nil {
 		return err
 	}
+	var fallbackChain []string
+	if *fallback != "" {
+		fallbackChain = strings.Split(*fallback, ",")
+		// Fail fast on typos: the chain must assemble.
+		if _, err := floorplanner.NewFallback(fallbackChain...); err != nil {
+			return err
+		}
+	}
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		QueueSize:        *queue,
 		CacheSize:        *cacheSize,
 		DefaultEngine:    *engine,
+		FallbackChain:    fallbackChain,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
 		Logger:           log,

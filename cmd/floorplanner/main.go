@@ -7,6 +7,7 @@
 //	floorplanner -design SDR3 -engine portfolio -time 10s
 //	floorplanner -design SDR2 -engine milp-ho -trace   # telemetry table
 //	floorplanner -design SDR2 -engine portfolio -members exact,constructive,tessellation
+//	floorplanner -design SDR2 -fallback exact,milp-ho,constructive
 //	floorplanner -problem my-problem.json -svg plan.svg -out solution.json
 //
 // A problem file is JSON with the shape of floorplanner.Problem; the
@@ -41,6 +42,7 @@ func run() error {
 		design      = flag.String("design", "", "built-in design: SDR, SDR2 or SDR3")
 		engine      = flag.String("engine", "exact", "engine: "+strings.Join(floorplanner.EngineNames(), ", "))
 		members     = flag.String("members", "", "comma-separated member engines raced by -engine portfolio (empty = default race)")
+		fallback    = flag.String("fallback", "", "comma-separated engine chain; implies -engine fallback (empty chain = exact,milp-ho,constructive)")
 		timeLimit   = flag.Duration("time", 60*time.Second, "solve time limit")
 		seed        = flag.Int64("seed", 1, "seed for randomized engines")
 		workers     = flag.Int("workers", 0, "parallel workers (engine dependent)")
@@ -65,6 +67,16 @@ func run() error {
 			return fmt.Errorf("-members requires -engine portfolio")
 		}
 		memberList = strings.Split(*members, ",")
+	}
+	if *fallback != "" {
+		if *members != "" {
+			return fmt.Errorf("-fallback and -members are mutually exclusive")
+		}
+		if *engine != "exact" && *engine != "fallback" {
+			return fmt.Errorf("-fallback implies -engine fallback; drop -engine %s", *engine)
+		}
+		*engine = "fallback"
+		memberList = strings.Split(*fallback, ",")
 	}
 
 	solveOpts := floorplanner.Options{

@@ -35,6 +35,9 @@
 //	tessellation greedy columnar packer in the spirit of [8]
 //	portfolio    races exact, milp-ho and the heuristics concurrently
 //	             under one shared time budget and returns the best answer
+//	fallback     tries exact, then milp-ho, then constructive under one
+//	             shared budget, degrading past panics, invalid solutions
+//	             and per-stage timeouts (see internal/guard)
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // paper-versus-measured evaluation.
@@ -48,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/exact"
+	"repro/internal/guard"
 	"repro/internal/heuristic"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -154,8 +158,9 @@ type Options struct {
 	Seed int64
 	// Workers bounds parallelism where supported.
 	Workers int
-	// Members selects the "portfolio" engine's racing members by name
-	// (empty = the default race); ignored by every other engine.
+	// Members selects the "portfolio" engine's racing members or the
+	// "fallback" engine's degradation chain, by name (empty = the engine's
+	// default set); ignored by every other engine.
 	Members []string
 	// Probe, when non-nil, observes the solve: counters, incumbent
 	// trajectory and span outcomes. Use NewRecorder for the built-in
@@ -184,6 +189,8 @@ func NewEngine(name string) (Engine, error) {
 		return &heuristic.Tessellation{}, nil
 	case "portfolio":
 		return portfolio.New(), nil
+	case "fallback":
+		return NewFallback()
 	default:
 		return nil, fmt.Errorf("floorplanner: unknown engine %q", name)
 	}
@@ -212,37 +219,68 @@ func NewPortfolio(members ...string) (Engine, error) {
 	return portfolio.New(ms...), nil
 }
 
-// EngineNames lists the available engines.
-func EngineNames() []string {
-	return []string{"exact", "milp-o", "milp-ho", "constructive", "annealing", "tessellation", "portfolio"}
+// DefaultFallbackChain is the fallback engine's default degradation
+// order: the optimality-proving engine first, the paper's fast HO flow
+// next, and the deterministic greedy placer as the last resort.
+func DefaultFallbackChain() []string { return []string{"exact", "milp-ho", "constructive"} }
+
+// NewFallback builds a graceful-degradation chain trying the named
+// engines in order (empty = DefaultFallbackChain) under one shared
+// budget. Each stage runs guarded: the chain advances past panics,
+// invalid solutions, errors and per-stage budget expiry, so the caller
+// gets the best answer the remaining budget allows. Infeasibility
+// verdicts end the chain only from engines that search the full solution
+// space (exact, milp-o).
+func NewFallback(members ...string) (Engine, error) {
+	if len(members) == 0 {
+		members = DefaultFallbackChain()
+	}
+	ms := make([]guard.FallbackMember, 0, len(members))
+	for _, name := range members {
+		if name == "fallback" {
+			return nil, fmt.Errorf("floorplanner: fallback cannot chain itself")
+		}
+		eng, err := NewEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, guard.FallbackMember{
+			Engine:          eng,
+			TrustInfeasible: name == "exact" || name == "milp-o",
+		})
+	}
+	return guard.NewFallback(ms...), nil
 }
 
-// Solve runs the selected engine on the problem. The returned solution is
-// validated against the problem before being returned.
+// EngineNames lists the available engines.
+func EngineNames() []string {
+	return []string{"exact", "milp-o", "milp-ho", "constructive", "annealing", "tessellation", "portfolio", "fallback"}
+}
+
+// Solve runs the selected engine on the problem. Every solve runs under
+// the guard layer: panics are recovered into structured errors and the
+// returned solution is verified (Solution.Validate plus an
+// objective-consistency check) before being returned.
 func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	var eng Engine
 	var err error
-	if opts.Engine == "portfolio" && len(opts.Members) > 0 {
+	switch {
+	case opts.Engine == "portfolio" && len(opts.Members) > 0:
 		eng, err = NewPortfolio(opts.Members...)
-	} else {
+	case opts.Engine == "fallback" && len(opts.Members) > 0:
+		eng, err = NewFallback(opts.Members...)
+	default:
 		eng, err = NewEngine(opts.Engine)
 	}
 	if err != nil {
 		return nil, err
 	}
-	sol, err := eng.Solve(ctx, p, SolveOptions{
+	return guard.Wrap(eng).Solve(ctx, p, SolveOptions{
 		TimeLimit: opts.TimeLimit,
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
 		Probe:     opts.Probe,
 	})
-	if err != nil {
-		return nil, err
-	}
-	if err := sol.Validate(p); err != nil {
-		return nil, fmt.Errorf("floorplanner: engine %s returned an invalid solution: %w", eng.Name(), err)
-	}
-	return sol, nil
 }
 
 // RenderASCII draws a floorplan as text (Figures 4-5 style).

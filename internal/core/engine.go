@@ -49,6 +49,10 @@ func (o SolveOptions) Normalized() SolveOptions {
 	return o
 }
 
+// outcomeCarrier is implemented by errors that know their own telemetry
+// outcome — the guard layer's PanicError and InvalidSolutionError.
+type outcomeCarrier interface{ ObsOutcome() obs.Outcome }
+
 // ObsOutcome maps an engine's Solve result onto the telemetry outcome
 // taxonomy, for the span End every engine emits on return.
 func ObsOutcome(sol *Solution, err error) obs.Outcome {
@@ -63,9 +67,12 @@ func ObsOutcome(sol *Solution, err error) obs.Outcome {
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return obs.OutcomeNoSolution
-	default:
-		return obs.OutcomeError
 	}
+	var oc outcomeCarrier
+	if errors.As(err, &oc) {
+		return oc.ObsOutcome()
+	}
+	return obs.OutcomeError
 }
 
 // Engine is a floorplanning algorithm: given a problem it produces a

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestValidateRejectsHostileNumerics pins the input-hardening layer:
+// NaN/Inf weights and absurd requirements must be rejected by Validate
+// before any engine can turn them into a hang, an overflow, or a
+// nonsensical objective.
+func TestValidateRejectsHostileNumerics(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	cases := map[string]func(p *Problem){
+		"NaN net weight":  func(p *Problem) { p.Nets[0].Weight = nan },
+		"+Inf net weight": func(p *Problem) { p.Nets[0].Weight = inf },
+		"-Inf net weight": func(p *Problem) { p.Nets[0].Weight = math.Inf(-1) },
+		"NaN FC weight": func(p *Problem) {
+			p.FCAreas = []FCRequest{{Region: 0, Weight: nan}}
+		},
+		"Inf FC weight": func(p *Problem) {
+			p.FCAreas = []FCRequest{{Region: 0, Weight: inf}}
+		},
+		"negative requirement": func(p *Problem) {
+			p.Regions[0].Req = device.Requirements{device.ClassCLB: -1}
+		},
+		"overflowing requirement": func(p *Problem) {
+			p.Regions[0].Req = device.Requirements{device.ClassCLB: math.MaxInt}
+		},
+		"NaN objective weight": func(p *Problem) { p.Objective.WireLength = nan },
+		"Inf objective weight": func(p *Problem) { p.Objective.Relocation = inf },
+	}
+	for name, mutate := range cases {
+		p := testProblem()
+		mutate(p)
+		if p.Validate() == nil {
+			t.Errorf("%s accepted by Validate", name)
+		}
+	}
+
+	// Sanity: the unmutated problem still validates, so the rejections
+	// above are the mutation's doing.
+	if err := testProblem().Validate(); err != nil {
+		t.Fatalf("baseline problem no longer validates: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/device"
 )
@@ -117,6 +118,17 @@ type Problem struct {
 	Objective Objective
 }
 
+// maxRequirement bounds a single per-class tile requirement. No real
+// device has 2^30 tiles of one class; larger values are malformed input
+// (and risk overflow in frame arithmetic), so Validate rejects them
+// before any engine sees them.
+const maxRequirement = 1 << 30
+
+// finite reports whether f is a usable weight: not NaN, not infinite.
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
 // Validate checks the static well-formedness of the problem.
 func (p *Problem) Validate() error {
 	if p.Device == nil {
@@ -141,6 +153,9 @@ func (p *Problem) Validate() error {
 			if n < 0 {
 				return fmt.Errorf("core: region %q has negative requirement for %s", r.Name, class)
 			}
+			if n > maxRequirement {
+				return fmt.Errorf("core: region %q requirement for %s is implausibly large (%d > %d)", r.Name, class, n, maxRequirement)
+			}
 		}
 	}
 	for i, n := range p.Nets {
@@ -149,6 +164,9 @@ func (p *Problem) Validate() error {
 		}
 		if n.A == n.B {
 			return fmt.Errorf("core: net %d connects region %d to itself", i, n.A)
+		}
+		if !finite(n.Weight) {
+			return fmt.Errorf("core: net %d has non-finite weight", i)
 		}
 		if n.Weight < 0 {
 			return fmt.Errorf("core: net %d has negative weight", i)
@@ -163,8 +181,24 @@ func (p *Problem) Validate() error {
 				return fmt.Errorf("core: free-compatible request %d references unknown region %d", i, extra)
 			}
 		}
+		if !finite(fc.Weight) {
+			return fmt.Errorf("core: free-compatible request %d has non-finite weight", i)
+		}
 		if fc.Weight < 0 {
 			return fmt.Errorf("core: free-compatible request %d has negative weight", i)
+		}
+	}
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{
+		{"wire-length", p.Objective.WireLength},
+		{"perimeter", p.Objective.Perimeter},
+		{"resource", p.Objective.Resource},
+		{"relocation", p.Objective.Relocation},
+	} {
+		if !finite(q.v) {
+			return fmt.Errorf("core: objective %s weight is not finite", q.name)
 		}
 	}
 	return nil

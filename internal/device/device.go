@@ -28,12 +28,37 @@ type Device struct {
 	forbidden []grid.Rect
 }
 
+// Dimension caps: real devices are a few hundred tiles on a side, so
+// these are generous while keeping w*h far from integer overflow and
+// keeping a malformed wire payload from forcing a huge allocation.
+const (
+	// maxDim bounds device width and height.
+	maxDim = 1 << 16
+	// maxTiles bounds the total cell count.
+	maxTiles = 1 << 26
+)
+
+// checkDims validates device dimensions before any w*h arithmetic or
+// allocation (both New and NewColumnar route through it).
+func checkDims(w, h int) error {
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("device: non-positive dimensions %dx%d", w, h)
+	}
+	if w > maxDim || h > maxDim {
+		return fmt.Errorf("device: dimensions %dx%d exceed the %d-tile side cap", w, h, maxDim)
+	}
+	if w*h > maxTiles {
+		return fmt.Errorf("device: %dx%d = %d tiles exceeds the %d-tile cap", w, h, w*h, maxTiles)
+	}
+	return nil
+}
+
 // New builds a device from an explicit cell grid. cells must have w*h
 // entries in row-major order, each a valid index into types. Forbidden
 // areas must lie inside the grid.
 func New(name string, w, h int, types []TileType, cells []TypeID, forbidden []grid.Rect) (*Device, error) {
-	if w <= 0 || h <= 0 {
-		return nil, fmt.Errorf("device: non-positive dimensions %dx%d", w, h)
+	if err := checkDims(w, h); err != nil {
+		return nil, err
 	}
 	if len(cells) != w*h {
 		return nil, fmt.Errorf("device: got %d cells, want %d", len(cells), w*h)
@@ -81,6 +106,9 @@ func New(name string, w, h int, types []TileType, cells []TypeID, forbidden []gr
 // III.A). colTypes gives the tile type of each column, left to right.
 func NewColumnar(name string, colTypes []TypeID, h int, types []TileType, forbidden []grid.Rect) (*Device, error) {
 	w := len(colTypes)
+	if err := checkDims(w, h); err != nil {
+		return nil, err
+	}
 	cells := make([]TypeID, w*h)
 	for r := 0; r < h; r++ {
 		for c := 0; c < w; c++ {

@@ -1,0 +1,40 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDimensionCaps pins the overflow guards: hostile dimensions must be
+// rejected before any w*h arithmetic or cell allocation happens.
+func TestDimensionCaps(t *testing.T) {
+	types := V5Types()
+	cases := []struct {
+		name string
+		w, h int
+	}{
+		{"negative width", -1, 4},
+		{"negative height", 4, -1},
+		{"zero height", 4, 0},
+		{"width over per-side cap", maxDim + 1, 1},
+		{"height over per-side cap", 1, maxDim + 1},
+		{"tile count over cap", maxDim, maxDim},
+		{"overflowing product", math.MaxInt / 2, 3},
+	}
+	for _, c := range cases {
+		if _, err := New("bad", c.w, c.h, types, nil, nil); err == nil {
+			t.Errorf("New accepted %s (%dx%d)", c.name, c.w, c.h)
+		}
+	}
+
+	// NewColumnar must reject a hostile height before allocating the
+	// cell grid; a huge h with a small column list would otherwise try
+	// to allocate len(cols)*h cells.
+	cols := make([]TypeID, 8)
+	if _, err := NewColumnar("bad", cols, maxDim+1, types, nil); err == nil {
+		t.Error("NewColumnar accepted a height over the per-side cap")
+	}
+	if _, err := NewColumnar("bad", cols, maxTiles, types, nil); err == nil {
+		t.Error("NewColumnar accepted a tile count over the cap")
+	}
+}

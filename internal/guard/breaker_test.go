@@ -1,0 +1,169 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fakeClock is a manually-advanced clock for breaker tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+func testBreaker(clk *fakeClock, threshold int) *Breaker {
+	return NewBreaker("x", BreakerConfig{Threshold: threshold, Cooldown: time.Minute, Clock: clk.Now})
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 3)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Record(BreakerFailure)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", st)
+	}
+	// A success resets the consecutive count.
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected")
+	}
+	b.Record(BreakerSuccess)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker rejected before threshold (failure %d)", i)
+		}
+		b.Record(BreakerFailure)
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	if snap := b.Snapshot(); snap.Trips != 1 {
+		t.Errorf("trips = %d, want 1", snap.Trips)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1)
+	b.Allow()
+	b.Record(BreakerFailure) // opens
+	clk.advance(59 * time.Second)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state before cooldown = %v, want open", st)
+	}
+	clk.advance(2 * time.Second)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe failure re-opens and restarts the cooldown.
+	b.Record(BreakerFailure)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	clk.advance(61 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the second probe")
+	}
+	b.Record(BreakerSuccess)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker rejected a request")
+	}
+	b.Record(BreakerSuccess)
+}
+
+func TestBreakerNeutralProbeKeepsProbing(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 1)
+	b.Allow()
+	b.Record(BreakerFailure)
+	clk.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.Record(BreakerNeutral) // canceled probe: no verdict
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after neutral probe = %v, want half-open", st)
+	}
+	if !b.Allow() {
+		t.Fatal("breaker did not re-admit a probe after a neutral one")
+	}
+	b.Record(BreakerSuccess)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+func TestBreakerNeutralDoesNotTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, 2)
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker rejected neutral run %d", i)
+		}
+		b.Record(BreakerNeutral)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("neutral outcomes tripped the breaker: %v", st)
+	}
+}
+
+func TestBreakerOutcomeOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want BreakerOutcome
+	}{
+		{nil, BreakerSuccess},
+		{core.ErrInfeasible, BreakerSuccess},
+		{fmt.Errorf("wrapped: %w", core.ErrNoSolution), BreakerNeutral},
+		{context.Canceled, BreakerNeutral},
+		{context.DeadlineExceeded, BreakerNeutral},
+		{&PanicError{Engine: "x"}, BreakerFailure},
+		{&InvalidSolutionError{Engine: "x", Reason: errors.New("bad")}, BreakerFailure},
+		{errors.New("mystery"), BreakerFailure},
+	}
+	for _, c := range cases {
+		if got := BreakerOutcomeOf(c.err); got != c.want {
+			t.Errorf("BreakerOutcomeOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBreakerSetSnapshotSorted(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{Threshold: 1})
+	for _, name := range []string{"zeta", "alpha", "milp"} {
+		s.For(name)
+	}
+	if a, b := s.For("alpha"), s.For("alpha"); a != b {
+		t.Error("For returned distinct breakers for the same name")
+	}
+	snaps := s.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snaps))
+	}
+	for i, want := range []string{"alpha", "milp", "zeta"} {
+		if snaps[i].Name != want {
+			t.Errorf("snapshot[%d] = %q, want %q", i, snaps[i].Name, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Fault is one kind of injected failure.
+type Fault int
+
+const (
+	// FaultNone passes the call through to the inner engine.
+	FaultNone Fault = iota
+	// FaultPanic panics inside Solve.
+	FaultPanic
+	// FaultInvalid returns a deliberately illegal floorplan with a nil
+	// error (the poison the serving boundary must catch).
+	FaultInvalid
+	// FaultError returns a spurious error wrapping ErrInjected.
+	FaultError
+	// FaultDelay sleeps before passing the call through, to exercise
+	// deadline and straggler handling.
+	FaultDelay
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultInvalid:
+		return "invalid"
+	case FaultError:
+		return "error"
+	default:
+		return "delay"
+	}
+}
+
+// ErrInjected is the spurious error FaultError returns.
+var ErrInjected = errors.New("guard: injected chaos error")
+
+// ChaosConfig schedules a Chaos wrapper's faults. Two modes:
+//
+//   - Script: a non-empty fault list cycled deterministically, one entry
+//     per Solve call — exact control for unit tests.
+//   - Weights: when Script is empty, each call draws a fault from the
+//     weighted distribution using a rand.Rand seeded with Seed, so a
+//     whole chaos run is reproducible from one integer.
+type ChaosConfig struct {
+	// Seed seeds the weighted draw (ignored in Script mode).
+	Seed int64
+	// Script, when non-empty, is cycled deterministically call by call.
+	Script []Fault
+	// PassWeight .. DelayWeight are the relative draw weights for the
+	// weighted mode. All zero means every call passes through.
+	PassWeight    int
+	PanicWeight   int
+	InvalidWeight int
+	ErrorWeight   int
+	DelayWeight   int
+	// Delay is the FaultDelay sleep (default 10ms).
+	Delay time.Duration
+}
+
+// Chaos wraps an engine with deterministic fault injection. It is safe
+// for concurrent use; concurrent callers consume schedule entries in
+// arrival order.
+type Chaos struct {
+	inner core.Engine
+	cfg   ChaosConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+}
+
+// NewChaos wraps inner with the fault schedule cfg describes.
+func NewChaos(inner core.Engine, cfg ChaosConfig) *Chaos {
+	return &Chaos{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements core.Engine: "chaos(<inner>)".
+func (c *Chaos) Name() string { return fmt.Sprintf("chaos(%s)", c.inner.Name()) }
+
+// Calls returns how many Solve calls the wrapper has seen.
+func (c *Chaos) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// next consumes one schedule entry and returns (call number, fault).
+func (c *Chaos) next() (int, Fault) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if len(c.cfg.Script) > 0 {
+		return c.calls, c.cfg.Script[(c.calls-1)%len(c.cfg.Script)]
+	}
+	weights := [...]struct {
+		f Fault
+		w int
+	}{
+		{FaultNone, c.cfg.PassWeight},
+		{FaultPanic, c.cfg.PanicWeight},
+		{FaultInvalid, c.cfg.InvalidWeight},
+		{FaultError, c.cfg.ErrorWeight},
+		{FaultDelay, c.cfg.DelayWeight},
+	}
+	total := 0
+	for _, e := range weights {
+		if e.w > 0 {
+			total += e.w
+		}
+	}
+	if total == 0 {
+		return c.calls, FaultNone
+	}
+	draw := c.rng.Intn(total)
+	for _, e := range weights {
+		if e.w <= 0 {
+			continue
+		}
+		if draw < e.w {
+			return c.calls, e.f
+		}
+		draw -= e.w
+	}
+	return c.calls, FaultNone
+}
+
+// Solve implements core.Engine: apply the scheduled fault, then (for
+// FaultNone and FaultDelay) run the inner engine.
+func (c *Chaos) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	n, fault := c.next()
+	switch fault {
+	case FaultPanic:
+		panic(fmt.Sprintf("%s: injected panic (call %d)", c.Name(), n))
+	case FaultError:
+		return nil, fmt.Errorf("%s: call %d: %w", c.Name(), n, ErrInjected)
+	case FaultInvalid:
+		return c.poison(p), nil
+	case FaultDelay:
+		d := c.cfg.Delay
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return c.inner.Solve(ctx, p, opts)
+}
+
+// poison builds a floorplan that always fails Solution.Validate: region
+// 0 is placed off-device, the rest overlap at the origin.
+func (c *Chaos) poison(p *core.Problem) *core.Solution {
+	sol := &core.Solution{
+		Regions: make([]grid.Rect, len(p.Regions)),
+		FC:      make([]core.FCPlacement, len(p.FCAreas)),
+		Engine:  c.Name(),
+	}
+	for i := range sol.FC {
+		sol.FC[i] = core.FCPlacement{Request: i}
+	}
+	for i := range sol.Regions {
+		sol.Regions[i] = grid.Rect{X: 0, Y: 0, W: 1, H: 1}
+	}
+	if len(sol.Regions) > 0 {
+		sol.Regions[0] = grid.Rect{X: p.Device.Width(), Y: 0, W: 1, H: 1}
+	}
+	return sol
+}

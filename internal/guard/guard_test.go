@@ -1,0 +1,188 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// testProblem builds a small columnar instance every test shares: a
+// 16x4 device with one BRAM and one DSP column, two regions, one net.
+func testProblem(t testing.TB) *core.Problem {
+	t.Helper()
+	cols := make([]device.TypeID, 16)
+	for i := range cols {
+		cols[i] = device.V5CLB
+	}
+	cols[4] = device.V5BRAM
+	cols[9] = device.V5DSP
+	dev, err := device.NewColumnar("guardtest", cols, 4, device.V5Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Problem{
+		Device: dev,
+		Regions: []core.Region{
+			{Name: "a", Req: device.Requirements{device.ClassCLB: 3, device.ClassDSP: 1}},
+			{Name: "b", Req: device.Requirements{device.ClassCLB: 2, device.ClassBRAM: 1}},
+		},
+		Nets: []core.Net{{A: 0, B: 1, Weight: 8}},
+	}
+}
+
+// validSolution is a hand-placed legal floorplan for testProblem.
+func validSolution(p *core.Problem) *core.Solution {
+	return &core.Solution{
+		Regions: []grid.Rect{
+			{X: 6, Y: 0, W: 10, H: 4},
+			{X: 3, Y: 0, W: 3, H: 1},
+		},
+		FC:     make([]core.FCPlacement, 0),
+		Engine: "stub",
+	}
+}
+
+// invalidSolution places region 0 off the device.
+func invalidSolution(p *core.Problem) *core.Solution {
+	s := validSolution(p)
+	s.Regions[0] = grid.Rect{X: p.Device.Width(), Y: 0, W: 1, H: 1}
+	return s
+}
+
+// stubEngine adapts a function to core.Engine.
+type stubEngine struct {
+	name string
+	fn   func(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error)
+}
+
+func (s *stubEngine) Name() string { return s.name }
+func (s *stubEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	return s.fn(ctx, p, opts)
+}
+
+func TestProtectRecoversPanic(t *testing.T) {
+	p := testProblem(t)
+	sol, err := Protect("boomer", p, func() (*core.Solution, error) {
+		panic("kaboom")
+	})
+	if sol != nil {
+		t.Fatalf("panic produced a solution: %+v", sol)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Engine != "boomer" {
+		t.Errorf("engine = %q, want boomer", pe.Engine)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("value = %v, want kaboom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if pe.Request == "" || pe.Request == "unknown" {
+		t.Errorf("request digest = %q, want a real digest", pe.Request)
+	}
+	if pe.Request != RequestDigest(p) {
+		t.Errorf("digest %q does not match RequestDigest %q", pe.Request, RequestDigest(p))
+	}
+	if got := core.ObsOutcome(nil, err); got != obs.OutcomePanic {
+		t.Errorf("ObsOutcome = %q, want %q", got, obs.OutcomePanic)
+	}
+}
+
+func TestProtectPassesThrough(t *testing.T) {
+	p := testProblem(t)
+	want := validSolution(p)
+	sol, err := Protect("ok", p, func() (*core.Solution, error) { return want, nil })
+	if err != nil || sol != want {
+		t.Fatalf("pass-through altered the result: %v, %v", sol, err)
+	}
+}
+
+func TestCheckSolution(t *testing.T) {
+	p := testProblem(t)
+	if err := CheckSolution("stub", p, validSolution(p)); err != nil {
+		t.Fatalf("valid solution rejected: %v", err)
+	}
+	for name, sol := range map[string]*core.Solution{
+		"nil":     nil,
+		"invalid": invalidSolution(p),
+	} {
+		err := CheckSolution("stub", p, sol)
+		var ie *InvalidSolutionError
+		if !errors.As(err, &ie) {
+			t.Errorf("%s: want *InvalidSolutionError, got %T: %v", name, err, err)
+			continue
+		}
+		if ie.Engine != "stub" {
+			t.Errorf("%s: engine = %q", name, ie.Engine)
+		}
+		if got := core.ObsOutcome(nil, err); got != obs.OutcomeInvalid {
+			t.Errorf("%s: ObsOutcome = %q, want %q", name, got, obs.OutcomeInvalid)
+		}
+	}
+}
+
+func TestWrapConvertsFaults(t *testing.T) {
+	p := testProblem(t)
+	ctx := context.Background()
+
+	panicky := Wrap(&stubEngine{name: "p", fn: func(context.Context, *core.Problem, core.SolveOptions) (*core.Solution, error) {
+		panic("engine bug")
+	}})
+	if panicky.Name() != "p" {
+		t.Errorf("wrapper not transparent: Name = %q", panicky.Name())
+	}
+	_, err := panicky.Solve(ctx, p, core.SolveOptions{})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+
+	lying := Wrap(&stubEngine{name: "l", fn: func(_ context.Context, p *core.Problem, _ core.SolveOptions) (*core.Solution, error) {
+		return invalidSolution(p), nil
+	}})
+	_, err = lying.Solve(ctx, p, core.SolveOptions{})
+	var ie *InvalidSolutionError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InvalidSolutionError, got %T: %v", err, err)
+	}
+
+	honest := Wrap(&stubEngine{name: "h", fn: func(_ context.Context, p *core.Problem, _ core.SolveOptions) (*core.Solution, error) {
+		return validSolution(p), nil
+	}})
+	sol, err := honest.Solve(ctx, p, core.SolveOptions{})
+	if err != nil || sol == nil {
+		t.Fatalf("valid solve rejected: %v", err)
+	}
+}
+
+// TestWrapEmitsFaultSpan asserts the wrapper records the fault outcome
+// on a "<engine>/guard" span without touching the happy path.
+func TestWrapEmitsFaultSpan(t *testing.T) {
+	p := testProblem(t)
+	rec := obs.NewRecorder()
+	eng := Wrap(&stubEngine{name: "p", fn: func(context.Context, *core.Problem, core.SolveOptions) (*core.Solution, error) {
+		panic("x")
+	}})
+	_, _ = eng.Solve(context.Background(), p, core.SolveOptions{Probe: rec})
+	var found bool
+	for _, sp := range rec.Trace().Spans {
+		if sp.Name == "p/guard" {
+			found = true
+			if sp.Outcome != string(obs.OutcomePanic) {
+				t.Errorf("guard span outcome = %q, want %q", sp.Outcome, obs.OutcomePanic)
+			}
+		}
+	}
+	if !found {
+		t.Error("no p/guard span recorded for the fault")
+	}
+}

@@ -102,6 +102,11 @@ const (
 	OutcomeInfeasible Outcome = "infeasible"
 	// OutcomeNoSolution: the budget expired without a solution.
 	OutcomeNoSolution Outcome = "no_solution"
+	// OutcomePanic: the engine panicked and the guard layer recovered it.
+	OutcomePanic Outcome = "panic"
+	// OutcomeInvalid: the engine returned a solution that failed
+	// validation against the problem (caught by the guard layer).
+	OutcomeInvalid Outcome = "invalid"
 	// OutcomeError: the solve failed for another reason.
 	OutcomeError Outcome = "error"
 )

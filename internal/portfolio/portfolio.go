@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exact"
+	"repro/internal/guard"
 	"repro/internal/heuristic"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -69,6 +70,11 @@ type Portfolio struct {
 	Grace time.Duration
 	// Stats, when non-nil, receives per-member race/win/latency counts.
 	Stats *Stats
+	// Breakers, when non-nil, gates members through per-engine circuit
+	// breakers: a member whose breaker is open sits this race out, and
+	// every admitted run records its outcome, so a crash-looping member
+	// stops burning race slots until its cooldown probe succeeds.
+	Breakers *guard.BreakerSet
 }
 
 // New returns a Portfolio over the given members (default set when none
@@ -146,10 +152,23 @@ func (pf *Portfolio) Solve(ctx context.Context, p *core.Problem, opts core.Solve
 	}
 
 	results := make(chan outcome, len(members))
+	launched := 0
 	for i, m := range members {
-		go func(i int, m Member) {
+		var br *guard.Breaker
+		if pf.Breakers != nil {
+			br = pf.Breakers.For(m.Engine.Name())
+			if !br.Allow() {
+				continue
+			}
+		}
+		launched++
+		go func(i int, m Member, br *guard.Breaker) {
 			ms := time.Now()
-			sol, err := m.Engine.Solve(raceCtx, p, memberOpts)
+			// Protect isolates member panics: one buggy engine must not
+			// take down the whole race (or the serving worker).
+			sol, err := guard.Protect(m.Engine.Name(), p, func() (*core.Solution, error) {
+				return m.Engine.Solve(raceCtx, p, memberOpts)
+			})
 			if err == nil && sol == nil {
 				err = fmt.Errorf("portfolio: member %s returned nil solution with nil error", m.Engine.Name())
 			}
@@ -159,8 +178,14 @@ func (pf *Portfolio) Solve(ctx context.Context, p *core.Problem, opts core.Solve
 					sol, err = nil, fmt.Errorf("portfolio: member %s returned invalid solution: %w", m.Engine.Name(), verr)
 				}
 			}
+			if br != nil {
+				br.Record(guard.BreakerOutcomeOf(err))
+			}
 			results <- outcome{idx: i, sol: sol, err: err, elapsed: time.Since(ms)}
-		}(i, m)
+		}(i, m, br)
+	}
+	if launched == 0 {
+		return nil, fmt.Errorf("portfolio: every member's circuit breaker is open: %w", core.ErrNoSolution)
 	}
 
 	// stopAt bounds the whole collection; it tightens to now+grace once a
@@ -199,7 +224,7 @@ func (pf *Portfolio) Solve(ctx context.Context, p *core.Problem, opts core.Solve
 		accepted   bool
 	)
 collect:
-	for got := 0; got < len(members); got++ {
+	for got := 0; got < launched; got++ {
 		var out outcome
 		select {
 		case out = <-results:

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+)
+
+// quietLogger drops the (deliberately noisy) panic and validation logs
+// the chaos runs produce.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// stubCoreEngine adapts fakeSolution to core.Engine so the chaos wrapper
+// can inject faults around it.
+type stubCoreEngine struct{}
+
+func (stubCoreEngine) Name() string { return "stub" }
+func (stubCoreEngine) Solve(_ context.Context, p *core.Problem, _ core.SolveOptions) (*core.Solution, error) {
+	return fakeSolution(p), nil
+}
+
+// TestChaosRequestsNeverCrashOrServeInvalid is the soak acceptance test:
+// 120 requests against engines wrapped in seeded chaos (panics, poison
+// solutions, spurious errors, delays). The daemon must stay up, every
+// 200-ok body must carry a valid floorplan, nothing invalid may enter
+// the cache, and the panic/invalid counters must show the guard layer
+// actually absorbed faults.
+func TestChaosRequestsNeverCrashOrServeInvalid(t *testing.T) {
+	engines := map[string]core.Engine{
+		"good": stubCoreEngine{},
+		"flaky": guard.NewChaos(stubCoreEngine{}, guard.ChaosConfig{
+			Seed:          7,
+			PassWeight:    5,
+			PanicWeight:   2,
+			InvalidWeight: 2,
+			ErrorWeight:   1,
+			DelayWeight:   1,
+			Delay:         time.Millisecond,
+		}),
+		"evil": guard.NewChaos(stubCoreEngine{}, guard.ChaosConfig{
+			Seed:          9,
+			PanicWeight:   1,
+			InvalidWeight: 1,
+		}),
+	}
+	_, ts := newTestServer(t, Config{
+		Workers:          4,
+		QueueSize:        256,
+		CacheSize:        256,
+		BreakerThreshold: -1, // breaker lifecycle has its own test below
+		Logger:           quietLogger(),
+		Solve: func(ctx context.Context, p *core.Problem, engine string, opts core.SolveOptions) (*core.Solution, error) {
+			return engines[engine].Solve(ctx, p, opts)
+		},
+	})
+
+	const requests = 120
+	names := []string{"good", "flaky", "evil"}
+	p := testProblem(t, 0)
+	var wg sync.WaitGroup
+	var okCount, failCount atomic.Int64
+	var mu sync.Mutex
+	served := map[string]bool{} // keys that returned status ok at least once
+	for i := 0; i < requests; i++ {
+		engine := names[i%len(names)]
+		seed := int64(i) // distinct cache key per request, same problem
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, resp := postSolve(t, ts.Client(), ts.URL, SolveRequest{
+				Problem:     p,
+				Engine:      engine,
+				Seed:        seed,
+				TimeLimitMS: 30_000,
+			})
+			switch code {
+			case http.StatusOK:
+				if resp.Status == "ok" {
+					if resp.Solution == nil {
+						t.Error("status ok without a solution")
+						return
+					}
+					if err := resp.Solution.Validate(p); err != nil {
+						t.Errorf("served an invalid floorplan: %v", err)
+						return
+					}
+					mu.Lock()
+					served[resp.Key] = true
+					mu.Unlock()
+					okCount.Add(1)
+				}
+			case http.StatusInternalServerError, http.StatusServiceUnavailable:
+				failCount.Add(1) // absorbed fault: fine, as long as we stay up
+			default:
+				t.Errorf("unexpected HTTP %d (status %q: %s)", code, resp.Status, resp.Error)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if okCount.Load() == 0 {
+		t.Fatal("no request succeeded; the chaos mix is broken")
+	}
+	if failCount.Load() == 0 {
+		t.Fatal("no request failed; the chaos mix injected nothing")
+	}
+
+	// The daemon is still alive and healthy.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("daemon died during the chaos run: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d after chaos run", resp.StatusCode)
+	}
+
+	// The guard layer visibly absorbed both fault kinds.
+	if n := scrapeCounter(t, ts.Client(), ts.URL, "floorpland_engine_panics_total"); n == 0 {
+		t.Error("engine_panics_total = 0; no panic was recovered")
+	}
+	if n := scrapeCounter(t, ts.Client(), ts.URL, "floorpland_invalid_solutions_total"); n == 0 {
+		t.Error("invalid_solutions_total = 0; no poison solution was rejected")
+	}
+
+	// Everything that made it into the cache revalidates: re-request one
+	// previously-ok key per engine and check the cached body.
+	mu.Lock()
+	keys := len(served)
+	mu.Unlock()
+	if keys == 0 {
+		t.Fatal("no ok keys to revalidate")
+	}
+	for i := 0; i < requests; i++ {
+		engine := names[i%len(names)]
+		code, resp := postSolve(t, ts.Client(), ts.URL, SolveRequest{
+			Problem:     p,
+			Engine:      engine,
+			Seed:        int64(i),
+			TimeLimitMS: 30_000,
+		})
+		if code != http.StatusOK || resp.Status != "ok" || !resp.Cached {
+			continue // was a fault, or evicted: nothing cached to check
+		}
+		if resp.Solution == nil {
+			t.Fatalf("cached ok entry without a solution (engine %s seed %d)", engine, i)
+		}
+		if err := resp.Solution.Validate(p); err != nil {
+			t.Fatalf("cache served an invalid floorplan (engine %s seed %d): %v", engine, i, err)
+		}
+	}
+}
+
+// TestBreakerCycleOverHTTP drives one engine through the full circuit
+// breaker lifecycle and watches every transition in /metrics: repeated
+// panics open the breaker (state 2, one trip), requests are rejected
+// with 503 + Retry-After while open, the cooldown moves it to half-open
+// (state 1), and a successful probe closes it again (state 0).
+func TestBreakerCycleOverHTTP(t *testing.T) {
+	var panicking atomic.Bool
+	panicking.Store(true)
+	_, ts := newTestServer(t, Config{
+		Workers:          1,
+		QueueSize:        8,
+		CacheSize:        8,
+		BreakerThreshold: 2,
+		BreakerCooldown:  200 * time.Millisecond,
+		Logger:           quietLogger(),
+		Solve: func(_ context.Context, p *core.Problem, _ string, _ core.SolveOptions) (*core.Solution, error) {
+			if panicking.Load() {
+				panic("engine is sick")
+			}
+			return fakeSolution(p), nil
+		},
+	})
+
+	const stateGauge = `floorpland_breaker_state{engine="exact"}`
+	post := func(seed int64) (int, SolveResponse) {
+		return postSolve(t, ts.Client(), ts.URL, SolveRequest{
+			Problem:     testProblem(t, 0),
+			Engine:      "exact",
+			Seed:        seed,
+			TimeLimitMS: 30_000,
+		})
+	}
+
+	// Two consecutive panics trip the breaker.
+	for i := int64(0); i < 2; i++ {
+		if code, resp := post(i); code != http.StatusInternalServerError {
+			t.Fatalf("panicking solve %d: HTTP %d (%s), want 500", i, code, resp.Error)
+		}
+	}
+	if st := scrapeCounter(t, ts.Client(), ts.URL, stateGauge); st != 2 {
+		t.Fatalf("breaker state after %d failures = %d, want 2 (open)", 2, st)
+	}
+	if n := scrapeCounter(t, ts.Client(), ts.URL, `floorpland_breaker_trips_total{engine="exact"}`); n != 1 {
+		t.Fatalf("trips_total = %d, want 1", n)
+	}
+
+	// While open: immediate 503, no engine invocation.
+	code, resp := post(2)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker answered HTTP %d (%s), want 503", code, resp.Error)
+	}
+	if n := scrapeCounter(t, ts.Client(), ts.URL, "floorpland_breaker_rejected_total"); n == 0 {
+		t.Error("breaker_rejected_total = 0 after a 503")
+	}
+
+	// Cooldown elapses: half-open.
+	time.Sleep(300 * time.Millisecond)
+	if st := scrapeCounter(t, ts.Client(), ts.URL, stateGauge); st != 1 {
+		t.Fatalf("breaker state after cooldown = %d, want 1 (half-open)", st)
+	}
+
+	// The engine healed: the half-open probe succeeds and closes the
+	// breaker.
+	panicking.Store(false)
+	code, resp = post(3)
+	if code != http.StatusOK || resp.Status != "ok" {
+		t.Fatalf("probe request: HTTP %d status %q (%s), want ok", code, resp.Status, resp.Error)
+	}
+	if st := scrapeCounter(t, ts.Client(), ts.URL, stateGauge); st != 0 {
+		t.Fatalf("breaker state after successful probe = %d, want 0 (closed)", st)
+	}
+	if code, resp = post(4); code != http.StatusOK || resp.Status != "ok" {
+		t.Fatalf("post-recovery request: HTTP %d status %q, want ok", code, resp.Status)
+	}
+}

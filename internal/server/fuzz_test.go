@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FuzzSolveRequestDecode hardens the daemon's request path: decoding a
+// POST /v1/solve body, validating its problem, and deriving the cache
+// key must never panic, and the key must be deterministic.
+func FuzzSolveRequestDecode(f *testing.F) {
+	seedReq := func(req SolveRequest) {
+		data, err := json.Marshal(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seedReq(SolveRequest{Problem: testProblem(f, 0), Engine: "exact", TimeLimitMS: 1000})
+	seedReq(SolveRequest{Problem: testProblem(f, 1), Engine: "fallback", Seed: 7, Workers: 2})
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"problem":null}`))
+	f.Add([]byte(`{"problem":{},"time_limit_ms":-5}`))
+	f.Add([]byte(`{"problem":{"nets":[{"weight":null}]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SolveRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		if req.Problem == nil {
+			return
+		}
+		if err := req.Problem.Validate(); err != nil {
+			return
+		}
+		opts := core.SolveOptions{
+			TimeLimit: time.Duration(req.TimeLimitMS) * time.Millisecond,
+			Seed:      req.Seed,
+			Workers:   req.Workers,
+		}.Normalized()
+		k1, err := problemKey(req.Problem, req.Engine, opts)
+		if err != nil {
+			return
+		}
+		k2, err := problemKey(req.Problem, req.Engine, opts)
+		if err != nil || k1 != k2 {
+			t.Fatalf("cache key not deterministic: %q vs %q (err %v)", k1, k2, err)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/portfolio"
 )
 
@@ -57,7 +58,17 @@ type metrics struct {
 	queueRejected   atomic.Int64
 	requests        atomic.Int64
 
+	// Fault-tolerance counters (the guard layer).
+	enginePanics     atomic.Int64
+	invalidSolutions atomic.Int64
+	poolPanics       atomic.Int64
+	handlerPanics    atomic.Int64
+	breakerRejected  atomic.Int64
+
 	queueDepth func() int // live gauge, set by the server
+	// breakerStats, when set, supplies the per-engine circuit breaker
+	// snapshots for rendering.
+	breakerStats func() []guard.BreakerSnapshot
 	// portfolioStats, when set, supplies the portfolio engine's
 	// per-member race counters for rendering.
 	portfolioStats func() []portfolio.MemberStats
@@ -143,6 +154,11 @@ func (m *metrics) render() string {
 	counter("floorpland_cache_misses_total", "Solve requests not present in the solution cache.", m.cacheMisses.Load())
 	counter("floorpland_dedup_joined_total", "Solve requests that joined an identical in-flight solve.", m.dedupJoined.Load())
 	counter("floorpland_queue_rejected_total", "Solve requests rejected with 429 because the queue was full.", m.queueRejected.Load())
+	counter("floorpland_engine_panics_total", "Engine panics recovered by the guard layer.", m.enginePanics.Load())
+	counter("floorpland_invalid_solutions_total", "Engine solutions rejected by serving-boundary validation.", m.invalidSolutions.Load())
+	counter("floorpland_pool_panics_total", "Panics recovered by the worker pool's last-resort handler.", m.poolPanics.Load())
+	counter("floorpland_handler_panics_total", "Panics recovered by the HTTP handler middleware.", m.handlerPanics.Load())
+	counter("floorpland_breaker_rejected_total", "Solve requests rejected because the engine's circuit breaker was open.", m.breakerRejected.Load())
 	if m.candCacheStats != nil {
 		hits, misses := m.candCacheStats()
 		counter("floorpland_candidate_cache_hits_total", "Candidate enumerations served from the shared candidate cache.", hits)
@@ -206,6 +222,19 @@ func (m *metrics) render() string {
 		fmt.Fprintf(&b, "floorpland_solve_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", name, cum)
 		fmt.Fprintf(&b, "floorpland_solve_seconds_sum{engine=%q} %g\n", name, time.Duration(h.sumNanos.Load()).Seconds())
 		fmt.Fprintf(&b, "floorpland_solve_seconds_count{engine=%q} %d\n", name, h.total.Load())
+	}
+
+	if m.breakerStats != nil {
+		if snaps := m.breakerStats(); len(snaps) > 0 {
+			b.WriteString("# HELP floorpland_breaker_state Per-engine circuit breaker state: 0 closed, 1 half-open, 2 open.\n# TYPE floorpland_breaker_state gauge\n")
+			for _, bs := range snaps {
+				fmt.Fprintf(&b, "floorpland_breaker_state{engine=%q} %d\n", bs.Name, int(bs.State))
+			}
+			b.WriteString("# HELP floorpland_breaker_trips_total Circuit breaker closed-to-open transitions, by engine.\n# TYPE floorpland_breaker_trips_total counter\n")
+			for _, bs := range snaps {
+				fmt.Fprintf(&b, "floorpland_breaker_trips_total{engine=%q} %d\n", bs.Name, bs.Trips)
+			}
+		}
 	}
 
 	if m.portfolioStats != nil {

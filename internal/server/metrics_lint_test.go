@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/portfolio"
 )
 
@@ -28,6 +29,9 @@ func populatedMetrics() *metrics {
 	m.candCacheStats = func() (int64, int64) { return 7, 5 }
 	m.portfolioStats = func() []portfolio.MemberStats {
 		return []portfolio.MemberStats{{Name: "exact", Races: 1, Wins: 1, Total: time.Second}}
+	}
+	m.breakerStats = func() []guard.BreakerSnapshot {
+		return []guard.BreakerSnapshot{{Name: "exact", State: guard.BreakerOpen, Failures: 5, Trips: 1}}
 	}
 	m.engineHistogram("exact").observe(42 * time.Millisecond)
 	m.engineHistogram("annealing").observe(3 * time.Millisecond)

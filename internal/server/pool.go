@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
@@ -38,6 +40,10 @@ type workerPool struct {
 	tasks chan *solveTask
 	stop  chan struct{}
 	wg    sync.WaitGroup
+
+	// onPanic, when set, observes a panic that escaped the task function's
+	// own protection — the last-resort isolation keeping a worker alive.
+	onPanic func(ctx context.Context, v any, stack []byte)
 
 	mu     sync.Mutex
 	closed bool
@@ -98,14 +104,25 @@ func (p *workerPool) drainQueue() {
 }
 
 // run executes one task, skipping the solve when the submitter's context
-// already ended while the task sat in the queue.
+// already ended while the task sat in the queue. A panic escaping the
+// task function fails the task instead of killing the worker: the guard
+// layer recovers engine panics first, so anything landing here is a bug
+// in the serving path itself — worth a log line, never worth the daemon.
 func (p *workerPool) run(t *solveTask) {
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			t.sol, t.err = nil, fmt.Errorf("server: solve panicked: %v", r)
+			if p.onPanic != nil {
+				p.onPanic(t.ctx, r, debug.Stack())
+			}
+		}
+	}()
 	if err := t.ctx.Err(); err != nil {
 		t.err = err
-	} else {
-		t.sol, t.err = t.fn(t.ctx)
+		return
 	}
-	close(t.done)
+	t.sol, t.err = t.fn(t.ctx)
 }
 
 // submit enqueues fn and returns the task handle, or errQueueFull /

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestPoolSurvivesPanickingTask pins the last-resort isolation: a panic
+// escaping the task function fails that task, fires the onPanic hook
+// with a stack, and leaves the worker alive for the next submission.
+func TestPoolSurvivesPanickingTask(t *testing.T) {
+	p := newWorkerPool(1, 4)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		p.close(ctx)
+	}()
+
+	var hooked atomic.Int32
+	var hookedStack atomic.Value
+	p.onPanic = func(_ context.Context, v any, stack []byte) {
+		hooked.Add(1)
+		hookedStack.Store(string(stack))
+	}
+
+	task, err := p.submit(context.Background(), func(context.Context) (*core.Solution, error) {
+		panic("task bug")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := task.wait(context.Background())
+	if sol != nil {
+		t.Fatalf("panicked task produced a solution: %+v", sol)
+	}
+	if err == nil || !strings.Contains(err.Error(), "solve panicked") {
+		t.Fatalf("want a solve-panicked error, got %v", err)
+	}
+	if hooked.Load() != 1 {
+		t.Fatalf("onPanic fired %d times, want 1", hooked.Load())
+	}
+	if stack, _ := hookedStack.Load().(string); stack == "" {
+		t.Error("onPanic got no stack trace")
+	}
+
+	// The single worker must still be serving.
+	task, err = p.submit(context.Background(), func(_ context.Context) (*core.Solution, error) {
+		return &core.Solution{Engine: "after"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err = task.wait(context.Background())
+	if err != nil || sol == nil || sol.Engine != "after" {
+		t.Fatalf("worker did not survive the panic: %v, %v", sol, err)
+	}
+}

@@ -28,13 +28,19 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/obs"
 )
+
+// errBreakerOpen reports that the requested engine's circuit breaker is
+// open: the engine failed repeatedly and is cooling down (HTTP 503).
+var errBreakerOpen = errors.New("server: engine circuit breaker is open")
 
 // SolveFunc computes a floorplan for p with the named engine. The
 // default implementation dispatches through the floorplanner package;
@@ -67,6 +73,17 @@ type Config struct {
 	// Engines lists the accepted engine names; empty accepts any name
 	// the Solve function accepts.
 	Engines []string
+	// FallbackChain names the engines the "fallback" meta-engine tries in
+	// order (default exact, milp-ho, constructive). Used by the default
+	// solver only.
+	FallbackChain []string
+	// BreakerThreshold is the consecutive engine failures (panics,
+	// invalid solutions, unexpected errors) that open an engine's circuit
+	// breaker (default 5; negative disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects requests before
+	// admitting a half-open probe (default 30s).
+	BreakerCooldown time.Duration
 	// Solve overrides the solver (tests); nil uses floorplanner.Solve.
 	Solve SolveFunc
 	// Logger receives structured request logs; nil uses slog.Default.
@@ -100,6 +117,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -112,13 +135,14 @@ func (c Config) withDefaults() Config {
 // Server is the floorplanning daemon: hash → cache → single-flight →
 // worker pool → engine, with metrics over every stage.
 type Server struct {
-	cfg     Config
-	pool    *workerPool
-	cache   *lruCache
-	flights flightGroup
-	metrics *metrics
-	log     *slog.Logger
-	closing atomic.Bool
+	cfg      Config
+	pool     *workerPool
+	cache    *lruCache
+	flights  flightGroup
+	metrics  *metrics
+	breakers *guard.BreakerSet // nil when breakers are disabled
+	log      *slog.Logger
+	closing  atomic.Bool
 }
 
 // New builds a Server from cfg (zero value fine; see Config defaults).
@@ -140,6 +164,21 @@ func New(cfg Config) *Server {
 	s.metrics.portfolioStats = defaultPortfolioStats
 	s.metrics.candCacheStats = core.CandCacheStats
 	s.metrics.version = cfg.Version
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = guard.NewBreakerSet(guard.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		})
+		s.metrics.breakerStats = s.breakers.Snapshot
+	}
+	s.pool.onPanic = func(ctx context.Context, v any, stack []byte) {
+		s.metrics.poolPanics.Add(1)
+		s.log.Error("panic escaped to the worker pool",
+			"request_id", requestID(ctx),
+			"panic", fmt.Sprint(v),
+			"stack", string(stack),
+		)
+	}
 	return s
 }
 
@@ -157,7 +196,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/engines", s.handleEngines)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return s.logRequests(mux)
+	return s.logRequests(s.recoverPanics(mux))
 }
 
 // SolveRequest is the POST /v1/solve body.
@@ -295,13 +334,51 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // definitive outcomes (trace included, so cached answers keep their
 // trajectory).
 func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Problem, opts core.SolveOptions) cacheEntry {
+	var br *guard.Breaker
+	if s.breakers != nil {
+		br = s.breakers.For(engine)
+		if !br.Allow() {
+			s.metrics.breakerRejected.Add(1)
+			return cacheEntry{err: errBreakerOpen}
+		}
+	}
 	rec := obs.NewRecorder()
 	opts.Probe = rec
 	task, err := s.pool.submit(ctx, func(ctx context.Context) (*core.Solution, error) {
 		s.metrics.solvesStarted.Add(1)
 		started := time.Now()
-		sol, err := s.solve(ctx, p, engine, opts)
+		// Guard boundary: engine panics become structured errors and every
+		// solution is re-verified before it can be cached or served —
+		// regardless of which SolveFunc produced it.
+		sol, err := guard.Protect(engine, p, func() (*core.Solution, error) {
+			return s.solve(ctx, p, engine, opts)
+		})
+		if err == nil {
+			if verr := guard.CheckSolution(engine, p, sol); verr != nil {
+				sol, err = nil, verr
+			}
+		}
 		s.metrics.engineHistogram(engine).observe(time.Since(started))
+		var panicked *guard.PanicError
+		var invalid *guard.InvalidSolutionError
+		switch {
+		case errors.As(err, &panicked):
+			s.metrics.enginePanics.Add(1)
+			s.log.Error("engine panicked; recovered",
+				"request_id", requestID(ctx),
+				"engine", engine,
+				"problem", panicked.Request,
+				"panic", fmt.Sprint(panicked.Value),
+				"stack", string(panicked.Stack),
+			)
+		case errors.As(err, &invalid):
+			s.metrics.invalidSolutions.Add(1)
+			s.log.Error("engine solution rejected by validation",
+				"request_id", requestID(ctx),
+				"engine", engine,
+				"err", err.Error(),
+			)
+		}
 		if err == nil || errors.Is(err, core.ErrInfeasible) {
 			s.metrics.solvesCompleted.Add(1)
 		} else {
@@ -310,12 +387,23 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 		return sol, err
 	})
 	if err != nil {
+		if br != nil {
+			// Queue-full and shutdown say nothing about engine health.
+			br.Record(guard.BreakerNeutral)
+		}
 		if errors.Is(err, errQueueFull) {
 			s.metrics.queueRejected.Add(1)
 		}
 		return cacheEntry{err: err}
 	}
 	sol, err := task.wait(ctx)
+	if br != nil {
+		if errors.Is(err, errShuttingDown) {
+			br.Record(guard.BreakerNeutral)
+		} else {
+			br.Record(guard.BreakerOutcomeOf(err))
+		}
+	}
 	nodes := rec.Total(obs.Nodes)
 	pivots := rec.Total(obs.Pivots)
 	incumbents := int64(len(rec.Incumbents(""))) + int64(rec.DroppedIncumbents())
@@ -344,6 +432,9 @@ func outcomeLabel(sol *core.Solution, err error) string {
 func (s *Server) solve(ctx context.Context, p *core.Problem, engine string, opts core.SolveOptions) (*core.Solution, error) {
 	if s.cfg.Solve != nil {
 		return s.cfg.Solve(ctx, p, engine, opts)
+	}
+	if engine == "fallback" {
+		return defaultFallbackSolve(ctx, p, s.cfg.FallbackChain, opts)
 	}
 	return defaultSolve(ctx, p, engine, opts)
 }
@@ -377,6 +468,9 @@ func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, key, engin
 	case errors.Is(entry.err, errQueueFull):
 		w.Header().Set("Retry-After", s.retryAfter())
 		s.writeError(w, http.StatusTooManyRequests, "solve queue is full, retry later")
+	case errors.Is(entry.err, errBreakerOpen):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
+		s.writeError(w, http.StatusServiceUnavailable, "engine disabled after repeated failures, retry later")
 	case errors.Is(entry.err, errShuttingDown):
 		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
 	case errors.Is(entry.err, context.DeadlineExceeded), errors.Is(entry.err, context.Canceled):
@@ -484,6 +578,27 @@ func newRequestID() string {
 		return "unknown"
 	}
 	return hex.EncodeToString(buf[:])
+}
+
+// recoverPanics is the HTTP-layer last-resort recovery: a panic in any
+// handler answers 500 (best effort; a mid-stream panic just truncates
+// the response) instead of killing the daemon.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.handlerPanics.Add(1)
+				s.log.Error("handler panicked; recovered",
+					"request_id", requestID(r.Context()),
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()),
+				)
+				s.writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) logRequests(next http.Handler) http.Handler {

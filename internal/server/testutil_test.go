@@ -45,14 +45,20 @@ func testProblem(t testing.TB, i int) *core.Problem {
 	}
 }
 
-// fakeSolution returns a structurally index-aligned solution for p,
-// sufficient for the response path (metrics, objective) without running
-// an engine.
+// fakeSolution returns a genuinely valid floorplan for testProblem
+// instances (i <= 33) without running an engine: region "a" covers
+// columns 6-15 (36 CLB + 4 DSP), region "b" covers columns 3-5 of row 0
+// (2 CLB + 1 BRAM). Serving-boundary validation re-checks every
+// solution, so test stubs must return legal placements.
 func fakeSolution(p *core.Problem) *core.Solution {
 	sol := &core.Solution{
 		Regions: make([]grid.Rect, len(p.Regions)),
 		FC:      make([]core.FCPlacement, len(p.FCAreas)),
 		Engine:  "fake",
+	}
+	if len(sol.Regions) >= 2 {
+		sol.Regions[0] = grid.Rect{X: 6, Y: 0, W: 10, H: 4}
+		sol.Regions[1] = grid.Rect{X: 3, Y: 0, W: 3, H: 1}
 	}
 	for i := range sol.FC {
 		sol.FC[i] = core.FCPlacement{Request: i}

@@ -1,0 +1,42 @@
+package floorplanner_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	floorplanner "repro"
+)
+
+// FuzzProblemDecode hardens the wire-format problem decoder — the same
+// path POST /v1/solve bodies and -problem files take. Decoding plus
+// Validate must never panic on arbitrary bytes, and any problem that
+// validates must re-marshal cleanly.
+func FuzzProblemDecode(f *testing.F) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "problem.golden.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(golden)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"regions":[{"name":"a","req":{"CLB":1}}]}`))
+	f.Add([]byte(`{"nets":[{"a":0,"b":1,"weight":1e309}]}`))
+	f.Add([]byte(`{"device":{"w":-1,"h":99999999}}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p floorplanner.Problem
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // rejected by the decoder: fine
+		}
+		// Validate is the hardening boundary: it may reject, never panic.
+		if err := p.Validate(); err != nil {
+			return
+		}
+		// Valid problems must survive a marshal round trip.
+		if _, err := json.Marshal(&p); err != nil {
+			t.Fatalf("valid problem does not re-marshal: %v", err)
+		}
+	})
+}
