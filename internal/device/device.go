@@ -47,8 +47,10 @@ func checkDims(w, h int) error {
 	if w > maxDim || h > maxDim {
 		return fmt.Errorf("device: dimensions %dx%d exceed the %d-tile side cap", w, h, maxDim)
 	}
-	if w*h > maxTiles {
-		return fmt.Errorf("device: %dx%d = %d tiles exceeds the %d-tile cap", w, h, w*h, maxTiles)
+	// Division, not w*h: on 32-bit platforms two maxDim sides overflow the
+	// product to 0 and would slip past the cap (w is positive here).
+	if h > maxTiles/w {
+		return fmt.Errorf("device: %dx%d tiles exceeds the %d-tile cap", w, h, maxTiles)
 	}
 	return nil
 }

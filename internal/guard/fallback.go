@@ -75,6 +75,7 @@ func (f *Fallback) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 
 	var faults []error
 	hardFault := false
+	skipped := 0
 	for i, m := range f.Members {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
@@ -87,6 +88,7 @@ func (f *Fallback) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 		if f.Breakers != nil {
 			br = f.Breakers.For(name)
 			if !br.Allow() {
+				skipped++
 				faults = append(faults, fmt.Errorf("%s: circuit breaker open", name))
 				continue
 			}
@@ -111,20 +113,33 @@ func (f *Fallback) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 			errors.Is(stageErr, core.ErrNoSolution),
 			errors.Is(stageErr, context.DeadlineExceeded):
 			// Budget-class outcomes (including untrusted infeasibility
-			// claims, which are not proofs): advance.
-			faults = append(faults, fmt.Errorf("%s: %w", name, stageErr))
+			// claims, which are not proofs): advance. %v, not %w — the
+			// chain's final error must not inherit this stage's sentinel
+			// identity, or an untrusted ErrInfeasible would surface as a
+			// false infeasibility proof (cached and served as definitive)
+			// whenever a later stage hard-faults.
+			faults = append(faults, fmt.Errorf("%s: %v", name, stageErr))
 		case errors.Is(stageErr, context.Canceled):
 			if ctx.Err() != nil {
 				// The caller canceled the whole solve: stop.
 				return nil, stageErr
 			}
-			faults = append(faults, fmt.Errorf("%s: %w", name, stageErr))
+			faults = append(faults, fmt.Errorf("%s: %v", name, stageErr))
 		default:
 			// Panic, invalid solution, or unexpected error: degrade to the
-			// next member.
+			// next member. %w is safe here: this branch excludes the
+			// sentinel-matching errors by construction, and keeping the
+			// chain means errors.As still surfaces PanicError /
+			// InvalidSolutionError from the joined error.
 			hardFault = true
 			faults = append(faults, fmt.Errorf("%s: %w", name, stageErr))
 		}
+	}
+	if skipped == len(f.Members) {
+		// No member ran at all: the engines are cooling down, not the
+		// budget exhausted. A distinct sentinel lets the daemon answer
+		// retryable (503) instead of definitive "no_solution".
+		return nil, fmt.Errorf("guard: no fallback member admitted a run: %w", ErrBreakersOpen)
 	}
 	if !hardFault {
 		return nil, fmt.Errorf("guard: no fallback member found a solution within the budget: %w", core.ErrNoSolution)

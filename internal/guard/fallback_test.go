@@ -131,6 +131,76 @@ func TestFallbackAllHardFaults(t *testing.T) {
 	}
 }
 
+// TestFallbackHardFaultDoesNotLeakStageSentinels is the regression test
+// for a false infeasibility proof: milp-ho claims infeasible (untrusted,
+// not a proof), then the next member panics. The joined hard-fault error
+// must not satisfy errors.Is for the budget-class sentinels the chain
+// deliberately advanced past, or the server would cache and serve the
+// claim as definitive "infeasible" — and the fallback engine's own
+// breaker would score the total failure as a success.
+func TestFallbackHardFaultDoesNotLeakStageSentinels(t *testing.T) {
+	p := testProblem(t)
+	f := NewFallback(
+		FallbackMember{Engine: erroringEngine("heuristic", core.ErrInfeasible)},
+		FallbackMember{Engine: erroringEngine("slow", fmt.Errorf("slow: %w", context.DeadlineExceeded))},
+		FallbackMember{Engine: erroringEngine("dry", core.ErrNoSolution)},
+		FallbackMember{Engine: panicEngine("boom")},
+	)
+	_, err := f.Solve(context.Background(), p, core.SolveOptions{TimeLimit: 5 * time.Second})
+	if err == nil {
+		t.Fatal("faulty chain returned nil error")
+	}
+	for sentinel, name := range map[error]string{
+		core.ErrInfeasible:       "ErrInfeasible",
+		core.ErrNoSolution:       "ErrNoSolution",
+		context.DeadlineExceeded: "DeadlineExceeded",
+		context.Canceled:         "Canceled",
+	} {
+		if errors.Is(err, sentinel) {
+			t.Errorf("hard-fault error leaks stage sentinel %s: %v", name, err)
+		}
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("joined error does not expose the PanicError: %v", err)
+	}
+	if got := BreakerOutcomeOf(err); got != BreakerFailure {
+		t.Errorf("BreakerOutcomeOf = %v, want BreakerFailure", got)
+	}
+}
+
+// TestFallbackAllBreakersOpen: when every member is skipped because its
+// breaker is open, no engine ran at all, so the chain must report the
+// retryable ErrBreakersOpen — not ErrNoSolution, which the daemon would
+// serve as a definitive "budget exhausted" answer.
+func TestFallbackAllBreakersOpen(t *testing.T) {
+	p := testProblem(t)
+	clk := newFakeClock()
+	set := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Hour, Clock: clk.Now})
+	f := &Fallback{
+		Members: []FallbackMember{
+			{Engine: panicEngine("boom-a")},
+			{Engine: panicEngine("boom-b")},
+		},
+		Breakers: set,
+	}
+	// First solve trips both breakers (each member panics once).
+	if _, err := f.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second}); err == nil {
+		t.Fatal("all-panicking chain returned nil error")
+	}
+	// Second solve: every member is skipped, nothing runs.
+	_, err := f.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second})
+	if !errors.Is(err, ErrBreakersOpen) {
+		t.Fatalf("want ErrBreakersOpen, got %v", err)
+	}
+	if errors.Is(err, core.ErrNoSolution) {
+		t.Errorf("breaker-skip outcome masquerades as ErrNoSolution: %v", err)
+	}
+	if got := BreakerOutcomeOf(err); got != BreakerNeutral {
+		t.Errorf("BreakerOutcomeOf = %v, want BreakerNeutral", got)
+	}
+}
+
 func TestFallbackHonorsCancellation(t *testing.T) {
 	p := testProblem(t)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -468,7 +468,7 @@ func (s *Server) respondEntry(w http.ResponseWriter, r *http.Request, key, engin
 	case errors.Is(entry.err, errQueueFull):
 		w.Header().Set("Retry-After", s.retryAfter())
 		s.writeError(w, http.StatusTooManyRequests, "solve queue is full, retry later")
-	case errors.Is(entry.err, errBreakerOpen):
+	case errors.Is(entry.err, errBreakerOpen), errors.Is(entry.err, guard.ErrBreakersOpen):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown/time.Second)+1))
 		s.writeError(w, http.StatusServiceUnavailable, "engine disabled after repeated failures, retry later")
 	case errors.Is(entry.err, errShuttingDown):
