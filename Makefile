@@ -6,6 +6,9 @@
 #   make test      plain test run (no race detector; faster)
 #   make bench     candidate-enumeration cache benchmarks (hit vs miss)
 #   make obs-bench telemetry overhead benchmarks (bare vs no-op vs recorder)
+#   make bench-json run the floorbench harness and validate BENCH.json
+#                  (tune with BENCH_INSTANCES/BENCH_ENGINES/BENCH_BUDGET/
+#                   BENCH_REPEATS; CI runs a short smoke)
 #   make fuzz      short fuzz smoke over the wire-format decoders
 #                  (FUZZTIME=10s per target by default)
 
@@ -13,7 +16,13 @@ GO       ?= go
 BIN      := bin
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench obs-bench fuzz serve clean
+BENCH_INSTANCES ?= sdr,sdr2,sdr3
+BENCH_ENGINES   ?= exact,milp-ho,constructive
+BENCH_BUDGET    ?= 2s
+BENCH_REPEATS   ?= 1
+BENCH_OUT       ?= BENCH.json
+
+.PHONY: check fmt vet build test race bench obs-bench bench-json fuzz serve clean
 
 check: fmt vet build race
 
@@ -33,6 +42,7 @@ build:
 	$(GO) build -o $(BIN)/floorpland   ./cmd/floorpland
 	$(GO) build -o $(BIN)/relocate     ./cmd/relocate
 	$(GO) build -o $(BIN)/experiments  ./cmd/experiments
+	$(GO) build -o $(BIN)/floorbench   ./cmd/floorbench
 
 test:
 	$(GO) test ./...
@@ -45,6 +55,13 @@ bench:
 
 obs-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead' -benchmem .
+
+bench-json:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/floorbench ./cmd/floorbench
+	$(BIN)/floorbench -instances $(BENCH_INSTANCES) -engines $(BENCH_ENGINES) \
+		-budget $(BENCH_BUDGET) -repeats $(BENCH_REPEATS) -out $(BENCH_OUT)
+	$(BIN)/floorbench -validate $(BENCH_OUT)
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzProblemDecode      -fuzztime $(FUZZTIME) .

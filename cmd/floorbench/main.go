@@ -1,0 +1,286 @@
+// Command floorbench is the continuous benchmark harness: it runs the
+// paper's SDR case-study instances across a configurable engine set
+// under a fixed per-solve budget, repeats each cell, and emits a
+// schema-versioned BENCH.json (internal/benchfmt) — per instance×engine,
+// wall-clock p50/p95, the best objective, optimality/feasibility flags
+// and the incumbent curve. Committed BENCH.json files seed the repo's
+// performance trajectory; CI runs a short smoke and validates the JSON.
+//
+// Usage:
+//
+//	floorbench -out BENCH.json                             # full default run
+//	floorbench -instances sdr,sdr2 -engines exact,milp-ho -budget 2s -repeats 3
+//	floorbench -validate BENCH.json                        # validate an existing report
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sdr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "floorbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		instances = flag.String("instances", "sdr,sdr2,sdr3", "comma-separated instances: sdr, sdr2, sdr3")
+		engines   = flag.String("engines", "exact,milp-ho,constructive", "comma-separated engines to benchmark")
+		budget    = flag.Duration("budget", 10*time.Second, "per-solve time budget")
+		repeats   = flag.Int("repeats", 3, "solves per instance×engine cell")
+		seed      = flag.Int64("seed", 1, "base seed for randomized engines (repeat i uses seed+i)")
+		out       = flag.String("out", "BENCH.json", "output report path")
+		validate  = flag.String("validate", "", "validate an existing report at this path and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		report, err := benchfmt.Read(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid (schema %d, %d results)\n", *validate, report.SchemaVersion, len(report.Results))
+		return nil
+	}
+
+	cfg := benchConfig{
+		Instances: splitList(*instances),
+		Engines:   splitList(*engines),
+		Budget:    *budget,
+		Repeats:   *repeats,
+		Seed:      *seed,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	report, err := runBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := report.Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+// benchConfig parameterizes one harness run.
+type benchConfig struct {
+	Instances []string
+	Engines   []string
+	Budget    time.Duration
+	Repeats   int
+	Seed      int64
+	// Progress, when non-nil, receives one line per finished cell.
+	Progress func(format string, args ...any)
+}
+
+// runBench executes the benchmark matrix and assembles the report.
+func runBench(ctx context.Context, cfg benchConfig) (*benchfmt.Report, error) {
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("budget must be positive")
+	}
+	if len(cfg.Instances) == 0 || len(cfg.Engines) == 0 {
+		return nil, fmt.Errorf("need at least one instance and one engine")
+	}
+	// Fail fast on engine typos instead of producing an all-"error" report.
+	for _, engine := range cfg.Engines {
+		if _, err := floorplanner.NewEngine(engine); err != nil {
+			return nil, err
+		}
+	}
+	report := &benchfmt.Report{
+		SchemaVersion: benchfmt.SchemaVersion,
+		GoVersion:     runtime.Version(),
+		BudgetMS:      durMS(cfg.Budget),
+		Repeats:       cfg.Repeats,
+		Seed:          cfg.Seed,
+	}
+	if host, err := os.Hostname(); err == nil {
+		report.Host = host
+	}
+	for _, instance := range cfg.Instances {
+		p, err := loadInstance(instance)
+		if err != nil {
+			return nil, err
+		}
+		for _, engine := range cfg.Engines {
+			res, err := runCell(ctx, instance, engine, p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			report.Results = append(report.Results, *res)
+			if cfg.Progress != nil {
+				cfg.Progress("%-6s %-14s %-12s p50=%.0fms p95=%.0fms",
+					instance, engine, res.Outcome, res.WallMSP50, res.WallMSP95)
+			}
+		}
+	}
+	report.CreatedAt = time.Now().UTC()
+	return report, nil
+}
+
+// runCell benchmarks one instance×engine cell: Repeats budgeted solves,
+// aggregated into percentiles, flags and the best run's incumbent curve.
+func runCell(ctx context.Context, instance, engine string, p *core.Problem, cfg benchConfig) (*benchfmt.Result, error) {
+	res := &benchfmt.Result{Instance: instance, Engine: engine}
+	walls := make([]float64, 0, cfg.Repeats)
+	var bestCurve []benchfmt.CurvePoint
+	for i := 0; i < cfg.Repeats; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec := obs.NewRecorder()
+		started := time.Now()
+		sol, err := floorplanner.Solve(ctx, p, floorplanner.Options{
+			Engine:    engine,
+			TimeLimit: cfg.Budget,
+			Seed:      cfg.Seed + int64(i),
+			Probe:     rec,
+		})
+		walls = append(walls, durMS(time.Since(started)))
+		res.Runs++
+
+		outcome := benchOutcome(sol, err)
+		if outcomeRank(outcome) > outcomeRank(res.Outcome) {
+			res.Outcome = outcome
+		}
+		if outcome == "error" && res.Err == "" && err != nil {
+			res.Err = err.Error()
+		}
+		if sol != nil && err == nil {
+			res.Feasible = true
+			if sol.Proven {
+				res.Optimal = true
+			}
+			obj := sol.Objective(p)
+			if res.BestObjective == nil || obj < *res.BestObjective {
+				res.BestObjective = &obj
+				bestCurve = curveFrom(rec, engine)
+			}
+		}
+	}
+	sort.Float64s(walls)
+	res.WallMSP50 = percentile(walls, 0.50)
+	res.WallMSP95 = percentile(walls, 0.95)
+	res.IncumbentCurve = bestCurve
+	return res, nil
+}
+
+// benchOutcome maps a solve result onto the report's outcome set
+// (panics and invalid solutions surface as "error" with Err set).
+func benchOutcome(sol *core.Solution, err error) string {
+	switch o := string(core.ObsOutcome(sol, err)); o {
+	case "proven", "solved", "infeasible", "no_solution":
+		return o
+	default:
+		return "error"
+	}
+}
+
+// outcomeRank orders outcomes by informativeness, so a cell's aggregate
+// outcome is its best repeat: a proof beats a solution beats an
+// infeasibility verdict beats an exhausted budget beats a failure.
+func outcomeRank(o string) int {
+	switch o {
+	case "proven":
+		return 5
+	case "solved":
+		return 4
+	case "infeasible":
+		return 3
+	case "no_solution":
+		return 2
+	case "error":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// curveFrom extracts the engine span's incumbent trajectory as a
+// strictly-improving curve (equal-objective points are dropped, matching
+// the benchfmt invariant).
+func curveFrom(rec *obs.Recorder, engine string) []benchfmt.CurvePoint {
+	var curve []benchfmt.CurvePoint
+	for _, pt := range rec.Incumbents(engine) {
+		if len(curve) > 0 && pt.Objective >= curve[len(curve)-1].Objective {
+			continue
+		}
+		curve = append(curve, benchfmt.CurvePoint{AtMS: durMS(pt.At), Objective: pt.Objective})
+	}
+	return curve
+}
+
+// percentile is the nearest-rank percentile of sorted values.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// loadInstance resolves a named case-study instance.
+func loadInstance(name string) (*core.Problem, error) {
+	switch strings.ToLower(name) {
+	case "sdr":
+		return sdr.Problem(), nil
+	case "sdr2":
+		return sdr.SDR2(), nil
+	case "sdr3":
+		return sdr.SDR3(), nil
+	default:
+		return nil, fmt.Errorf("unknown instance %q (want sdr, sdr2 or sdr3)", name)
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// TestRunBenchSmoke runs a small real benchmark — one SDR instance, two
+// engines, short budget — and checks the report validates, covers the
+// full matrix, and carries sane aggregates.
+func TestRunBenchSmoke(t *testing.T) {
+	report, err := runBench(context.Background(), benchConfig{
+		Instances: []string{"sdr"},
+		Engines:   []string{"exact", "constructive"},
+		Budget:    5 * time.Second,
+		Repeats:   2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(report.Results))
+	}
+	for _, res := range report.Results {
+		if res.Runs != 2 {
+			t.Errorf("%s×%s ran %d repeats, want 2", res.Instance, res.Engine, res.Runs)
+		}
+		if !res.Feasible {
+			t.Errorf("%s×%s did not solve the SDR instance", res.Instance, res.Engine)
+		}
+	}
+	// The exact engine proves optimality on SDR within the budget.
+	if res := report.Results[0]; res.Engine != "exact" || !res.Optimal || res.Outcome != "proven" {
+		t.Errorf("exact cell = %+v, want an optimality proof", res)
+	}
+	// Serialization round-trips through the validator.
+	var buf bytes.Buffer
+	if err := report.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := benchfmt.Read(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBenchRejectsBadConfig(t *testing.T) {
+	if _, err := runBench(context.Background(), benchConfig{
+		Instances: []string{"sdr"}, Engines: []string{"exact"}, Repeats: 1,
+	}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := runBench(context.Background(), benchConfig{
+		Instances: []string{"atlantis"}, Engines: []string{"exact"},
+		Budget: time.Second, Repeats: 1,
+	}); err == nil {
+		t.Error("unknown instance accepted")
+	}
+	if _, err := runBench(context.Background(), benchConfig{
+		Instances: []string{"sdr"}, Engines: []string{"warp"},
+		Budget: time.Second, Repeats: 1,
+	}); err == nil {
+		t.Error("unknown engine accepted (should surface as an engine construction error)")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 0.50); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(sorted, 0.95); p != 10 {
+		t.Errorf("p95 = %v, want 10", p)
+	}
+	if p := percentile([]float64{7}, 0.95); p != 7 {
+		t.Errorf("single-sample p95 = %v, want 7", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty p50 = %v, want 0", p)
+	}
+}

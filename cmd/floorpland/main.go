@@ -10,14 +10,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve    solve a problem (floorplanner.Problem JSON + options)
-//	GET  /v1/engines  list available engines
-//	GET  /healthz     liveness probe
-//	GET  /metrics     counters and latency histograms; when the portfolio
-//	                  engine runs, also per-member race/win/latency counters
+//	POST /v1/solve          solve a problem (floorplanner.Problem JSON + options)
+//	GET  /v1/engines        list available engines
+//	GET  /healthz           liveness probe
+//	GET  /metrics           counters, per-engine latency/work/incumbent-time
+//	                        histograms; when the portfolio engine runs, also
+//	                        per-member race/win/latency counters
+//	GET  /debug/solves      recent solve records (flight recorder) + per-engine
+//	                        distribution summaries; ?n= bounds the list
+//	GET  /debug/solves/{id} one solve record with its full telemetry trace
+//
+// Logs go to stderr at -log-level (default info) in -log-format (default
+// text; json for machine ingestion).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// requests, drains in-flight solves and cancels queued ones.
+// requests, drains in-flight solves and cancels queued ones. SIGUSR1
+// dumps the flight recorder ring to -flight-dump as JSON without
+// interrupting service.
 package main
 
 import (
@@ -25,7 +34,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	floorplanner "repro"
+	"repro/internal/logx"
 	"repro/internal/server"
 )
 
@@ -60,16 +69,18 @@ func run() error {
 		defaultLimit = flag.Duration("default-time", 30*time.Second, "time limit when a request names none")
 		maxLimit     = flag.Duration("max-time", 2*time.Minute, "per-request time limit cap")
 		drainTimeout = flag.Duration("drain", 2*time.Minute, "shutdown drain budget for in-flight solves")
-		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON")
+		logLevel     = flag.String("log-level", "info", "log level: "+logx.Levels)
+		logFormat    = flag.String("log-format", "text", "log format: "+logx.Formats)
+		flightSize   = flag.Int("flight", 256, "solve records kept in the flight recorder ring (/debug/solves)")
+		flightDump   = flag.String("flight-dump", "floorpland-flight.json", "file the flight ring is dumped to on SIGUSR1")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
-	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+	log, err := logx.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
-	log := slog.New(handler)
 
 	if _, err := floorplanner.NewEngine(*engine); err != nil {
 		return err
@@ -92,9 +103,25 @@ func run() error {
 		BreakerCooldown:  *brkCooldown,
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
+		FlightSize:       *flightSize,
 		Logger:           log,
 		Version:          buildVersion(),
 	})
+
+	// SIGUSR1 dumps the flight ring — the last -flight solve records,
+	// traces included — to -flight-dump as JSON, for post-mortems without
+	// stopping the daemon.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			if err := srv.FlightRecorder().WriteFile(*flightDump); err != nil {
+				log.Error("flight dump failed", "path", *flightDump, "err", err)
+				continue
+			}
+			log.Info("flight ring dumped", "path", *flightDump, "records", srv.FlightRecorder().Len())
+		}
+	}()
 
 	if *pprofAddr != "" {
 		// The profiler gets its own mux on its own listener so the

@@ -20,12 +20,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	floorplanner "repro"
 	"repro/internal/core"
+	"repro/internal/logx"
 	"repro/internal/sdr"
 )
 
@@ -50,8 +52,19 @@ func run() error {
 		ascii       = flag.Bool("ascii", true, "print the floorplan as ASCII art")
 		svgPath     = flag.String("svg", "", "write the floorplan as SVG to this file")
 		trace       = flag.Bool("trace", false, "print solve telemetry: per-span counters and the incumbent trajectory")
+		logLevel    = flag.String("log-level", "info", "log level: "+logx.Levels)
+		logFormat   = flag.String("log-format", "text", "log format: "+logx.Formats)
 	)
 	flag.Parse()
+
+	// Results go to stdout; structured logs (engine warnings, guard
+	// recoveries) go to stderr through the shared handler, so the two
+	// binaries speak one logging dialect.
+	log, err := logx.New(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(log)
 
 	p, err := loadProblem(*problemPath, *design)
 	if err != nil {

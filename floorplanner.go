@@ -51,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/exact"
+	"repro/internal/flight"
 	"repro/internal/guard"
 	"repro/internal/heuristic"
 	"repro/internal/model"
@@ -257,10 +258,21 @@ func EngineNames() []string {
 	return []string{"exact", "milp-o", "milp-ho", "constructive", "annealing", "tessellation", "portfolio", "fallback"}
 }
 
+// SolveRecord is one entry of the flight recorder's ring: a finished
+// solve's engine, outcome, objective, duration and stage timings. See
+// RecentSolves.
+type SolveRecord = flight.Record
+
+// RecentSolves returns up to n records of the most recent Solve calls in
+// this process, newest first (n <= 0 returns everything the ring holds).
+// The ring keeps the last flight.DefaultSize solves.
+func RecentSolves(n int) []SolveRecord { return flight.Default().Last(n) }
+
 // Solve runs the selected engine on the problem. Every solve runs under
 // the guard layer: panics are recovered into structured errors and the
 // returned solution is verified (Solution.Validate plus an
-// objective-consistency check) before being returned.
+// objective-consistency check) before being returned. Each call also
+// appends one record to the process-wide flight recorder (RecentSolves).
 func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	var eng Engine
 	var err error
@@ -275,12 +287,37 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return guard.Wrap(eng).Solve(ctx, p, SolveOptions{
+	ctx, stages := guard.WithStageLog(ctx)
+	started := time.Now()
+	sol, err := guard.Wrap(eng).Solve(ctx, p, SolveOptions{
 		TimeLimit: opts.TimeLimit,
 		Seed:      opts.Seed,
 		Workers:   opts.Workers,
 		Probe:     opts.Probe,
 	})
+	rec := flight.Record{
+		RequestDigest: guard.RequestDigest(p),
+		Engine:        eng.Name(),
+		Outcome:       string(core.ObsOutcome(sol, err)),
+		DurationMS:    float64(time.Since(started)) / float64(time.Millisecond),
+	}
+	if sol != nil {
+		obj := sol.Objective(p)
+		rec.Objective = &obj
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	for _, st := range stages.Stages() {
+		rec.Stages = append(rec.Stages, flight.Stage{
+			Engine:    st.Engine,
+			Outcome:   st.Outcome,
+			ElapsedMS: float64(st.Elapsed) / float64(time.Millisecond),
+			Err:       st.Err,
+		})
+	}
+	flight.Default().Record(rec)
+	return sol, err
 }
 
 // RenderASCII draws a floorplan as text (Figures 4-5 style).

@@ -60,6 +60,59 @@ func TestSolveAllEngines(t *testing.T) {
 	}
 }
 
+func TestSolveRecordsFlight(t *testing.T) {
+	p := quickProblem(t)
+	sol, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+		Engine:    "exact",
+		TimeLimit: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := floorplanner.RecentSolves(1)
+	if len(recs) != 1 {
+		t.Fatalf("RecentSolves(1) returned %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.Engine != "exact" {
+		t.Errorf("recorded engine %q, want exact", rec.Engine)
+	}
+	if rec.Outcome != "proven" {
+		t.Errorf("recorded outcome %q, want proven", rec.Outcome)
+	}
+	if rec.Objective == nil || *rec.Objective != sol.Objective(p) {
+		t.Errorf("recorded objective %v, want %v", rec.Objective, sol.Objective(p))
+	}
+	if rec.RequestDigest == "" {
+		t.Error("record has no request digest")
+	}
+	if rec.DurationMS < 0 {
+		t.Errorf("record has negative duration %v", rec.DurationMS)
+	}
+}
+
+func TestSolveRecordsFallbackStages(t *testing.T) {
+	p := quickProblem(t)
+	if _, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{
+		Engine:    "fallback",
+		TimeLimit: 30 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs := floorplanner.RecentSolves(1)
+	if len(recs) != 1 || recs[0].Engine != "fallback" {
+		t.Fatalf("newest record is not the fallback solve: %+v", recs)
+	}
+	stages := recs[0].Stages
+	if len(stages) == 0 {
+		t.Fatal("fallback record has no stage timings")
+	}
+	if stages[0].Engine != "exact" || stages[0].Outcome != "proven" {
+		t.Errorf("stage 0 = %s/%s, want exact/proven (the chain's first member wins on this instance)",
+			stages[0].Engine, stages[0].Outcome)
+	}
+}
+
 func TestSolveUnknownEngine(t *testing.T) {
 	p := quickProblem(t)
 	if _, err := floorplanner.Solve(context.Background(), p, floorplanner.Options{Engine: "nope"}); err == nil {

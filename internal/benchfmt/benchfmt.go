@@ -1,0 +1,167 @@
+// Package benchfmt defines BENCH.json — the schema-versioned output of
+// cmd/floorbench, the continuous benchmark harness. One Report captures
+// a benchmark run: per instance×engine, wall-clock percentiles, the best
+// objective found, optimality/feasibility flags and the incumbent curve.
+// Reports are committed over time to seed a performance trajectory, so
+// the schema is versioned and Validate enforces its invariants before a
+// report is written or accepted in CI.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// SchemaVersion is the current BENCH.json schema. Bump on any
+// incompatible shape change, so trajectory tooling can dispatch.
+const SchemaVersion = 1
+
+// Report is one benchmark run over a set of instances and engines.
+type Report struct {
+	// SchemaVersion pins the report shape; must equal SchemaVersion.
+	SchemaVersion int `json:"schema_version"`
+	// CreatedAt is when the run finished.
+	CreatedAt time.Time `json:"created_at"`
+	// GoVersion and Host describe the run environment (informational).
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+	// BudgetMS is the per-solve time budget in milliseconds.
+	BudgetMS float64 `json:"budget_ms"`
+	// Repeats is the solves per instance×engine cell.
+	Repeats int `json:"repeats"`
+	// Seed drove the randomized engines.
+	Seed int64 `json:"seed"`
+	// Results holds one entry per instance×engine.
+	Results []Result `json:"results"`
+}
+
+// Outcomes a Result may carry (the obs outcome labels a benchmark can
+// end with; panics/invalid solutions surface as "error" with Err set).
+var knownOutcomes = map[string]bool{
+	"proven":      true,
+	"solved":      true,
+	"infeasible":  true,
+	"no_solution": true,
+	"error":       true,
+}
+
+// Result is one instance×engine cell of the benchmark matrix.
+type Result struct {
+	// Instance and Engine name the cell.
+	Instance string `json:"instance"`
+	Engine   string `json:"engine"`
+	// Outcome is the cell's best outcome across repeats: "proven",
+	// "solved", "infeasible", "no_solution" or "error".
+	Outcome string `json:"outcome"`
+	// Feasible reports that at least one repeat returned a validated
+	// solution; Optimal that at least one proved lexicographic
+	// optimality.
+	Feasible bool `json:"feasible"`
+	Optimal  bool `json:"optimal"`
+	// BestObjective is the best (lowest) objective across repeats,
+	// present when Feasible.
+	BestObjective *float64 `json:"best_objective,omitempty"`
+	// Runs counts the repeats actually executed.
+	Runs int `json:"runs"`
+	// WallMSP50 and WallMSP95 are nearest-rank percentiles of the
+	// per-repeat wall-clock, in milliseconds.
+	WallMSP50 float64 `json:"wall_ms_p50"`
+	WallMSP95 float64 `json:"wall_ms_p95"`
+	// IncumbentCurve is the best repeat's incumbent trajectory:
+	// timestamps nondecreasing, objectives strictly improving.
+	IncumbentCurve []CurvePoint `json:"incumbent_curve,omitempty"`
+	// Err carries the failure text when Outcome is "error".
+	Err string `json:"err,omitempty"`
+}
+
+// CurvePoint is one incumbent improvement on the curve.
+type CurvePoint struct {
+	AtMS      float64 `json:"at_ms"`
+	Objective float64 `json:"objective"`
+}
+
+// Validate checks the report's invariants: current schema, sane run
+// parameters, known outcomes, consistent flags, ordered percentiles,
+// monotone incumbent curves and no duplicate instance×engine cells.
+func (r *Report) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("benchfmt: schema_version %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if r.Repeats < 1 {
+		return fmt.Errorf("benchfmt: repeats %d, want >= 1", r.Repeats)
+	}
+	if !(r.BudgetMS > 0) {
+		return fmt.Errorf("benchfmt: budget_ms %v, want > 0", r.BudgetMS)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("benchfmt: report has no results")
+	}
+	seen := map[string]bool{}
+	for i, res := range r.Results {
+		cell := res.Instance + "\x00" + res.Engine
+		if res.Instance == "" || res.Engine == "" {
+			return fmt.Errorf("benchfmt: result %d has empty instance/engine", i)
+		}
+		if seen[cell] {
+			return fmt.Errorf("benchfmt: duplicate cell %s×%s", res.Instance, res.Engine)
+		}
+		seen[cell] = true
+		if !knownOutcomes[res.Outcome] {
+			return fmt.Errorf("benchfmt: %s×%s has unknown outcome %q", res.Instance, res.Engine, res.Outcome)
+		}
+		if res.Runs < 1 || res.Runs > r.Repeats {
+			return fmt.Errorf("benchfmt: %s×%s ran %d repeats, want 1..%d", res.Instance, res.Engine, res.Runs, r.Repeats)
+		}
+		if res.WallMSP50 < 0 || res.WallMSP95 < 0 || res.WallMSP50 > res.WallMSP95 {
+			return fmt.Errorf("benchfmt: %s×%s percentiles out of order: p50=%v p95=%v",
+				res.Instance, res.Engine, res.WallMSP50, res.WallMSP95)
+		}
+		if res.Feasible != (res.BestObjective != nil) {
+			return fmt.Errorf("benchfmt: %s×%s feasible=%v but best_objective present=%v",
+				res.Instance, res.Engine, res.Feasible, res.BestObjective != nil)
+		}
+		if res.Optimal && !res.Feasible {
+			return fmt.Errorf("benchfmt: %s×%s optimal without being feasible", res.Instance, res.Engine)
+		}
+		if res.BestObjective != nil && (math.IsNaN(*res.BestObjective) || math.IsInf(*res.BestObjective, 0)) {
+			return fmt.Errorf("benchfmt: %s×%s best_objective is not finite", res.Instance, res.Engine)
+		}
+		for j := 1; j < len(res.IncumbentCurve); j++ {
+			prev, cur := res.IncumbentCurve[j-1], res.IncumbentCurve[j]
+			if cur.AtMS < prev.AtMS {
+				return fmt.Errorf("benchfmt: %s×%s incumbent curve timestamps regress at point %d",
+					res.Instance, res.Engine, j)
+			}
+			if cur.Objective >= prev.Objective {
+				return fmt.Errorf("benchfmt: %s×%s incumbent curve does not improve at point %d",
+					res.Instance, res.Engine, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Write validates the report and writes it as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses and validates a report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,90 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validReport() *Report {
+	obj := 12.5
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC),
+		BudgetMS:      2000,
+		Repeats:       3,
+		Seed:          1,
+		Results: []Result{
+			{
+				Instance: "sdr", Engine: "exact",
+				Outcome: "proven", Feasible: true, Optimal: true,
+				BestObjective: &obj, Runs: 3,
+				WallMSP50: 10, WallMSP95: 30,
+				IncumbentCurve: []CurvePoint{{AtMS: 1, Objective: 20}, {AtMS: 5, Objective: 12.5}},
+			},
+			{
+				Instance: "sdr", Engine: "annealing",
+				Outcome: "no_solution", Runs: 3,
+				WallMSP50: 2000, WallMSP95: 2000,
+			},
+		},
+	}
+}
+
+func TestValidReportRoundTrips(t *testing.T) {
+	r := validReport()
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.Results[0].WallMSP95 != 30 {
+		t.Errorf("round trip mangled the report: %+v", back)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(r *Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.SchemaVersion = 99 }, "schema_version"},
+		{"zero repeats", func(r *Report) { r.Repeats = 0 }, "repeats"},
+		{"zero budget", func(r *Report) { r.BudgetMS = 0 }, "budget_ms"},
+		{"no results", func(r *Report) { r.Results = nil }, "no results"},
+		{"duplicate cell", func(r *Report) { r.Results[1] = r.Results[0] }, "duplicate"},
+		{"unknown outcome", func(r *Report) { r.Results[0].Outcome = "great" }, "unknown outcome"},
+		{"zero runs", func(r *Report) { r.Results[0].Runs = 0 }, "repeats"},
+		{"p50 above p95", func(r *Report) { r.Results[0].WallMSP50 = 99 }, "percentiles"},
+		{"feasible without objective", func(r *Report) { r.Results[0].BestObjective = nil }, "feasible"},
+		{"optimal without feasible", func(r *Report) { r.Results[1].Optimal = true }, "optimal"},
+		{"curve time regression", func(r *Report) { r.Results[0].IncumbentCurve[1].AtMS = 0.5 }, "timestamps regress"},
+		{"curve not improving", func(r *Report) { r.Results[0].IncumbentCurve[1].Objective = 20 }, "does not improve"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			tc.mutate(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("validation passed")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteRefusesInvalid(t *testing.T) {
+	r := validReport()
+	r.Repeats = 0
+	if err := r.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("Write accepted an invalid report")
+	}
+}

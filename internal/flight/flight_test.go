@@ -1,0 +1,178 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRecordAssignsMonotonicSeqs(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 3; i++ {
+		if seq := r.Record(Record{Engine: "exact"}); seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Fatalf("len/total = %d/%d, want 3/3", r.Len(), r.Total())
+	}
+	rec, ok := r.Get(2)
+	if !ok || rec.Seq != 2 || rec.Time.IsZero() {
+		t.Fatalf("Get(2) = %+v, %v", rec, ok)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 1; i <= 7; i++ {
+		r.Record(Record{Engine: fmt.Sprintf("e%d", i)})
+	}
+	if r.Len() != 3 || r.Total() != 7 {
+		t.Fatalf("len/total = %d/%d, want 3/7", r.Len(), r.Total())
+	}
+	// Seqs 1-4 were overwritten.
+	for seq := int64(1); seq <= 4; seq++ {
+		if _, ok := r.Get(seq); ok {
+			t.Errorf("Get(%d) still present after wraparound", seq)
+		}
+	}
+	last := r.Last(0)
+	if len(last) != 3 {
+		t.Fatalf("Last(0) returned %d records, want 3", len(last))
+	}
+	for i, want := range []int64{7, 6, 5} {
+		if last[i].Seq != want {
+			t.Errorf("Last[%d].Seq = %d, want %d (newest first)", i, last[i].Seq, want)
+		}
+	}
+	if got := r.Last(2); len(got) != 2 || got[0].Seq != 7 || got[1].Seq != 6 {
+		t.Errorf("Last(2) = %+v, want seqs 7,6", got)
+	}
+}
+
+// TestConcurrentWraparound hammers a tiny ring from many writers (run
+// under -race): every record retained afterwards must be internally
+// consistent — the slot holds exactly the record whose Seq was assigned
+// to it, with no torn Engine/Seq pairs — and the newest-first order of
+// Last must hold.
+func TestConcurrentWraparound(t *testing.T) {
+	r := NewRecorder(8)
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				obj := float64(w*per + i)
+				seq := r.Record(Record{
+					Engine:    fmt.Sprintf("w%d", w),
+					Outcome:   "solved",
+					Objective: &obj,
+				})
+				if seq <= 0 {
+					t.Errorf("non-positive seq %d", seq)
+				}
+				// Reads interleave with the other writers' wraparound.
+				if rec, ok := r.Get(seq); ok && rec.Seq != seq {
+					t.Errorf("Get(%d) returned record with seq %d", seq, rec.Seq)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != writers*per {
+		t.Fatalf("total = %d, want %d", r.Total(), writers*per)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("len = %d, want ring capacity 8", r.Len())
+	}
+	last := r.Last(0)
+	for i, rec := range last {
+		if i > 0 && last[i-1].Seq != rec.Seq+1 {
+			t.Errorf("Last not contiguous newest-first at %d: %d then %d", i, last[i-1].Seq, rec.Seq)
+		}
+		// Objective encodes (writer, iteration); the engine label must
+		// agree, or the slot write was torn.
+		w := int(*rec.Objective) / per
+		if want := fmt.Sprintf("w%d", w); rec.Engine != want {
+			t.Errorf("record %d torn: engine %q, objective %g", rec.Seq, rec.Engine, *rec.Objective)
+		}
+	}
+}
+
+func TestWriteJSONDumpRoundTrips(t *testing.T) {
+	r := NewRecorder(4)
+	obj := 42.0
+	r.Record(Record{Engine: "exact", Outcome: "proven", Objective: &obj, Key: "k1"})
+	r.Record(Record{Engine: "fallback", Outcome: "solved", Stages: []Stage{
+		{Engine: "exact", Outcome: "no_solution", ElapsedMS: 12.5},
+		{Engine: "constructive", Outcome: "solved", ElapsedMS: 1.5},
+	}})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump Dump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Total != 2 || len(dump.Records) != 2 {
+		t.Fatalf("dump total/records = %d/%d, want 2/2", dump.Total, len(dump.Records))
+	}
+	// Oldest first in the dump.
+	if dump.Records[0].Seq != 1 || dump.Records[1].Seq != 2 {
+		t.Fatalf("dump not chronological: seqs %d, %d", dump.Records[0].Seq, dump.Records[1].Seq)
+	}
+	if got := dump.Records[1].Stages; len(got) != 2 || got[0].Engine != "exact" {
+		t.Fatalf("stage timings lost in dump: %+v", got)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(Record{Engine: "exact", Outcome: "proven"})
+	path := filepath.Join(t.TempDir(), "solves.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump Dump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("file dump is not valid JSON: %v", err)
+	}
+	if len(dump.Records) != 1 || dump.Records[0].Engine != "exact" {
+		t.Fatalf("unexpected dump: %+v", dump)
+	}
+}
+
+func TestGetBounds(t *testing.T) {
+	r := NewRecorder(2)
+	if _, ok := r.Get(0); ok {
+		t.Error("Get(0) on empty ring succeeded")
+	}
+	if _, ok := r.Get(1); ok {
+		t.Error("Get(1) on empty ring succeeded")
+	}
+	r.Record(Record{})
+	if _, ok := r.Get(2); ok {
+		t.Error("Get(2) beyond total succeeded")
+	}
+}
+
+func TestDefaultIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() is not a stable shared instance")
+	}
+	if Default().Cap() != DefaultSize {
+		t.Fatalf("Default cap = %d, want %d", Default().Cap(), DefaultSize)
+	}
+}

@@ -73,6 +73,7 @@ func (f *Fallback) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 		return nil, fmt.Errorf("guard: fallback chain has no members")
 	}
 
+	stages := StageLogFrom(ctx) // nil outside a collecting caller
 	var faults []error
 	hardFault := false
 	skipped := 0
@@ -90,6 +91,9 @@ func (f *Fallback) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 			if !br.Allow() {
 				skipped++
 				faults = append(faults, fmt.Errorf("%s: circuit breaker open", name))
+				if stages != nil {
+					stages.add(StageTiming{Engine: name, Outcome: StageOutcomeSkipped})
+				}
 				continue
 			}
 		}
@@ -97,7 +101,19 @@ func (f *Fallback) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 		if !deadline.IsZero() {
 			stageOpts.TimeLimit = time.Until(deadline) / time.Duration(len(f.Members)-i)
 		}
+		stageStart := time.Now()
 		stageSol, stageErr := Wrap(m.Engine).Solve(ctx, p, stageOpts)
+		if stages != nil {
+			st := StageTiming{
+				Engine:  name,
+				Outcome: string(core.ObsOutcome(stageSol, stageErr)),
+				Elapsed: time.Since(stageStart),
+			}
+			if stageErr != nil {
+				st.Err = stageErr.Error()
+			}
+			stages.add(st)
+		}
 		if br != nil {
 			br.Record(BreakerOutcomeOf(stageErr))
 		}

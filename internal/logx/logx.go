@@ -1,0 +1,47 @@
+// Package logx builds the slog handler shared by the repo's binaries, so
+// every CLI exposes the same -log-level/-log-format contract: levels
+// debug, info (the default), warn and error; formats text (the default)
+// and json.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Levels and Formats list the accepted flag values, for usage strings.
+const (
+	Levels  = "debug, info, warn, error"
+	Formats = "text, json"
+)
+
+// New builds a logger writing to w at the named level and format. Empty
+// strings select the defaults (info, text); unknown names error.
+func New(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logx: unknown log level %q (want %s)", level, Levels)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (want %s)", format, Formats)
+	}
+	return slog.New(h), nil
+}

@@ -1,0 +1,58 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDefaultsAreInfoText(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug line emitted at the default info level")
+	}
+	if !strings.Contains(out, "msg=shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("default format is not slog text: %q", out)
+	}
+}
+
+func TestJSONFormatAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("emitted %d lines, want the warn line only: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("json format emitted non-JSON %q: %v", lines[0], err)
+	}
+	if rec["msg"] != "shown" || rec["level"] != "WARN" {
+		t.Errorf("unexpected record: %v", rec)
+	}
+}
+
+func TestUnknownNamesError(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "loud", ""); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := New(&bytes.Buffer{}, "", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := New(&bytes.Buffer{}, "DEBUG", "JSON"); err != nil {
+		t.Errorf("case-insensitive names rejected: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package hist provides the fixed-bucket histograms shared by the
+// serving layer's /metrics exposition and the /debug/solves summaries:
+// cumulative bucket counts plus a true sum and count, so averages and
+// Prometheus-style quantile estimates are both exact and cheap.
+//
+// A Hist is safe for concurrent use: Observe is a bucket scan plus three
+// atomic adds (no locks, no allocation), so per-solve recording costs
+// nanoseconds. Snapshot copies the state into an immutable value for
+// rendering and quantile math.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Hist is a fixed-bucket histogram. The zero value is not usable; build
+// one with New.
+type Hist struct {
+	// bounds are the strictly-increasing finite bucket upper bounds; an
+	// implicit +Inf bucket catches everything above the last bound.
+	bounds []float64
+	// counts[i] counts observations <= bounds[i]; counts[len(bounds)] is
+	// the +Inf overflow bucket.
+	counts []atomic.Int64
+	// sumBits carries the float64 bits of the running sum (CAS-updated).
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// New builds a histogram over the given finite upper bounds. The bounds
+// must be non-empty and strictly increasing; New panics otherwise
+// (bucket layouts are compile-time decisions, not runtime input).
+func New(bounds []float64) *Hist {
+	if len(bounds) == 0 {
+		panic("hist: no buckets")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("hist: bound %d is not finite: %v", i, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("hist: bounds not strictly increasing at %d: %v <= %v", i, b, bounds[i-1]))
+		}
+	}
+	return &Hist{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and fit no bucket).
+func (h *Hist) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := len(h.bounds)
+	for i, ub := range h.bounds {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Snapshot is an immutable copy of a histogram's state. Counts are
+// cumulative (Prometheus le-semantics): Counts[i] is the number of
+// observations <= Bounds[i], and Count covers the +Inf bucket.
+type Snapshot struct {
+	// Bounds are the finite bucket upper bounds.
+	Bounds []float64
+	// Counts are cumulative observation counts per finite bound.
+	Counts []int64
+	// Sum is the exact sum of every observed value.
+	Sum float64
+	// Count is the total number of observations (the +Inf cumulative).
+	Count int64
+}
+
+// Snapshot copies the histogram into its immutable cumulative form.
+// Concurrent Observe calls may or may not be included; the snapshot is
+// internally consistent enough for rendering (cumulative counts are
+// computed from one pass over the per-bucket counters).
+func (h *Hist) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.bounds)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	cum := int64(0)
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	s.Count = cum + h.counts[len(h.bounds)].Load()
+	return s
+}
+
+// Mean returns the average observed value, or NaN when empty.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket containing the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Values in the +Inf
+// bucket clamp to the last finite bound. Returns NaN when empty.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i, cum := range s.Counts {
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		prev := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+			prev = s.Counts[i-1]
+		}
+		inBucket := cum - prev
+		if inBucket == 0 {
+			return s.Bounds[i]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-float64(prev))/float64(inBucket)
+	}
+	// Rank falls in the +Inf bucket: clamp to the largest finite bound.
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LatencyBuckets returns the solve-latency bounds in seconds, spanning
+// the paper's workloads: sub-millisecond heuristic solves up to
+// minute-scale exact/MILP proofs.
+func LatencyBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+}
+
+// WorkBuckets returns bounds for per-solve work counts (branch-and-bound
+// nodes, simplex pivots): half-decade steps from 1 to ten million.
+func WorkBuckets() []float64 {
+	return []float64{1, 5, 10, 50, 100, 500, 1e3, 5e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7}
+}

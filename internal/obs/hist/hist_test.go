@@ -1,0 +1,125 @@
+package hist
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestObserveAndSnapshot(t *testing.T) {
+	h := New([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got, want := s.Counts, []int64{2, 3, 4}; len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("cumulative counts = %v, want %v", got, want)
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if want := 0.5 + 1 + 2 + 50 + 1000; s.Sum != want {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+	if want := (0.5 + 1 + 2 + 50 + 1000) / 5; s.Mean() != want {
+		t.Fatalf("mean = %g, want %g", s.Mean(), want)
+	}
+}
+
+func TestObserveDropsNaN(t *testing.T) {
+	h := New([]float64{1})
+	h.Observe(math.NaN())
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("NaN observation was recorded: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := New([]float64{10, 20, 30})
+	// 10 observations uniformly in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	// Rank 10 of 20 falls exactly at the first bucket's upper bound.
+	if got := s.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %g, want 10", got)
+	}
+	// Rank 19 of 20 interpolates to 19 within the (10,20] bucket.
+	if got := s.Quantile(0.95); math.Abs(got-19) > 1e-9 {
+		t.Errorf("p95 = %g, want 19", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("p0 = %g, want 0", got)
+	}
+	if got := s.Quantile(1); got != 20 {
+		t.Errorf("p100 = %g, want 20", got)
+	}
+}
+
+func TestQuantileOverflowClampsToLastBound(t *testing.T) {
+	h := New([]float64{1, 2})
+	h.Observe(100) // +Inf bucket
+	if got := h.Snapshot().Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %g, want clamp to 2", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := New([]float64{1})
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %g, want NaN", got)
+	}
+	if got := h.Snapshot().Mean(); !math.IsNaN(got) {
+		t.Fatalf("empty mean = %g, want NaN", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := New(WorkBuckets())
+	const writers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*per {
+		t.Fatalf("count = %d, want %d", s.Count, writers*per)
+	}
+	n := float64(writers * per)
+	if want := n * (n - 1) / 2; s.Sum != want {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+}
+
+func TestNewPanicsOnBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":         {},
+		"nonincreasing": {1, 1},
+		"descending":    {2, 1},
+		"inf":           {1, math.Inf(1)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v) did not panic", bounds)
+				}
+			}()
+			New(bounds)
+		})
+	}
+}
+
+func TestPresetBucketsAreValid(t *testing.T) {
+	// New panics on invalid layouts, so constructing is the assertion.
+	New(LatencyBuckets())
+	New(WorkBuckets())
+}

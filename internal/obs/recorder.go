@@ -126,6 +126,26 @@ func (r *Recorder) Incumbents(name string) []IncumbentPoint {
 	return out
 }
 
+// IncumbentTimes returns when the named span's first and best incumbents
+// were recorded, relative to recording start. Within a span incumbent
+// objectives are nonincreasing, so the span's latest point is its best.
+// ok is false when the span recorded no incumbents.
+func (r *Recorder) IncumbentTimes(span string) (first, best time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.incumbents {
+		if p.Span != span {
+			continue
+		}
+		if !ok {
+			first = p.At
+			ok = true
+		}
+		best = p.At
+	}
+	return first, best, ok
+}
+
 // DroppedIncumbents reports trajectory points discarded over the cap.
 func (r *Recorder) DroppedIncumbents() int {
 	r.mu.Lock()

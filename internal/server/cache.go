@@ -19,6 +19,10 @@ type cacheEntry struct {
 	// solution so "trace": true requests served from the cache still see
 	// the trajectory of the solve that produced the entry.
 	trace *obs.Trace
+	// flightSeq is the flight-recorder sequence number of the solve that
+	// produced this entry, so cache-hit records can link back to the
+	// original record instead of fabricating a trace (0 when unknown).
+	flightSeq int64
 }
 
 // lruCache is a fixed-capacity LRU map from canonical problem key to

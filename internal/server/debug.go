@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/flight"
+)
+
+// DebugSolvesResponse is the GET /debug/solves reply: the most recent
+// solve records (newest first, traces stripped for size — fetch
+// /debug/solves/{seq} for one record's full trace) plus the per-engine
+// distribution summaries.
+type DebugSolvesResponse struct {
+	// Total counts solve records ever appended; Capacity is the ring
+	// size. Records holds min(n, held) most-recent entries.
+	Total    int64           `json:"total"`
+	Capacity int             `json:"capacity"`
+	Records  []flight.Record `json:"records"`
+	// Engines summarizes each engine's latency/work/incumbent-time
+	// distributions (the same data behind the /metrics histograms).
+	Engines map[string]EngineDistSummary `json:"engines,omitempty"`
+}
+
+// defaultDebugSolves bounds the list reply when no ?n= is given.
+const defaultDebugSolves = 50
+
+// handleDebugSolves serves GET /debug/solves?n=: the recent solve list.
+func (s *Server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	n := defaultDebugSolves
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			s.writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	records := s.flight.Last(n)
+	for i := range records {
+		records[i].Trace = nil // the list stays light; Get serves the trace
+	}
+	s.writeJSON(w, http.StatusOK, DebugSolvesResponse{
+		Total:    s.flight.Total(),
+		Capacity: s.flight.Cap(),
+		Records:  records,
+		Engines:  s.metrics.engineSummaries(),
+	})
+}
+
+// handleDebugSolve serves GET /debug/solves/{seq}: one full record,
+// trace included.
+func (s *Server) handleDebugSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/debug/solves/")
+	seq, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || seq <= 0 {
+		s.writeError(w, http.StatusBadRequest, "sequence must be a positive integer")
+		return
+	}
+	rec, ok := s.flight.Get(seq)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "record not in the ring (evicted or never recorded)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rec)
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/flight"
+)
+
+// getJSON fetches url and decodes the body into out, returning the
+// status code.
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s (HTTP %d): %v", url, resp.StatusCode, err)
+	}
+	return resp.StatusCode
+}
+
+// TestDebugSolvesEndToEnd drives real solves through the daemon and
+// checks /debug/solves reflects them: records carry engine, outcome,
+// duration and stripped traces; /debug/solves/{seq} returns the full
+// record with its trace; engine summaries cover the solved engine.
+func TestDebugSolvesEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueSize: 16})
+
+	for i := 0; i < 3; i++ {
+		code, resp := postSolve(t, ts.Client(), ts.URL, SolveRequest{
+			Problem: testProblem(t, i),
+			Engine:  "exact",
+		})
+		if code != http.StatusOK || resp.Status != "ok" {
+			t.Fatalf("solve %d: HTTP %d status %q", i, code, resp.Status)
+		}
+	}
+
+	var list DebugSolvesResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/solves", &list); code != http.StatusOK {
+		t.Fatalf("/debug/solves: HTTP %d", code)
+	}
+	if list.Total != 3 || len(list.Records) != 3 {
+		t.Fatalf("list has total=%d records=%d, want 3/3", list.Total, len(list.Records))
+	}
+	if list.Capacity != 256 {
+		t.Errorf("capacity = %d, want the 256 default", list.Capacity)
+	}
+	for _, rec := range list.Records {
+		if rec.Engine != "exact" || rec.Outcome != "proven" {
+			t.Errorf("record %d = %s/%s, want exact/proven", rec.Seq, rec.Engine, rec.Outcome)
+		}
+		if rec.DurationMS <= 0 {
+			t.Errorf("record %d has duration %v", rec.Seq, rec.DurationMS)
+		}
+		if rec.Trace != nil {
+			t.Errorf("record %d in the list carries a trace; lists must strip them", rec.Seq)
+		}
+		if rec.RequestDigest == "" || rec.Key == "" {
+			t.Errorf("record %d is missing digest/key: %+v", rec.Seq, rec)
+		}
+	}
+	// Newest first.
+	if list.Records[0].Seq != 3 || list.Records[2].Seq != 1 {
+		t.Errorf("list not newest-first: seqs %d,%d,%d",
+			list.Records[0].Seq, list.Records[1].Seq, list.Records[2].Seq)
+	}
+
+	es, ok := list.Engines["exact"]
+	if !ok {
+		t.Fatalf("engine summaries missing exact: %v", list.Engines)
+	}
+	if es.Solves != 3 || es.LatencyMS.Count != 3 {
+		t.Errorf("exact summary counts = %d/%d, want 3/3", es.Solves, es.LatencyMS.Count)
+	}
+	if es.Nodes.Mean <= 0 {
+		t.Errorf("exact nodes mean = %v, want > 0", es.Nodes.Mean)
+	}
+
+	// The ?n= limit applies.
+	var limited DebugSolvesResponse
+	getJSON(t, ts.Client(), ts.URL+"/debug/solves?n=1", &limited)
+	if len(limited.Records) != 1 || limited.Records[0].Seq != 3 {
+		t.Errorf("?n=1 returned %d records (first seq %d), want the newest only",
+			len(limited.Records), limited.Records[0].Seq)
+	}
+
+	// The detail endpoint returns the full record, trace included.
+	var rec flight.Record
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/solves/2", &rec); code != http.StatusOK {
+		t.Fatalf("/debug/solves/2: HTTP %d", code)
+	}
+	if rec.Seq != 2 || rec.Trace == nil {
+		t.Fatalf("detail record seq=%d trace=%v, want seq 2 with a trace", rec.Seq, rec.Trace)
+	}
+	if len(rec.Trace.Spans) == 0 {
+		t.Error("detail trace has no spans")
+	}
+
+	var errResp SolveResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/solves/99", &errResp); code != http.StatusNotFound {
+		t.Errorf("/debug/solves/99: HTTP %d, want 404", code)
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/solves/zero", &errResp); code != http.StatusBadRequest {
+		t.Errorf("/debug/solves/zero: HTTP %d, want 400", code)
+	}
+}
+
+// TestDebugSolvesCacheHitLinksOrigin is the cached-solve contract: a
+// cache hit appends its own flight record, marked Cached, whose
+// OriginSeq points at the record of the solve that populated the cache
+// and whose trace IS that original solve's trace — never a fresh or
+// fabricated one.
+func TestDebugSolvesCacheHitLinksOrigin(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueSize: 16})
+	p := testProblem(t, 0)
+
+	code, first := postSolve(t, ts.Client(), ts.URL, SolveRequest{Problem: p, Engine: "exact"})
+	if code != http.StatusOK || first.Cached {
+		t.Fatalf("first solve: HTTP %d cached=%v", code, first.Cached)
+	}
+	code, second := postSolve(t, ts.Client(), ts.URL, SolveRequest{Problem: p, Engine: "exact"})
+	if code != http.StatusOK || !second.Cached {
+		t.Fatalf("second solve: HTTP %d cached=%v, want a cache hit", code, second.Cached)
+	}
+
+	var origin, hit flight.Record
+	getJSON(t, ts.Client(), ts.URL+"/debug/solves/1", &origin)
+	getJSON(t, ts.Client(), ts.URL+"/debug/solves/2", &hit)
+
+	if origin.Cached {
+		t.Fatal("origin record is marked cached")
+	}
+	if !hit.Cached {
+		t.Fatal("cache-hit record is not marked cached")
+	}
+	if hit.OriginSeq != origin.Seq {
+		t.Fatalf("hit origin_seq = %d, want %d", hit.OriginSeq, origin.Seq)
+	}
+	if hit.DurationMS != 0 {
+		t.Errorf("cache hit has duration %v, want 0 (no solve ran)", hit.DurationMS)
+	}
+	if origin.Trace == nil || hit.Trace == nil {
+		t.Fatalf("traces missing: origin=%v hit=%v", origin.Trace, hit.Trace)
+	}
+	// Same trace, not a fabricated one: compare the serialized forms.
+	ob, _ := json.Marshal(origin.Trace)
+	hb, _ := json.Marshal(hit.Trace)
+	if string(ob) != string(hb) {
+		t.Errorf("cache-hit trace differs from the origin's:\norigin: %s\nhit:    %s", ob, hb)
+	}
+	if fmt.Sprint(hit.Objective) == "<nil>" || *hit.Objective != *origin.Objective {
+		t.Errorf("cache-hit objective %v != origin %v", hit.Objective, origin.Objective)
+	}
+}

@@ -10,44 +10,45 @@ import (
 	"time"
 
 	"repro/internal/guard"
+	"repro/internal/obs/hist"
 	"repro/internal/portfolio"
 )
 
-// solveBuckets are the latency histogram upper bounds in seconds, chosen
-// to span the paper's workloads: sub-millisecond heuristic solves up to
-// minute-scale exact/MILP proofs.
-var solveBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+// engineDist holds one engine's per-solve distributions (proper
+// histograms: buckets + sum + count) and its monotonic work totals. The
+// distributions answer tail questions ("did exact's p95 regress?") that
+// the totals alone cannot.
+type engineDist struct {
+	// latency is seconds per solve.
+	latency *hist.Hist
+	// nodes and pivots are work counts per solve.
+	nodes  *hist.Hist
+	pivots *hist.Hist
+	// firstIncumbent and bestIncumbent are seconds from solve start to
+	// the engine span's first/best incumbent (observed only when the
+	// solve produced incumbents).
+	firstIncumbent *hist.Hist
+	bestIncumbent  *hist.Hist
 
-// histogram is a fixed-bucket latency histogram safe for concurrent use.
-// counts[i] counts observations <= solveBuckets[i]; counts[len(buckets)]
-// is the overflow (+Inf) bucket. sumNanos accumulates total observed time.
-type histogram struct {
-	counts   []atomic.Int64
-	sumNanos atomic.Int64
-	total    atomic.Int64
+	// Monotonic totals, kept alongside the histograms for rate queries.
+	nodesTotal      atomic.Int64
+	pivotsTotal     atomic.Int64
+	incumbentsTotal atomic.Int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(solveBuckets)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	secs := d.Seconds()
-	idx := len(solveBuckets)
-	for i, ub := range solveBuckets {
-		if secs <= ub {
-			idx = i
-			break
-		}
+func newEngineDist() *engineDist {
+	return &engineDist{
+		latency:        hist.New(hist.LatencyBuckets()),
+		nodes:          hist.New(hist.WorkBuckets()),
+		pivots:         hist.New(hist.WorkBuckets()),
+		firstIncumbent: hist.New(hist.LatencyBuckets()),
+		bestIncumbent:  hist.New(hist.LatencyBuckets()),
 	}
-	h.counts[idx].Add(1)
-	h.sumNanos.Add(int64(d))
-	h.total.Add(1)
 }
 
 // metrics is the server's observability state: flat atomic counters plus
-// one latency histogram per engine. All fields are safe for concurrent
-// use; the per-engine map is guarded by mu for creation only.
+// per-engine distributions. All fields are safe for concurrent use; the
+// per-engine map is guarded by mu for creation only.
 type metrics struct {
 	solvesStarted   atomic.Int64
 	solvesCompleted atomic.Int64
@@ -81,63 +82,123 @@ type metrics struct {
 	start   time.Time
 
 	mu        sync.Mutex
-	perEngine map[string]*histogram
-	perTelem  map[string]*engineTelem
-}
-
-// engineTelem aggregates the probe-layer solve telemetry per engine for
-// /metrics: search nodes, simplex pivots and incumbent improvements.
-type engineTelem struct {
-	nodes      atomic.Int64
-	pivots     atomic.Int64
-	incumbents atomic.Int64
+	perEngine map[string]*engineDist
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		perEngine:  map[string]*histogram{},
-		perTelem:   map[string]*engineTelem{},
+		perEngine:  map[string]*engineDist{},
 		queueDepth: func() int { return 0 },
 		version:    "dev",
 		start:      time.Now(),
 	}
 }
 
-// engineHistogram returns (creating if needed) the named engine's
-// solve-time histogram.
-func (m *metrics) engineHistogram(engine string) *histogram {
+// dist returns (creating if needed) the named engine's distributions.
+func (m *metrics) dist(engine string) *engineDist {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	h, ok := m.perEngine[engine]
+	d, ok := m.perEngine[engine]
 	if !ok {
-		h = newHistogram()
-		m.perEngine[engine] = h
+		d = newEngineDist()
+		m.perEngine[engine] = d
 	}
-	return h
+	return d
 }
 
-// engineTelemetry returns (creating if needed) the named engine's probe
-// telemetry aggregates.
-func (m *metrics) engineTelemetry(engine string) *engineTelem {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	t, ok := m.perTelem[engine]
-	if !ok {
-		t = &engineTelem{}
-		m.perTelem[engine] = t
-	}
-	return t
+// observeLatency folds one solve's wall-clock into the engine's latency
+// histogram.
+func (m *metrics) observeLatency(engine string, d time.Duration) {
+	m.dist(engine).latency.Observe(d.Seconds())
 }
 
 // recordTelemetry folds one solve's probe totals into the per-engine
-// aggregates. engine is the requested engine name, so stage sub-spans
-// (MILP passes, warm-start seeds) accumulate under the engine the client
-// asked for.
+// aggregates: monotonic totals plus the per-solve work distributions.
+// engine is the requested engine name, so stage sub-spans (MILP passes,
+// warm-start seeds) accumulate under the engine the client asked for.
 func (m *metrics) recordTelemetry(engine string, nodes, pivots, incumbents int64) {
-	t := m.engineTelemetry(engine)
-	t.nodes.Add(nodes)
-	t.pivots.Add(pivots)
-	t.incumbents.Add(incumbents)
+	d := m.dist(engine)
+	d.nodesTotal.Add(nodes)
+	d.pivotsTotal.Add(pivots)
+	d.incumbentsTotal.Add(incumbents)
+	d.nodes.Observe(float64(nodes))
+	d.pivots.Observe(float64(pivots))
+}
+
+// recordIncumbentTimes folds one solve's time-to-first/best-incumbent
+// into the engine's distributions. Call only when the solve produced
+// incumbents.
+func (m *metrics) recordIncumbentTimes(engine string, first, best time.Duration) {
+	d := m.dist(engine)
+	d.firstIncumbent.Observe(first.Seconds())
+	d.bestIncumbent.Observe(best.Seconds())
+}
+
+// engineNames returns the engines with recorded distributions, sorted.
+func (m *metrics) engineNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.perEngine))
+	for name := range m.perEngine {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DistSummary condenses one distribution for /debug/solves: count, mean
+// and bucket-interpolated quantiles (the same estimate Prometheus's
+// histogram_quantile computes). Zero-valued when the distribution is
+// empty.
+type DistSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+// summarize converts a snapshot, scaling values by scale (1000 turns
+// seconds into milliseconds).
+func summarize(s hist.Snapshot, scale float64) DistSummary {
+	if s.Count == 0 {
+		return DistSummary{}
+	}
+	return DistSummary{
+		Count: s.Count,
+		Mean:  s.Mean() * scale,
+		P50:   s.Quantile(0.5) * scale,
+		P95:   s.Quantile(0.95) * scale,
+	}
+}
+
+// EngineDistSummary is one engine's /debug/solves distribution summary.
+type EngineDistSummary struct {
+	// Solves counts observed solves (the latency histogram's count).
+	Solves                 int64       `json:"solves"`
+	LatencyMS              DistSummary `json:"latency_ms"`
+	Nodes                  DistSummary `json:"nodes"`
+	Pivots                 DistSummary `json:"pivots"`
+	TimeToFirstIncumbentMS DistSummary `json:"time_to_first_incumbent_ms"`
+	TimeToBestIncumbentMS  DistSummary `json:"time_to_best_incumbent_ms"`
+}
+
+// engineSummaries snapshots every engine's distributions for
+// /debug/solves.
+func (m *metrics) engineSummaries() map[string]EngineDistSummary {
+	out := map[string]EngineDistSummary{}
+	for _, name := range m.engineNames() {
+		d := m.dist(name)
+		lat := d.latency.Snapshot()
+		out[name] = EngineDistSummary{
+			Solves:                 lat.Count,
+			LatencyMS:              summarize(lat, 1000),
+			Nodes:                  summarize(d.nodes.Snapshot(), 1),
+			Pivots:                 summarize(d.pivots.Snapshot(), 1),
+			TimeToFirstIncumbentMS: summarize(d.firstIncumbent.Snapshot(), 1000),
+			TimeToBestIncumbentMS:  summarize(d.bestIncumbent.Snapshot(), 1000),
+		}
+	}
+	return out
 }
 
 // render writes the metrics in the Prometheus text exposition format.
@@ -172,57 +233,52 @@ func (m *metrics) render() string {
 	fmt.Fprintf(&b, "# HELP floorpland_uptime_seconds Seconds since the server started.\n# TYPE floorpland_uptime_seconds gauge\nfloorpland_uptime_seconds %g\n",
 		time.Since(m.start).Seconds())
 
-	m.mu.Lock()
-	engines := make([]string, 0, len(m.perEngine))
-	for name := range m.perEngine {
-		engines = append(engines, name)
-	}
-	sort.Strings(engines)
-	hists := make([]*histogram, len(engines))
+	engines := m.engineNames()
+	dists := make([]*engineDist, len(engines))
 	for i, name := range engines {
-		hists[i] = m.perEngine[name]
-	}
-	telemEngines := make([]string, 0, len(m.perTelem))
-	for name := range m.perTelem {
-		telemEngines = append(telemEngines, name)
-	}
-	sort.Strings(telemEngines)
-	telems := make([]*engineTelem, len(telemEngines))
-	for i, name := range telemEngines {
-		telems[i] = m.perTelem[name]
-	}
-	m.mu.Unlock()
-
-	if len(telemEngines) > 0 {
-		b.WriteString("# HELP floorpland_engine_nodes_total Search/branch-and-bound nodes expanded, by requested engine.\n# TYPE floorpland_engine_nodes_total counter\n")
-		for i, name := range telemEngines {
-			fmt.Fprintf(&b, "floorpland_engine_nodes_total{engine=%q} %d\n", name, telems[i].nodes.Load())
-		}
-		b.WriteString("# HELP floorpland_engine_pivots_total Simplex pivots spent in LP relaxations, by requested engine.\n# TYPE floorpland_engine_pivots_total counter\n")
-		for i, name := range telemEngines {
-			fmt.Fprintf(&b, "floorpland_engine_pivots_total{engine=%q} %d\n", name, telems[i].pivots.Load())
-		}
-		b.WriteString("# HELP floorpland_engine_incumbents_total Incumbent improvements observed, by requested engine.\n# TYPE floorpland_engine_incumbents_total counter\n")
-		for i, name := range telemEngines {
-			fmt.Fprintf(&b, "floorpland_engine_incumbents_total{engine=%q} %d\n", name, telems[i].incumbents.Load())
-		}
+		dists[i] = m.dist(name)
 	}
 
 	if len(engines) > 0 {
-		b.WriteString("# HELP floorpland_solve_seconds Solve latency by engine.\n# TYPE floorpland_solve_seconds histogram\n")
-	}
-	for i, name := range engines {
-		h := hists[i]
-		cum := int64(0)
-		for j, ub := range solveBuckets {
-			cum += h.counts[j].Load()
-			fmt.Fprintf(&b, "floorpland_solve_seconds_bucket{engine=%q,le=%q} %d\n", name, trimFloat(ub), cum)
+		b.WriteString("# HELP floorpland_engine_nodes_total Search/branch-and-bound nodes expanded, by requested engine.\n# TYPE floorpland_engine_nodes_total counter\n")
+		for i, name := range engines {
+			fmt.Fprintf(&b, "floorpland_engine_nodes_total{engine=%q} %d\n", name, dists[i].nodesTotal.Load())
 		}
-		cum += h.counts[len(solveBuckets)].Load()
-		fmt.Fprintf(&b, "floorpland_solve_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(&b, "floorpland_solve_seconds_sum{engine=%q} %g\n", name, time.Duration(h.sumNanos.Load()).Seconds())
-		fmt.Fprintf(&b, "floorpland_solve_seconds_count{engine=%q} %d\n", name, h.total.Load())
+		b.WriteString("# HELP floorpland_engine_pivots_total Simplex pivots spent in LP relaxations, by requested engine.\n# TYPE floorpland_engine_pivots_total counter\n")
+		for i, name := range engines {
+			fmt.Fprintf(&b, "floorpland_engine_pivots_total{engine=%q} %d\n", name, dists[i].pivotsTotal.Load())
+		}
+		b.WriteString("# HELP floorpland_engine_incumbents_total Incumbent improvements observed, by requested engine.\n# TYPE floorpland_engine_incumbents_total counter\n")
+		for i, name := range engines {
+			fmt.Fprintf(&b, "floorpland_engine_incumbents_total{engine=%q} %d\n", name, dists[i].incumbentsTotal.Load())
+		}
 	}
+
+	histFamily := func(name, help string, snap func(*engineDist) hist.Snapshot) {
+		if len(engines) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i, engine := range engines {
+			s := snap(dists[i])
+			for j, ub := range s.Bounds {
+				fmt.Fprintf(&b, "%s_bucket{engine=%q,le=%q} %d\n", name, engine, trimFloat(ub), s.Counts[j])
+			}
+			fmt.Fprintf(&b, "%s_bucket{engine=%q,le=\"+Inf\"} %d\n", name, engine, s.Count)
+			fmt.Fprintf(&b, "%s_sum{engine=%q} %g\n", name, engine, s.Sum)
+			fmt.Fprintf(&b, "%s_count{engine=%q} %d\n", name, engine, s.Count)
+		}
+	}
+	histFamily("floorpland_solve_seconds", "Solve latency by engine.",
+		func(d *engineDist) hist.Snapshot { return d.latency.Snapshot() })
+	histFamily("floorpland_solve_nodes", "Branch-and-bound nodes expanded per solve, by engine.",
+		func(d *engineDist) hist.Snapshot { return d.nodes.Snapshot() })
+	histFamily("floorpland_solve_pivots", "Simplex pivots per solve, by engine.",
+		func(d *engineDist) hist.Snapshot { return d.pivots.Snapshot() })
+	histFamily("floorpland_time_to_first_incumbent_seconds", "Seconds from solve start to the first incumbent, by engine (solves that produced incumbents).",
+		func(d *engineDist) hist.Snapshot { return d.firstIncumbent.Snapshot() })
+	histFamily("floorpland_time_to_best_incumbent_seconds", "Seconds from solve start to the best incumbent, by engine (solves that produced incumbents).",
+		func(d *engineDist) hist.Snapshot { return d.bestIncumbent.Snapshot() })
 
 	if m.breakerStats != nil {
 		if snaps := m.breakerStats(); len(snaps) > 0 {

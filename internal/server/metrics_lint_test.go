@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -33,10 +34,11 @@ func populatedMetrics() *metrics {
 	m.breakerStats = func() []guard.BreakerSnapshot {
 		return []guard.BreakerSnapshot{{Name: "exact", State: guard.BreakerOpen, Failures: 5, Trips: 1}}
 	}
-	m.engineHistogram("exact").observe(42 * time.Millisecond)
-	m.engineHistogram("annealing").observe(3 * time.Millisecond)
+	m.observeLatency("exact", 42*time.Millisecond)
+	m.observeLatency("annealing", 3*time.Millisecond)
 	m.recordTelemetry("exact", 120, 0, 4)
 	m.recordTelemetry("milp-ho", 15, 900, 2)
+	m.recordIncumbentTimes("exact", 10*time.Millisecond, 35*time.Millisecond)
 	return m
 }
 
@@ -134,6 +136,133 @@ func assertSortedLabels(t *testing.T, line string) {
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("labels not sorted in %q: %v", line, names)
 	}
+}
+
+// TestMetricsHistogramsWellFormed validates every rendered histogram
+// series against the Prometheus histogram contract: bucket le bounds
+// strictly ascending and cumulative, a terminal +Inf bucket whose count
+// equals the series _count, and a _sum sample present for the series.
+func TestMetricsHistogramsWellFormed(t *testing.T) {
+	body := populatedMetrics().render()
+
+	histFamilies := map[string]bool{}
+	type hseries struct {
+		les    []string
+		counts []int64
+		hasSum bool
+		count  int64
+		hasCnt bool
+	}
+	byKey := map[string]*hseries{} // family + non-le labels → series
+
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name, typ, _ := strings.Cut(strings.TrimPrefix(line, "# TYPE "), " ")
+			if typ == "histogram" {
+				histFamilies[name] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		var fam, suffix string
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, sfx); base != name && histFamilies[base] {
+				fam, suffix = base, sfx
+				break
+			}
+		}
+		if fam == "" {
+			continue
+		}
+		labels, value := parseSample(t, line)
+		le := labels["le"]
+		delete(labels, "le")
+		key := fam + "|" + fmt.Sprint(labels)
+		sr := byKey[key]
+		if sr == nil {
+			sr = &hseries{}
+			byKey[key] = sr
+		}
+		switch suffix {
+		case "_bucket":
+			sr.les = append(sr.les, le)
+			sr.counts = append(sr.counts, int64(value))
+		case "_sum":
+			sr.hasSum = true
+		case "_count":
+			sr.hasCnt = true
+			sr.count = int64(value)
+		}
+	}
+
+	if len(byKey) == 0 {
+		t.Fatal("no histogram series rendered")
+	}
+	for key, sr := range byKey {
+		if !sr.hasSum {
+			t.Errorf("%s: missing _sum sample", key)
+		}
+		if !sr.hasCnt {
+			t.Errorf("%s: missing _count sample", key)
+		}
+		if len(sr.les) == 0 || sr.les[len(sr.les)-1] != "+Inf" {
+			t.Errorf("%s: last bucket is %v, want +Inf", key, sr.les)
+			continue
+		}
+		if sr.counts[len(sr.counts)-1] != sr.count {
+			t.Errorf("%s: +Inf bucket %d != count %d", key, sr.counts[len(sr.counts)-1], sr.count)
+		}
+		prev := -1.0
+		for i, le := range sr.les[:len(sr.les)-1] {
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Errorf("%s: unparseable le %q", key, le)
+				continue
+			}
+			if ub <= prev {
+				t.Errorf("%s: le bounds not strictly ascending at %q", key, le)
+			}
+			prev = ub
+			if i > 0 && sr.counts[i] < sr.counts[i-1] {
+				t.Errorf("%s: bucket counts not cumulative at le=%q (%d < %d)", key, le, sr.counts[i], sr.counts[i-1])
+			}
+		}
+	}
+}
+
+// parseSample splits one exposition sample line into its label map and
+// value.
+func parseSample(t *testing.T, line string) (map[string]string, float64) {
+	t.Helper()
+	labels := map[string]string{}
+	rest := line
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		close := strings.IndexByte(line, '}')
+		if close < open {
+			t.Fatalf("unbalanced braces: %q", line)
+		}
+		for _, pair := range strings.Split(line[open+1:close], ",") {
+			name, val, ok := strings.Cut(pair, "=")
+			if !ok {
+				t.Fatalf("malformed label pair %q in %q", pair, line)
+			}
+			labels[name] = strings.Trim(val, `"`)
+		}
+		rest = line[close+1:]
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		rest = line[i:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("unparseable sample value in %q: %v", line, err)
+	}
+	return labels, v
 }
 
 // TestMetricsFamiliesGolden pins the exposition's family declarations

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/guard"
 	"repro/internal/obs"
 )
@@ -84,6 +85,10 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker rejects requests before
 	// admitting a half-open probe (default 30s).
 	BreakerCooldown time.Duration
+	// FlightSize bounds the flight recorder ring: the last FlightSize
+	// solve records kept for /debug/solves and SIGUSR1 dumps (default
+	// 256).
+	FlightSize int
 	// Solve overrides the solver (tests); nil uses floorplanner.Solve.
 	Solve SolveFunc
 	// Logger receives structured request logs; nil uses slog.Default.
@@ -123,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	if c.FlightSize <= 0 {
+		c.FlightSize = 256
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -139,6 +147,7 @@ type Server struct {
 	pool     *workerPool
 	cache    *lruCache
 	flights  flightGroup
+	flight   *flight.Recorder
 	metrics  *metrics
 	breakers *guard.BreakerSet // nil when breakers are disabled
 	log      *slog.Logger
@@ -157,6 +166,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueSize),
 		cache:   newLRUCache(cfg.CacheSize),
+		flight:  flight.NewRecorder(cfg.FlightSize),
 		metrics: newMetrics(),
 		log:     cfg.Logger,
 	}
@@ -182,6 +192,11 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// FlightRecorder returns the server's solve flight ring — the backing
+// store of /debug/solves, exposed so the daemon binary can dump it on
+// SIGUSR1.
+func (s *Server) FlightRecorder() *flight.Recorder { return s.flight }
+
 // Close stops admissions, drains in-flight solves and cancels queued
 // ones, bounded by ctx.
 func (s *Server) Close(ctx context.Context) error {
@@ -196,6 +211,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/engines", s.handleEngines)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/solves", s.handleDebugSolves)
+	mux.HandleFunc("/debug/solves/", s.handleDebugSolve)
 	return s.logRequests(s.recoverPanics(mux))
 }
 
@@ -305,6 +322,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	if entry, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
+		// A cache hit gets its own flight record, linked by OriginSeq to
+		// the record of the solve that populated the entry and carrying
+		// that solve's trace — never a fabricated one.
+		frec := flight.Record{
+			RequestDigest: guard.RequestDigest(req.Problem),
+			Key:           key,
+			Engine:        engine,
+			Outcome:       outcomeLabel(entry.sol, entry.err),
+			Cached:        true,
+			OriginSeq:     entry.flightSeq,
+			Trace:         entry.trace,
+		}
+		if entry.sol != nil {
+			obj := entry.sol.Objective(req.Problem)
+			frec.Objective = &obj
+		}
+		if entry.err != nil {
+			frec.Err = entry.err.Error()
+		}
+		s.recordFlight(frec)
 		s.respondEntry(w, r, key, engine, req.Problem, entry, true, false, req.Trace)
 		return
 	}
@@ -334,19 +371,31 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // definitive outcomes (trace included, so cached answers keep their
 // trajectory).
 func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Problem, opts core.SolveOptions) cacheEntry {
+	started := time.Now()
+	frec := flight.Record{
+		RequestDigest: guard.RequestDigest(p),
+		Key:           key,
+		Engine:        engine,
+	}
 	var br *guard.Breaker
 	if s.breakers != nil {
 		br = s.breakers.For(engine)
 		if !br.Allow() {
 			s.metrics.breakerRejected.Add(1)
+			frec.Outcome = outcomeLabel(nil, errBreakerOpen)
+			frec.Err = errBreakerOpen.Error()
+			s.recordFlight(frec)
 			return cacheEntry{err: errBreakerOpen}
 		}
 	}
 	rec := obs.NewRecorder()
 	opts.Probe = rec
+	// The stage log collects fallback-chain stage timings; the pool hands
+	// this ctx to the solve, so the guard layer's collector is ours.
+	ctx, stageLog := guard.WithStageLog(ctx)
 	task, err := s.pool.submit(ctx, func(ctx context.Context) (*core.Solution, error) {
 		s.metrics.solvesStarted.Add(1)
-		started := time.Now()
+		solveStarted := time.Now()
 		// Guard boundary: engine panics become structured errors and every
 		// solution is re-verified before it can be cached or served —
 		// regardless of which SolveFunc produced it.
@@ -358,7 +407,7 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 				sol, err = nil, verr
 			}
 		}
-		s.metrics.engineHistogram(engine).observe(time.Since(started))
+		s.metrics.observeLatency(engine, time.Since(solveStarted))
 		var panicked *guard.PanicError
 		var invalid *guard.InvalidSolutionError
 		switch {
@@ -394,6 +443,10 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 		if errors.Is(err, errQueueFull) {
 			s.metrics.queueRejected.Add(1)
 		}
+		frec.Outcome = outcomeLabel(nil, err)
+		frec.Err = err.Error()
+		frec.DurationMS = durationMS(time.Since(started))
+		s.recordFlight(frec)
 		return cacheEntry{err: err}
 	}
 	sol, err := task.wait(ctx)
@@ -408,6 +461,12 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 	pivots := rec.Total(obs.Pivots)
 	incumbents := int64(len(rec.Incumbents(""))) + int64(rec.DroppedIncumbents())
 	s.metrics.recordTelemetry(engine, nodes, pivots, incumbents)
+	// The top-level span carries the requested engine's name; its first
+	// and latest incumbents give time-to-first/best (objectives within a
+	// span are nonincreasing, so latest == best).
+	if first, best, ok := rec.IncumbentTimes(engine); ok {
+		s.metrics.recordIncumbentTimes(engine, first, best)
+	}
 	s.log.Info("solve telemetry",
 		"request_id", requestID(ctx),
 		"key", key,
@@ -417,11 +476,53 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 		"incumbents", incumbents,
 		"outcome", outcomeLabel(sol, err),
 	)
-	entry := cacheEntry{sol: sol, err: err, trace: rec.Trace()}
+	frec.Outcome = outcomeLabel(sol, err)
+	// Duration is measured here, not in the pool closure: wait can return
+	// early on context expiry while the closure still runs, and closure
+	// state must not be read after an early return.
+	frec.DurationMS = durationMS(time.Since(started))
+	if sol != nil {
+		obj := sol.Objective(p)
+		frec.Objective = &obj
+	}
+	if err != nil {
+		frec.Err = err.Error()
+	}
+	for _, st := range stageLog.Stages() {
+		frec.Stages = append(frec.Stages, flight.Stage{
+			Engine:    st.Engine,
+			Outcome:   st.Outcome,
+			ElapsedMS: durationMS(st.Elapsed),
+			Err:       st.Err,
+		})
+	}
+	frec.Trace = rec.Trace()
+	seq := s.recordFlight(frec)
+	entry := cacheEntry{sol: sol, err: err, trace: frec.Trace, flightSeq: seq}
 	if err == nil || errors.Is(err, core.ErrInfeasible) {
 		s.cache.put(key, entry)
 	}
 	return entry
+}
+
+// recordFlight stamps the current breaker snapshots onto rec and appends
+// it to the server's flight ring, returning the assigned sequence.
+func (s *Server) recordFlight(rec flight.Record) int64 {
+	if s.breakers != nil {
+		for _, bs := range s.breakers.Snapshot() {
+			rec.Breakers = append(rec.Breakers, flight.Breaker{
+				Engine: bs.Name,
+				State:  bs.State.String(),
+				Trips:  bs.Trips,
+			})
+		}
+	}
+	return s.flight.Record(rec)
+}
+
+// durationMS converts a duration to float milliseconds for wire records.
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // outcomeLabel names a solve outcome for the telemetry log line.
