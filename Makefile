@@ -9,6 +9,9 @@
 #   make bench-json run the floorbench harness and validate BENCH.json
 #                  (tune with BENCH_INSTANCES/BENCH_ENGINES/BENCH_BUDGET/
 #                   BENCH_REPEATS; CI runs a short smoke)
+#   make sim-json  run the floorsim online-session driver and validate
+#                  SIM.json (tune with SIM_DEVICE/SIM_EVENTS/SIM_SEED/
+#                  SIM_INTENSITY; CI runs the seeded smoke)
 #   make fuzz      short fuzz smoke over the wire-format decoders
 #                  (FUZZTIME=10s per target by default)
 
@@ -22,7 +25,13 @@ BENCH_BUDGET    ?= 2s
 BENCH_REPEATS   ?= 1
 BENCH_OUT       ?= BENCH.json
 
-.PHONY: check fmt vet build test race bench obs-bench bench-json fuzz serve clean
+SIM_DEVICE    ?= fx70t
+SIM_EVENTS    ?= 250
+SIM_SEED      ?= 7
+SIM_INTENSITY ?= 0.6
+SIM_OUT       ?= SIM.json
+
+.PHONY: check fmt vet build test race bench obs-bench bench-json sim-json fuzz serve clean
 
 check: fmt vet build race
 
@@ -43,6 +52,7 @@ build:
 	$(GO) build -o $(BIN)/relocate     ./cmd/relocate
 	$(GO) build -o $(BIN)/experiments  ./cmd/experiments
 	$(GO) build -o $(BIN)/floorbench   ./cmd/floorbench
+	$(GO) build -o $(BIN)/floorsim     ./cmd/floorsim
 
 test:
 	$(GO) test ./...
@@ -62,6 +72,13 @@ bench-json:
 	$(BIN)/floorbench -instances $(BENCH_INSTANCES) -engines $(BENCH_ENGINES) \
 		-budget $(BENCH_BUDGET) -repeats $(BENCH_REPEATS) -out $(BENCH_OUT)
 	$(BIN)/floorbench -validate $(BENCH_OUT)
+
+sim-json:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/floorsim ./cmd/floorsim
+	$(BIN)/floorsim -device $(SIM_DEVICE) -events $(SIM_EVENTS) -seed $(SIM_SEED) \
+		-intensity $(SIM_INTENSITY) -out $(SIM_OUT)
+	$(BIN)/floorsim -validate $(SIM_OUT)
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzProblemDecode      -fuzztime $(FUZZTIME) .

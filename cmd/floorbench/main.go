@@ -89,6 +89,9 @@ func run() error {
 	if werr != nil {
 		return werr
 	}
+	for _, warn := range report.BudgetWarnings {
+		fmt.Fprintln(os.Stderr, "floorbench: warning:", warn)
+	}
 	fmt.Println("wrote", *out)
 	return nil
 }

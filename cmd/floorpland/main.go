@@ -12,6 +12,11 @@
 //
 //	POST /v1/solve          solve a problem (floorplanner.Problem JSON + options)
 //	GET  /v1/engines        list available engines
+//	POST /v1/sessions       create an online-placement session (stateful
+//	                        arrivals/departures with defragmentation)
+//	GET  /v1/sessions       list live sessions
+//	GET  /v1/sessions/{id}  session snapshot; DELETE closes it
+//	POST /v1/sessions/{id}/events  apply an arrival/departure batch
 //	GET  /healthz           liveness probe
 //	GET  /metrics           counters, per-engine latency/work/incumbent-time
 //	                        histograms; when the portfolio engine runs, also
@@ -71,6 +76,8 @@ func run() error {
 		drainTimeout = flag.Duration("drain", 2*time.Minute, "shutdown drain budget for in-flight solves")
 		logLevel     = flag.String("log-level", "info", "log level: "+logx.Levels)
 		logFormat    = flag.String("log-format", "text", "log format: "+logx.Formats)
+		maxSessions  = flag.Int("max-sessions", 16, "live online-placement sessions the daemon holds")
+		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "idle time before a session is reclaimed")
 		flightSize   = flag.Int("flight", 256, "solve records kept in the flight recorder ring (/debug/solves)")
 		flightDump   = flag.String("flight-dump", "floorpland-flight.json", "file the flight ring is dumped to on SIGUSR1")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
@@ -103,6 +110,8 @@ func run() error {
 		BreakerCooldown:  *brkCooldown,
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
+		MaxSessions:      *maxSessions,
+		SessionTTL:       *sessionTTL,
 		FlightSize:       *flightSize,
 		Logger:           log,
 		Version:          buildVersion(),

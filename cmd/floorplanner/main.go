@@ -9,9 +9,18 @@
 //	floorplanner -design SDR2 -engine portfolio -members exact,constructive,tessellation
 //	floorplanner -design SDR2 -fallback exact,milp-ho,constructive
 //	floorplanner -problem my-problem.json -svg plan.svg -out solution.json
+//	floorplanner -session events.json -session-device fx70t -engine constructive
+//	floorplanner -session seeded:200 -seed 7      # generated online workload
 //
 // A problem file is JSON with the shape of floorplanner.Problem; the
 // built-in designs SDR, SDR2 and SDR3 reproduce the paper's case study.
+//
+// -session switches the binary into online mode: instead of one offline
+// solve it replays an arrival/departure stream (a JSON array of session
+// events, or "seeded:N" for a generated workload) through a stateful
+// session — best-fit placement over free rectangles, floorplanner
+// fallback via -engine, threshold-triggered defragmentation — and
+// prints the placement and fragmentation summary.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,6 +62,9 @@ func run() error {
 		ascii       = flag.Bool("ascii", true, "print the floorplan as ASCII art")
 		svgPath     = flag.String("svg", "", "write the floorplan as SVG to this file")
 		trace       = flag.Bool("trace", false, "print solve telemetry: per-span counters and the incumbent trajectory")
+		sessionSpec = flag.String("session", "", "online mode: replay a JSON event stream from this file, or \"seeded:N\" to generate N events with -seed")
+		sessionDev  = flag.String("session-device", "fx70t", "device for -session mode: fx70t or k160t")
+		fragThresh  = flag.Float64("frag-threshold", 0, "fragmentation threshold for -session mode (0 = default, negative disables defragmentation)")
 		logLevel    = flag.String("log-level", "info", "log level: "+logx.Levels)
 		logFormat   = flag.String("log-format", "text", "log format: "+logx.Formats)
 	)
@@ -65,6 +78,13 @@ func run() error {
 		return err
 	}
 	slog.SetDefault(log)
+
+	if *sessionSpec != "" {
+		if *problemPath != "" || *design != "" {
+			return fmt.Errorf("-session is an online mode; drop -problem/-design")
+		}
+		return runSession(*sessionSpec, *sessionDev, *engine, *fragThresh, *seed, *timeLimit, *outPath)
+	}
 
 	p, err := loadProblem(*problemPath, *design)
 	if err != nil {
@@ -141,6 +161,89 @@ func run() error {
 			return err
 		}
 		fmt.Println("wrote", *outPath)
+	}
+	return nil
+}
+
+// runSession is the -session online mode: replay an event stream
+// through a facade Session and print what happened.
+func runSession(spec, deviceName, engineName string, fragThresh float64, seed int64, budget time.Duration, outPath string) error {
+	var dev *floorplanner.Device
+	switch strings.ToLower(deviceName) {
+	case "fx70t", "virtex5", "xc5vfx70t":
+		dev = floorplanner.VirtexFX70T()
+	case "k160t", "kintex7", "xc7k160t":
+		dev = floorplanner.Kintex7K160T()
+	default:
+		return fmt.Errorf("unknown -session-device %q (want fx70t or k160t)", deviceName)
+	}
+	engine, err := floorplanner.NewEngine(engineName)
+	if err != nil {
+		return err
+	}
+
+	var events []floorplanner.SessionEvent
+	if rest, ok := strings.CutPrefix(spec, "seeded:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("-session seeded:N needs a positive event count, got %q", rest)
+		}
+		events = floorplanner.GenerateWorkload(floorplanner.WorkloadConfig{
+			Seed: seed, Events: n, Device: dev,
+		})
+	} else {
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &events); err != nil {
+			return fmt.Errorf("parsing %s: %w", spec, err)
+		}
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("event stream is empty")
+	}
+
+	mgr, err := floorplanner.NewSession(floorplanner.SessionConfig{
+		Device:        dev,
+		Engine:        engine,
+		FragThreshold: fragThresh,
+		SolveBudget:   budget,
+	})
+	if err != nil {
+		return err
+	}
+	for i, ev := range events {
+		res, err := mgr.Apply(ev)
+		if err != nil {
+			return fmt.Errorf("event %d (%s %q): %w", i+1, ev.Kind, ev.Name, err)
+		}
+		if res.Rejected && ev.Kind == floorplanner.SessionArrival {
+			fmt.Printf("event %4d: rejected %q (%s)\n", res.Seq, ev.Name, res.Reason)
+		}
+		if d := res.Defrag; d != nil && d.Executed {
+			fmt.Printf("event %4d: defrag %d moves, frag %.3f -> %.3f\n",
+				d.AtEvent, d.Planned, d.FragBefore, d.FragAfter)
+		}
+	}
+
+	snap := mgr.Snapshot()
+	st := snap.Stats
+	fmt.Printf("%d events on %s: %d placed (%d fallback), %d rejected, %d live\n",
+		st.Events, snap.Device, st.Placed, st.PlacedFallback, st.Rejected, len(snap.Live))
+	fmt.Printf("defrag: %d cycles, %d moves, %d corrupted frames\n",
+		st.DefragCycles, st.DefragMoves, st.CorruptedFrames)
+	fmt.Printf("final fragmentation %.3f, occupancy %.3f, reconfig busy %s\n",
+		snap.Fragmentation, snap.Occupancy, snap.Reconfig.BusyTime.Round(time.Microsecond))
+	if outPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outPath)
 	}
 	return nil
 }

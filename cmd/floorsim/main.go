@@ -1,0 +1,242 @@
+// Command floorsim is the online-session load driver: it generates a
+// seeded arrival/departure workload, replays it against a
+// session.Manager — greedy best-fit placement over maximal empty
+// rectangles, budgeted floorplanner fallback for hard arrivals, and
+// threshold-triggered no-break defragmentation through the bitstream
+// config-memory model — and emits a schema-versioned SIM.json
+// (internal/simfmt) capturing placement counters, the fragmentation
+// trajectory and every defragmentation cycle. Committed SIM.json files
+// track the online subsystem's behavior; CI runs a short smoke and
+// validates the JSON.
+//
+// Usage:
+//
+//	floorsim -out SIM.json                          # default seeded run
+//	floorsim -device fx70t -events 250 -seed 7 -intensity 0.6
+//	floorsim -validate SIM.json                     # validate an existing report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/session"
+	"repro/internal/simfmt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "floorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		deviceName  = flag.String("device", "fx70t", "target device: fx70t or k160t")
+		events      = flag.Int("events", 250, "workload events to generate and replay")
+		seed        = flag.Int64("seed", 1, "workload generator seed")
+		intensity   = flag.Float64("intensity", 0.6, "target occupancy the generator maintains (0..1]")
+		fragThresh  = flag.Float64("frag-threshold", 0.55, "fragmentation threshold triggering defragmentation (negative disables)")
+		cooldown    = flag.Int("cooldown", 6, "minimum events between defragmentation attempts")
+		engineName  = flag.String("engine", "constructive", "fallback floorplanner engine for hard arrivals (empty disables)")
+		solveBudget = flag.Duration("solve-budget", 2*time.Second, "per-fallback-solve time budget")
+		out         = flag.String("out", "SIM.json", "output report path")
+		validate    = flag.String("validate", "", "validate an existing report at this path and exit")
+		quiet       = flag.Bool("q", false, "suppress per-cycle progress output")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		report, err := simfmt.Read(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid (schema %d, %d events, %d defrag cycles)\n",
+			*validate, report.SchemaVersion, report.Events, len(report.DefragCycles))
+		return nil
+	}
+
+	dev, err := deviceByName(*deviceName)
+	if err != nil {
+		return err
+	}
+	var engine core.Engine
+	if *engineName != "" {
+		engine, err = floorplanner.NewEngine(*engineName)
+		if err != nil {
+			return err
+		}
+	}
+	progress := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	report, err := runSim(simConfig{
+		Device:        dev,
+		Engine:        engine,
+		Events:        *events,
+		Seed:          *seed,
+		Intensity:     *intensity,
+		FragThreshold: *fragThresh,
+		Cooldown:      *cooldown,
+		SolveBudget:   *solveBudget,
+		Progress:      progress,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := report.Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+// simConfig parameterizes one driver run.
+type simConfig struct {
+	Device        *device.Device
+	Engine        core.Engine
+	Events        int
+	Seed          int64
+	Intensity     float64
+	FragThreshold float64
+	Cooldown      int
+	SolveBudget   time.Duration
+	// Progress, when non-nil, receives one line per defrag cycle plus a
+	// summary line.
+	Progress func(format string, args ...any)
+}
+
+// runSim generates the workload, replays it and assembles the report.
+func runSim(cfg simConfig) (*simfmt.Report, error) {
+	if cfg.Events < 1 {
+		return nil, fmt.Errorf("events must be positive")
+	}
+	mgr, err := session.New(session.Config{
+		Device:         cfg.Device,
+		Engine:         cfg.Engine,
+		FragThreshold:  cfg.FragThreshold,
+		DefragCooldown: cfg.Cooldown,
+		SolveBudget:    cfg.SolveBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	workload := session.GenerateWorkload(session.WorkloadConfig{
+		Seed:      cfg.Seed,
+		Events:    cfg.Events,
+		Intensity: cfg.Intensity,
+		Device:    cfg.Device,
+	})
+
+	report := &simfmt.Report{
+		SchemaVersion: simfmt.SchemaVersion,
+		GoVersion:     runtime.Version(),
+		Device:        cfg.Device.Name(),
+		Seed:          cfg.Seed,
+		Events:        len(workload),
+		Intensity:     cfg.Intensity,
+		FragThreshold: cfg.FragThreshold,
+	}
+	if cfg.Engine != nil {
+		report.FallbackEngine = cfg.Engine.Name()
+	}
+	if host, err := os.Hostname(); err == nil {
+		report.Host = host
+	}
+
+	for _, ev := range workload {
+		res, err := mgr.Apply(ev)
+		if err != nil {
+			return nil, fmt.Errorf("event (%s %q): %w", ev.Kind, ev.Name, err)
+		}
+		report.FragTrajectory = append(report.FragTrajectory, simfmt.FragPoint{
+			Event:     res.Seq,
+			Frag:      res.Fragmentation,
+			Occupancy: res.Occupancy,
+		})
+		if d := res.Defrag; d != nil {
+			cycle := simfmt.DefragCycle{
+				AtEvent:    d.AtEvent,
+				Planned:    d.Planned,
+				FragBefore: d.FragBefore,
+				FragAfter:  d.FragAfter,
+			}
+			if d.Schedule != nil {
+				cycle.Executed = d.Schedule.Executed
+				cycle.FramesWritten = d.Schedule.FramesWritten
+				cycle.BusyMS = durMS(d.Schedule.BusyTime)
+				cycle.FramesVerified = d.Schedule.FramesVerified
+				cycle.CorruptedFrames = d.Schedule.CorruptedFrames
+			}
+			report.DefragCycles = append(report.DefragCycles, cycle)
+			if cfg.Progress != nil {
+				cfg.Progress("event %4d: defrag %d/%d moves, frag %.3f -> %.3f",
+					d.AtEvent, cycle.Executed, cycle.Planned, d.FragBefore, d.FragAfter)
+			}
+		}
+	}
+
+	stats := mgr.Stats()
+	snap := mgr.Snapshot()
+	report.Arrivals = stats.Arrivals
+	report.Departures = stats.Departures
+	report.Placed = stats.Placed
+	report.PlacedFallback = stats.PlacedFallback
+	report.Rejected = stats.Rejected
+	if stats.Arrivals > 0 {
+		report.PlacementRate = float64(stats.Placed) / float64(stats.Arrivals)
+	}
+	report.FinalFragmentation = snap.Fragmentation
+	report.FinalLive = len(snap.Live)
+	report.FramesWritten = snap.Reconfig.FramesWritten
+	report.BusyMS = durMS(snap.Reconfig.BusyTime)
+	report.CorruptedFrames = stats.CorruptedFrames
+	report.CreatedAt = time.Now().UTC()
+
+	if cfg.Progress != nil {
+		cfg.Progress("%d events: %d placed (%d fallback), %d rejected, %d defrag cycles, final frag %.3f",
+			report.Events, report.Placed, report.PlacedFallback, report.Rejected,
+			len(report.DefragCycles), report.FinalFragmentation)
+	}
+	return report, nil
+}
+
+// deviceByName resolves a device model flag.
+func deviceByName(name string) (*device.Device, error) {
+	switch strings.ToLower(name) {
+	case "fx70t", "virtex5", "xc5vfx70t":
+		return device.VirtexFX70T(), nil
+	case "k160t", "kintex7", "xc7k160t":
+		return device.Kintex7K160T(), nil
+	default:
+		return nil, fmt.Errorf("unknown device %q (want fx70t or k160t)", name)
+	}
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

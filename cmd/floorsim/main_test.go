@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/heuristic"
+)
+
+// TestEndToEndFX70T is the subsystem's acceptance demo: a seeded
+// workload of 250 events on the FX70T must sustain placements, trigger
+// at least one executed defragmentation cycle whose relocation schedule
+// flows through the bitstream config-memory with zero corrupted frames,
+// and at least one cycle must push fragmentation strictly below the
+// trigger threshold. The resulting report must validate as SIM.json.
+func TestEndToEndFX70T(t *testing.T) {
+	const threshold = 0.55
+	report, err := runSim(simConfig{
+		Device:        device.VirtexFX70T(),
+		Engine:        &heuristic.Constructive{},
+		Events:        250,
+		Seed:          7,
+		Intensity:     0.6,
+		FragThreshold: threshold,
+		Cooldown:      6,
+		SolveBudget:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if report.Events < 200 {
+		t.Fatalf("replayed %d events, want >= 200", report.Events)
+	}
+	if report.Placed == 0 || report.PlacementRate < 0.5 {
+		t.Fatalf("placements did not sustain: placed=%d rate=%v", report.Placed, report.PlacementRate)
+	}
+	if report.CorruptedFrames != 0 {
+		t.Fatalf("%d corrupted frames", report.CorruptedFrames)
+	}
+
+	executed := 0
+	belowThreshold := false
+	for _, c := range report.DefragCycles {
+		if c.Executed == 0 {
+			continue
+		}
+		executed++
+		if c.Executed != c.Planned {
+			t.Fatalf("cycle at event %d executed %d of %d planned moves", c.AtEvent, c.Executed, c.Planned)
+		}
+		if c.FramesVerified == 0 || c.CorruptedFrames != 0 {
+			t.Fatalf("cycle at event %d: verified=%d corrupted=%d", c.AtEvent, c.FramesVerified, c.CorruptedFrames)
+		}
+		if c.FragAfter < threshold {
+			belowThreshold = true
+		}
+	}
+	if executed == 0 {
+		t.Fatal("no defragmentation cycle executed")
+	}
+	if !belowThreshold {
+		t.Fatalf("no executed cycle pushed fragmentation below the %v threshold", threshold)
+	}
+
+	// The report must survive its own schema validation and round-trip.
+	var buf bytes.Buffer
+	if err := report.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimDeterministic(t *testing.T) {
+	cfg := simConfig{
+		Device:        device.VirtexFX70T(),
+		Events:        80,
+		Seed:          3,
+		Intensity:     0.55,
+		FragThreshold: 0.55,
+		Cooldown:      6,
+	}
+	a, err := runSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Placed != b.Placed || a.Rejected != b.Rejected || len(a.DefragCycles) != len(b.DefragCycles) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.FragTrajectory {
+		if a.FragTrajectory[i] != b.FragTrajectory[i] {
+			t.Fatalf("trajectory diverged at point %d", i)
+		}
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	if _, err := deviceByName("fx70t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deviceByName("k160t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deviceByName("nope"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}

@@ -36,6 +36,35 @@ type Report struct {
 	Seed int64 `json:"seed"`
 	// Results holds one entry per instance×engine.
 	Results []Result `json:"results"`
+	// BudgetWarnings lists the cells whose median wall-clock blew the
+	// budget by more than ContractEpsilonMS (see BudgetViolations).
+	// Warn-level: a populated list never fails Validate — it exists so a
+	// budget blowout is visible in the committed artifact itself. Write
+	// recomputes it, so hand-edited lists do not survive serialization.
+	BudgetWarnings []string `json:"budget_warnings,omitempty"`
+}
+
+// ContractEpsilonMS is the slack a solve may overrun its budget before
+// a report flags it: the same 250ms epsilon the deadline-contract tests
+// grant engines past their TimeLimit (bookkeeping between the deadline
+// firing and the call returning).
+const ContractEpsilonMS = 250
+
+// BudgetViolations returns one warning per instance×engine cell whose
+// median wall-clock exceeds the per-solve budget by more than
+// ContractEpsilonMS. Such a cell means the engine ignored its
+// TimeLimit — the kind of regression percentile columns alone make
+// easy to overlook.
+func (r *Report) BudgetViolations() []string {
+	var warns []string
+	for _, res := range r.Results {
+		if limit := r.BudgetMS + ContractEpsilonMS; res.WallMSP50 > limit {
+			warns = append(warns, fmt.Sprintf(
+				"%s×%s: wall p50 %.0fms exceeds the %.0fms budget by more than the %dms contract epsilon",
+				res.Instance, res.Engine, res.WallMSP50, r.BudgetMS, ContractEpsilonMS))
+		}
+	}
+	return warns
 }
 
 // Outcomes a Result may carry (the obs outcome labels a benchmark can
@@ -144,8 +173,10 @@ func (r *Report) Validate() error {
 	return nil
 }
 
-// Write validates the report and writes it as indented JSON.
+// Write validates the report and writes it as indented JSON, stamping
+// the budget-compliance warnings so they travel with the artifact.
 func (r *Report) Write(w io.Writer) error {
+	r.BudgetWarnings = r.BudgetViolations()
 	if err := r.Validate(); err != nil {
 		return err
 	}

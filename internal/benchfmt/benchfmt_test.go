@@ -88,3 +88,58 @@ func TestWriteRefusesInvalid(t *testing.T) {
 		t.Fatal("Write accepted an invalid report")
 	}
 }
+
+// TestBudgetViolationsWarn pins the budget-compliance invariant: a cell
+// whose wall p50 blows the budget past the contract epsilon is flagged
+// — as a warning Write stamps into the artifact, never a Validate
+// error, so reports predating the field (and reports with genuine
+// blowouts) still validate.
+func TestBudgetViolationsWarn(t *testing.T) {
+	r := validReport()
+	if warns := r.BudgetViolations(); len(warns) != 0 {
+		t.Fatalf("compliant report flagged: %v", warns)
+	}
+
+	// The epsilon itself is slack, not a violation.
+	r.Results[1].WallMSP50 = r.BudgetMS + ContractEpsilonMS
+	r.Results[1].WallMSP95 = r.Results[1].WallMSP50
+	if warns := r.BudgetViolations(); len(warns) != 0 {
+		t.Fatalf("within-epsilon report flagged: %v", warns)
+	}
+
+	// An 18x blowout (the BENCH_PR5.json milp-ho case) must be flagged.
+	r.Results[1].WallMSP50 = 18 * r.BudgetMS
+	r.Results[1].WallMSP95 = r.Results[1].WallMSP50
+	warns := r.BudgetViolations()
+	if len(warns) != 1 || !strings.Contains(warns[0], "sdr×annealing") {
+		t.Fatalf("blowout not flagged: %v", warns)
+	}
+
+	// Write stamps the warnings, still validates, and the round trip
+	// keeps them.
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatalf("warn-level field failed validation: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.BudgetWarnings) != 1 {
+		t.Fatalf("warnings did not survive the round trip: %+v", back.BudgetWarnings)
+	}
+
+	// Stale hand-written warnings are recomputed at write time.
+	r.Results[1].WallMSP50 = 10
+	r.Results[1].WallMSP95 = 10
+	buf.Reset()
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back, err = Read(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.BudgetWarnings) != 0 {
+		t.Fatalf("stale warnings survived: %v", back.BudgetWarnings)
+	}
+}

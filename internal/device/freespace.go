@@ -1,0 +1,34 @@
+package device
+
+import "repro/internal/grid"
+
+// UsableTiles returns the number of tiles a reconfigurable region could
+// ever cover: the grid minus the tiles under forbidden areas. It is the
+// denominator of occupancy and fragmentation metrics over the device.
+// Forbidden areas may overlap; overlapped tiles are subtracted once.
+func (d *Device) UsableTiles() int {
+	if len(d.forbidden) == 0 {
+		return d.w * d.h
+	}
+	m := grid.NewMask(d.w, d.h)
+	for _, f := range d.forbidden {
+		m.SetRect(f)
+	}
+	return d.w*d.h - m.Count()
+}
+
+// OccupancyMask returns a fresh mask over the device grid with every
+// forbidden tile set plus every tile covered by the given rectangles —
+// the starting point of a free-space tracker: clear bits are tiles a new
+// module could occupy. occupied rectangles may overlap forbidden areas
+// or each other freely.
+func (d *Device) OccupancyMask(occupied []grid.Rect) *grid.Mask {
+	m := grid.NewMask(d.w, d.h)
+	for _, f := range d.forbidden {
+		m.SetRect(f)
+	}
+	for _, r := range occupied {
+		m.SetRect(r)
+	}
+	return m
+}

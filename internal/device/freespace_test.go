@@ -1,0 +1,36 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestUsableTiles(t *testing.T) {
+	d := VirtexFX70T()
+	// 41x8 grid minus the 4x4 PowerPC block.
+	if got, want := d.UsableTiles(), 41*8-16; got != want {
+		t.Fatalf("UsableTiles = %d, want %d", got, want)
+	}
+	if got, want := Kintex7K160T().UsableTiles(), 70*12; got != want {
+		t.Fatalf("UsableTiles (no forbidden) = %d, want %d", got, want)
+	}
+}
+
+func TestOccupancyMask(t *testing.T) {
+	d := VirtexFX70T()
+	occ := grid.Rect{X: 0, Y: 0, W: 3, H: 2}
+	m := d.OccupancyMask([]grid.Rect{occ})
+	if !m.Get(0, 0) || !m.Get(2, 1) {
+		t.Fatalf("occupied tiles not set")
+	}
+	if !m.Get(14, 2) {
+		t.Fatalf("forbidden (PowerPC) tile not set")
+	}
+	if m.Get(10, 7) {
+		t.Fatalf("free tile unexpectedly set")
+	}
+	if got, want := m.Count(), 16+6; got != want {
+		t.Fatalf("mask count = %d, want %d", got, want)
+	}
+}

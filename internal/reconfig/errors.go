@@ -1,0 +1,117 @@
+package reconfig
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrKind classifies a Manager operation failure, so callers that drive
+// the run-time model programmatically — the session planner, the HTTP
+// layer — can map causes to distinct responses and metrics instead of
+// string-matching error text.
+type ErrKind int
+
+const (
+	// KindUnknownRegion: the region index does not exist (or was removed).
+	KindUnknownRegion ErrKind = iota
+	// KindUnknownSlot: the region has no slot with that index.
+	KindUnknownSlot
+	// KindNotConfigured: the operation needs a loaded region, but the
+	// region holds no configuration.
+	KindNotConfigured
+	// KindAlreadyConfigured: Configure on a region that is already loaded
+	// (use SwitchMode or Unload first).
+	KindAlreadyConfigured
+	// KindOccupied: the target area overlaps a live configuration — either
+	// another region's, or the moving region's own current area (a
+	// make-before-break relocation needs a disjoint target).
+	KindOccupied
+	// KindIncompatible: the target area is not relocation-compatible with
+	// the region's home area (Section II compatibility).
+	KindIncompatible
+	// KindIllegalArea: the area is outside the device or crosses a
+	// forbidden block.
+	KindIllegalArea
+	// KindRejected: the bitstream substrate (filter or config-memory
+	// model) rejected the operation for a reason the pre-checks did not
+	// anticipate; the wrapped error carries the detail.
+	KindRejected
+)
+
+var errKindNames = map[ErrKind]string{
+	KindUnknownRegion:     "unknown_region",
+	KindUnknownSlot:       "unknown_slot",
+	KindNotConfigured:     "not_configured",
+	KindAlreadyConfigured: "already_configured",
+	KindOccupied:          "occupied",
+	KindIncompatible:      "incompatible",
+	KindIllegalArea:       "illegal_area",
+	KindRejected:          "rejected",
+}
+
+func (k ErrKind) String() string {
+	if s, ok := errKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("ErrKind(%d)", int(k))
+}
+
+// OpError is the structured error every Manager operation returns: the
+// operation, the region (and slot, when one was addressed), a machine
+// classification and a human detail.
+type OpError struct {
+	// Op names the failed operation ("configure", "relocate", ...).
+	Op string
+	// Region is the region index the operation addressed.
+	Region int
+	// Slot is the slot index, -1 when the operation addressed no slot.
+	Slot int
+	// Kind is the failure class.
+	Kind ErrKind
+	// Detail is the human-readable cause.
+	Detail string
+	// Err is the underlying error, when a lower layer produced one.
+	Err error
+}
+
+func (e *OpError) Error() string {
+	msg := fmt.Sprintf("reconfig: %s region %d", e.Op, e.Region)
+	if e.Slot >= 0 {
+		msg += fmt.Sprintf(" slot %d", e.Slot)
+	}
+	msg += ": " + e.Kind.String()
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// KindOf extracts the failure class of a Manager error. ok is false when
+// err carries no OpError (nil, or a foreign error).
+func KindOf(err error) (kind ErrKind, ok bool) {
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return oe.Kind, true
+	}
+	return 0, false
+}
+
+// opErr builds an OpError with no slot.
+func opErr(op string, region int, kind ErrKind, detail string) *OpError {
+	return &OpError{Op: op, Region: region, Slot: -1, Kind: kind, Detail: detail}
+}
+
+// slotErr builds an OpError addressing a slot.
+func slotErr(op string, region, slot int, kind ErrKind, detail string) *OpError {
+	return &OpError{Op: op, Region: region, Slot: slot, Kind: kind, Detail: detail}
+}
+
+// wrapErr builds a KindRejected OpError around a substrate error.
+func wrapErr(op string, region, slot int, err error) *OpError {
+	return &OpError{Op: op, Region: region, Slot: slot, Kind: KindRejected, Err: err}
+}

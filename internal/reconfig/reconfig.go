@@ -45,12 +45,23 @@ type Slot struct {
 }
 
 // Manager operates a floorplanned design at run time.
+//
+// A Manager comes in two flavors sharing all operations:
+//
+//   - New builds a static manager from a floorplanned (problem, solution)
+//     pair: the region set and their slots are fixed up front;
+//   - NewDynamic builds a manager over an empty device for the online
+//     session workload: regions are registered as modules arrive
+//     (AddRegion), gain relocation targets at run time (AddSlot) and are
+//     retired as modules depart (RemoveRegion).
 type Manager struct {
 	dev       *device.Device
-	problem   *core.Problem
+	problem   *core.Problem // nil for dynamic managers
 	cm        *bitstream.ConfigMemory
 	frameTime time.Duration
 
+	names   []string // per region: task label
+	removed []bool   // per region: retired by RemoveRegion
 	slots   [][]Slot // per region: placement + FC areas
 	current []int    // per region: occupied slot index, -1 if unloaded
 	mode    []int64  // per region: loaded mode seed (valid when current >= 0)
@@ -91,12 +102,15 @@ func New(p *core.Problem, sol *core.Solution, frameTime time.Duration) (*Manager
 		problem:   p,
 		cm:        bitstream.NewConfigMemory(p.Device),
 		frameTime: frameTime,
+		names:     make([]string, len(p.Regions)),
+		removed:   make([]bool, len(p.Regions)),
 		slots:     make([][]Slot, len(p.Regions)),
 		current:   make([]int, len(p.Regions)),
 		mode:      make([]int64, len(p.Regions)),
 		store:     map[storeKey]*bitstream.Bitstream{},
 	}
 	for ri, r := range sol.Regions {
+		m.names[ri] = p.Regions[ri].Name
 		m.slots[ri] = []Slot{{Region: ri, Index: 0, Area: r}}
 		m.current[ri] = -1
 	}
@@ -127,7 +141,7 @@ func (m *Manager) Stats() Stats { return m.stats }
 
 // taskName labels a region's configuration in the config memory.
 func (m *Manager) taskName(region int) string {
-	return fmt.Sprintf("region-%d:%s", region, m.problem.Regions[region].Name)
+	return fmt.Sprintf("region-%d:%s", region, m.names[region])
 }
 
 // bitstreamFor returns (building and caching on first use) the single
@@ -154,22 +168,28 @@ func (m *Manager) charge(bs *bitstream.Bitstream) {
 
 // Configure loads a module mode into one of the region's slots.
 func (m *Manager) Configure(region int, mode int64, slot int) error {
-	if err := m.checkSlot(region, slot); err != nil {
+	const op = "configure"
+	if err := m.checkSlot(op, region, slot); err != nil {
 		return err
 	}
 	if m.current[region] >= 0 {
-		return fmt.Errorf("reconfig: region %d already configured (unload or switch modes)", region)
+		return slotErr(op, region, slot, KindAlreadyConfigured, "unload or switch modes first")
+	}
+	target := m.slots[region][slot].Area
+	if other, taken := m.occupiedBy(target, region); taken {
+		return slotErr(op, region, slot, KindOccupied,
+			fmt.Sprintf("area %v overlaps live region %d (%s)", target, other, m.names[other]))
 	}
 	bs, err := m.bitstreamFor(region, mode)
 	if err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
-	placed, err := bitstream.Relocate(m.dev, bs, m.slots[region][slot].Area)
+	placed, err := bitstream.Relocate(m.dev, bs, target)
 	if err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	if err := m.cm.Load(placed, m.taskName(region)); err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	m.current[region] = slot
 	m.mode[region] = mode
@@ -181,21 +201,25 @@ func (m *Manager) Configure(region int, mode int64, slot int) error {
 // SwitchMode reconfigures the region in place with a different mode (the
 // SDR scenario: mutually exclusive implementations of one module).
 func (m *Manager) SwitchMode(region int, mode int64) error {
+	const op = "switch-mode"
+	if err := m.checkRegion(op, region); err != nil {
+		return err
+	}
 	slot := m.current[region]
 	if slot < 0 {
-		return fmt.Errorf("reconfig: region %d is not configured", region)
+		return opErr(op, region, KindNotConfigured, "")
 	}
 	bs, err := m.bitstreamFor(region, mode)
 	if err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	placed, err := bitstream.Relocate(m.dev, bs, m.slots[region][slot].Area)
 	if err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	m.cm.Unload(m.taskName(region))
 	if err := m.cm.Load(placed, m.taskName(region)); err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	m.mode[region] = mode
 	m.stats.ModeSwitches++
@@ -208,34 +232,49 @@ func (m *Manager) SwitchMode(region int, mode int64) error {
 // area, then the old area is released. This is the operation the
 // floorplanner's free-compatible areas exist for.
 func (m *Manager) Relocate(region, slot int) error {
-	if err := m.checkSlot(region, slot); err != nil {
+	const op = "relocate"
+	if err := m.checkSlot(op, region, slot); err != nil {
 		return err
 	}
 	cur := m.current[region]
 	if cur < 0 {
-		return fmt.Errorf("reconfig: region %d is not configured", region)
+		return slotErr(op, region, slot, KindNotConfigured, "")
 	}
 	if cur == slot {
 		return nil
 	}
+	source := m.slots[region][cur].Area
+	target := m.slots[region][slot].Area
+	if !m.dev.Compatible(m.slots[region][0].Area, target) {
+		return slotErr(op, region, slot, KindIncompatible,
+			fmt.Sprintf("area %v is not compatible with home area %v", target, m.slots[region][0].Area))
+	}
+	if other, taken := m.occupiedBy(target, region); taken {
+		return slotErr(op, region, slot, KindOccupied,
+			fmt.Sprintf("area %v overlaps live region %d (%s)", target, other, m.names[other]))
+	}
+	if target.Overlaps(source) {
+		return slotErr(op, region, slot, KindOccupied,
+			fmt.Sprintf("area %v overlaps the region's own live area %v (make-before-break needs a disjoint target)", target, source))
+	}
 	bs, err := m.bitstreamFor(region, m.mode[region])
 	if err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
-	moved, err := bitstream.Relocate(m.dev, bs, m.slots[region][slot].Area)
+	moved, err := bitstream.Relocate(m.dev, bs, target)
 	if err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	// Configure the target first (it is reserved, so it must be free),
 	// then release the source — make-before-break.
 	tmpTask := m.taskName(region) + ":moving"
 	if err := m.cm.Load(moved, tmpTask); err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	m.cm.Unload(m.taskName(region))
 	m.cm.Unload(tmpTask)
 	if err := m.cm.Load(moved, m.taskName(region)); err != nil {
-		return err
+		return wrapErr(op, region, slot, err)
 	}
 	m.current[region] = slot
 	m.stats.Relocations++
@@ -245,6 +284,9 @@ func (m *Manager) Relocate(region, slot int) error {
 
 // Unload releases a region's configuration.
 func (m *Manager) Unload(region int) {
+	if region < 0 || region >= len(m.slots) || m.removed[region] {
+		return
+	}
 	if m.current[region] < 0 {
 		return
 	}
@@ -252,14 +294,37 @@ func (m *Manager) Unload(region int) {
 	m.current[region] = -1
 }
 
-func (m *Manager) checkSlot(region, slot int) error {
-	if region < 0 || region >= len(m.slots) {
-		return fmt.Errorf("reconfig: unknown region %d", region)
-	}
-	if slot < 0 || slot >= len(m.slots[region]) {
-		return fmt.Errorf("reconfig: region %d has no slot %d (has %d)", region, slot, len(m.slots[region]))
+// checkRegion validates a region index against the live region set.
+func (m *Manager) checkRegion(op string, region int) error {
+	if region < 0 || region >= len(m.slots) || m.removed[region] {
+		return opErr(op, region, KindUnknownRegion, "")
 	}
 	return nil
+}
+
+func (m *Manager) checkSlot(op string, region, slot int) error {
+	if err := m.checkRegion(op, region); err != nil {
+		return err
+	}
+	if slot < 0 || slot >= len(m.slots[region]) {
+		return slotErr(op, region, slot, KindUnknownSlot,
+			fmt.Sprintf("region has %d slots", len(m.slots[region])))
+	}
+	return nil
+}
+
+// occupiedBy reports whether area overlaps the current area of any live
+// region other than exclude.
+func (m *Manager) occupiedBy(area grid.Rect, exclude int) (region int, taken bool) {
+	for ri, cur := range m.current {
+		if ri == exclude || cur < 0 || m.removed[ri] {
+			continue
+		}
+		if m.slots[ri][cur].Area.Overlaps(area) {
+			return ri, true
+		}
+	}
+	return -1, false
 }
 
 // FullDeviceReconfig returns the simulated time of reconfiguring the
@@ -294,6 +359,9 @@ type StorageEntry struct {
 func (m *Manager) StorageReport(modesPerRegion int) ([]StorageEntry, error) {
 	var out []StorageEntry
 	for ri, slots := range m.slots {
+		if m.removed[ri] {
+			continue
+		}
 		bs, err := m.bitstreamFor(ri, 0)
 		if err != nil {
 			return nil, err
@@ -303,7 +371,7 @@ func (m *Manager) StorageReport(modesPerRegion int) ([]StorageEntry, error) {
 			return nil, err
 		}
 		out = append(out, StorageEntry{
-			Region:            m.problem.Regions[ri].Name,
+			Region:            m.names[ri],
 			Modes:             modesPerRegion,
 			Slots:             len(slots),
 			WithRelocation:    modesPerRegion * len(data),

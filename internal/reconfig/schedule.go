@@ -1,0 +1,81 @@
+package reconfig
+
+import (
+	"time"
+
+	"repro/internal/bitstream"
+)
+
+// Move is one step of a relocation schedule: move region to its slot.
+type Move struct {
+	Region int `json:"region"`
+	Slot   int `json:"slot"`
+}
+
+// ScheduleReport accounts for an executed relocation schedule.
+type ScheduleReport struct {
+	// Executed counts the moves performed.
+	Executed int `json:"executed"`
+	// FramesWritten is the configuration frames the schedule wrote.
+	FramesWritten int `json:"frames_written"`
+	// BusyTime is the configuration-port time the schedule consumed.
+	BusyTime time.Duration `json:"busy_time"`
+	// FramesVerified counts frames read back from configuration memory
+	// after each move and compared against the expected design content.
+	FramesVerified int `json:"frames_verified"`
+	// CorruptedFrames counts readback mismatches (0 on a correct run).
+	CorruptedFrames int `json:"corrupted_frames"`
+}
+
+// ExecuteSchedule runs an ordered relocation schedule move by move. Each
+// move must be executable against the state left by the moves before it —
+// the planner's no-break guarantee. After every move the region's frames
+// are read back from configuration memory and verified against the
+// expected design content.
+//
+// Execution stops at the first failing move; the report covers the moves
+// that did execute, and the error identifies the one that did not.
+func (m *Manager) ExecuteSchedule(moves []Move) (*ScheduleReport, error) {
+	rep := &ScheduleReport{}
+	for _, mv := range moves {
+		before := m.stats
+		if err := m.Relocate(mv.Region, mv.Slot); err != nil {
+			return rep, err
+		}
+		rep.Executed++
+		rep.FramesWritten += m.stats.FramesWritten - before.FramesWritten
+		rep.BusyTime += m.stats.BusyTime - before.BusyTime
+		frames, corrupted := m.VerifyRegion(mv.Region)
+		rep.FramesVerified += frames
+		rep.CorruptedFrames += corrupted
+	}
+	return rep, nil
+}
+
+// VerifyRegion reads the region's frames back from configuration memory
+// and compares them against the content its loaded mode should have at
+// its current area. It returns the frames checked and how many
+// mismatched (missing frames count as corrupted). An unloaded or removed
+// region verifies vacuously: (0, 0).
+func (m *Manager) VerifyRegion(region int) (frames, corrupted int) {
+	if region < 0 || region >= len(m.slots) || m.removed[region] || m.current[region] < 0 {
+		return 0, 0
+	}
+	area := m.slots[region][m.current[region]].Area
+	bs, err := m.bitstreamFor(region, m.mode[region])
+	if err != nil {
+		return 0, 0
+	}
+	expected, err := bitstream.Relocate(m.dev, bs, area)
+	if err != nil {
+		return 0, 0
+	}
+	for _, f := range expected.Frames {
+		frames++
+		got, ok := m.cm.Frame(f.Addr)
+		if !ok || got != f.Payload {
+			corrupted++
+		}
+	}
+	return frames, corrupted
+}

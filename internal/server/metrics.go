@@ -66,7 +66,16 @@ type metrics struct {
 	handlerPanics    atomic.Int64
 	breakerRejected  atomic.Int64
 
-	queueDepth func() int // live gauge, set by the server
+	// Online-placement session counters (sessions.go).
+	sessionsCreated  atomic.Int64
+	sessionsClosed   atomic.Int64
+	sessionsExpired  atomic.Int64
+	sessionEvents    atomic.Int64
+	sessionDefrags   atomic.Int64
+	sessionCorrupted atomic.Int64
+
+	queueDepth   func() int // live gauge, set by the server
+	sessionsLive func() int // live session gauge, set by the server
 	// breakerStats, when set, supplies the per-engine circuit breaker
 	// snapshots for rendering.
 	breakerStats func() []guard.BreakerSnapshot
@@ -87,10 +96,11 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		perEngine:  map[string]*engineDist{},
-		queueDepth: func() int { return 0 },
-		version:    "dev",
-		start:      time.Now(),
+		perEngine:    map[string]*engineDist{},
+		queueDepth:   func() int { return 0 },
+		sessionsLive: func() int { return 0 },
+		version:      "dev",
+		start:        time.Now(),
 	}
 }
 
@@ -220,12 +230,19 @@ func (m *metrics) render() string {
 	counter("floorpland_pool_panics_total", "Panics recovered by the worker pool's last-resort handler.", m.poolPanics.Load())
 	counter("floorpland_handler_panics_total", "Panics recovered by the HTTP handler middleware.", m.handlerPanics.Load())
 	counter("floorpland_breaker_rejected_total", "Solve requests rejected because the engine's circuit breaker was open.", m.breakerRejected.Load())
+	counter("floorpland_sessions_created_total", "Online-placement sessions created.", m.sessionsCreated.Load())
+	counter("floorpland_sessions_closed_total", "Online-placement sessions closed by clients.", m.sessionsClosed.Load())
+	counter("floorpland_sessions_expired_total", "Online-placement sessions reclaimed after their idle TTL.", m.sessionsExpired.Load())
+	counter("floorpland_session_events_total", "Arrival/departure events applied across all sessions.", m.sessionEvents.Load())
+	counter("floorpland_session_defrag_cycles_total", "Executed defragmentation cycles across all sessions.", m.sessionDefrags.Load())
+	counter("floorpland_session_corrupted_frames_total", "Frame readback mismatches across all executed relocation schedules (0 on a correct run).", m.sessionCorrupted.Load())
 	if m.candCacheStats != nil {
 		hits, misses := m.candCacheStats()
 		counter("floorpland_candidate_cache_hits_total", "Candidate enumerations served from the shared candidate cache.", hits)
 		counter("floorpland_candidate_cache_misses_total", "Candidate enumerations that ran the full sweep (cache misses).", misses)
 	}
 	fmt.Fprintf(&b, "# HELP floorpland_queue_depth Solves waiting in the pool queue.\n# TYPE floorpland_queue_depth gauge\nfloorpland_queue_depth %d\n", m.queueDepth())
+	fmt.Fprintf(&b, "# HELP floorpland_sessions_live Online-placement sessions currently registered.\n# TYPE floorpland_sessions_live gauge\nfloorpland_sessions_live %d\n", m.sessionsLive())
 	// Labels must stay alphabetically sorted (the exposition lint test
 	// enforces this for every labeled sample).
 	fmt.Fprintf(&b, "# HELP floorpland_build_info Build metadata; the value is always 1.\n# TYPE floorpland_build_info gauge\nfloorpland_build_info{go_version=%q,version=%q} 1\n",

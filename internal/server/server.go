@@ -89,6 +89,12 @@ type Config struct {
 	// solve records kept for /debug/solves and SIGUSR1 dumps (default
 	// 256).
 	FlightSize int
+	// MaxSessions bounds the live online-placement sessions the daemon
+	// holds (default 16; see sessions.go).
+	MaxSessions int
+	// SessionTTL is how long an untouched session survives before lazy
+	// eviction reclaims it (default 30m).
+	SessionTTL time.Duration
 	// Solve overrides the solver (tests); nil uses floorplanner.Solve.
 	Solve SolveFunc
 	// Logger receives structured request logs; nil uses slog.Default.
@@ -131,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.FlightSize <= 0 {
 		c.FlightSize = 256
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -150,6 +162,7 @@ type Server struct {
 	flight   *flight.Recorder
 	metrics  *metrics
 	breakers *guard.BreakerSet // nil when breakers are disabled
+	sessions *sessionRegistry
 	log      *slog.Logger
 	closing  atomic.Bool
 }
@@ -163,13 +176,16 @@ func New(cfg Config) *Server {
 		cfg.Engines = defaultEngineNames()
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    newWorkerPool(cfg.Workers, cfg.QueueSize),
-		cache:   newLRUCache(cfg.CacheSize),
-		flight:  flight.NewRecorder(cfg.FlightSize),
-		metrics: newMetrics(),
-		log:     cfg.Logger,
+		cfg:      cfg,
+		pool:     newWorkerPool(cfg.Workers, cfg.QueueSize),
+		cache:    newLRUCache(cfg.CacheSize),
+		flight:   flight.NewRecorder(cfg.FlightSize),
+		metrics:  newMetrics(),
+		sessions: newSessionRegistry(cfg.MaxSessions, cfg.SessionTTL),
+		log:      cfg.Logger,
 	}
+	s.sessions.onExpire = func() { s.metrics.sessionsExpired.Add(1) }
+	s.metrics.sessionsLive = s.sessions.live
 	s.metrics.queueDepth = s.pool.queueDepth
 	s.metrics.portfolioStats = defaultPortfolioStats
 	s.metrics.candCacheStats = core.CandCacheStats
@@ -209,6 +225,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/engines", s.handleEngines)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/", s.handleSession)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/solves", s.handleDebugSolves)

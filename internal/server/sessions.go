@@ -1,0 +1,470 @@
+// Sessions: the daemon's online-placement surface. Where /v1/solve
+// answers one offline instance, a session is a stateful
+// session.Manager held server-side — arrivals, departures and
+// defragmentation cycles applied over a live device across many
+// requests.
+//
+//	POST   /v1/sessions              create a session
+//	GET    /v1/sessions              list live sessions
+//	GET    /v1/sessions/{id}         session snapshot
+//	POST   /v1/sessions/{id}/events  apply an event batch
+//	DELETE /v1/sessions/{id}         close a session
+//
+// Sessions live in memory only: a bounded registry with lazy TTL
+// eviction (touched on every use), so an abandoned session costs
+// nothing once it ages out and a runaway client cannot accumulate
+// unbounded device state.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	floorplanner "repro"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/flight"
+	"repro/internal/session"
+)
+
+// liveSession is one registry entry: the manager plus the bookkeeping
+// the list/TTL machinery needs.
+type liveSession struct {
+	id      string
+	device  string
+	engine  string
+	created time.Time
+	mgr     *session.Manager
+}
+
+// sessionRegistry holds the daemon's live sessions: a bounded map with
+// lazy TTL eviction. Eviction happens on access (create, lookup, list)
+// rather than on a timer, so the registry needs no background
+// goroutine and cannot leak one.
+type sessionRegistry struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	byID     map[string]*liveSession
+	lastUsed map[string]time.Time
+	// onExpire, when set, observes each TTL eviction (metrics hook).
+	onExpire func()
+}
+
+func newSessionRegistry(capacity int, ttl time.Duration) *sessionRegistry {
+	return &sessionRegistry{
+		capacity: capacity,
+		ttl:      ttl,
+		byID:     map[string]*liveSession{},
+		lastUsed: map[string]time.Time{},
+	}
+}
+
+// evictExpiredLocked drops every session idle past the TTL. Callers
+// hold r.mu.
+func (r *sessionRegistry) evictExpiredLocked(now time.Time) {
+	for id, used := range r.lastUsed {
+		if now.Sub(used) > r.ttl {
+			delete(r.byID, id)
+			delete(r.lastUsed, id)
+			if r.onExpire != nil {
+				r.onExpire()
+			}
+		}
+	}
+}
+
+// errSessionLimit reports the registry is at capacity (HTTP 429).
+var errSessionLimit = fmt.Errorf("server: session limit reached")
+
+// add registers a new session, evicting idle ones first.
+func (r *sessionRegistry) add(ls *liveSession) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	r.evictExpiredLocked(now)
+	if len(r.byID) >= r.capacity {
+		return errSessionLimit
+	}
+	r.byID[ls.id] = ls
+	r.lastUsed[ls.id] = now
+	return nil
+}
+
+// get returns the session and refreshes its TTL clock.
+func (r *sessionRegistry) get(id string) (*liveSession, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	r.evictExpiredLocked(now)
+	ls, ok := r.byID[id]
+	if ok {
+		r.lastUsed[id] = now
+	}
+	return ls, ok
+}
+
+// remove deletes the session, reporting whether it was present.
+func (r *sessionRegistry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byID[id]
+	delete(r.byID, id)
+	delete(r.lastUsed, id)
+	return ok
+}
+
+// list returns the live sessions ordered by creation time.
+func (r *sessionRegistry) list() []*liveSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictExpiredLocked(time.Now())
+	out := make([]*liveSession, 0, len(r.byID))
+	for _, ls := range r.byID {
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].created.Equal(out[j].created) {
+			return out[i].created.Before(out[j].created)
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// live counts the registered sessions (after lazy eviction); it backs
+// the floorpland_sessions_live gauge.
+func (r *sessionRegistry) live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictExpiredLocked(time.Now())
+	return len(r.byID)
+}
+
+// CreateSessionRequest is the POST /v1/sessions body.
+type CreateSessionRequest struct {
+	// Device names the target FPGA model: "fx70t" or "k160t".
+	Device string `json:"device"`
+	// Engine names the fallback floorplanner used for arrivals greedy
+	// placement cannot fit; empty disables the fallback.
+	Engine string `json:"engine,omitempty"`
+	// FragThreshold triggers defragmentation (0 = session default;
+	// negative disables). Devices with forbidden blocks have a nonzero
+	// fragmentation baseline — see session.DefaultFragThreshold.
+	FragThreshold float64 `json:"frag_threshold,omitempty"`
+	// DefragCooldown is the minimum events between defragmentation
+	// attempts (0 = session default).
+	DefragCooldown int `json:"defrag_cooldown,omitempty"`
+	// SolveBudgetMS bounds each fallback solve in milliseconds
+	// (0 = session default).
+	SolveBudgetMS int64 `json:"solve_budget_ms,omitempty"`
+}
+
+// SessionInfo is the create/get reply: identity plus a full snapshot.
+type SessionInfo struct {
+	ID        string           `json:"id"`
+	Device    string           `json:"device"`
+	Engine    string           `json:"engine,omitempty"`
+	CreatedAt time.Time        `json:"created_at"`
+	Snapshot  session.Snapshot `json:"snapshot"`
+}
+
+// SessionSummary is one row of the GET /v1/sessions listing.
+type SessionSummary struct {
+	ID            string    `json:"id"`
+	Device        string    `json:"device"`
+	Engine        string    `json:"engine,omitempty"`
+	CreatedAt     time.Time `json:"created_at"`
+	Events        int       `json:"events"`
+	Live          int       `json:"live"`
+	Fragmentation float64   `json:"fragmentation"`
+}
+
+// SessionListResponse is the GET /v1/sessions reply.
+type SessionListResponse struct {
+	Sessions []SessionSummary `json:"sessions"`
+}
+
+// SessionEventsRequest is the POST /v1/sessions/{id}/events body: a
+// batch applied in order.
+type SessionEventsRequest struct {
+	Events []session.Event `json:"events"`
+}
+
+// SessionEventsResponse reports what the batch did. Results align with
+// the request's events. If an event is malformed the batch stops there
+// with HTTP 400 and the already-applied prefix stays applied.
+type SessionEventsResponse struct {
+	ID            string                `json:"id"`
+	Results       []session.EventResult `json:"results"`
+	Fragmentation float64               `json:"fragmentation"`
+	Occupancy     float64               `json:"occupancy"`
+}
+
+// sessionDevice resolves a device model name from a create request.
+func sessionDevice(name string) (*device.Device, error) {
+	switch strings.ToLower(name) {
+	case "fx70t", "virtex5", "xc5vfx70t":
+		return device.VirtexFX70T(), nil
+	case "k160t", "kintex7", "xc7k160t":
+		return device.Kintex7K160T(), nil
+	default:
+		return nil, fmt.Errorf("unknown device %q (want fx70t or k160t)", name)
+	}
+}
+
+// handleSessions serves the collection: POST creates, GET lists.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.createSession(w, r)
+	case http.MethodGet:
+		s.listSessions(w)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	var req CreateSessionRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	dev, err := sessionDevice(req.Device)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var engine core.Engine
+	if req.Engine != "" {
+		engine, err = floorplanner.NewEngine(req.Engine)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if req.SolveBudgetMS < 0 {
+		s.writeError(w, http.StatusBadRequest, "solve_budget_ms must be non-negative")
+		return
+	}
+	mgr, err := session.New(session.Config{
+		Device:         dev,
+		Engine:         engine,
+		FragThreshold:  req.FragThreshold,
+		DefragCooldown: req.DefragCooldown,
+		SolveBudget:    time.Duration(req.SolveBudgetMS) * time.Millisecond,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ls := &liveSession{
+		id:      newRequestID(),
+		device:  dev.Name(),
+		engine:  req.Engine,
+		created: time.Now(),
+		mgr:     mgr,
+	}
+	if err := s.sessions.add(ls); err != nil {
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session limit (%d) reached; close or let idle sessions expire", s.cfg.MaxSessions))
+		return
+	}
+	s.metrics.sessionsCreated.Add(1)
+	s.log.Info("session created",
+		"request_id", requestID(r.Context()),
+		"session_id", ls.id,
+		"device", ls.device,
+		"engine", ls.engine,
+	)
+	s.writeJSON(w, http.StatusCreated, sessionInfo(ls))
+}
+
+func (s *Server) listSessions(w http.ResponseWriter) {
+	resp := SessionListResponse{Sessions: []SessionSummary{}}
+	for _, ls := range s.sessions.list() {
+		snap := ls.mgr.Snapshot()
+		resp.Sessions = append(resp.Sessions, SessionSummary{
+			ID:            ls.id,
+			Device:        ls.device,
+			Engine:        ls.engine,
+			CreatedAt:     ls.created,
+			Events:        snap.Stats.Events,
+			Live:          len(snap.Live),
+			Fragmentation: snap.Fragmentation,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSession serves one session: GET {id}, DELETE {id},
+// POST {id}/events.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		s.writeError(w, http.StatusNotFound, "no session id in path")
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		s.getSession(w, id)
+	case sub == "" && r.Method == http.MethodDelete:
+		s.deleteSession(w, r, id)
+	case sub == "events" && r.Method == http.MethodPost:
+		s.applySessionEvents(w, r, id)
+	case sub == "" || sub == "events":
+		w.Header().Set("Allow", "GET, DELETE, POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "unsupported method for this session path")
+	default:
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session subresource %q", sub))
+	}
+}
+
+func (s *Server) getSession(w http.ResponseWriter, id string) {
+	ls, ok := s.sessions.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no such session (closed or expired)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sessionInfo(ls))
+}
+
+func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request, id string) {
+	if !s.sessions.remove(id) {
+		s.writeError(w, http.StatusNotFound, "no such session (closed or expired)")
+		return
+	}
+	s.metrics.sessionsClosed.Add(1)
+	s.log.Info("session closed",
+		"request_id", requestID(r.Context()),
+		"session_id", id,
+	)
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "closed", "id": id})
+}
+
+func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id string) {
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	ls, ok := s.sessions.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no such session (closed or expired)")
+		return
+	}
+	var req SessionEventsRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if len(req.Events) == 0 {
+		s.writeError(w, http.StatusBadRequest, "request has no events")
+		return
+	}
+	for i := range req.Events {
+		req.Events[i].Req = canonicalizeRequirements(req.Events[i].Req)
+	}
+
+	started := time.Now()
+	resp := SessionEventsResponse{ID: id, Results: make([]session.EventResult, 0, len(req.Events))}
+	var defrags, corrupted int
+	for i, ev := range req.Events {
+		res, err := ls.mgr.Apply(ev)
+		if err != nil {
+			// Malformed event: the applied prefix stays applied — sessions
+			// are stateful and moves already flowed through the config
+			// memory — and the client learns exactly where the batch broke.
+			s.metrics.sessionEvents.Add(int64(i))
+			s.recordSessionFlight(ls, i, time.Since(started), err)
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("event %d: %v", i, err))
+			return
+		}
+		resp.Results = append(resp.Results, *res)
+		resp.Fragmentation = res.Fragmentation
+		resp.Occupancy = res.Occupancy
+		if res.Defrag != nil && res.Defrag.Executed {
+			defrags++
+			if res.Defrag.Schedule != nil {
+				corrupted += res.Defrag.Schedule.CorruptedFrames
+			}
+		}
+	}
+	s.metrics.sessionEvents.Add(int64(len(req.Events)))
+	s.metrics.sessionDefrags.Add(int64(defrags))
+	s.metrics.sessionCorrupted.Add(int64(corrupted))
+	s.recordSessionFlight(ls, len(req.Events), time.Since(started), nil)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// canonicalClasses maps case-folded spellings of the standard resource
+// classes to their canonical names, so JSON clients writing {"clb": 40}
+// ask for CLB tiles instead of a class no device provides (which would
+// silently reject every arrival as unplaceable).
+var canonicalClasses = map[string]device.Class{
+	"clb":  device.ClassCLB,
+	"bram": device.ClassBRAM,
+	"dsp":  device.ClassDSP,
+	"io":   device.ClassIO,
+}
+
+// canonicalizeRequirements rewrites standard-class keys to their
+// canonical spelling, summing duplicates; unknown classes pass through
+// untouched (custom devices may define their own).
+func canonicalizeRequirements(req device.Requirements) device.Requirements {
+	if req == nil {
+		return nil
+	}
+	out := make(device.Requirements, len(req))
+	for class, n := range req {
+		if canon, ok := canonicalClasses[strings.ToLower(string(class))]; ok {
+			class = canon
+		}
+		out[class] += n
+	}
+	return out
+}
+
+// recordSessionFlight appends one event-batch record to the flight
+// ring, keyed by session id under the pseudo-engine "session", so
+// /debug/solves interleaves online batches with offline solves.
+func (s *Server) recordSessionFlight(ls *liveSession, applied int, elapsed time.Duration, err error) {
+	frag := ls.mgr.Fragmentation()
+	rec := flight.Record{
+		Key:        ls.id,
+		Engine:     "session",
+		Outcome:    "ok",
+		Objective:  &frag,
+		DurationMS: durationMS(elapsed),
+	}
+	rec.RequestDigest = fmt.Sprintf("session:%s:%d", ls.id, applied)
+	if err != nil {
+		rec.Outcome = "error"
+		rec.Err = err.Error()
+	}
+	s.recordFlight(rec)
+}
+
+// sessionInfo assembles the full reply for create/get.
+func sessionInfo(ls *liveSession) SessionInfo {
+	return SessionInfo{
+		ID:        ls.id,
+		Device:    ls.device,
+		Engine:    ls.engine,
+		CreatedAt: ls.created,
+		Snapshot:  ls.mgr.Snapshot(),
+	}
+}

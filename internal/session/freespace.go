@@ -1,0 +1,139 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// FreeSpace tracks the free area of a device under a changing set of
+// occupied rectangles. It maintains an occupancy bitmap updated
+// incrementally per insert/remove, and the set of maximal empty
+// rectangles (MERs) derived from it — the candidate pool online
+// placement draws from and the basis of the fragmentation metric.
+//
+// FreeSpace is safe for concurrent use.
+type FreeSpace struct {
+	mu     sync.Mutex
+	dev    *device.Device
+	usable int
+	mask   *grid.Mask // set = forbidden or occupied
+	dirty  bool
+	mers   []grid.Rect
+}
+
+// NewFreeSpace builds a tracker over an empty device: everything but the
+// forbidden blocks is free.
+func NewFreeSpace(dev *device.Device) *FreeSpace {
+	return &FreeSpace{
+		dev:    dev,
+		usable: dev.UsableTiles(),
+		mask:   dev.OccupancyMask(nil),
+		dirty:  true,
+	}
+}
+
+// Insert marks a rectangle occupied. It fails if the rectangle is not a
+// legal placement or overlaps already-occupied tiles — the caller's
+// placement logic is expected to have checked both, so a failure here is
+// a bug surfaced, not a condition to handle.
+func (f *FreeSpace) Insert(r grid.Rect) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.dev.CanPlace(r) {
+		return fmt.Errorf("session: insert %v: not a legal placement", r)
+	}
+	if f.mask.OverlapsRect(r) {
+		return fmt.Errorf("session: insert %v: overlaps occupied tiles", r)
+	}
+	f.mask.SetRect(r)
+	f.dirty = true
+	return nil
+}
+
+// Remove frees a previously inserted rectangle.
+func (f *FreeSpace) Remove(r grid.Rect) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mask.ClearRect(r)
+	f.dirty = true
+}
+
+// Fits reports whether a rectangle lies entirely on free tiles.
+func (f *FreeSpace) Fits(r grid.Rect) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dev.Bounds().ContainsRect(r) && !f.mask.OverlapsRect(r)
+}
+
+// MERs returns the maximal empty rectangles of the current free space,
+// recomputing them only when the occupancy changed since the last call.
+func (f *FreeSpace) MERs() []grid.Rect {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]grid.Rect(nil), f.refresh()...)
+}
+
+// refresh recomputes the MER cache if stale. Callers hold f.mu.
+func (f *FreeSpace) refresh() []grid.Rect {
+	if f.dirty {
+		f.mers = f.mask.MaximalClearRects()
+		f.dirty = false
+	}
+	return f.mers
+}
+
+// FreeTiles returns the number of unoccupied usable tiles.
+func (f *FreeSpace) FreeTiles() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.freeTiles()
+}
+
+func (f *FreeSpace) freeTiles() int {
+	return f.dev.Width()*f.dev.Height() - f.mask.Count()
+}
+
+// Fragmentation returns the free-space fragmentation in [0, 1]:
+//
+//	1 - (largest MER area) / (free tiles)
+//
+// 0 means all free tiles form one rectangle (or there are none); values
+// near 1 mean the free space is shattered into pieces far smaller than
+// its total — the condition that makes placements fail despite enough
+// aggregate capacity, and the trigger of the defragmentation planner.
+func (f *FreeSpace) Fragmentation() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	free := f.freeTiles()
+	if free == 0 {
+		return 0
+	}
+	largest := 0
+	for _, r := range f.refresh() {
+		if a := r.Area(); a > largest {
+			largest = a
+		}
+	}
+	return 1 - float64(largest)/float64(free)
+}
+
+// Occupancy returns the fraction of usable tiles currently occupied.
+func (f *FreeSpace) Occupancy() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.usable == 0 {
+		return 0
+	}
+	return float64(f.usable-f.freeTiles()) / float64(f.usable)
+}
+
+// Snapshot returns a copy of the occupancy mask (forbidden + occupied),
+// for planners that explore hypothetical layouts.
+func (f *FreeSpace) SnapshotMask() *grid.Mask {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mask.Clone()
+}

@@ -1,0 +1,131 @@
+package session
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+)
+
+// TestFreeSpaceRoundTrip checks the free-space invariant under random
+// insert/remove round-trips: after any sequence, the tracker's mask,
+// free-tile count and MER set must equal those of a tracker freshly
+// built from the currently live rectangles.
+func TestFreeSpaceRoundTrip(t *testing.T) {
+	d := device.VirtexFX70T()
+	rng := rand.New(rand.NewSource(7))
+	f := NewFreeSpace(d)
+	var live []grid.Rect
+
+	randRect := func() grid.Rect {
+		w := 1 + rng.Intn(5)
+		h := 1 + rng.Intn(4)
+		return grid.Rect{X: rng.Intn(d.Width() - w + 1), Y: rng.Intn(d.Height() - h + 1), W: w, H: h}
+	}
+
+	for step := 0; step < 400; step++ {
+		if len(live) > 0 && rng.Float64() < 0.4 {
+			i := rng.Intn(len(live))
+			f.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			r := randRect()
+			if err := f.Insert(r); err == nil {
+				live = append(live, r)
+			} else if f.Fits(r) {
+				t.Fatalf("step %d: Insert(%v) failed but Fits says it fits: %v", step, r, err)
+			}
+		}
+
+		fresh := NewFreeSpace(d)
+		for _, r := range live {
+			if err := fresh.Insert(r); err != nil {
+				t.Fatalf("step %d: rebuilding reference: %v", step, err)
+			}
+		}
+		if got, want := f.FreeTiles(), fresh.FreeTiles(); got != want {
+			t.Fatalf("step %d: FreeTiles = %d, fresh rebuild says %d", step, got, want)
+		}
+		gotMERs, wantMERs := f.MERs(), fresh.MERs()
+		if len(gotMERs) != len(wantMERs) {
+			t.Fatalf("step %d: %d MERs, fresh rebuild has %d", step, len(gotMERs), len(wantMERs))
+		}
+		for i := range gotMERs {
+			if gotMERs[i] != wantMERs[i] {
+				t.Fatalf("step %d: MER %d = %v, fresh rebuild has %v", step, i, gotMERs[i], wantMERs[i])
+			}
+		}
+	}
+}
+
+// TestFreeSpaceConcurrent hammers one tracker from several goroutines,
+// each owning a disjoint column band so inserts never collide. Run under
+// -race this checks the tracker's internal locking.
+func TestFreeSpaceConcurrent(t *testing.T) {
+	// K160T has no forbidden blocks, so an empty device measures
+	// fragmentation 0 (the FX70T's PowerPC block splits the free space
+	// and puts its empty-device baseline at ~0.41).
+	d := device.Kintex7K160T()
+	f := NewFreeSpace(d)
+	bands := []grid.Rect{
+		{X: 4, Y: 0, W: 3, H: 8},
+		{X: 17, Y: 0, W: 3, H: 8},
+		{X: 24, Y: 0, W: 3, H: 8},
+		{X: 34, Y: 0, W: 3, H: 8},
+	}
+	var wg sync.WaitGroup
+	for gi, band := range bands {
+		wg.Add(1)
+		go func(gi int, band grid.Rect) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(gi)))
+			r := grid.Rect{X: band.X, Y: 0, W: band.W, H: 2}
+			for i := 0; i < 200; i++ {
+				if err := f.Insert(r); err != nil {
+					t.Errorf("goroutine %d: %v", gi, err)
+					return
+				}
+				_ = f.MERs()
+				_ = f.Fragmentation()
+				f.Remove(r)
+				if rng.Intn(2) == 0 {
+					_ = f.FreeTiles()
+				}
+			}
+		}(gi, band)
+	}
+	wg.Wait()
+
+	if got, want := f.FreeTiles(), d.UsableTiles(); got != want {
+		t.Fatalf("after round-trips FreeTiles = %d, want %d", got, want)
+	}
+	if frag := f.Fragmentation(); frag != 0 {
+		t.Fatalf("empty device fragmentation = %v, want 0", frag)
+	}
+}
+
+func TestFragmentationBounds(t *testing.T) {
+	d := device.Kintex7K160T()
+	f := NewFreeSpace(d)
+	if frag := f.Fragmentation(); frag != 0 {
+		t.Fatalf("empty device fragmentation = %v", frag)
+	}
+	// A module in the middle of the fabric fragments the free space.
+	if err := f.Insert(grid.Rect{X: 30, Y: 5, W: 2, H: 2}); err != nil {
+		t.Fatal(err)
+	}
+	frag := f.Fragmentation()
+	if frag <= 0 || frag >= 1 {
+		t.Fatalf("fragmentation = %v, want in (0, 1)", frag)
+	}
+
+	// The FX70T's forbidden PowerPC block gives the empty device a
+	// nonzero baseline: the largest clear rectangle cannot span the
+	// whole free area.
+	if frag := NewFreeSpace(device.VirtexFX70T()).Fragmentation(); frag <= 0.3 || frag >= 0.5 {
+		t.Fatalf("empty FX70T baseline = %v, want ~0.41", frag)
+	}
+}

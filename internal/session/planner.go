@@ -1,0 +1,382 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/reconfig"
+)
+
+// plannedMove is one step of a defragmentation plan: move the module in
+// region to target. Targets are chosen so that executing the plan in
+// order is no-break: each target is fully free at its turn.
+type plannedMove struct {
+	region int
+	target grid.Rect
+}
+
+// maybeDefrag runs a defragmentation cycle when fragmentation exceeds
+// the threshold and the cooldown has elapsed. Callers hold m.mu.
+func (m *Manager) maybeDefrag(seq int) *DefragReport {
+	if m.cfg.FragThreshold < 0 || len(m.modules) == 0 {
+		return nil
+	}
+	frag := m.free.Fragmentation()
+	if frag <= m.cfg.FragThreshold {
+		return nil
+	}
+	if m.lastDefrag != 0 && seq-m.lastDefrag < m.cfg.DefragCooldown {
+		return nil
+	}
+	m.lastDefrag = seq
+
+	plan, predicted := m.bestPlan()
+	rep := &DefragReport{AtEvent: seq, Planned: len(plan), FragBefore: frag, FragAfter: frag}
+	m.stats.DefragCycles++
+	if len(plan) == 0 {
+		return rep
+	}
+	// Abandon plans that do not actually reduce fragmentation — better
+	// to stay put than to burn configuration-port time on a lateral move.
+	if predicted >= frag {
+		rep.Planned = 0
+		return rep
+	}
+
+	moves := make([]reconfig.Move, 0, len(plan))
+	for _, pm := range plan {
+		slot, err := m.rcm.AddSlot(pm.region, pm.target)
+		if err != nil {
+			// The planner only emits compatible, placeable targets; a
+			// failure here is an invariant violation — keep the device
+			// consistent and report the cycle as not executed.
+			return rep
+		}
+		moves = append(moves, reconfig.Move{Region: pm.region, Slot: slot})
+	}
+	sched, err := m.rcm.ExecuteSchedule(moves)
+	m.stats.DefragMoves += sched.Executed
+	m.stats.CorruptedFrames += sched.CorruptedFrames
+	m.syncFreeSpace()
+	if err != nil {
+		// Partially executed: already synced; surface what ran.
+		rep.Schedule = sched
+		rep.Executed = sched.Executed > 0
+		rep.FragAfter = m.free.Fragmentation()
+		return rep
+	}
+	rep.Schedule = sched
+	rep.Executed = true
+	rep.FragAfter = m.free.Fragmentation()
+	return rep
+}
+
+// bestPlan generates several candidate defragmentation plans, simulates
+// the fragmentation each would leave, and returns the best one with its
+// predicted fragmentation. Callers hold m.mu.
+func (m *Manager) bestPlan() ([]plannedMove, float64) {
+	var best []plannedMove
+	bestFrag := 2.0 // above any real fragmentation
+	for _, plan := range [][]plannedMove{
+		m.planCompaction(lessXY),
+		m.planCompaction(lessYX),
+		m.planRepack(),
+	} {
+		if len(plan) == 0 {
+			continue
+		}
+		if after := m.simulateFragmentation(plan); after < bestFrag {
+			best, bestFrag = plan, after
+		}
+	}
+	return best, bestFrag
+}
+
+// planCompaction computes a no-break compaction plan over the live
+// modules: processing modules in packing order of their current areas,
+// each is assigned the packing-minimal compatible placement that is
+// disjoint from the targets of already-processed modules, from the
+// current areas of yet-unprocessed modules, and from its own current
+// area. A module whose best such placement is its current one stays. By
+// construction, executing the returned moves in order touches only free
+// tiles at every step.
+//
+// less orders placements by packing preference (lessXY packs leftward,
+// lessYX downward); it also orders the modules processed.
+func (m *Manager) planCompaction(less func(a, b grid.Rect) bool) []plannedMove {
+	live := m.rcm.LiveAreas()
+	regions := make([]int, 0, len(live))
+	for ri := range live {
+		regions = append(regions, ri)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		a, b := live[regions[i]], live[regions[j]]
+		if a != b {
+			return less(a, b)
+		}
+		return regions[i] < regions[j]
+	})
+
+	var plan []plannedMove
+	assigned := make([]grid.Rect, 0, len(regions)) // targets of processed modules
+	for i, ri := range regions {
+		cur := live[ri]
+		best := cur
+		for _, cand := range m.cfg.Device.CompatiblePlacements(cur) {
+			if !less(cand, best) {
+				continue
+			}
+			if cand != cur && cand.Overlaps(cur) {
+				continue // make-before-break needs a disjoint target
+			}
+			if overlapsAny(cand, assigned) {
+				continue
+			}
+			blocked := false
+			for _, rj := range regions[i+1:] {
+				if cand.Overlaps(live[rj]) {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				best = cand
+			}
+		}
+		assigned = append(assigned, best)
+		if best != cur {
+			plan = append(plan, plannedMove{region: ri, target: best})
+		}
+	}
+	return plan
+}
+
+// planRepack computes a global repack: modules (largest first) are
+// re-placed bottom-left onto an empty board, each at its (y, x)-minimal
+// compatible placement disjoint from the targets already assigned. The
+// resulting layout usually beats sequential compaction, but its
+// migration needs a no-break order, which may not exist (cyclic moves);
+// then planRepack returns nil and the sequential plans stand.
+func (m *Manager) planRepack() []plannedMove {
+	live := m.rcm.LiveAreas()
+	regions := make([]int, 0, len(live))
+	for ri := range live {
+		regions = append(regions, ri)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		a, b := live[regions[i]], live[regions[j]]
+		if a.Area() != b.Area() {
+			return a.Area() > b.Area()
+		}
+		return regions[i] < regions[j]
+	})
+
+	targets := make(map[int]grid.Rect, len(regions))
+	var assigned []grid.Rect
+	for _, ri := range regions {
+		cur := live[ri]
+		best := grid.Rect{}
+		found := false
+		for _, cand := range m.cfg.Device.CompatiblePlacements(cur) {
+			if overlapsAny(cand, assigned) {
+				continue
+			}
+			if !found || lessYX(cand, best) {
+				best, found = cand, true
+			}
+		}
+		if !found {
+			return nil // cannot even re-place; keep the sequential plans
+		}
+		targets[ri] = best
+		assigned = append(assigned, best)
+	}
+	plan, ok := orderMoves(live, targets)
+	if !ok {
+		return nil
+	}
+	return plan
+}
+
+// lessXY orders rectangles by (x, y) — "pack leftward, then down".
+func lessXY(a, b grid.Rect) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// lessYX orders rectangles by (y, x) — "pack downward, then left".
+func lessYX(a, b grid.Rect) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+func overlapsAny(r grid.Rect, rects []grid.Rect) bool {
+	for _, o := range rects {
+		if r.Overlaps(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// simulateFragmentation computes the fragmentation of the layout the
+// plan would produce, without touching the device.
+func (m *Manager) simulateFragmentation(plan []plannedMove) float64 {
+	final := m.rcm.LiveAreas()
+	for _, pm := range plan {
+		final[pm.region] = pm.target
+	}
+	rects := make([]grid.Rect, 0, len(final))
+	for _, r := range final {
+		rects = append(rects, r)
+	}
+	mask := m.cfg.Device.OccupancyMask(rects)
+	free := m.cfg.Device.Width()*m.cfg.Device.Height() - mask.Count()
+	if free == 0 {
+		return 0
+	}
+	largest := 0
+	for _, r := range mask.MaximalClearRects() {
+		if a := r.Area(); a > largest {
+			largest = a
+		}
+	}
+	return 1 - float64(largest)/float64(free)
+}
+
+// syncFreeSpace rebuilds the free-space tracker from the reconfig
+// manager's live areas — the ground truth after schedule execution.
+func (m *Manager) syncFreeSpace() {
+	fresh := NewFreeSpace(m.cfg.Device)
+	for _, r := range m.rcm.LiveAreas() {
+		// Live areas are disjoint legal placements; Insert cannot fail.
+		_ = fresh.Insert(r)
+	}
+	m.free = fresh
+}
+
+// fallbackPlace handles an arrival no free rectangle fits: it asks the
+// configured floorplanner engine for a fresh layout of all live modules
+// plus the arrival, under a time budget. The layout is accepted only if
+// every live module's new area is relocation-compatible with its current
+// one (stored bitstreams only relocate between compatible areas) and the
+// migration to it can be ordered no-break; then the migration executes
+// and the arrival's area is returned.
+func (m *Manager) fallbackPlace(ev Event) (grid.Rect, bool, string) {
+	if m.cfg.Engine == nil {
+		return grid.Rect{}, false, "no free rectangle fits and no fallback engine is configured"
+	}
+
+	names := make([]string, 0, len(m.modules))
+	for name := range m.modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p := &core.Problem{Device: m.cfg.Device}
+	for _, name := range names {
+		p.Regions = append(p.Regions, core.Region{Name: name, Req: m.modules[name].req})
+	}
+	p.Regions = append(p.Regions, core.Region{Name: ev.Name, Req: ev.Req})
+
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.SolveBudget)
+	defer cancel()
+	sol, err := m.cfg.Engine.Solve(ctx, p, core.SolveOptions{TimeLimit: m.cfg.SolveBudget})
+	if err != nil {
+		return grid.Rect{}, false, fmt.Sprintf("fallback solve failed: %v", err)
+	}
+
+	// Relocatability gate: each live module must be able to reach its
+	// solver target from where it runs now.
+	targets := make(map[int]grid.Rect, len(names)) // region index -> target
+	for i, name := range names {
+		mod := m.modules[name]
+		cur, _ := m.rcm.CurrentArea(mod.region)
+		tgt := sol.Regions[i]
+		if !m.cfg.Device.Compatible(cur, tgt) {
+			return grid.Rect{}, false, fmt.Sprintf(
+				"fallback layout moves %q to an incompatible area %v", name, tgt)
+		}
+		targets[mod.region] = tgt
+	}
+	arrivalRect := sol.Regions[len(names)]
+
+	order, ok := orderMoves(m.rcm.LiveAreas(), targets)
+	if !ok {
+		return grid.Rect{}, false, "fallback migration has no no-break order (cyclic moves)"
+	}
+	moves := make([]reconfig.Move, 0, len(order))
+	for _, pm := range order {
+		slot, err := m.rcm.AddSlot(pm.region, pm.target)
+		if err != nil {
+			return grid.Rect{}, false, fmt.Sprintf("fallback migration: %v", err)
+		}
+		moves = append(moves, reconfig.Move{Region: pm.region, Slot: slot})
+	}
+	sched, err := m.rcm.ExecuteSchedule(moves)
+	m.stats.CorruptedFrames += sched.CorruptedFrames
+	m.syncFreeSpace()
+	if err != nil {
+		return grid.Rect{}, false, fmt.Sprintf("fallback migration failed mid-schedule: %v", err)
+	}
+	return arrivalRect, true, ""
+}
+
+// orderMoves greedily orders region moves so each executes onto free
+// tiles: repeatedly pick a pending move whose target is disjoint from
+// every other region's current area and from the mover's own. Live
+// layouts are rectangle-disjoint, so any executable sequence exists iff
+// the greedy one completes; a leftover pending set is a dependency cycle
+// (breaking it would need scratch space, which this planner does not
+// use). Moves whose target equals the current area are dropped.
+func orderMoves(current map[int]grid.Rect, targets map[int]grid.Rect) ([]plannedMove, bool) {
+	pos := make(map[int]grid.Rect, len(current))
+	for ri, r := range current {
+		pos[ri] = r
+	}
+	pending := make(map[int]grid.Rect, len(targets))
+	for ri, t := range targets {
+		if t != pos[ri] {
+			pending[ri] = t
+		}
+	}
+	var order []plannedMove
+	for len(pending) > 0 {
+		progressed := false
+		// Deterministic pick order.
+		ris := make([]int, 0, len(pending))
+		for ri := range pending {
+			ris = append(ris, ri)
+		}
+		sort.Ints(ris)
+		for _, ri := range ris {
+			t := pending[ri]
+			blocked := t.Overlaps(pos[ri]) // make-before-break self-overlap
+			if !blocked {
+				for rj, r := range pos {
+					if rj != ri && t.Overlaps(r) {
+						blocked = true
+						break
+					}
+				}
+			}
+			if blocked {
+				continue
+			}
+			order = append(order, plannedMove{region: ri, target: t})
+			pos[ri] = t
+			delete(pending, ri)
+			progressed = true
+		}
+		if !progressed {
+			return nil, false
+		}
+	}
+	return order, true
+}

@@ -1,0 +1,395 @@
+// Package session is the online side of the reproduced floorplanner: a
+// stateful placement service over a live device. Where internal/core
+// solves one offline instance, a session.Manager ingests a stream of
+// module arrivals and departures, maintains the device's free space as a
+// set of maximal empty rectangles, places arrivals best-fit into that
+// free space (falling back to a budgeted floorplanner solve when greedy
+// placement fails), and — when free-space fragmentation crosses a
+// threshold — plans and executes a no-break relocation schedule that
+// compacts the live modules, every move flowing through the
+// bitstream/reconfig substrate and charged realistic frame-write time.
+package session
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/grid"
+	"repro/internal/reconfig"
+)
+
+// Defaults for Config's zero values.
+//
+// Note the fragmentation baseline: devices with forbidden blocks (the
+// FX70T's PowerPC) measure nonzero fragmentation even when empty,
+// because the block splits the free space (the empty FX70T sits at
+// ~0.41). Thresholds must be set above the device's baseline or every
+// cooldown window triggers a futile defragmentation attempt.
+const (
+	DefaultFragThreshold  = 0.55
+	DefaultDefragCooldown = 8
+	DefaultSolveBudget    = 2 * time.Second
+)
+
+// Config parameterizes a session.
+type Config struct {
+	// Device is the target FPGA (required).
+	Device *device.Device
+	// Engine is the floorplanner used as placement fallback when no free
+	// rectangle fits an arrival. nil disables the fallback: such
+	// arrivals are rejected outright.
+	Engine core.Engine
+	// FrameTime is the simulated configuration-port time per frame
+	// (0 = reconfig.DefaultFrameTime).
+	FrameTime time.Duration
+	// FragThreshold triggers defragmentation when the post-event
+	// fragmentation exceeds it (0 = DefaultFragThreshold; negative
+	// disables defragmentation).
+	FragThreshold float64
+	// DefragCooldown is the minimum number of events between
+	// defragmentation attempts, preventing thrash when compaction cannot
+	// push fragmentation below the threshold (0 = DefaultDefragCooldown).
+	DefragCooldown int
+	// SolveBudget bounds each fallback floorplanner solve
+	// (0 = DefaultSolveBudget).
+	SolveBudget time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Device == nil {
+		return c, fmt.Errorf("session: config has no device")
+	}
+	if c.FrameTime <= 0 {
+		c.FrameTime = reconfig.DefaultFrameTime
+	}
+	if c.FragThreshold == 0 {
+		c.FragThreshold = DefaultFragThreshold
+	}
+	if c.DefragCooldown <= 0 {
+		c.DefragCooldown = DefaultDefragCooldown
+	}
+	if c.SolveBudget <= 0 {
+		c.SolveBudget = DefaultSolveBudget
+	}
+	return c, nil
+}
+
+// EventKind discriminates session events.
+type EventKind string
+
+const (
+	// Arrival asks the session to place and configure a new module.
+	Arrival EventKind = "arrival"
+	// Departure retires a live module and frees its area.
+	Departure EventKind = "departure"
+)
+
+// Event is one step of an online workload.
+type Event struct {
+	// Kind is Arrival or Departure.
+	Kind EventKind `json:"kind"`
+	// Name identifies the module; unique among live modules.
+	Name string `json:"name"`
+	// Req is the arriving module's resource requirement (arrivals only).
+	Req device.Requirements `json:"req,omitempty"`
+	// Mode seeds the module's bitstream content (arrivals only).
+	Mode int64 `json:"mode,omitempty"`
+}
+
+// EventResult reports what one event did to the session.
+type EventResult struct {
+	// Seq is the 1-based event sequence number.
+	Seq int `json:"seq"`
+	// Event echoes the applied event.
+	Event Event `json:"event"`
+	// Placed reports whether an arrival got an area (true for every
+	// successful departure's module too, vacuously false otherwise).
+	Placed bool `json:"placed"`
+	// Fallback reports the arrival was placed by the budgeted
+	// floorplanner solve rather than greedy free-space placement.
+	Fallback bool `json:"fallback"`
+	// Rejected reports an arrival the session could not place.
+	Rejected bool `json:"rejected"`
+	// Reason explains a rejection.
+	Reason string `json:"reason,omitempty"`
+	// Rect is the area assigned to an arrival (valid when Placed).
+	Rect grid.Rect `json:"rect"`
+	// Fragmentation is the free-space fragmentation after the event
+	// (and after any defragmentation it triggered).
+	Fragmentation float64 `json:"fragmentation"`
+	// Occupancy is the fraction of usable tiles occupied after the event.
+	Occupancy float64 `json:"occupancy"`
+	// Defrag is non-nil when the event triggered a defragmentation
+	// cycle (executed or abandoned — see its Executed field).
+	Defrag *DefragReport `json:"defrag,omitempty"`
+}
+
+// DefragReport describes one defragmentation cycle.
+type DefragReport struct {
+	// AtEvent is the sequence number of the triggering event.
+	AtEvent int `json:"at_event"`
+	// Planned is the number of moves the compaction planner emitted.
+	Planned int `json:"planned"`
+	// Executed reports whether the schedule ran (a plan that does not
+	// reduce fragmentation is abandoned).
+	Executed bool `json:"executed"`
+	// FragBefore and FragAfter bracket the cycle.
+	FragBefore float64 `json:"frag_before"`
+	FragAfter  float64 `json:"frag_after"`
+	// Schedule accounts for the executed moves (nil when not executed).
+	Schedule *reconfig.ScheduleReport `json:"schedule,omitempty"`
+}
+
+// Stats accumulates session activity.
+type Stats struct {
+	Events         int `json:"events"`
+	Arrivals       int `json:"arrivals"`
+	Departures     int `json:"departures"`
+	Placed         int `json:"placed"`
+	PlacedFallback int `json:"placed_fallback"`
+	Rejected       int `json:"rejected"`
+	DefragCycles   int `json:"defrag_cycles"`
+	DefragMoves    int `json:"defrag_moves"`
+	// CorruptedFrames sums readback mismatches across every executed
+	// relocation schedule (0 on a correct run).
+	CorruptedFrames int `json:"corrupted_frames"`
+}
+
+// ModuleInfo describes one live module in a Snapshot.
+type ModuleInfo struct {
+	Name string    `json:"name"`
+	Rect grid.Rect `json:"rect"`
+	// Fallback records that the module's initial placement came from the
+	// floorplanner fallback.
+	Fallback bool `json:"fallback"`
+}
+
+// Snapshot is a point-in-time view of the session.
+type Snapshot struct {
+	Device        string         `json:"device"`
+	Live          []ModuleInfo   `json:"live"`
+	Fragmentation float64        `json:"fragmentation"`
+	Occupancy     float64        `json:"occupancy"`
+	FreeTiles     int            `json:"free_tiles"`
+	Stats         Stats          `json:"stats"`
+	Reconfig      reconfig.Stats `json:"reconfig"`
+}
+
+// module is the session's record of a live module.
+type module struct {
+	name     string
+	req      device.Requirements
+	mode     int64
+	region   int // reconfig.Manager region index
+	fallback bool
+}
+
+// Manager is a stateful online-placement session. It is safe for
+// concurrent use; events are serialized internally.
+type Manager struct {
+	mu         sync.Mutex
+	cfg        Config
+	rcm        *reconfig.Manager
+	free       *FreeSpace
+	modules    map[string]*module
+	stats      Stats
+	lastDefrag int // event seq of the last defrag attempt, 0 if never
+}
+
+// New builds an empty session over cfg.Device.
+func New(cfg Config) (*Manager, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:     cfg,
+		rcm:     reconfig.NewDynamic(cfg.Device, cfg.FrameTime),
+		free:    NewFreeSpace(cfg.Device),
+		modules: map[string]*module{},
+	}, nil
+}
+
+// Apply ingests one event and returns what it did. Errors are reserved
+// for malformed events and internal invariant violations; an arrival the
+// session cannot place is a non-error result with Rejected set.
+func (m *Manager) Apply(ev Event) (*EventResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.stats.Events++
+	res := &EventResult{Seq: m.stats.Events, Event: ev}
+	var err error
+	switch ev.Kind {
+	case Arrival:
+		err = m.applyArrival(ev, res)
+	case Departure:
+		err = m.applyDeparture(ev, res)
+	default:
+		err = fmt.Errorf("session: unknown event kind %q", ev.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if d := m.maybeDefrag(res.Seq); d != nil {
+		res.Defrag = d
+	}
+	res.Fragmentation = m.free.Fragmentation()
+	res.Occupancy = m.free.Occupancy()
+	return res, nil
+}
+
+func (m *Manager) applyArrival(ev Event, res *EventResult) error {
+	m.stats.Arrivals++
+	if ev.Name == "" {
+		return fmt.Errorf("session: arrival has no name")
+	}
+	if _, live := m.modules[ev.Name]; live {
+		return fmt.Errorf("session: module %q is already live", ev.Name)
+	}
+	if ev.Req.IsZero() {
+		return fmt.Errorf("session: arrival %q requires no resources", ev.Name)
+	}
+
+	rect, ok := m.bestFit(ev.Req)
+	if ok {
+		if err := m.admit(ev, rect, false, res); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	rect, ok, reason := m.fallbackPlace(ev)
+	if !ok {
+		m.stats.Rejected++
+		res.Rejected = true
+		res.Reason = reason
+		return nil
+	}
+	return m.admit(ev, rect, true, res)
+}
+
+// admit registers and configures an arrival at rect.
+func (m *Manager) admit(ev Event, rect grid.Rect, fallback bool, res *EventResult) error {
+	ri, err := m.rcm.AddRegion(ev.Name, rect)
+	if err != nil {
+		return fmt.Errorf("session: admit %q: %w", ev.Name, err)
+	}
+	if err := m.rcm.Configure(ri, ev.Mode, 0); err != nil {
+		return fmt.Errorf("session: admit %q: %w", ev.Name, err)
+	}
+	if err := m.free.Insert(rect); err != nil {
+		return err
+	}
+	m.modules[ev.Name] = &module{
+		name: ev.Name, req: ev.Req, mode: ev.Mode, region: ri, fallback: fallback,
+	}
+	m.stats.Placed++
+	if fallback {
+		m.stats.PlacedFallback++
+	}
+	res.Placed = true
+	res.Fallback = fallback
+	res.Rect = rect
+	return nil
+}
+
+// bestFit picks the placement for an arrival greedily: among the
+// width-minimal candidate rectangles that lie entirely on free tiles,
+// minimize (wasted frames, best-fit slack) where slack is the smallest
+// maximal-empty-rectangle the candidate fits in minus the candidate —
+// i.e. prefer tight resource fits, and among those, fill small holes
+// before carving up large ones.
+func (m *Manager) bestFit(req device.Requirements) (grid.Rect, bool) {
+	cands := core.CachedCandidates(m.cfg.Device, req)
+	mers := m.free.MERs()
+	best := grid.Rect{}
+	bestWaste, bestSlack := 0, 0
+	found := false
+	for _, c := range cands {
+		if found && c.Waste > bestWaste {
+			break // candidates are sorted by waste; no better fit follows
+		}
+		if !m.free.Fits(c.Rect) {
+			continue
+		}
+		slack := bestFitSlack(mers, c.Rect)
+		if !found || slack < bestSlack {
+			best, bestWaste, bestSlack, found = c.Rect, c.Waste, slack, true
+		}
+	}
+	return best, found
+}
+
+// bestFitSlack returns the smallest containing MER's area minus the
+// rectangle's own. Every rectangle on free tiles is contained in at
+// least one MER.
+func bestFitSlack(mers []grid.Rect, r grid.Rect) int {
+	slack := -1
+	for _, mer := range mers {
+		if !mer.ContainsRect(r) {
+			continue
+		}
+		if s := mer.Area() - r.Area(); slack < 0 || s < slack {
+			slack = s
+		}
+	}
+	return slack
+}
+
+func (m *Manager) applyDeparture(ev Event, res *EventResult) error {
+	m.stats.Departures++
+	mod, live := m.modules[ev.Name]
+	if !live {
+		// Not an error: in a replayed stream the module's arrival may
+		// have been rejected, so there is nothing to retire.
+		res.Rejected = true
+		res.Reason = fmt.Sprintf("module %q is not live", ev.Name)
+		return nil
+	}
+	rect, ok := m.rcm.CurrentArea(mod.region)
+	if !ok {
+		return fmt.Errorf("session: module %q has no live area", ev.Name)
+	}
+	if err := m.rcm.RemoveRegion(mod.region); err != nil {
+		return fmt.Errorf("session: depart %q: %w", ev.Name, err)
+	}
+	m.free.Remove(rect)
+	delete(m.modules, ev.Name)
+	return nil
+}
+
+// Snapshot returns the current session state.
+func (m *Manager) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{
+		Device:        m.cfg.Device.Name(),
+		Fragmentation: m.free.Fragmentation(),
+		Occupancy:     m.free.Occupancy(),
+		FreeTiles:     m.free.FreeTiles(),
+		Stats:         m.stats,
+		Reconfig:      m.rcm.Stats(),
+	}
+	for _, mod := range m.modules {
+		rect, _ := m.rcm.CurrentArea(mod.region)
+		snap.Live = append(snap.Live, ModuleInfo{Name: mod.name, Rect: rect, Fallback: mod.fallback})
+	}
+	sort.Slice(snap.Live, func(i, j int) bool { return snap.Live[i].Name < snap.Live[j].Name })
+	return snap
+}
+
+// Stats returns the accumulated counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Fragmentation returns the current free-space fragmentation.
+func (m *Manager) Fragmentation() float64 { return m.free.Fragmentation() }

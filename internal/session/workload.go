@@ -1,0 +1,110 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/device"
+)
+
+// WorkloadConfig parameterizes the seeded workload generator.
+type WorkloadConfig struct {
+	// Seed drives the generator deterministically.
+	Seed int64
+	// Events is the number of events to emit.
+	Events int
+	// Intensity in (0, 1] is the target fraction of usable tiles kept
+	// occupied: higher values mean more live modules and more pressure
+	// on the free space (0 = 0.5).
+	Intensity float64
+	// Device sizes the modules relative to the fabric (nil = FX70T).
+	Device *device.Device
+}
+
+// moduleTemplate is one draw of the workload's module population:
+// requirement shapes modeled on the paper's Table I, scaled down so an
+// online mix of them churns the device.
+type moduleTemplate struct {
+	label string
+	req   device.Requirements
+}
+
+func templates() []moduleTemplate {
+	return []moduleTemplate{
+		{"clb-s", device.Requirements{device.ClassCLB: 4}},
+		{"clb-m", device.Requirements{device.ClassCLB: 8}},
+		{"clb-l", device.Requirements{device.ClassCLB: 16}},
+		{"clb-xl", device.Requirements{device.ClassCLB: 28}},
+		{"bram-s", device.Requirements{device.ClassCLB: 5, device.ClassBRAM: 1}},
+		{"bram-m", device.Requirements{device.ClassCLB: 10, device.ClassBRAM: 2}},
+		{"dsp-s", device.Requirements{device.ClassCLB: 6, device.ClassDSP: 1}},
+		{"dsp-m", device.Requirements{device.ClassCLB: 12, device.ClassDSP: 2}},
+	}
+}
+
+// GenerateWorkload emits a deterministic arrival/departure stream. The
+// generator tracks which modules it has live and how many tiles they
+// minimally require; it emits arrivals while the tracked load is below
+// Intensity and departures (of a random live module) while above, with
+// enough randomness that the mix churns and fragments the free space.
+func GenerateWorkload(cfg WorkloadConfig) []Event {
+	if cfg.Device == nil {
+		cfg.Device = device.VirtexFX70T()
+	}
+	if cfg.Intensity <= 0 || cfg.Intensity > 1 {
+		cfg.Intensity = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tmpl := templates()
+	usable := cfg.Device.UsableTiles()
+
+	type liveMod struct {
+		name  string
+		tiles int
+	}
+	var live []liveMod
+	load := 0 // sum of minimal tile requirements of live modules
+	next := 0 // next module number
+
+	minTiles := func(req device.Requirements) int {
+		total := 0
+		for _, n := range req {
+			total += n
+		}
+		return total
+	}
+
+	events := make([]Event, 0, cfg.Events)
+	for len(events) < cfg.Events {
+		occupancy := float64(load) / float64(usable)
+		arrive := occupancy < cfg.Intensity
+		// Randomize near the target so the stream keeps churning
+		// instead of settling into arrivals-then-departures phases.
+		if len(live) > 0 && rng.Float64() < 0.35 {
+			arrive = !arrive
+		}
+		if len(live) == 0 {
+			arrive = true
+		}
+		if arrive {
+			t := tmpl[rng.Intn(len(tmpl))]
+			name := fmt.Sprintf("%s-%d", t.label, next)
+			next++
+			events = append(events, Event{
+				Kind: Arrival,
+				Name: name,
+				Req:  t.req.Clone(),
+				Mode: rng.Int63n(1 << 30),
+			})
+			live = append(live, liveMod{name: name, tiles: minTiles(t.req)})
+			load += minTiles(t.req)
+		} else {
+			i := rng.Intn(len(live))
+			events = append(events, Event{Kind: Departure, Name: live[i].name})
+			load -= live[i].tiles
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return events
+}

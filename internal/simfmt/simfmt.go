@@ -1,0 +1,211 @@
+// Package simfmt defines SIM.json — the schema-versioned output of
+// cmd/floorsim, the online-session load driver. One Report captures a
+// replayed workload against a session.Manager: placement counters, the
+// fragmentation trajectory, and every defragmentation cycle with its
+// relocation schedule accounting. Reports are committed over time to
+// track the online subsystem's behavior, so the schema is versioned and
+// Validate enforces its invariants before a report is written or
+// accepted in CI.
+package simfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// SchemaVersion is the current SIM.json schema. Bump on any incompatible
+// shape change, so trajectory tooling can dispatch.
+const SchemaVersion = 1
+
+// Report is one workload replay against a session.
+type Report struct {
+	// SchemaVersion pins the report shape; must equal SchemaVersion.
+	SchemaVersion int `json:"schema_version"`
+	// CreatedAt is when the replay finished.
+	CreatedAt time.Time `json:"created_at"`
+	// GoVersion and Host describe the run environment (informational).
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+
+	// Device names the target FPGA model.
+	Device string `json:"device"`
+	// Seed drove the workload generator.
+	Seed int64 `json:"seed"`
+	// Events is the replayed event count.
+	Events int `json:"events"`
+	// Intensity is the generator's target occupancy.
+	Intensity float64 `json:"intensity"`
+	// FragThreshold triggered defragmentation.
+	FragThreshold float64 `json:"frag_threshold"`
+	// FallbackEngine names the floorplanner used for hard arrivals
+	// (empty = fallback disabled).
+	FallbackEngine string `json:"fallback_engine,omitempty"`
+
+	// Arrivals/Departures partition the events; Placed/PlacedFallback/
+	// Rejected partition the arrivals (PlacedFallback ⊆ Placed).
+	Arrivals       int `json:"arrivals"`
+	Departures     int `json:"departures"`
+	Placed         int `json:"placed"`
+	PlacedFallback int `json:"placed_fallback"`
+	Rejected       int `json:"rejected"`
+	// PlacementRate is Placed/Arrivals.
+	PlacementRate float64 `json:"placement_rate"`
+
+	// FragTrajectory samples the free-space fragmentation after events.
+	FragTrajectory []FragPoint `json:"frag_trajectory"`
+	// FinalFragmentation is the fragmentation after the last event.
+	FinalFragmentation float64 `json:"final_fragmentation"`
+	// FinalLive is the number of modules live after the last event.
+	FinalLive int `json:"final_live"`
+
+	// DefragCycles lists every defragmentation attempt, in event order.
+	DefragCycles []DefragCycle `json:"defrag_cycles"`
+
+	// FramesWritten and BusyMS total the configuration-port activity of
+	// the whole replay (configures, fallback migrations, defrag moves).
+	FramesWritten int     `json:"frames_written"`
+	BusyMS        float64 `json:"busy_ms"`
+	// CorruptedFrames counts readback mismatches across every executed
+	// relocation schedule; any nonzero value fails validation.
+	CorruptedFrames int `json:"corrupted_frames"`
+}
+
+// FragPoint samples fragmentation after one event.
+type FragPoint struct {
+	// Event is the 1-based event sequence number.
+	Event int `json:"event"`
+	// Frag is the fragmentation after the event.
+	Frag float64 `json:"frag"`
+	// Occupancy is the occupied fraction of usable tiles.
+	Occupancy float64 `json:"occupancy"`
+}
+
+// DefragCycle is one defragmentation attempt.
+type DefragCycle struct {
+	// AtEvent is the sequence number of the triggering event.
+	AtEvent int `json:"at_event"`
+	// Planned is the moves the compaction planner emitted; Executed is
+	// how many ran (0 when the plan was abandoned as non-improving).
+	Planned  int `json:"planned"`
+	Executed int `json:"executed"`
+	// FragBefore and FragAfter bracket the cycle.
+	FragBefore float64 `json:"frag_before"`
+	FragAfter  float64 `json:"frag_after"`
+	// FramesWritten and BusyMS account the executed schedule.
+	FramesWritten int     `json:"frames_written"`
+	BusyMS        float64 `json:"busy_ms"`
+	// FramesVerified and CorruptedFrames report the post-move readback.
+	FramesVerified  int `json:"frames_verified"`
+	CorruptedFrames int `json:"corrupted_frames"`
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Validate checks the report's invariants: current schema, consistent
+// counters, fragmentation values in [0, 1], an ordered trajectory, and
+// zero corrupted frames.
+func (r *Report) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("simfmt: schema_version %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if r.Device == "" {
+		return fmt.Errorf("simfmt: report has no device")
+	}
+	if r.Events < 1 {
+		return fmt.Errorf("simfmt: events %d, want >= 1", r.Events)
+	}
+	if r.Arrivals+r.Departures != r.Events {
+		return fmt.Errorf("simfmt: arrivals %d + departures %d != events %d", r.Arrivals, r.Departures, r.Events)
+	}
+	if r.Placed+r.Rejected > r.Arrivals {
+		return fmt.Errorf("simfmt: placed %d + rejected %d exceed arrivals %d", r.Placed, r.Rejected, r.Arrivals)
+	}
+	if r.PlacedFallback > r.Placed {
+		return fmt.Errorf("simfmt: placed_fallback %d exceeds placed %d", r.PlacedFallback, r.Placed)
+	}
+	if !finite(r.PlacementRate) || r.PlacementRate < 0 || r.PlacementRate > 1 {
+		return fmt.Errorf("simfmt: placement_rate %v outside [0, 1]", r.PlacementRate)
+	}
+	if !finite(r.FinalFragmentation) || r.FinalFragmentation < 0 || r.FinalFragmentation > 1 {
+		return fmt.Errorf("simfmt: final_fragmentation %v outside [0, 1]", r.FinalFragmentation)
+	}
+	if r.FinalLive < 0 {
+		return fmt.Errorf("simfmt: final_live %d negative", r.FinalLive)
+	}
+	if r.FramesWritten < 0 || r.BusyMS < 0 || !finite(r.BusyMS) {
+		return fmt.Errorf("simfmt: negative or non-finite port accounting")
+	}
+	if r.CorruptedFrames != 0 {
+		return fmt.Errorf("simfmt: %d corrupted frames — the relocation substrate is broken", r.CorruptedFrames)
+	}
+	last := 0
+	for i, p := range r.FragTrajectory {
+		if p.Event <= last {
+			return fmt.Errorf("simfmt: frag_trajectory point %d out of order (event %d after %d)", i, p.Event, last)
+		}
+		if p.Event > r.Events {
+			return fmt.Errorf("simfmt: frag_trajectory point %d beyond the last event", i)
+		}
+		if !finite(p.Frag) || p.Frag < 0 || p.Frag > 1 {
+			return fmt.Errorf("simfmt: frag_trajectory point %d fragmentation %v outside [0, 1]", i, p.Frag)
+		}
+		if !finite(p.Occupancy) || p.Occupancy < 0 || p.Occupancy > 1 {
+			return fmt.Errorf("simfmt: frag_trajectory point %d occupancy %v outside [0, 1]", i, p.Occupancy)
+		}
+		last = p.Event
+	}
+	prev := 0
+	for i, c := range r.DefragCycles {
+		if c.AtEvent <= prev {
+			return fmt.Errorf("simfmt: defrag cycle %d out of order (event %d after %d)", i, c.AtEvent, prev)
+		}
+		if c.AtEvent > r.Events {
+			return fmt.Errorf("simfmt: defrag cycle %d beyond the last event", i)
+		}
+		if c.Executed > c.Planned || c.Executed < 0 || c.Planned < 0 {
+			return fmt.Errorf("simfmt: defrag cycle %d executed %d of %d planned", i, c.Executed, c.Planned)
+		}
+		for _, f := range []float64{c.FragBefore, c.FragAfter} {
+			if !finite(f) || f < 0 || f > 1 {
+				return fmt.Errorf("simfmt: defrag cycle %d fragmentation %v outside [0, 1]", i, f)
+			}
+		}
+		if c.Executed > 0 && c.FragAfter >= c.FragBefore {
+			return fmt.Errorf("simfmt: defrag cycle %d executed but did not improve (%v -> %v)",
+				i, c.FragBefore, c.FragAfter)
+		}
+		if c.CorruptedFrames != 0 {
+			return fmt.Errorf("simfmt: defrag cycle %d corrupted %d frames", i, c.CorruptedFrames)
+		}
+		if c.FramesVerified < 0 || c.FramesWritten < 0 || !finite(c.BusyMS) || c.BusyMS < 0 {
+			return fmt.Errorf("simfmt: defrag cycle %d has negative accounting", i)
+		}
+		prev = c.AtEvent
+	}
+	return nil
+}
+
+// Write validates the report and writes it as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses and validates a report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("simfmt: parsing report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,93 @@
+package simfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Now().UTC(),
+		Device:        "xc5vfx70t",
+		Seed:          7,
+		Events:        10,
+		Intensity:     0.6,
+		FragThreshold: 0.55,
+		Arrivals:      6,
+		Departures:    4,
+		Placed:        5,
+		Rejected:      1,
+		PlacementRate: 5.0 / 6.0,
+		FragTrajectory: []FragPoint{
+			{Event: 1, Frag: 0.1, Occupancy: 0.05},
+			{Event: 5, Frag: 0.6, Occupancy: 0.4},
+			{Event: 10, Frag: 0.3, Occupancy: 0.35},
+		},
+		FinalFragmentation: 0.3,
+		FinalLive:          2,
+		DefragCycles: []DefragCycle{
+			{AtEvent: 6, Planned: 3, Executed: 3, FragBefore: 0.7, FragAfter: 0.3,
+				FramesWritten: 120, BusyMS: 0.7, FramesVerified: 120},
+		},
+		FramesWritten: 900,
+		BusyMS:        5.4,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := validReport()
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Events != r.Events || len(got.DefragCycles) != 1 || got.FragTrajectory[1].Frag != 0.6 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.SchemaVersion = 99 }, "schema_version"},
+		{"no device", func(r *Report) { r.Device = "" }, "no device"},
+		{"event split", func(r *Report) { r.Departures++ }, "departures"},
+		{"over-placed", func(r *Report) { r.Placed = 7 }, "exceed arrivals"},
+		{"fallback over placed", func(r *Report) { r.PlacedFallback = 6 }, "placed_fallback"},
+		{"rate out of range", func(r *Report) { r.PlacementRate = 1.5 }, "placement_rate"},
+		{"corrupted frames", func(r *Report) { r.CorruptedFrames = 1 }, "corrupted"},
+		{"trajectory disorder", func(r *Report) {
+			r.FragTrajectory[2].Event = 3
+		}, "out of order"},
+		{"frag out of range", func(r *Report) { r.FragTrajectory[0].Frag = 1.5 }, "outside [0, 1]"},
+		{"cycle disorder", func(r *Report) {
+			r.DefragCycles = append(r.DefragCycles, DefragCycle{AtEvent: 6, FragBefore: 0.5, FragAfter: 0.5})
+		}, "out of order"},
+		{"executed over planned", func(r *Report) { r.DefragCycles[0].Executed = 4 }, "executed"},
+		{"executed non-improving", func(r *Report) {
+			r.DefragCycles[0].FragAfter = 0.7
+		}, "did not improve"},
+		{"cycle corruption", func(r *Report) { r.DefragCycles[0].CorruptedFrames = 2 }, "corrupted"},
+	}
+	for _, tc := range cases {
+		r := validReport()
+		tc.mutate(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
