@@ -70,7 +70,7 @@ bench-json:
 	@mkdir -p $(BIN)
 	$(GO) build -o $(BIN)/floorbench ./cmd/floorbench
 	$(BIN)/floorbench -instances $(BENCH_INSTANCES) -engines $(BENCH_ENGINES) \
-		-budget $(BENCH_BUDGET) -repeats $(BENCH_REPEATS) -out $(BENCH_OUT)
+		-budget $(BENCH_BUDGET) -repeats $(BENCH_REPEATS) -out $(BENCH_OUT) $(BENCH_FLAGS)
 	$(BIN)/floorbench -validate $(BENCH_OUT)
 
 sim-json:

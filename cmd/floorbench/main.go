@@ -47,6 +47,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "base seed for randomized engines (repeat i uses seed+i)")
 		out       = flag.String("out", "BENCH.json", "output report path")
 		validate  = flag.String("validate", "", "validate an existing report at this path and exit")
+		strict    = flag.Bool("strict-budget", false, "exit nonzero when any cell's median wall-clock exceeds budget plus the contract epsilon")
 	)
 	flag.Parse()
 
@@ -93,6 +94,12 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "floorbench: warning:", warn)
 	}
 	fmt.Println("wrote", *out)
+	if *strict && len(report.BudgetWarnings) > 0 {
+		// The report is still written — the artifact documents the breach —
+		// but CI (and anyone passing -strict-budget) sees a hard failure
+		// instead of a warning that scrolls by.
+		return fmt.Errorf("strict budget: %d cell(s) broke the deadline contract", len(report.BudgetWarnings))
+	}
 	return nil
 }
 

@@ -112,6 +112,93 @@ func TestEngineCancellationContract(t *testing.T) {
 	}
 }
 
+// sdrContractInstances are the paper's evaluation instances, used to pin
+// the deadline contract on realistic model sizes (sdr2's MILP basis is
+// ~9300×9300 — the size class where the PR5 benchmark caught milp-ho
+// blowing an 18× hole through its 2s budget inside an un-deadlined dense
+// refactorization). The synthetic contractProblem cannot reproduce that
+// failure mode: it never grows a basis large enough for one factorization
+// to dominate the budget.
+func sdrContractInstances() []struct {
+	name string
+	p    *floorplanner.Problem
+} {
+	return []struct {
+		name string
+		p    *floorplanner.Problem
+	}{
+		{"sdr", sdr.Problem()},
+		{"sdr2", sdr.SDR2()},
+		{"sdr3", sdr.SDR3()},
+	}
+}
+
+// TestMILPDeadlineContractSDRInstances asserts that both MILP engines
+// honor TimeLimit+epsilon on every SDR instance. The budget is kept small
+// so a single runaway stage (factorization, presolve, warm-start replay)
+// is immediately visible as a contract breach rather than hiding inside a
+// generous allowance.
+func TestMILPDeadlineContractSDRInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves the full SDR instances; skipped in -short")
+	}
+	const limit = 500 * time.Millisecond
+	for _, engine := range []string{"milp-o", "milp-ho"} {
+		for _, inst := range sdrContractInstances() {
+			inst := inst
+			t.Run(engine+"/"+inst.name, func(t *testing.T) {
+				start := time.Now()
+				sol, err := floorplanner.Solve(context.Background(), inst.p, floorplanner.Options{
+					Engine:    engine,
+					TimeLimit: limit,
+					Seed:      1,
+				})
+				elapsed := time.Since(start)
+				if elapsed > limit+contractEpsilon {
+					t.Errorf("returned after %s, want ≤ %s", elapsed, limit+contractEpsilon)
+				}
+				switch {
+				case err == nil:
+					if verr := sol.Validate(inst.p); verr != nil {
+						t.Errorf("returned invalid solution: %v", verr)
+					}
+				case errors.Is(err, floorplanner.ErrNoSolution),
+					errors.Is(err, floorplanner.ErrInfeasible):
+				default:
+					t.Errorf("budget exhaustion surfaced as unexpected error: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestMILPCancellationContractSDRInstances asserts the context half on
+// the real instances: a pre-canceled context must stop the MILP path
+// before any expensive stage (model build, presolve, root LP) runs.
+func TestMILPCancellationContractSDRInstances(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, engine := range []string{"milp-o", "milp-ho"} {
+		for _, inst := range sdrContractInstances() {
+			inst := inst
+			t.Run(engine+"/"+inst.name, func(t *testing.T) {
+				start := time.Now()
+				_, err := floorplanner.Solve(ctx, inst.p, floorplanner.Options{
+					Engine:    engine,
+					TimeLimit: time.Hour,
+					Seed:      1,
+				})
+				if elapsed := time.Since(start); elapsed > contractEpsilon {
+					t.Errorf("returned after %s on a pre-canceled context, want ≤ %s", elapsed, contractEpsilon)
+				}
+				if err == nil {
+					t.Error("nil error on a pre-canceled context")
+				}
+			})
+		}
+	}
+}
+
 // TestPortfolioTracksFastestMember asserts the portfolio's wall-clock
 // behavior on a real instance: the exact engine proves SDR's optimum in
 // well under a second, so the portfolio must accept it and return far

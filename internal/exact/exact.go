@@ -109,6 +109,13 @@ type searchState struct {
 	order   []int              // region placement order
 	minTail []int              // minTail[k]: sum of min waste of order[k:]
 	groups  []fcGroup
+	// netsDoneBy[k] lists the nets whose second endpoint is order[k]:
+	// placing that region completes them, so the running wire length is
+	// maintained incrementally instead of rescanning all nets per node.
+	netsDoneBy [][]int
+	// groupReadyAt[gi] is the depth k at which every region of groups[gi]
+	// is placed — the first depth where its FC bound applies.
+	groupReadyAt []int
 
 	mask          *grid.Mask
 	placed        []grid.Rect // per region (by region index)
@@ -225,6 +232,31 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 		st.minTail[k] = st.minTail[k+1] + st.cands[st.order[k]][0].Waste
 	}
 
+	// Precompute the per-depth hot-path tables (see the field comments):
+	// these replace the per-node map allocations that dominated the DFS.
+	orderPos := make([]int, len(p.Regions))
+	for k, ri := range st.order {
+		orderPos[ri] = k
+	}
+	st.netsDoneBy = make([][]int, len(st.order))
+	for e, net := range p.Nets {
+		last := orderPos[net.A]
+		if orderPos[net.B] > last {
+			last = orderPos[net.B]
+		}
+		st.netsDoneBy[last] = append(st.netsDoneBy[last], e)
+	}
+	st.groupReadyAt = make([]int, len(st.groups))
+	for gi, g := range st.groups {
+		ready := 0
+		for _, ri := range g.regions {
+			if orderPos[ri]+1 > ready {
+				ready = orderPos[ri] + 1
+			}
+		}
+		st.groupReadyAt[gi] = ready
+	}
+
 	// Candidate enumeration and ordering above can take a while on a cold
 	// cache; re-check the context before committing to the search.
 	if cerr := ctx.Err(); cerr != nil {
@@ -238,7 +270,7 @@ func (e *Engine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOpti
 		aborted bool
 	)
 	if workers <= 1 {
-		st.placeRegion(0, 0)
+		st.placeRegion(0, 0, 0)
 		st.flushObs()
 		bestSol, nodes, aborted = st.bestSol, st.nodes, st.aborted
 	} else {
@@ -269,28 +301,30 @@ func (e *Engine) solveParallel(tmpl *searchState, workers int) (*core.Solution, 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		ws := &searchState{
-			p:          tmpl.p,
-			dev:        tmpl.dev,
-			cands:      tmpl.cands,
-			order:      tmpl.order,
-			minTail:    tmpl.minTail,
-			groups:     tmpl.groups,
-			mask:       grid.NewMask(tmpl.dev.Width(), tmpl.dev.Height()),
-			placed:     make([]grid.Rect, len(tmpl.p.Regions)),
-			best:       tmpl.best,
-			maxNodes:   tmpl.maxNodes,
-			deadline:   tmpl.deadline,
-			ctx:        tmpl.ctx,
-			sp:         tmpl.sp,
-			shared:     shared,
-			rootStride: workers,
-			rootOffset: w,
+			p:            tmpl.p,
+			dev:          tmpl.dev,
+			cands:        tmpl.cands,
+			order:        tmpl.order,
+			minTail:      tmpl.minTail,
+			groups:       tmpl.groups,
+			netsDoneBy:   tmpl.netsDoneBy,
+			groupReadyAt: tmpl.groupReadyAt,
+			mask:         grid.NewMask(tmpl.dev.Width(), tmpl.dev.Height()),
+			placed:       make([]grid.Rect, len(tmpl.p.Regions)),
+			best:         tmpl.best,
+			maxNodes:     tmpl.maxNodes,
+			deadline:     tmpl.deadline,
+			ctx:          tmpl.ctx,
+			sp:           tmpl.sp,
+			shared:       shared,
+			rootStride:   workers,
+			rootOffset:   w,
 		}
 		states[w] = ws
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws.placeRegion(0, 0)
+			ws.placeRegion(0, 0, 0)
 			ws.flushObs()
 		}()
 	}
@@ -333,7 +367,9 @@ func buildGroups(p *core.Problem) []fcGroup {
 	sort.Strings(order)
 	out := make([]fcGroup, 0, len(order))
 	for _, key := range order {
-		out = append(out, *bySet[key])
+		g := *bySet[key]
+		sort.Float64s(g.weights) // cheapest-miss order, used by fcBound
+		out = append(out, g)
 	}
 	return out
 }
@@ -387,39 +423,16 @@ func (st *searchState) outOfBudget() bool {
 	return false
 }
 
-// wlPlacedLB returns the exact wire length restricted to nets whose both
-// endpoints are placed — a valid lower bound on the final wire length.
-func (st *searchState) wlPlacedLB(k int) float64 {
-	placedSet := make(map[int]bool, k)
-	for i := 0; i < k; i++ {
-		placedSet[st.order[i]] = true
-	}
-	total := 0.0
-	for _, n := range st.p.Nets {
-		if placedSet[n.A] && placedSet[n.B] {
-			a, b := st.placed[n.A], st.placed[n.B]
-			dx := a.CenterX2() - b.CenterX2()
-			if dx < 0 {
-				dx = -dx
-			}
-			dy := a.CenterY2() - b.CenterY2()
-			if dy < 0 {
-				dy = -dy
-			}
-			total += n.Weight * float64(dx+dy) / 2
-		}
-	}
-	return total
-}
-
 // placeRegion is the region-level DFS. k indexes st.order; wasteSoFar
-// accumulates the waste of regions order[0:k].
-func (st *searchState) placeRegion(k int, wasteSoFar int) {
+// accumulates the waste of regions order[0:k]; wlSoFar is the exact wire
+// length of the nets completed by those placements (a valid lower bound
+// on the final wire length), maintained incrementally via netsDoneBy.
+func (st *searchState) placeRegion(k, wasteSoFar int, wlSoFar float64) {
 	if st.outOfBudget() {
 		return
 	}
 	if k == len(st.order) {
-		st.finishRegions(wasteSoFar)
+		st.finishRegions(wasteSoFar, wlSoFar)
 		return
 	}
 	ri := st.order[k]
@@ -429,7 +442,7 @@ func (st *searchState) placeRegion(k int, wasteSoFar int) {
 		}
 		// Waste bound: candidates are waste-sorted, so once the bound
 		// trips no later candidate can help.
-		lb := triple{miss: 0, waste: wasteSoFar + cand.Waste + st.minTail[k+1], wl: 0}
+		lb := triple{miss: 0, waste: wasteSoFar + cand.Waste + st.minTail[k+1], wl: wlSoFar}
 		if !lb.less(st.best) {
 			st.pruned += int64(len(st.cands[ri]) - idx)
 			break
@@ -441,13 +454,28 @@ func (st *searchState) placeRegion(k int, wasteSoFar int) {
 		st.mask.SetRect(cand.Rect)
 		st.placed[ri] = cand.Rect
 
-		// Refine the bound with the wire length of fully-placed nets and
-		// the relocation misses already forced by this partial placement.
-		lb.wl = st.wlPlacedLB(k + 1)
+		// Refine the bound with the wire length of the nets this placement
+		// completes and the relocation misses already forced by the partial
+		// placement.
+		wl := wlSoFar
+		for _, e := range st.netsDoneBy[k] {
+			n := &st.p.Nets[e]
+			a, b := st.placed[n.A], st.placed[n.B]
+			dx := a.CenterX2() - b.CenterX2()
+			if dx < 0 {
+				dx = -dx
+			}
+			dy := a.CenterY2() - b.CenterY2()
+			if dy < 0 {
+				dy = -dy
+			}
+			wl += n.Weight * float64(dx+dy) / 2
+		}
+		lb.wl = wl
 		feasible, missLB := st.fcBound(k + 1)
 		lb.miss = missLB
 		if feasible && lb.less(st.best) {
-			st.placeRegion(k+1, wasteSoFar+cand.Waste)
+			st.placeRegion(k+1, wasteSoFar+cand.Waste, wl)
 		} else {
 			st.pruned++
 		}
@@ -466,20 +494,9 @@ func (st *searchState) placeRegion(k int, wasteSoFar int) {
 // unplaced regions and lets slots overlap each other, so it upper-bounds
 // the truly packable count — both results are admissible for pruning.
 func (st *searchState) fcBound(k int) (feasible bool, missLB float64) {
-	placedSet := make(map[int]bool, k)
-	for i := 0; i < k; i++ {
-		placedSet[st.order[i]] = true
-	}
-	for _, g := range st.groups {
-		allPlaced := true
-		for _, ri := range g.regions {
-			if !placedSet[ri] {
-				allPlaced = false
-				break
-			}
-		}
-		if !allPlaced {
-			continue
+	for gi, g := range st.groups {
+		if st.groupReadyAt[gi] > k {
+			continue // some member region not yet placed
 		}
 		want := g.required + g.optional
 		slots := st.countFreeSlotsForGroup(g, want)
@@ -488,11 +505,10 @@ func (st *searchState) fcBound(k int) (feasible bool, missLB float64) {
 		}
 		if shortfall := want - slots; shortfall > 0 {
 			// The cheapest optional requests are the ones optimally
-			// missed; weights are per-group metric requests.
-			weights := append([]float64(nil), g.weights...)
-			sort.Float64s(weights)
-			for i := 0; i < shortfall && i < len(weights); i++ {
-				missLB += weights[i]
+			// missed; weights are the group's metric requests, sorted
+			// ascending by buildGroups.
+			for i := 0; i < shortfall && i < len(g.weights); i++ {
+				missLB += g.weights[i]
 			}
 		}
 	}
@@ -561,9 +577,11 @@ func (st *searchState) slotsFor(src grid.Rect) []grid.Rect {
 }
 
 // finishRegions runs after all regions are placed: solve the FC packing
-// subproblem and record the solution if it improves the incumbent.
-func (st *searchState) finishRegions(waste int) {
-	wl := core.WireLengthOf(st.p, st.placed)
+// subproblem and record the solution if it improves the incumbent. wl is
+// the incrementally-maintained total wire length (every net is complete
+// at full depth), kept instead of recomputing so bound comparisons along
+// the DFS path and here use bit-identical values.
+func (st *searchState) finishRegions(waste int, wl float64) {
 	lb := triple{miss: 0, waste: waste, wl: wl}
 	if !lb.less(st.best) {
 		return

@@ -1,0 +1,305 @@
+package lp
+
+import "math"
+
+// Presolve returns a reduced clone of m: variable bounds tightened by
+// constraint-activity propagation (rounded to integrality for integer
+// variables when integerAware), singleton rows folded into bounds, and
+// rows made redundant by the bounds dropped. The variable set and order
+// are unchanged, so solutions of the presolved model are solutions of the
+// original and per-variable bound overrides keep their meaning — which is
+// what lets the MILP branch-and-bound presolve once at the root and reuse
+// the reduction for every node.
+//
+// The second result is true when presolve proves the model infeasible
+// (a bound crossing or a row whose minimum activity exceeds its rhs).
+// Tightenings are implied by the original constraints plus bounds —
+// integer roundings by integrality on top — so every (integer-)feasible
+// point of the original model remains feasible in the presolved one.
+func Presolve(m *Model, integerAware bool) (*Model, bool) {
+	const (
+		tol    = 1e-9
+		minGap = 1e-7 // only apply tightenings that move a bound materially
+	)
+	out := m.Clone()
+	n := len(out.lo)
+	keep := make([]bool, len(out.rows))
+	for i := range keep {
+		keep[i] = true
+	}
+
+	tightenLo := func(j int, lo float64) bool {
+		if lo <= out.lo[j]+minGap {
+			return true
+		}
+		if integerAware && out.integer[j] {
+			lo = math.Ceil(lo - 1e-6)
+		}
+		if lo > out.lo[j] {
+			out.lo[j] = lo
+		}
+		return out.lo[j] <= out.hi[j]+tol
+	}
+	tightenHi := func(j int, hi float64) bool {
+		if hi >= out.hi[j]-minGap {
+			return true
+		}
+		if integerAware && out.integer[j] {
+			hi = math.Floor(hi + 1e-6)
+		}
+		if hi < out.hi[j] {
+			out.hi[j] = hi
+		}
+		return out.lo[j] <= out.hi[j]+tol
+	}
+
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for r, row := range out.rows {
+			if !keep[r] {
+				continue
+			}
+			if len(row) == 0 {
+				// Empty row: constant sense rhs.
+				lhs := 0.0
+				if violatesSense(lhs, out.senses[r], out.rhs[r], tol) {
+					return out, true
+				}
+				keep[r] = false
+				changed = true
+				continue
+			}
+			if len(row) == 1 {
+				// Singleton row: a bound in disguise.
+				t := row[0]
+				bound := out.rhs[r] / t.Coef
+				sense := out.senses[r]
+				if t.Coef < 0 {
+					if sense == LE {
+						sense = GE
+					} else if sense == GE {
+						sense = LE
+					}
+				}
+				ok := true
+				switch sense {
+				case LE:
+					ok = tightenHi(int(t.Var), bound)
+				case GE:
+					ok = tightenLo(int(t.Var), bound)
+				case EQ:
+					ok = tightenHi(int(t.Var), bound) && tightenLo(int(t.Var), bound)
+				}
+				if !ok {
+					return out, true
+				}
+				keep[r] = false
+				changed = true
+				continue
+			}
+
+			// Activity bounds of the row over the variable box.
+			minAct, maxAct := 0.0, 0.0
+			nMinInf, nMaxInf := 0, 0
+			for _, t := range row {
+				lo, hi := out.lo[t.Var], out.hi[t.Var]
+				if t.Coef > 0 {
+					if math.IsInf(lo, -1) {
+						nMinInf++
+					} else {
+						minAct += t.Coef * lo
+					}
+					if math.IsInf(hi, 1) {
+						nMaxInf++
+					} else {
+						maxAct += t.Coef * hi
+					}
+				} else {
+					if math.IsInf(hi, 1) {
+						nMinInf++
+					} else {
+						minAct += t.Coef * hi
+					}
+					if math.IsInf(lo, -1) {
+						nMaxInf++
+					} else {
+						maxAct += t.Coef * lo
+					}
+				}
+			}
+
+			sense, rhs := out.senses[r], out.rhs[r]
+			// Infeasible or redundant rows.
+			if (sense == LE || sense == EQ) && nMinInf == 0 && minAct > rhs+feasSlack(minAct, rhs) {
+				return out, true
+			}
+			if (sense == GE || sense == EQ) && nMaxInf == 0 && maxAct < rhs-feasSlack(maxAct, rhs) {
+				return out, true
+			}
+			switch sense {
+			case LE:
+				if nMaxInf == 0 && maxAct <= rhs+tol {
+					keep[r] = false
+					changed = true
+					continue
+				}
+			case GE:
+				if nMinInf == 0 && minAct >= rhs-tol {
+					keep[r] = false
+					changed = true
+					continue
+				}
+			case EQ:
+				if nMinInf == 0 && nMaxInf == 0 &&
+					maxAct <= rhs+tol && minAct >= rhs-tol {
+					keep[r] = false
+					changed = true
+					continue
+				}
+			}
+
+			// Bound tightening: for each variable, the residual activity
+			// of the rest of the row bounds what it can contribute.
+			if sense == LE || sense == EQ {
+				if nMinInf <= 1 {
+					for _, t := range row {
+						lo, hi := out.lo[t.Var], out.hi[t.Var]
+						var rest float64
+						if t.Coef > 0 {
+							if math.IsInf(lo, -1) {
+								if nMinInf > 1 {
+									continue
+								}
+								rest = minAct
+							} else if nMinInf > 0 {
+								continue
+							} else {
+								rest = minAct - t.Coef*lo
+							}
+							before := out.hi[t.Var]
+							if !tightenHi(int(t.Var), (rhs-rest)/t.Coef) {
+								return out, true
+							}
+							changed = changed || out.hi[t.Var] != before
+						} else {
+							if math.IsInf(hi, 1) {
+								if nMinInf > 1 {
+									continue
+								}
+								rest = minAct
+							} else if nMinInf > 0 {
+								continue
+							} else {
+								rest = minAct - t.Coef*hi
+							}
+							before := out.lo[t.Var]
+							if !tightenLo(int(t.Var), (rhs-rest)/t.Coef) {
+								return out, true
+							}
+							changed = changed || out.lo[t.Var] != before
+						}
+					}
+				}
+			}
+			if sense == GE || sense == EQ {
+				if nMaxInf <= 1 {
+					for _, t := range row {
+						lo, hi := out.lo[t.Var], out.hi[t.Var]
+						var rest float64
+						if t.Coef > 0 {
+							if math.IsInf(hi, 1) {
+								if nMaxInf > 1 {
+									continue
+								}
+								rest = maxAct
+							} else if nMaxInf > 0 {
+								continue
+							} else {
+								rest = maxAct - t.Coef*hi
+							}
+							before := out.lo[t.Var]
+							if !tightenLo(int(t.Var), (rhs-rest)/t.Coef) {
+								return out, true
+							}
+							changed = changed || out.lo[t.Var] != before
+						} else {
+							if math.IsInf(lo, -1) {
+								if nMaxInf > 1 {
+									continue
+								}
+								rest = maxAct
+							} else if nMaxInf > 0 {
+								continue
+							} else {
+								rest = maxAct - t.Coef*lo
+							}
+							before := out.hi[t.Var]
+							if !tightenHi(int(t.Var), (rhs-rest)/t.Coef) {
+								return out, true
+							}
+							changed = changed || out.hi[t.Var] != before
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final integer rounding and bound sanity.
+	for j := 0; j < n; j++ {
+		if integerAware && out.integer[j] {
+			if !math.IsInf(out.lo[j], -1) {
+				out.lo[j] = math.Ceil(out.lo[j] - 1e-6)
+			}
+			if !math.IsInf(out.hi[j], 1) {
+				out.hi[j] = math.Floor(out.hi[j] + 1e-6)
+			}
+		}
+		if out.lo[j] > out.hi[j]+tol {
+			return out, true
+		}
+		if out.lo[j] > out.hi[j] {
+			out.lo[j] = out.hi[j]
+		}
+	}
+
+	// Compact the kept rows.
+	w := 0
+	for r := range out.rows {
+		if !keep[r] {
+			continue
+		}
+		out.conNames[w] = out.conNames[r]
+		out.rows[w] = out.rows[r]
+		out.senses[w] = out.senses[r]
+		out.rhs[w] = out.rhs[r]
+		w++
+	}
+	out.conNames = out.conNames[:w]
+	out.rows = out.rows[:w]
+	out.senses = out.senses[:w]
+	out.rhs = out.rhs[:w]
+	return out, false
+}
+
+// violatesSense reports whether lhs sense rhs fails within tol.
+func violatesSense(lhs float64, sense Sense, rhs, tol float64) bool {
+	switch sense {
+	case LE:
+		return lhs > rhs+tol
+	case GE:
+		return lhs < rhs-tol
+	default:
+		return math.Abs(lhs-rhs) > tol
+	}
+}
+
+// feasSlack is the infeasibility-detection margin: absolute 1e-7 scaled
+// up for large magnitudes so presolve never declares infeasible on
+// floating-point noise.
+func feasSlack(a, b float64) float64 {
+	return 1e-7 * math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

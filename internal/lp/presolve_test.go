@@ -1,0 +1,110 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPresolveDetectsInfeasibleBox catches bound-contradiction at presolve
+// time, before any simplex work.
+func TestPresolveDetectsInfeasibleBox(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x", 2, 3, 1)
+	m.AddConstraint("cap", []Term{{x, 1}}, LE, 1)
+	if _, infeasible := Presolve(m, false); !infeasible {
+		t.Fatal("presolve accepted an infeasible model")
+	}
+}
+
+// TestPresolveIntegerRounding verifies integer-aware bound tightening:
+// fractional bounds on integer variables round inward.
+func TestPresolveIntegerRounding(t *testing.T) {
+	m := NewModel()
+	x := m.AddInteger("x", 0, 10, -1)
+	// 3x <= 8.5 -> x <= 2.833 -> x <= 2 for integer x.
+	m.AddConstraint("c", []Term{{x, 3}}, LE, 8.5)
+	pm, infeasible := Presolve(m, true)
+	if infeasible {
+		t.Fatal("presolve claims infeasible")
+	}
+	if _, hi := pm.Bounds(x); hi != 2 {
+		t.Fatalf("integer upper bound = %g, want 2", hi)
+	}
+	// Continuous mode must not round.
+	pc, infeasible := Presolve(m, false)
+	if infeasible {
+		t.Fatal("presolve claims infeasible (continuous)")
+	}
+	if _, hi := pc.Bounds(x); hi < 2.8 || hi > 2.9 {
+		t.Fatalf("continuous upper bound = %g, want ~2.833", hi)
+	}
+}
+
+// TestPresolveKeepsVariableIndices pins the contract the MILP layer
+// depends on: presolve may drop constraints but never variables, so the
+// branch-and-bound bound-override slices stay index-aligned.
+func TestPresolveKeepsVariableIndices(t *testing.T) {
+	m := NewModel()
+	m.AddVariable("a", 0, 1, 1)
+	m.AddInteger("b", 0, 5, -1)
+	m.AddVariable("c", -2, 2, 0)
+	m.AddConstraint("redundant", []Term{{0, 1}}, LE, 100)
+	pm, infeasible := Presolve(m, true)
+	if infeasible {
+		t.Fatal("presolve claims infeasible")
+	}
+	if pm.NumVariables() != m.NumVariables() {
+		t.Fatalf("variable count changed: %d -> %d", m.NumVariables(), pm.NumVariables())
+	}
+	for v := 0; v < m.NumVariables(); v++ {
+		if pm.VarName(VarID(v)) != m.VarName(VarID(v)) {
+			t.Fatalf("variable %d renamed: %q -> %q", v, m.VarName(VarID(v)), pm.VarName(VarID(v)))
+		}
+		if pm.IsInteger(VarID(v)) != m.IsInteger(VarID(v)) {
+			t.Fatalf("variable %d integrality changed", v)
+		}
+	}
+	if pm.NumConstraints() >= m.NumConstraints() {
+		t.Fatalf("redundant row survived presolve: %d rows", pm.NumConstraints())
+	}
+}
+
+// TestPresolveEquivalenceRandom is the presolve soundness property: on
+// random bounded LPs the presolved model must agree with the original —
+// same feasibility verdict, same optimum, and the presolved solution
+// feasible in the original model.
+func TestPresolveEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	reduced := 0
+	for trial := 0; trial < 400; trial++ {
+		m := randomBoundedLP(rng)
+		orig := Solve(m, Options{})
+		pm, infeasible := Presolve(m, false)
+		if infeasible {
+			if orig.Status == StatusOptimal {
+				t.Fatalf("trial %d: presolve says infeasible but original solves to %g", trial, orig.Objective)
+			}
+			continue
+		}
+		if pm.NumConstraints() < m.NumConstraints() {
+			reduced++
+		}
+		pre := Solve(pm, Options{})
+		if pre.Status != orig.Status {
+			t.Fatalf("trial %d: presolved status %v, original %v", trial, pre.Status, orig.Status)
+		}
+		if orig.Status != StatusOptimal {
+			continue
+		}
+		if math.Abs(pre.Objective-orig.Objective) > 1e-6*(1+math.Abs(orig.Objective)) {
+			t.Fatalf("trial %d: presolved obj %g != original obj %g", trial, pre.Objective, orig.Objective)
+		}
+		if err := m.CheckFeasible(pre.X, 1e-5); err != nil {
+			t.Fatalf("trial %d: presolved optimum infeasible in original: %v", trial, err)
+		}
+	}
+	if reduced < 20 {
+		t.Fatalf("presolve only reduced %d of 400 models; generator or presolve too weak", reduced)
+	}
+}

@@ -42,6 +42,10 @@ type Solution struct {
 	Objective  float64
 	X          []float64 // structural variable values
 	Iterations int
+	// Basis is the final basis snapshot when Options.ReturnBasis was set
+	// and the solve ended optimal with no artificial left basic. It warm
+	// starts subsequent solves of the same model under changed bounds.
+	Basis *Basis
 }
 
 // Options tunes the simplex solver. The zero value selects defaults.
@@ -53,8 +57,19 @@ type Options struct {
 	Tol float64
 	// Deadline, when nonzero, bounds the wall-clock time of the solve.
 	// A solve cut short by the deadline reports StatusIterationLimit,
-	// which callers already treat as "no usable relaxation".
+	// which callers already treat as "no usable relaxation". Every stage
+	// of the solve polls it, including basis refactorization.
 	Deadline time.Time
+	// WarmBasis, when non-nil, starts the solve from this basis via the
+	// dual simplex instead of the two-phase primal from scratch. The
+	// basis must come from a solve of the same model (same variable and
+	// constraint count); only bounds may differ. Invalid or numerically
+	// unusable bases fall back to a cold solve, so a warm start never
+	// changes the answer — only the work needed to reach it.
+	WarmBasis *Basis
+	// ReturnBasis requests a Basis snapshot on Solution for warm-starting
+	// later solves.
+	ReturnBasis bool
 	// Obs, when non-nil, receives the pivot count of each solve (the
 	// obs.Pivots counter). The LP core is the sole reporter of pivots so
 	// layered callers (MILP branch-and-bound) never double-count.
@@ -62,8 +77,12 @@ type Options struct {
 }
 
 const (
-	defaultTol    = 1e-7
-	refactorEvery = 120
+	defaultTol = 1e-7
+	// refactorEvery bounds eta-file growth: after this many pivots the
+	// product-form inverse is rebuilt from the basis columns. With the
+	// sparse factorization this costs about as much as a handful of
+	// pivots, unlike the dense O(m^3) rebuild it replaced.
+	refactorEvery = 100
 	// blandTrigger is the number of consecutive degenerate iterations
 	// after which the solver switches to Bland's anti-cycling rule.
 	blandTrigger = 60
@@ -97,7 +116,7 @@ type simplex struct {
 	basis    []int   // row -> column
 	stat     []vstat // column -> status
 	x        []float64
-	binv     [][]float64 // m x m basis inverse
+	etas     []eta // product-form basis inverse
 	tol      float64
 	iters    int
 	maxIter  int
@@ -109,6 +128,14 @@ type simplex struct {
 	// scratch buffers
 	y     []float64
 	alpha []float64
+	rho   []float64
+	// factorization scratch (lazily allocated by factorize)
+	forder   []int
+	fpivoted []bool
+	fbasis   []int
+	fmark    []bool
+	find     []int32
+	fwork    []float64
 }
 
 // Solve minimizes the model objective subject to its constraints and
@@ -133,6 +160,89 @@ func solveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) S
 	if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
 		return Solution{Status: StatusIterationLimit}
 	}
+	s, st := setup(m, opts, loOverride, hiOverride)
+	if st != StatusOptimal {
+		return Solution{Status: st}
+	}
+
+	if opts.WarmBasis != nil {
+		if sol, ok := s.warmSolve(opts.WarmBasis, opts.ReturnBasis); ok {
+			return sol
+		}
+		// Warm start unusable (stale basis, numerical trouble): rebuild
+		// clean state and fall through to the cold two-phase solve.
+		iters := s.iters
+		s, st = setup(m, opts, loOverride, hiOverride)
+		if st != StatusOptimal {
+			return Solution{Status: st}
+		}
+		s.iters = iters
+	}
+
+	if status := s.initialize(); status != StatusOptimal {
+		return Solution{Status: status, Iterations: s.iters}
+	}
+
+	// Phase 1 if artificials were needed.
+	total := s.nStruct + s.m
+	if s.n > total {
+		s.cost = make([]float64, s.n)
+		for j := total; j < s.n; j++ {
+			s.cost[j] = 1
+		}
+		st := s.run()
+		if st != StatusOptimal {
+			if st == StatusUnbounded {
+				// A minimization of a nonnegative sum cannot be
+				// unbounded; treat as numerical failure.
+				st = StatusNumericalFailure
+			}
+			return Solution{Status: st, Iterations: s.iters}
+		}
+		if s.phaseObjective() > 1e-6 {
+			return Solution{Status: StatusInfeasible, Iterations: s.iters}
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := total; j < s.n; j++ {
+			s.lo[j], s.hi[j] = 0, 0
+			if s.stat[j] != basic {
+				s.stat[j] = nbLower
+				s.x[j] = 0
+			}
+		}
+	}
+
+	// Phase 2.
+	s.cost = make([]float64, s.n)
+	copy(s.cost, s.cost2)
+	s.bland = false
+	s.degenStreak = 0
+	st = s.run()
+	if st != StatusOptimal {
+		return Solution{Status: st, Iterations: s.iters}
+	}
+	return s.solution(opts.ReturnBasis)
+}
+
+// solution packages the optimal point currently held by the simplex.
+func (s *simplex) solution(returnBasis bool) Solution {
+	x := make([]float64, s.nStruct)
+	copy(x, s.x[:s.nStruct])
+	obj := 0.0
+	for j := 0; j < s.nStruct; j++ {
+		obj += s.cost2[j] * x[j]
+	}
+	sol := Solution{Status: StatusOptimal, Objective: obj, X: x, Iterations: s.iters}
+	if returnBasis {
+		sol.Basis = s.snapshotBasis()
+	}
+	return sol
+}
+
+// setup assembles the working arrays (structural columns, bounds with
+// overrides applied, slack columns) shared by the cold and warm paths.
+// It returns StatusInfeasible when an override crosses its bound.
+func setup(m *Model, opts Options, loOverride, hiOverride []float64) (*simplex, Status) {
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = defaultTol
@@ -167,7 +277,7 @@ func solveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) S
 			s.hi[j] = hiOverride[j]
 		}
 		if s.lo[j] > s.hi[j]+tol {
-			return Solution{Status: StatusInfeasible}
+			return nil, StatusInfeasible
 		}
 		if s.lo[j] > s.hi[j] {
 			s.lo[j] = s.hi[j]
@@ -195,60 +305,13 @@ func solveWithBounds(m *Model, opts Options, loOverride, hiOverride []float64) S
 	s.n = total
 	s.y = make([]float64, rows)
 	s.alpha = make([]float64, rows)
-
-	if status := s.initialize(); status != StatusOptimal {
-		return Solution{Status: status, Iterations: s.iters}
-	}
-
-	// Phase 1 if artificials were needed.
-	if s.n > total {
-		s.cost = make([]float64, s.n)
-		for j := total; j < s.n; j++ {
-			s.cost[j] = 1
-		}
-		st := s.run()
-		if st != StatusOptimal {
-			if st == StatusUnbounded {
-				// A minimization of a nonnegative sum cannot be
-				// unbounded; treat as numerical failure.
-				st = StatusNumericalFailure
-			}
-			return Solution{Status: st, Iterations: s.iters}
-		}
-		if s.phaseObjective() > 1e-6 {
-			return Solution{Status: StatusInfeasible, Iterations: s.iters}
-		}
-		// Freeze artificials at zero for phase 2.
-		for j := total; j < s.n; j++ {
-			s.lo[j], s.hi[j] = 0, 0
-			if s.stat[j] != basic {
-				s.stat[j] = nbLower
-				s.x[j] = 0
-			}
-		}
-	}
-
-	// Phase 2.
-	s.cost = make([]float64, s.n)
-	copy(s.cost, s.cost2)
-	s.bland = false
-	s.degenStreak = 0
-	st := s.run()
-	if st != StatusOptimal {
-		return Solution{Status: st, Iterations: s.iters}
-	}
-
-	x := make([]float64, nStruct)
-	copy(x, s.x[:nStruct])
-	obj := 0.0
-	for j := 0; j < nStruct; j++ {
-		obj += s.cost2[j] * x[j]
-	}
-	return Solution{Status: StatusOptimal, Objective: obj, X: x, Iterations: s.iters}
+	return s, StatusOptimal
 }
 
-// initialize sets the starting point: structurals at a finite bound (or 0
-// if free), slacks basic where feasible, artificials elsewhere.
+// initialize sets the cold starting point: structurals at a finite bound
+// (or 0 if free), slacks basic where feasible, artificials elsewhere. The
+// initial basis is diagonal, so its product-form inverse needs one eta per
+// negative-signed artificial and nothing else.
 func (s *simplex) initialize() Status {
 	s.x = make([]float64, s.n, s.n+s.m)
 	s.stat = make([]vstat, s.n, s.n+s.m)
@@ -277,16 +340,7 @@ func (s *simplex) initialize() Status {
 	}
 
 	s.basis = make([]int, s.m)
-	s.binv = make([][]float64, s.m)
-	for r := 0; r < s.m; r++ {
-		s.binv[r] = make([]float64, s.m)
-		// The dense basis inverse is the biggest allocation of the solve
-		// (m*m floats — hundreds of MB on floorplanning-sized models), so
-		// the deadline is polled while it is built, not only per pivot.
-		if r&511 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
-			return StatusIterationLimit
-		}
-	}
+	s.etas = s.etas[:0]
 	for r := 0; r < s.m; r++ {
 		slack := s.nStruct + r
 		resid := s.b[r] - act[r]
@@ -295,7 +349,6 @@ func (s *simplex) initialize() Status {
 			s.basis[r] = slack
 			s.stat[slack] = basic
 			s.x[slack] = clamp(resid, s.lo[slack], s.hi[slack])
-			s.binv[r][r] = 1
 			continue
 		}
 		// Clamp the slack at its nearest bound and cover the residual
@@ -322,7 +375,9 @@ func (s *simplex) initialize() Status {
 		s.x = append(s.x, math.Abs(gap))
 		s.stat = append(s.stat, basic)
 		s.basis[r] = aj
-		s.binv[r][r] = 1 / sign
+		if sign < 0 {
+			s.etas = append(s.etas, eta{r: int32(r), alphaR: sign})
+		}
 		s.n++
 	}
 	return StatusOptimal
@@ -354,8 +409,8 @@ func (s *simplex) run() Status {
 		s.iters++
 		sinceRefactor++
 		if sinceRefactor >= refactorEvery {
-			if !s.refactorize() {
-				return StatusNumericalFailure
+			if st := s.factorize(); st != StatusOptimal {
+				return st
 			}
 			sinceRefactor = 0
 		}
@@ -371,13 +426,9 @@ func (s *simplex) run() Status {
 			s.alpha[r] = 0
 		}
 		for _, e := range s.cols[enter] {
-			if e.coef == 0 {
-				continue
-			}
-			for r := 0; r < s.m; r++ {
-				s.alpha[r] += s.binv[r][e.row] * e.coef
-			}
+			s.alpha[e.row] = e.coef
 		}
+		s.ftran(s.alpha)
 
 		leaveRow, step, flip, ok := s.ratioTest(enter, dir)
 		if !ok {
@@ -430,53 +481,28 @@ func (s *simplex) run() Status {
 			s.x[leave] = 0
 		}
 
-		// Pivot: update the explicit inverse.
+		// Pivot: append the eta encoding this basis change.
 		piv := s.alpha[leaveRow]
 		if math.Abs(piv) < 1e-10 {
-			if !s.refactorize() {
-				return StatusNumericalFailure
+			if st := s.factorize(); st != StatusOptimal {
+				return st
 			}
 			sinceRefactor = 0
 			continue
 		}
-		invPiv := 1 / piv
-		rowR := s.binv[leaveRow]
-		for c := 0; c < s.m; c++ {
-			rowR[c] *= invPiv
-		}
-		for r := 0; r < s.m; r++ {
-			if r == leaveRow {
-				continue
-			}
-			f := s.alpha[r]
-			if f == 0 {
-				continue
-			}
-			rr := s.binv[r]
-			for c := 0; c < s.m; c++ {
-				rr[c] -= f * rowR[c]
-			}
-		}
+		s.appendEta(s.alpha, leaveRow)
 		s.basis[leaveRow] = enter
 		s.stat[enter] = basic
 	}
 }
 
-// computeDuals sets y = c_B^T B^{-1}.
+// computeDuals sets y = c_B^T B^{-1} via a backward transformation of the
+// basic costs through the eta file.
 func (s *simplex) computeDuals() {
-	for c := 0; c < s.m; c++ {
-		s.y[c] = 0
-	}
 	for r := 0; r < s.m; r++ {
-		cb := s.cost[s.basis[r]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[r]
-		for c := 0; c < s.m; c++ {
-			s.y[c] += cb * row[c]
-		}
+		s.y[r] = s.cost[s.basis[r]]
 	}
+	s.btran(s.y)
 }
 
 // price selects the entering column and its direction (+1 to increase, -1
@@ -593,78 +619,6 @@ func (s *simplex) tieBreak(r, current int) bool {
 		return s.basis[r] < s.basis[current]
 	}
 	return math.Abs(s.alpha[r]) > math.Abs(s.alpha[current])
-}
-
-// refactorize rebuilds the basis inverse from scratch (Gauss-Jordan with
-// partial pivoting) and recomputes the basic variable values. Returns
-// false if the basis matrix is numerically singular.
-func (s *simplex) refactorize() bool {
-	m := s.m
-	// Dense basis matrix.
-	bm := make([][]float64, m)
-	for r := 0; r < m; r++ {
-		bm[r] = make([]float64, 2*m)
-		bm[r][m+r] = 1
-	}
-	for c := 0; c < m; c++ {
-		for _, e := range s.cols[s.basis[c]] {
-			bm[e.row][c] = e.coef
-		}
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		piv := col
-		for r := col + 1; r < m; r++ {
-			if math.Abs(bm[r][col]) > math.Abs(bm[piv][col]) {
-				piv = r
-			}
-		}
-		if math.Abs(bm[piv][col]) < 1e-11 {
-			return false
-		}
-		bm[col], bm[piv] = bm[piv], bm[col]
-		inv := 1 / bm[col][col]
-		for c := col; c < 2*m; c++ {
-			bm[col][c] *= inv
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := bm[r][col]
-			if f == 0 {
-				continue
-			}
-			for c := col; c < 2*m; c++ {
-				bm[r][c] -= f * bm[col][c]
-			}
-		}
-	}
-	for r := 0; r < m; r++ {
-		copy(s.binv[r], bm[r][m:])
-	}
-
-	// Recompute basic values: xB = B^{-1} (b - N xN).
-	rhs := append([]float64(nil), s.b...)
-	for j := 0; j < s.n; j++ {
-		if s.stat[j] == basic {
-			continue
-		}
-		if v := s.x[j]; v != 0 {
-			for _, e := range s.cols[j] {
-				rhs[e.row] -= e.coef * v
-			}
-		}
-	}
-	for r := 0; r < m; r++ {
-		v := 0.0
-		row := s.binv[r]
-		for c := 0; c < m; c++ {
-			v += row[c] * rhs[c]
-		}
-		s.x[s.basis[r]] = v
-	}
-	return true
 }
 
 func clamp(v, lo, hi float64) float64 {

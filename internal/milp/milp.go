@@ -111,7 +111,16 @@ type node struct {
 	lo, hi []float64 // bound overrides (NaN = model bound)
 	bound  float64   // parent relaxation objective (lower bound)
 	depth  int
+	// basis is the parent relaxation's optimal basis; the node's LP is
+	// warm started from it with the dual simplex. Nil (cold solve) at the
+	// root and when the open-node queue grew past warmBasisQueueCap.
+	basis *lp.Basis
 }
+
+// warmBasisQueueCap bounds how many queued nodes may hold a basis
+// snapshot: beyond this the snapshots are dropped (nodes re-solve cold)
+// so a wide search cannot hold O(queue * m) floats alive.
+const warmBasisQueueCap = 1024
 
 // nodeQueue is a best-bound min-heap with depth as tie-break (deeper first,
 // which gives the search a diving flavor among equal bounds).
@@ -154,6 +163,22 @@ func Solve(ctx context.Context, m *lp.Model, opts Options) Result {
 	intVars := m.IntegerVariables()
 
 	sp := obs.OrNop(opts.Obs)
+
+	// Root presolve: tighten bounds (integer-aware) and drop redundant
+	// rows once, so every node's relaxation solves the reduced model.
+	// The variable set is unchanged, so branch bound overrides and the
+	// returned X keep their indices, and every integer-feasible point of
+	// the original model stays feasible in the presolved one.
+	pm, infeasible := lp.Presolve(m, true)
+	if infeasible {
+		return Result{
+			Status:    StatusInfeasible,
+			Objective: math.Inf(1),
+			Bound:     math.Inf(-1),
+			Elapsed:   time.Since(start),
+		}
+	}
+	m = pm
 	lpOpts := opts.LP
 	// Bound each node's relaxation solve by the overall deadline: the
 	// search checks its budget between nodes, so a single runaway
@@ -416,7 +441,10 @@ func (st *search) runParallel(workers int) {
 
 // processNode solves the node relaxation, prunes or branches.
 func (st *search) processNode(nd *node) {
-	sol := lp.SolveWithBounds(st.model, st.lpOpts, nd.lo, nd.hi)
+	lpOpts := st.lpOpts
+	lpOpts.ReturnBasis = true
+	lpOpts.WarmBasis = nd.basis
+	sol := lp.SolveWithBounds(st.model, lpOpts, nd.lo, nd.hi)
 	switch sol.Status {
 	case lp.StatusInfeasible:
 		if nd.depth == 0 {
@@ -500,6 +528,7 @@ func (st *search) processNode(nd *node) {
 		hi:    append([]float64(nil), nd.hi...),
 		bound: sol.Objective,
 		depth: nd.depth + 1,
+		basis: sol.Basis,
 	}
 	down.hi[branchVar] = floor
 	// Up child: x >= floor+1.
@@ -508,10 +537,14 @@ func (st *search) processNode(nd *node) {
 		hi:    append([]float64(nil), nd.hi...),
 		bound: sol.Objective,
 		depth: nd.depth + 1,
+		basis: sol.Basis,
 	}
 	up.lo[branchVar] = floor + 1
 
 	st.mu.Lock()
+	if len(st.queue) > warmBasisQueueCap {
+		down.basis, up.basis = nil, nil
+	}
 	heap.Push(&st.queue, down)
 	heap.Push(&st.queue, up)
 	st.mu.Unlock()

@@ -83,6 +83,9 @@ type HOEngine struct {
 	MaxNodes int
 	// SkipWireStage skips the wire-length pass.
 	SkipWireStage bool
+	// seedSolve replaces the constructive heuristic in tests; nil uses
+	// heuristic.Constructive.
+	seedSolve func(context.Context, *core.Problem, core.SolveOptions) (*core.Solution, error)
 }
 
 // Name implements core.Engine.
@@ -103,8 +106,21 @@ func (e *HOEngine) Solve(ctx context.Context, p *core.Problem, opts core.SolveOp
 	}
 	seed := e.Seed
 	if seed == nil {
+		solveSeed := e.seedSolve
+		if solveSeed == nil {
+			solveSeed = (&heuristic.Constructive{}).Solve
+		}
 		var err error
-		seed, err = (&heuristic.Constructive{}).Solve(ctx, p, seedBudget(opts))
+		seed, err = solveSeed(ctx, p, seedBudget(opts))
+		if err != nil && ctx.Err() == nil {
+			// The quarter-slice seed budget is a split heuristic, not a
+			// verdict: without a seed HO has no sequence pair and hence no
+			// MILP to run, so the unspent MILP share is worthless on its
+			// own. Lend the seed the remaining budget before giving up —
+			// this is what lets HO solve sdr3-sized instances whose seed
+			// alone needs more than a quarter of the budget.
+			seed, err = solveSeed(ctx, p, remainingBudget(opts, start))
+		}
 		if err != nil {
 			// The constructive placer's give-up (bounded backtracking
 			// exhausted) is not an infeasibility proof. Do not wrap err:

@@ -45,6 +45,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/lp"
@@ -203,8 +204,59 @@ func Build(p *core.Problem, opts Options) (*Compiled, error) {
 		return nil, fmt.Errorf("model: unknown encoding %d", opts.Encoding)
 	}
 	c.buildNonOverlap()
+	c.buildSymmetryBreaking()
 	c.buildObjective()
 	return c, nil
+}
+
+// identicalFCGroups partitions the FC request indices into groups of
+// interchangeable requests: same primary region, same AlsoCompatible set,
+// same mode and same effective weight. Any solution permuting such a
+// group's placements is equivalent — nets only attach to regions — which
+// makes the group a pure symmetry of the MILP.
+func identicalFCGroups(p *core.Problem) [][]int {
+	byKey := map[string][]int{}
+	var order []string
+	for i, fc := range p.FCAreas {
+		extras := append([]int(nil), fc.AlsoCompatible...)
+		sort.Ints(extras)
+		key := fmt.Sprintf("%d|%v|%d|%g", fc.Region, extras, fc.Mode, fc.EffectiveWeight())
+		if _, seen := byKey[key]; !seen {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], i)
+	}
+	groups := make([][]int, 0, len(order))
+	for _, key := range order {
+		groups = append(groups, byKey[key])
+	}
+	return groups
+}
+
+// buildSymmetryBreaking orders the placements of interchangeable FC
+// requests canonically: within each identical group, consecutive areas i,
+// j satisfy W*y_i + x_i <= W*y_j + x_j (lexicographic by row, then
+// column). This prunes the k! permutations of a k-request group from the
+// branch-and-bound tree without excluding any distinct floorplan. The
+// comparison is non-strict because missed metric-mode areas may
+// legitimately coincide. Skipped in HO mode: the seed's sequence pair
+// already fixes every pairwise order and could contradict the canonical
+// one.
+func (c *Compiled) buildSymmetryBreaking() {
+	if c.Opts.SeqPair != nil {
+		return
+	}
+	W := c.bigW()
+	for _, g := range identicalFCGroups(c.Problem) {
+		for t := 1; t < len(g); t++ {
+			i := c.regionCount() + g[t-1]
+			j := c.regionCount() + g[t]
+			c.LP.AddConstraint(fmt.Sprintf("sym.fc%d.fc%d", g[t-1], g[t]), []lp.Term{
+				{Var: c.y[i], Coef: W}, {Var: c.x[i], Coef: 1},
+				{Var: c.y[j], Coef: -W}, {Var: c.x[j], Coef: -1},
+			}, lp.LE, 0)
+		}
+	}
 }
 
 // bigW and bigH are the big-M constants of the x and y dimensions (the

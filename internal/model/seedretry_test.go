@@ -1,0 +1,96 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heuristic"
+)
+
+// TestHOSeedRetryWithRemainingBudget pins the seed-retry policy: the
+// quarter-slice seed budget is a split heuristic, so when the heuristic
+// fails inside it, HO must retry the seed with the remaining budget
+// before reporting ErrNoSolution. This is what makes milp-ho feasible on
+// sdr3, where the constructive placer needs more than a quarter of a
+// tight budget to find a legal placement.
+func TestHOSeedRetryWithRemainingBudget(t *testing.T) {
+	p := smallProblem(1, core.RelocMetric)
+	const limit = 8 * time.Second
+
+	var budgets []time.Duration
+	eng := &HOEngine{
+		SkipWireStage: true,
+		seedSolve: func(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+			budgets = append(budgets, opts.TimeLimit)
+			if len(budgets) == 1 {
+				return nil, core.ErrNoSolution // quarter-slice attempt fails
+			}
+			return (&heuristic.Constructive{}).Solve(ctx, p, opts)
+		},
+	}
+	sol, err := eng.Solve(context.Background(), p, core.SolveOptions{TimeLimit: limit, Seed: 1})
+	if err != nil {
+		t.Fatalf("HO failed despite retry budget: %v", err)
+	}
+	if verr := sol.Validate(p); verr != nil {
+		t.Fatalf("HO solution invalid: %v", verr)
+	}
+	if len(budgets) != 2 {
+		t.Fatalf("seed attempts = %d, want 2 (quarter slice, then retry)", len(budgets))
+	}
+	if budgets[0] != limit/4 {
+		t.Errorf("first seed budget = %s, want quarter slice %s", budgets[0], limit/4)
+	}
+	if budgets[1] <= budgets[0] {
+		t.Errorf("retry budget %s not larger than the quarter slice %s", budgets[1], budgets[0])
+	}
+}
+
+// TestHOSeedRetryStopsOnFailure: when the retry fails too, the error must
+// surface as ErrNoSolution (never ErrInfeasible — a heuristic give-up is
+// not a proof) after exactly two attempts.
+func TestHOSeedRetryStopsOnFailure(t *testing.T) {
+	p := smallProblem(0, core.RelocConstraint)
+	attempts := 0
+	eng := &HOEngine{
+		seedSolve: func(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+			attempts++
+			return nil, core.ErrNoSolution
+		},
+	}
+	_, err := eng.Solve(context.Background(), p, core.SolveOptions{TimeLimit: time.Second, Seed: 1})
+	if !errors.Is(err, core.ErrNoSolution) {
+		t.Fatalf("err = %v, want ErrNoSolution", err)
+	}
+	if errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("heuristic give-up surfaced as infeasibility proof: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("seed attempts = %d, want 2", attempts)
+	}
+}
+
+// TestHOSeedNoRetryOnCanceledContext: a seed failure caused by context
+// cancellation must not trigger a retry — there is no budget left to lend.
+func TestHOSeedNoRetryOnCanceledContext(t *testing.T) {
+	p := smallProblem(0, core.RelocConstraint)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	eng := &HOEngine{
+		seedSolve: func(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+			attempts++
+			cancel() // simulate the budget dying mid-seed
+			return nil, core.ErrNoSolution
+		},
+	}
+	_, err := eng.Solve(ctx, p, core.SolveOptions{TimeLimit: time.Second, Seed: 1})
+	if !errors.Is(err, core.ErrNoSolution) {
+		t.Fatalf("err = %v, want ErrNoSolution", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("seed attempts = %d, want 1 (no retry on canceled context)", attempts)
+	}
+}

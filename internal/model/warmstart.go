@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -33,6 +34,11 @@ func (c *Compiled) WarmStartFrom(sol *core.Solution) ([]float64, error) {
 			// overlap and forbidden crossings are absorbed by v_c = 1.
 			rects[area] = sol.Regions[c.Problem.FCAreas[f].Region]
 			missed[area] = true
+		}
+	}
+	c.canonicalizeFCOrder(rects, missed)
+	for f := range sol.FC {
+		if missed[c.regionCount()+f] {
 			x[c.viol[f]] = 1
 		}
 	}
@@ -47,6 +53,42 @@ func (c *Compiled) WarmStartFrom(sol *core.Solution) ([]float64, error) {
 		return nil, fmt.Errorf("model: warm start infeasible against compiled model: %w", err)
 	}
 	return x, nil
+}
+
+// canonicalizeFCOrder permutes the placements of each identical FC group
+// so they satisfy the symmetry-breaking order constraints of
+// buildSymmetryBreaking (ascending W*y + x). The group's requests are
+// interchangeable, so the permuted assignment describes the same
+// floorplan; without it a valid seed could be rejected as warm start for
+// sitting in a symmetric branch the model excludes. No-op in HO mode,
+// matching the constraints being skipped there.
+func (c *Compiled) canonicalizeFCOrder(rects []grid.Rect, missed []bool) {
+	if c.Opts.SeqPair != nil {
+		return
+	}
+	W := c.Problem.Device.Width()
+	type placement struct {
+		rect grid.Rect
+		miss bool
+	}
+	for _, g := range identicalFCGroups(c.Problem) {
+		if len(g) < 2 {
+			continue
+		}
+		items := make([]placement, len(g))
+		for t, f := range g {
+			area := c.regionCount() + f
+			items[t] = placement{rects[area], missed[area]}
+		}
+		sort.SliceStable(items, func(a, b int) bool {
+			return items[a].rect.Y*W+items[a].rect.X < items[b].rect.Y*W+items[b].rect.X
+		})
+		for t, f := range g {
+			area := c.regionCount() + f
+			rects[area] = items[t].rect
+			missed[area] = items[t].miss
+		}
+	}
 }
 
 // assignArea fills every per-area variable from the rectangle.
