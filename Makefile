@@ -9,6 +9,10 @@
 #   make bench-json run the floorbench harness and validate BENCH.json
 #                  (tune with BENCH_INSTANCES/BENCH_ENGINES/BENCH_BUDGET/
 #                   BENCH_REPEATS; CI runs a short smoke)
+#   make bench-diff regression-gate BENCH.json against the committed
+#                  baseline (BENCH_BASELINE, default BENCH_PR7.json):
+#                  fails on significant p50 slowdowns, outcome drops or
+#                  new budget violations, writes BENCH_DIFF.json
 #   make sim-json  run the floorsim online-session driver and validate
 #                  SIM.json (tune with SIM_DEVICE/SIM_EVENTS/SIM_SEED/
 #                  SIM_INTENSITY; CI runs the seeded smoke)
@@ -25,13 +29,21 @@ BENCH_BUDGET    ?= 2s
 BENCH_REPEATS   ?= 1
 BENCH_OUT       ?= BENCH.json
 
+# Compare-gate knobs. The noise margins are deliberately generous for a
+# repeats=1 run on shared CI hardware: a cell only regresses past BOTH
+# +50% and +400ms on its median wall-clock.
+BENCH_BASELINE    ?= BENCH_PR7.json
+BENCH_NOISE_PCT   ?= 50
+BENCH_NOISE_FLOOR ?= 400
+BENCH_DIFF_OUT    ?= BENCH_DIFF.json
+
 SIM_DEVICE    ?= fx70t
 SIM_EVENTS    ?= 250
 SIM_SEED      ?= 7
 SIM_INTENSITY ?= 0.6
 SIM_OUT       ?= SIM.json
 
-.PHONY: check fmt vet build test race bench obs-bench bench-json sim-json fuzz serve clean
+.PHONY: check fmt vet build test race bench obs-bench bench-json bench-diff sim-json fuzz serve clean
 
 check: fmt vet build race
 
@@ -72,6 +84,13 @@ bench-json:
 	$(BIN)/floorbench -instances $(BENCH_INSTANCES) -engines $(BENCH_ENGINES) \
 		-budget $(BENCH_BUDGET) -repeats $(BENCH_REPEATS) -out $(BENCH_OUT) $(BENCH_FLAGS)
 	$(BIN)/floorbench -validate $(BENCH_OUT)
+
+bench-diff:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/floorbench ./cmd/floorbench
+	$(BIN)/floorbench -compare $(BENCH_BASELINE) -noise-pct $(BENCH_NOISE_PCT) \
+		-noise-floor $(BENCH_NOISE_FLOOR) -diff-out $(BENCH_DIFF_OUT) \
+		$(BENCH_DIFF_FLAGS) $(BENCH_OUT)
 
 sim-json:
 	@mkdir -p $(BIN)

@@ -11,6 +11,15 @@
 //	floorbench -out BENCH.json                             # full default run
 //	floorbench -instances sdr,sdr2 -engines exact,milp-ho -budget 2s -repeats 3
 //	floorbench -validate BENCH.json                        # validate an existing report
+//	floorbench -compare OLD.json NEW.json                  # regression-gate NEW against OLD
+//
+// Compare mode is the CI regression gate: it diffs NEW.json against the
+// OLD.json baseline cell by cell and exits nonzero when a cell's median
+// wall-clock slows past BOTH noise margins (-noise-pct and
+// -noise-floor), when an outcome gets worse (lost proof, lost
+// feasibility, new failure), when a cell starts violating the budget
+// contract, or when a baseline cell disappears. -diff-out writes the
+// machine-readable diff next to the human table.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -47,9 +57,22 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "base seed for randomized engines (repeat i uses seed+i)")
 		out       = flag.String("out", "BENCH.json", "output report path")
 		validate  = flag.String("validate", "", "validate an existing report at this path and exit")
-		strict    = flag.Bool("strict-budget", false, "exit nonzero when any cell's median wall-clock exceeds budget plus the contract epsilon")
+		strict    = flag.Bool("strict-budget", false, "exit nonzero when any cell's median wall-clock exceeds budget plus the contract epsilon (in -compare mode: when the new report has any budget warning)")
+		compare   = flag.String("compare", "", "regression-gate mode: diff the report named by the positional argument against this baseline and exit")
+		noisePct  = flag.Float64("noise-pct", benchfmt.DefaultNoisePct, "compare: relative p50 slowdown (percent) tolerated as noise")
+		noiseFlr  = flag.Float64("noise-floor", benchfmt.DefaultNoiseFloorMS, "compare: absolute p50 slowdown (milliseconds) tolerated as noise")
+		diffOut   = flag.String("diff-out", "", "compare: also write the diff as JSON to this path")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		return runCompare(*compare, flag.Arg(0), compareOpts{
+			NoisePct:     *noisePct,
+			NoiseFloorMS: *noiseFlr,
+			DiffOut:      *diffOut,
+			StrictBudget: *strict,
+		})
+	}
 
 	if *validate != "" {
 		f, err := os.Open(*validate)
@@ -103,6 +126,71 @@ func run() error {
 	return nil
 }
 
+// compareOpts parameterizes one regression-gate run.
+type compareOpts struct {
+	NoisePct     float64
+	NoiseFloorMS float64
+	DiffOut      string
+	StrictBudget bool
+}
+
+// runCompare is the regression gate: read both reports, diff, render,
+// fail on regressions.
+func runCompare(oldPath, newPath string, opts compareOpts) error {
+	if newPath == "" {
+		return fmt.Errorf("compare mode needs the new report as a positional argument: floorbench -compare OLD.json NEW.json")
+	}
+	base, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	head, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	diff := benchfmt.Compare(base, head, benchfmt.CompareOpts{
+		NoisePct:     opts.NoisePct,
+		NoiseFloorMS: opts.NoiseFloorMS,
+	})
+	if err := diff.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if opts.DiffOut != "" {
+		f, err := os.Create(opts.DiffOut)
+		if err != nil {
+			return err
+		}
+		werr := diff.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	if opts.StrictBudget && len(head.BudgetWarnings) > 0 {
+		return fmt.Errorf("strict budget: new report carries %d budget warning(s)", len(head.BudgetWarnings))
+	}
+	if diff.Regressed() {
+		return fmt.Errorf("%d regression(s) against %s", len(diff.Regressions), oldPath)
+	}
+	return nil
+}
+
+// readReport opens and schema-validates one report.
+func readReport(path string) (*benchfmt.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := benchfmt.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
 // benchConfig parameterizes one harness run.
 type benchConfig struct {
 	Instances []string
@@ -137,6 +225,7 @@ func runBench(ctx context.Context, cfg benchConfig) (*benchfmt.Report, error) {
 		BudgetMS:      durMS(cfg.Budget),
 		Repeats:       cfg.Repeats,
 		Seed:          cfg.Seed,
+		Meta:          runMeta(),
 	}
 	if host, err := os.Hostname(); err == nil {
 		report.Host = host
@@ -184,7 +273,7 @@ func runCell(ctx context.Context, instance, engine string, p *core.Problem, cfg 
 		res.Runs++
 
 		outcome := benchOutcome(sol, err)
-		if outcomeRank(outcome) > outcomeRank(res.Outcome) {
+		if benchfmt.OutcomeRank(outcome) > benchfmt.OutcomeRank(res.Outcome) {
 			res.Outcome = outcome
 		}
 		if outcome == "error" && res.Err == "" && err != nil {
@@ -220,24 +309,28 @@ func benchOutcome(sol *core.Solution, err error) string {
 	}
 }
 
-// outcomeRank orders outcomes by informativeness, so a cell's aggregate
-// outcome is its best repeat: a proof beats a solution beats an
-// infeasibility verdict beats an exhausted budget beats a failure.
-func outcomeRank(o string) int {
-	switch o {
-	case "proven":
-		return 5
-	case "solved":
-		return 4
-	case "infeasible":
-		return 3
-	case "no_solution":
-		return 2
-	case "error":
-		return 1
-	default:
-		return 0
+// runMeta captures the run's provenance from the embedded build info
+// and the live runtime (nil only if even runtime introspection fails,
+// which it cannot).
+func runMeta() *benchfmt.Meta {
+	m := &benchfmt.Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitCommit = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
 }
 
 // curveFrom extracts the engine span's incumbent trajectory as a

@@ -3,6 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -41,6 +45,10 @@ func TestRunBenchSmoke(t *testing.T) {
 	if res := report.Results[0]; res.Engine != "exact" || !res.Optimal || res.Outcome != "proven" {
 		t.Errorf("exact cell = %+v, want an optimality proof", res)
 	}
+	// The provenance block travels with the report.
+	if report.Meta == nil || report.Meta.NumCPU < 1 || report.Meta.GOMAXPROCS < 1 || report.Meta.GoVersion == "" {
+		t.Errorf("run meta incomplete: %+v", report.Meta)
+	}
 	// Serialization round-trips through the validator.
 	var buf bytes.Buffer
 	if err := report.Write(&buf); err != nil {
@@ -48,6 +56,87 @@ func TestRunBenchSmoke(t *testing.T) {
 	}
 	if _, err := benchfmt.Read(&buf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// writeReport writes r to dir/name for the compare-gate tests.
+func writeReport(t *testing.T, dir, name string, r *benchfmt.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCompareGate drives the CLI gate over fixture reports: a clean
+// head passes, a head with one deliberately slowed engine fails and the
+// JSON diff names the slowed cell.
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	obj := 17.0
+	base := &benchfmt.Report{
+		SchemaVersion: benchfmt.SchemaVersion,
+		BudgetMS:      2000,
+		Repeats:       1,
+		Results: []benchfmt.Result{
+			{Instance: "sdr", Engine: "exact", Outcome: "proven", Feasible: true, Optimal: true,
+				BestObjective: &obj, Runs: 1, WallMSP50: 200, WallMSP95: 220},
+			{Instance: "sdr", Engine: "constructive", Outcome: "solved", Feasible: true,
+				BestObjective: &obj, Runs: 1, WallMSP50: 5, WallMSP95: 6},
+		},
+	}
+	oldPath := writeReport(t, dir, "old.json", base)
+
+	// Clean head: identical numbers pass the gate.
+	if err := runCompare(oldPath, writeReport(t, dir, "same.json", base), compareOpts{}); err != nil {
+		t.Fatalf("self-compare failed the gate: %v", err)
+	}
+
+	// Slowed head: the exact engine got 4x slower (as if someone dropped
+	// its presolve). The gate must fail and the diff must say which cell.
+	slowed := *base
+	slowed.Results = append([]benchfmt.Result(nil), base.Results...)
+	slowed.Results[0].WallMSP50, slowed.Results[0].WallMSP95 = 800, 900
+	newPath := writeReport(t, dir, "new.json", &slowed)
+	diffPath := filepath.Join(dir, "diff.json")
+	err := runCompare(oldPath, newPath, compareOpts{DiffOut: diffPath})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("slowed engine passed the gate: %v", err)
+	}
+	raw, rerr := os.ReadFile(diffPath)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	var diff benchfmt.Diff
+	if err := json.Unmarshal(raw, &diff); err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Regressed() || len(diff.Regressions) != 1 || !strings.Contains(diff.Regressions[0], "sdr×exact") {
+		t.Fatalf("diff does not pin the slowed cell: %+v", diff.Regressions)
+	}
+
+	// Strict budget in compare mode: a head report carrying any budget
+	// warning fails even when it matches its own baseline.
+	blown := *base
+	blown.Results = append([]benchfmt.Result(nil), base.Results...)
+	blown.Results[0].WallMSP50, blown.Results[0].WallMSP95 = 2400, 2500
+	blownPath := writeReport(t, dir, "blown.json", &blown)
+	err = runCompare(blownPath, blownPath, compareOpts{StrictBudget: true})
+	if err == nil || !strings.Contains(err.Error(), "strict budget") {
+		t.Fatalf("strict budget did not fail on a warned report: %v", err)
+	}
+
+	// Missing positional argument is a usage error, not a pass.
+	if err := runCompare(oldPath, "", compareOpts{}); err == nil {
+		t.Fatal("compare without a new report passed")
 	}
 }
 

@@ -24,9 +24,17 @@
 //	GET  /debug/solves      recent solve records (flight recorder) + per-engine
 //	                        distribution summaries; ?n= bounds the list
 //	GET  /debug/solves/{id} one solve record with its full telemetry trace
+//	GET  /debug/events      wide-event pipeline counters + the kept event
+//	                        tail (tail-sampled); ?n= bounds the list
+//	GET  /debug/slo         per-objective error budgets, burn rates and
+//	                        alert states
 //
 // Logs go to stderr at -log-level (default info) in -log-format (default
 // text; json for machine ingestion).
+//
+// -events FILE exports one JSON line per kept wide event (every solve
+// and session batch that survives tail sampling) to a size-rotated file;
+// without it events stay in the in-memory tail behind /debug/events.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // requests, drains in-flight solves and cancels queued ones. SIGUSR1
@@ -52,6 +60,7 @@ import (
 	floorplanner "repro"
 	"repro/internal/logx"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -80,6 +89,11 @@ func run() error {
 		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "idle time before a session is reclaimed")
 		flightSize   = flag.Int("flight", 256, "solve records kept in the flight recorder ring (/debug/solves)")
 		flightDump   = flag.String("flight-dump", "floorpland-flight.json", "file the flight ring is dumped to on SIGUSR1")
+		eventsPath   = flag.String("events", "", "export wide events as JSON lines to this file (empty keeps them in-memory only)")
+		eventsMax    = flag.Int64("events-max-bytes", 0, "rotate the events file past this size (0 = 8 MiB)")
+		eventsKeep   = flag.Int("events-keep", 0, "rotated events files kept (0 = 2)")
+		eventsSample = flag.Float64("events-sample", 0, "keep probability for unremarkable events; errors, budget breaches and the slow tail are always kept (0 = 0.1, 1 keeps everything)")
+		eventsTail   = flag.Int("events-tail", 0, "wide events kept in memory behind /debug/events (0 = 256)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
@@ -100,6 +114,16 @@ func run() error {
 			return err
 		}
 	}
+	var eventSink telemetry.Sink
+	if *eventsPath != "" {
+		fs, err := telemetry.NewFileSink(*eventsPath, *eventsMax, *eventsKeep)
+		if err != nil {
+			return err
+		}
+		// The exporter owns the sink: Server.Close closes it after the
+		// queue drains.
+		eventSink = fs
+	}
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		QueueSize:        *queue,
@@ -113,6 +137,9 @@ func run() error {
 		MaxSessions:      *maxSessions,
 		SessionTTL:       *sessionTTL,
 		FlightSize:       *flightSize,
+		EventSink:        eventSink,
+		EventTailSize:    *eventsTail,
+		EventSampleRate:  *eventsSample,
 		Logger:           log,
 		Version:          buildVersion(),
 	})

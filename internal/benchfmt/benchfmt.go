@@ -34,6 +34,11 @@ type Report struct {
 	Repeats int `json:"repeats"`
 	// Seed drove the randomized engines.
 	Seed int64 `json:"seed"`
+	// Meta records the run's provenance (toolchain, host shape, VCS
+	// state) so two reports can be judged comparable before their numbers
+	// are. Optional: reports from before the field existed — and
+	// hand-built fixtures — validate without it.
+	Meta *Meta `json:"meta,omitempty"`
 	// Results holds one entry per instance×engine.
 	Results []Result `json:"results"`
 	// BudgetWarnings lists the cells whose median wall-clock blew the
@@ -42,6 +47,24 @@ type Report struct {
 	// budget blowout is visible in the committed artifact itself. Write
 	// recomputes it, so hand-edited lists do not survive serialization.
 	BudgetWarnings []string `json:"budget_warnings,omitempty"`
+}
+
+// Meta is a report's provenance block: enough to tell whether two
+// reports were produced by comparable builds on comparable hosts.
+type Meta struct {
+	// GitCommit is the VCS revision the harness binary was built from
+	// (vcs.revision from the embedded build info); GitDirty marks a build
+	// with uncommitted changes.
+	GitCommit string `json:"git_commit,omitempty"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	// GoVersion, GOOS and GOARCH describe the toolchain and platform.
+	GoVersion string `json:"go_version,omitempty"`
+	GOOS      string `json:"goos,omitempty"`
+	GOARCH    string `json:"goarch,omitempty"`
+	// NumCPU and GOMAXPROCS describe the host parallelism at run time —
+	// the usual suspect when two reports disagree on wall-clock.
+	NumCPU     int `json:"num_cpu,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // ContractEpsilonMS is the slack a solve may overrun its budget before
@@ -75,6 +98,28 @@ var knownOutcomes = map[string]bool{
 	"infeasible":  true,
 	"no_solution": true,
 	"error":       true,
+}
+
+// OutcomeRank orders outcomes by informativeness: a proof beats a
+// solution beats an infeasibility verdict beats an exhausted budget
+// beats a failure. Unknown outcomes rank lowest. The harness uses it to
+// aggregate repeats; the compare gate uses it to spot a cell whose
+// outcome got worse.
+func OutcomeRank(o string) int {
+	switch o {
+	case "proven":
+		return 5
+	case "solved":
+		return 4
+	case "infeasible":
+		return 3
+	case "no_solution":
+		return 2
+	case "error":
+		return 1
+	default:
+		return 0
+	}
 }
 
 // Result is one instance×engine cell of the benchmark matrix.

@@ -1,0 +1,233 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// CompareOpts tunes the regression gate's noise discrimination. A cell's
+// wall-clock only counts as regressed when it exceeds BOTH margins —
+// the relative one keeps fast cells from tripping on microsecond jitter,
+// the absolute one keeps slow cells from tripping on a few percent of
+// scheduler noise.
+type CompareOpts struct {
+	// NoisePct is the relative p50 slowdown (percent) tolerated as noise
+	// (default 10).
+	NoisePct float64
+	// NoiseFloorMS is the absolute p50 slowdown (milliseconds) tolerated
+	// as noise (default 25).
+	NoiseFloorMS float64
+}
+
+// Compare defaults.
+const (
+	DefaultNoisePct     = 10
+	DefaultNoiseFloorMS = 25
+)
+
+func (o *CompareOpts) withDefaults() CompareOpts {
+	out := *o
+	if out.NoisePct <= 0 {
+		out.NoisePct = DefaultNoisePct
+	}
+	if out.NoiseFloorMS <= 0 {
+		out.NoiseFloorMS = DefaultNoiseFloorMS
+	}
+	return out
+}
+
+// CellDiff is one instance×engine cell's old-vs-new comparison.
+type CellDiff struct {
+	Instance string `json:"instance"`
+	Engine   string `json:"engine"`
+	// OldP50/NewP50 and the deltas carry the gate's main signal.
+	OldP50MS     float64  `json:"old_p50_ms"`
+	NewP50MS     float64  `json:"new_p50_ms"`
+	DeltaP50MS   float64  `json:"delta_p50_ms"`
+	DeltaP50Pct  float64  `json:"delta_p50_pct"`
+	OldP95MS     float64  `json:"old_p95_ms"`
+	NewP95MS     float64  `json:"new_p95_ms"`
+	OldOutcome   string   `json:"old_outcome"`
+	NewOutcome   string   `json:"new_outcome"`
+	OldObjective *float64 `json:"old_objective,omitempty"`
+	NewObjective *float64 `json:"new_objective,omitempty"`
+	// DeltaObjective is new minus old best objective, when both exist
+	// (positive = worse: objectives are minimized).
+	DeltaObjective *float64 `json:"delta_objective,omitempty"`
+	// NewBudgetViolation marks a cell that breaks the deadline contract
+	// in the new report but did not in the old one.
+	NewBudgetViolation bool `json:"new_budget_violation,omitempty"`
+	// Regressed aggregates Reasons.
+	Regressed bool `json:"regressed,omitempty"`
+	// Reasons spells out each regression ("p50 +140% (+320ms)",
+	// "outcome proven -> error", ...), empty for clean cells.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Diff is a full old-vs-new report comparison: the gate's verdict plus
+// everything needed to render it.
+type Diff struct {
+	// Opts echoes the margins the verdict was computed under.
+	Opts CompareOpts `json:"opts"`
+	// OldMeta/NewMeta carry the reports' provenance, when present.
+	OldMeta *Meta `json:"old_meta,omitempty"`
+	NewMeta *Meta `json:"new_meta,omitempty"`
+	// Cells compares every cell present in both reports, old-report order.
+	Cells []CellDiff `json:"cells"`
+	// MissingCells are cells the old report had and the new one lost —
+	// a shrunk matrix is a regression until the baseline says otherwise.
+	MissingCells []string `json:"missing_cells,omitempty"`
+	// NewCells are cells only the new report has (informational).
+	NewCells []string `json:"new_cells,omitempty"`
+	// Regressions flattens every failure into one line each.
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// Regressed reports whether the gate should fail.
+func (d *Diff) Regressed() bool { return len(d.Regressions) > 0 }
+
+// Compare diffs head against the base baseline cell by cell. A cell
+// regresses when its median wall-clock slows past both noise margins,
+// when its outcome rank drops (lost proof, lost feasibility, new
+// failure), or when it violates the budget contract where the baseline
+// did not. Cells missing from the head report regress unconditionally.
+func Compare(base, head *Report, opts CompareOpts) *Diff {
+	opts = opts.withDefaults()
+	d := &Diff{Opts: opts, OldMeta: base.Meta, NewMeta: head.Meta}
+
+	type cellKey struct{ instance, engine string }
+	headCells := make(map[cellKey]*Result, len(head.Results))
+	for i := range head.Results {
+		res := &head.Results[i]
+		headCells[cellKey{res.Instance, res.Engine}] = res
+	}
+	matched := map[cellKey]bool{}
+
+	for i := range base.Results {
+		o := &base.Results[i]
+		key := cellKey{o.Instance, o.Engine}
+		n, ok := headCells[key]
+		if !ok {
+			cell := fmt.Sprintf("%s×%s", o.Instance, o.Engine)
+			d.MissingCells = append(d.MissingCells, cell)
+			d.Regressions = append(d.Regressions, fmt.Sprintf("%s: cell missing from new report", cell))
+			continue
+		}
+		matched[key] = true
+		d.Cells = append(d.Cells, compareCell(o, n, base, head, opts))
+	}
+	for i := range head.Results {
+		res := &head.Results[i]
+		if !matched[cellKey{res.Instance, res.Engine}] {
+			d.NewCells = append(d.NewCells, fmt.Sprintf("%s×%s", res.Instance, res.Engine))
+		}
+	}
+	for _, c := range d.Cells {
+		for _, reason := range c.Reasons {
+			d.Regressions = append(d.Regressions, fmt.Sprintf("%s×%s: %s", c.Instance, c.Engine, reason))
+		}
+	}
+	return d
+}
+
+// compareCell diffs one matched cell under the gate's rules.
+func compareCell(o, n *Result, oldR, newR *Report, opts CompareOpts) CellDiff {
+	c := CellDiff{
+		Instance:   o.Instance,
+		Engine:     o.Engine,
+		OldP50MS:   o.WallMSP50,
+		NewP50MS:   n.WallMSP50,
+		DeltaP50MS: n.WallMSP50 - o.WallMSP50,
+		OldP95MS:   o.WallMSP95,
+		NewP95MS:   n.WallMSP95,
+		OldOutcome: o.Outcome,
+		NewOutcome: n.Outcome,
+	}
+	if o.WallMSP50 > 0 {
+		c.DeltaP50Pct = 100 * c.DeltaP50MS / o.WallMSP50
+	}
+	if o.BestObjective != nil {
+		v := *o.BestObjective
+		c.OldObjective = &v
+	}
+	if n.BestObjective != nil {
+		v := *n.BestObjective
+		c.NewObjective = &v
+	}
+	if c.OldObjective != nil && c.NewObjective != nil {
+		delta := *c.NewObjective - *c.OldObjective
+		c.DeltaObjective = &delta
+	}
+
+	slowdownPct := c.DeltaP50Pct
+	if o.WallMSP50 == 0 && c.DeltaP50MS > 0 {
+		slowdownPct = math.Inf(1) // from instant to measurable: judge by the floor alone
+	}
+	if slowdownPct > opts.NoisePct && c.DeltaP50MS > opts.NoiseFloorMS {
+		c.Reasons = append(c.Reasons, fmt.Sprintf(
+			"p50 %.0fms -> %.0fms (+%.0f%%, +%.0fms past the %.0f%%/%.0fms noise margin)",
+			c.OldP50MS, c.NewP50MS, c.DeltaP50Pct, c.DeltaP50MS, opts.NoisePct, opts.NoiseFloorMS))
+	}
+	if OutcomeRank(n.Outcome) < OutcomeRank(o.Outcome) {
+		c.Reasons = append(c.Reasons, fmt.Sprintf("outcome %s -> %s", o.Outcome, n.Outcome))
+	}
+	oldViolates := o.WallMSP50 > oldR.BudgetMS+ContractEpsilonMS
+	newViolates := n.WallMSP50 > newR.BudgetMS+ContractEpsilonMS
+	if newViolates && !oldViolates {
+		c.NewBudgetViolation = true
+		c.Reasons = append(c.Reasons, fmt.Sprintf(
+			"new budget violation: p50 %.0fms exceeds the %.0fms budget plus the %dms contract epsilon",
+			n.WallMSP50, newR.BudgetMS, ContractEpsilonMS))
+	}
+	c.Regressed = len(c.Reasons) > 0
+	return c
+}
+
+// WriteText renders the diff as the human report the CI log shows: one
+// row per cell, then the verdict.
+func (d *Diff) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-14s %12s %12s %9s  %s\n",
+		"instance", "engine", "old p50", "new p50", "delta", "verdict"); err != nil {
+		return err
+	}
+	for _, c := range d.Cells {
+		verdict := "ok"
+		if c.Regressed {
+			verdict = "REGRESSED: " + c.Reasons[0]
+			if len(c.Reasons) > 1 {
+				verdict += fmt.Sprintf(" (+%d more)", len(c.Reasons)-1)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-14s %10.1fms %10.1fms %+8.1f%%  %s\n",
+			c.Instance, c.Engine, c.OldP50MS, c.NewP50MS, c.DeltaP50Pct, verdict); err != nil {
+			return err
+		}
+	}
+	for _, cell := range d.MissingCells {
+		if _, err := fmt.Fprintf(w, "%s: MISSING from new report\n", cell); err != nil {
+			return err
+		}
+	}
+	for _, cell := range d.NewCells {
+		if _, err := fmt.Fprintf(w, "%s: new cell (no baseline)\n", cell); err != nil {
+			return err
+		}
+	}
+	var err error
+	if d.Regressed() {
+		_, err = fmt.Fprintf(w, "FAIL: %d regression(s)\n", len(d.Regressions))
+	} else {
+		_, err = fmt.Fprintf(w, "PASS: %d cell(s) within the noise margin\n", len(d.Cells))
+	}
+	return err
+}
+
+// WriteJSON writes the diff as indented JSON — the machine artifact CI
+// uploads next to the human log.
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

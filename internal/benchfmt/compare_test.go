@@ -1,0 +1,220 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// baseReport builds a clean two-cell baseline for the compare tests.
+func baseReport() *Report {
+	obj := 42.0
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		BudgetMS:      2000,
+		Repeats:       1,
+		Results: []Result{
+			{Instance: "sdr", Engine: "exact", Outcome: "proven", Feasible: true, Optimal: true,
+				BestObjective: &obj, Runs: 1, WallMSP50: 200, WallMSP95: 220},
+			{Instance: "sdr", Engine: "constructive", Outcome: "solved", Feasible: true,
+				BestObjective: &obj, Runs: 1, WallMSP50: 5, WallMSP95: 6},
+		},
+	}
+}
+
+func cloneReport(t *testing.T, r *Report) *Report {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestCompareCleanRunPasses diffs a report against itself.
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := baseReport()
+	d := Compare(base, cloneReport(t, base), CompareOpts{})
+	if d.Regressed() {
+		t.Fatalf("self-compare regressed: %v", d.Regressions)
+	}
+	if len(d.Cells) != 2 || len(d.MissingCells) != 0 || len(d.NewCells) != 0 {
+		t.Fatalf("cell bookkeeping off: %+v", d)
+	}
+}
+
+// TestCompareNoiseMarginNeedsBothExceedances pins the double margin: a
+// big relative slowdown on a tiny cell and a small relative slowdown on
+// a big cell both pass; only exceeding both pct and floor fails.
+func TestCompareNoiseMarginNeedsBothExceedances(t *testing.T) {
+	base := baseReport()
+	opts := CompareOpts{NoisePct: 10, NoiseFloorMS: 25}
+
+	// +200% on the 5ms cell: relative blowout, absolute noise (+10ms).
+	head := cloneReport(t, base)
+	head.Results[1].WallMSP50, head.Results[1].WallMSP95 = 15, 16
+	if d := Compare(base, head, opts); d.Regressed() {
+		t.Fatalf("+10ms on a 5ms cell tripped the gate: %v", d.Regressions)
+	}
+
+	// +15% on the 200ms cell: past the pct margin, but +30ms is judged
+	// against the floor too — with floor 50 it passes, with floor 25 it
+	// fails.
+	head = cloneReport(t, base)
+	head.Results[0].WallMSP50, head.Results[0].WallMSP95 = 230, 250
+	if d := Compare(base, head, CompareOpts{NoisePct: 10, NoiseFloorMS: 50}); d.Regressed() {
+		t.Fatalf("+30ms under a 50ms floor tripped the gate: %v", d.Regressions)
+	}
+	d := Compare(base, head, opts)
+	if !d.Regressed() {
+		t.Fatal("+15%/+30ms past both margins did not trip the gate")
+	}
+	if !strings.Contains(d.Regressions[0], "p50") {
+		t.Fatalf("regression reason does not name p50: %q", d.Regressions[0])
+	}
+
+	// A speedup never regresses.
+	head = cloneReport(t, base)
+	head.Results[0].WallMSP50, head.Results[0].WallMSP95 = 50, 60
+	if d := Compare(base, head, opts); d.Regressed() {
+		t.Fatalf("speedup regressed: %v", d.Regressions)
+	}
+}
+
+// TestCompareOutcomeRankDrop fails the gate when a cell loses its proof
+// or fails outright, regardless of timing.
+func TestCompareOutcomeRankDrop(t *testing.T) {
+	base := baseReport()
+	head := cloneReport(t, base)
+	head.Results[0].Outcome = "error"
+	head.Results[0].Err = "engine exploded"
+	head.Results[0].Feasible, head.Results[0].Optimal = false, false
+	head.Results[0].BestObjective = nil
+	d := Compare(base, head, CompareOpts{})
+	if !d.Regressed() {
+		t.Fatal("proven -> error did not trip the gate")
+	}
+	if !strings.Contains(strings.Join(d.Regressions, "\n"), "outcome proven -> error") {
+		t.Fatalf("regressions don't name the outcome drop: %v", d.Regressions)
+	}
+	// The reverse (head improves to proven) is clean.
+	if d := Compare(head, base, CompareOpts{}); d.Regressed() {
+		t.Fatalf("outcome improvement regressed: %v", d.Regressions)
+	}
+}
+
+// TestCompareNewBudgetViolation fails the gate when a cell starts
+// breaking the deadline contract, and tolerates one that already did in
+// the baseline.
+func TestCompareNewBudgetViolation(t *testing.T) {
+	base := baseReport()
+	head := cloneReport(t, base)
+	// 2400ms against a 2000ms budget: past budget + 250ms epsilon. Use a
+	// huge noise margin so only the budget rule can fire.
+	head.Results[0].WallMSP50, head.Results[0].WallMSP95 = 2400, 2500
+	opts := CompareOpts{NoisePct: 1e6, NoiseFloorMS: 1e6}
+	d := Compare(base, head, opts)
+	if !d.Regressed() || !strings.Contains(d.Regressions[0], "budget violation") {
+		t.Fatalf("new budget violation not caught: %+v", d.Regressions)
+	}
+	if !d.Cells[0].NewBudgetViolation {
+		t.Fatal("cell diff does not mark the budget violation")
+	}
+	// Already violating in the baseline: not NEW, gate passes.
+	if d := Compare(head, cloneReport(t, head), opts); d.Regressed() {
+		t.Fatalf("pre-existing violation tripped the gate: %v", d.Regressions)
+	}
+}
+
+// TestCompareMissingAndNewCells: a shrunk matrix regresses, a grown one
+// is informational.
+func TestCompareMissingAndNewCells(t *testing.T) {
+	base := baseReport()
+	head := cloneReport(t, base)
+	head.Results = head.Results[:1]
+	d := Compare(base, head, CompareOpts{})
+	if !d.Regressed() || len(d.MissingCells) != 1 || d.MissingCells[0] != "sdr×constructive" {
+		t.Fatalf("missing cell not flagged: %+v", d)
+	}
+
+	d = Compare(head, base, CompareOpts{})
+	if d.Regressed() {
+		t.Fatalf("new cell regressed: %v", d.Regressions)
+	}
+	if len(d.NewCells) != 1 || d.NewCells[0] != "sdr×constructive" {
+		t.Fatalf("new cell not reported: %+v", d)
+	}
+}
+
+// TestCompareObjectiveDelta records the objective movement on the cell
+// diff (informational; the gate keys on outcome and timing).
+func TestCompareObjectiveDelta(t *testing.T) {
+	base := baseReport()
+	head := cloneReport(t, base)
+	worse := 45.0
+	head.Results[0].BestObjective = &worse
+	d := Compare(base, head, CompareOpts{})
+	if d.Cells[0].DeltaObjective == nil || *d.Cells[0].DeltaObjective != 3 {
+		t.Fatalf("objective delta = %+v, want 3", d.Cells[0].DeltaObjective)
+	}
+}
+
+// TestCompareRendering exercises both writers on a failing diff.
+func TestCompareRendering(t *testing.T) {
+	base := baseReport()
+	head := cloneReport(t, base)
+	head.Results[0].WallMSP50, head.Results[0].WallMSP95 = 900, 950
+	d := Compare(base, head, CompareOpts{})
+
+	var text bytes.Buffer
+	if err := d.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"REGRESSED", "FAIL: 1 regression(s)", "exact"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var raw bytes.Buffer
+	if err := d.WriteJSON(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var back Diff
+	if err := json.Unmarshal(raw.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Regressed() || len(back.Cells) != 2 {
+		t.Fatalf("JSON round-trip lost the verdict: %+v", back)
+	}
+}
+
+// TestValidateToleratesMissingMeta pins the provenance satellite's
+// compatibility contract: reports without a meta block stay valid, and
+// one with a meta block round-trips.
+func TestValidateToleratesMissingMeta(t *testing.T) {
+	r := baseReport()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("report without meta rejected: %v", err)
+	}
+	r.Meta = &Meta{GitCommit: "abc123", GoVersion: "go1.22", NumCPU: 8, GOMAXPROCS: 8}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("report with meta rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta == nil || back.Meta.GitCommit != "abc123" {
+		t.Fatalf("meta did not round-trip: %+v", back.Meta)
+	}
+}

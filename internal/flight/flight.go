@@ -55,6 +55,30 @@ type Breaker struct {
 	Trips int64 `json:"trips"`
 }
 
+// SessionStats carries the online-session specifics of an event-batch
+// record (pseudo-engine "session"): what the batch did to the live
+// device, so /debug/solves and the wide-event export tell the defrag
+// story without scraping SIM.json.
+type SessionStats struct {
+	// SessionID names the session the batch was applied to.
+	SessionID string `json:"session_id"`
+	// Events counts the events the batch applied (the prefix that
+	// succeeded, when the batch failed partway).
+	Events int `json:"events"`
+	// FragBefore and FragAfter bracket the batch: free-space
+	// fragmentation when it started and after its last event (including
+	// any defragmentation cycles it triggered).
+	FragBefore float64 `json:"frag_before"`
+	FragAfter  float64 `json:"frag_after"`
+	// Defrags counts the defragmentation cycles the batch executed;
+	// Moves the relocation moves those cycles performed.
+	Defrags int `json:"defrags,omitempty"`
+	Moves   int `json:"moves,omitempty"`
+	// CorruptedFrames counts frame-readback mismatches across the
+	// batch's executed schedules (0 on a correct run).
+	CorruptedFrames int `json:"corrupted_frames,omitempty"`
+}
+
 // Record is one solve's flight entry. Seq is assigned by the recorder
 // and increases monotonically; a Record with Seq 0 has not been
 // recorded yet.
@@ -92,6 +116,9 @@ type Record struct {
 	Stages []Stage `json:"stages,omitempty"`
 	// Breakers snapshots the per-engine circuit breakers at record time.
 	Breakers []Breaker `json:"breakers,omitempty"`
+	// Session carries the online-session batch specifics, for records
+	// with Engine "session".
+	Session *SessionStats `json:"session,omitempty"`
 	// Err carries the failure text for non-ok outcomes.
 	Err string `json:"err,omitempty"`
 	// Trace is the solve's recorded telemetry, when a recording probe

@@ -4,8 +4,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/flight"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
 )
 
 // DebugSolvesResponse is the GET /debug/solves reply: the most recent
@@ -74,4 +77,59 @@ func (s *Server) handleDebugSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, rec)
+}
+
+// DebugEventsResponse is the GET /debug/events reply: the exporter's
+// pipeline counters plus the most recent kept wide events (newest
+// first). The tail holds only events that survived sampling — the same
+// set a configured sink receives.
+type DebugEventsResponse struct {
+	Stats  telemetry.Stats   `json:"stats"`
+	Events []telemetry.Event `json:"events"`
+}
+
+// handleDebugEvents serves GET /debug/events?n=: the kept wide-event
+// tail.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	n := defaultDebugSolves
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			s.writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	s.writeJSON(w, http.StatusOK, DebugEventsResponse{
+		Stats:  s.events.Stats(),
+		Events: s.events.Tail(n),
+	})
+}
+
+// DebugSLOResponse is the GET /debug/slo reply: every objective's
+// compliance, error budget, burn rates and alert states at evaluation
+// time.
+type DebugSLOResponse struct {
+	EvaluatedAt time.Time    `json:"evaluated_at"`
+	Objectives  []slo.Status `json:"objectives"`
+}
+
+// handleDebugSLO serves GET /debug/slo. Evaluation drives the tracker's
+// edge-triggered alert hook, so polling this endpoint (like scraping
+// /metrics) is what turns burn-rate transitions into log lines.
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, DebugSLOResponse{
+		EvaluatedAt: time.Now(),
+		Objectives:  s.slos.Evaluate(),
+	})
 }

@@ -12,6 +12,8 @@ import (
 	"repro/internal/guard"
 	"repro/internal/obs/hist"
 	"repro/internal/portfolio"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
 )
 
 // engineDist holds one engine's per-solve distributions (proper
@@ -85,6 +87,13 @@ type metrics struct {
 	// candCacheStats, when set, supplies the process-wide candidate-cache
 	// hit/miss counters (core.CandCacheStats in production).
 	candCacheStats func() (hits, misses int64)
+	// eventStats, when set, supplies the wide-event exporter's pipeline
+	// counters.
+	eventStats func() telemetry.Stats
+	// sloStatus, when set, supplies the evaluated SLO statuses. Rendering
+	// /metrics drives the tracker's edge-triggered alert hook as a side
+	// effect, so a scraped daemon needs no background evaluation loop.
+	sloStatus func() []slo.Status
 
 	// version labels floorpland_build_info; start anchors the uptime gauge.
 	version string
@@ -241,6 +250,14 @@ func (m *metrics) render() string {
 		counter("floorpland_candidate_cache_hits_total", "Candidate enumerations served from the shared candidate cache.", hits)
 		counter("floorpland_candidate_cache_misses_total", "Candidate enumerations that ran the full sweep (cache misses).", misses)
 	}
+	if m.eventStats != nil {
+		es := m.eventStats()
+		counter("floorpland_events_emitted_total", "Wide events offered to the export pipeline.", es.Emitted)
+		counter("floorpland_events_exported_total", "Wide events delivered to the configured sink.", es.Exported)
+		counter("floorpland_events_dropped_total", "Wide events dropped because the export queue was full.", es.DroppedQueue)
+		counter("floorpland_events_sampled_out_total", "Unremarkable wide events discarded by tail sampling.", es.SampledOut)
+		counter("floorpland_events_sink_errors_total", "Wide-event sink write failures.", es.SinkErrors)
+	}
 	fmt.Fprintf(&b, "# HELP floorpland_queue_depth Solves waiting in the pool queue.\n# TYPE floorpland_queue_depth gauge\nfloorpland_queue_depth %d\n", m.queueDepth())
 	fmt.Fprintf(&b, "# HELP floorpland_sessions_live Online-placement sessions currently registered.\n# TYPE floorpland_sessions_live gauge\nfloorpland_sessions_live %d\n", m.sessionsLive())
 	// Labels must stay alphabetically sorted (the exposition lint test
@@ -306,6 +323,21 @@ func (m *metrics) render() string {
 			b.WriteString("# HELP floorpland_breaker_trips_total Circuit breaker closed-to-open transitions, by engine.\n# TYPE floorpland_breaker_trips_total counter\n")
 			for _, bs := range snaps {
 				fmt.Fprintf(&b, "floorpland_breaker_trips_total{engine=%q} %d\n", bs.Name, bs.Trips)
+			}
+		}
+	}
+
+	if m.sloStatus != nil {
+		if statuses := m.sloStatus(); len(statuses) > 0 {
+			b.WriteString("# HELP floorpland_slo_error_budget_remaining Unspent fraction of each objective's error budget (1 untouched, negative overspent).\n# TYPE floorpland_slo_error_budget_remaining gauge\n")
+			for _, st := range statuses {
+				fmt.Fprintf(&b, "floorpland_slo_error_budget_remaining{slo=%q} %g\n", st.Objective.Name, st.ErrorBudgetRemaining)
+			}
+			b.WriteString("# HELP floorpland_slo_burn_rate Error-budget burn rate per objective and rule window (1 = budgeted pace).\n# TYPE floorpland_slo_burn_rate gauge\n")
+			for _, st := range statuses {
+				for _, br := range st.BurnRates {
+					fmt.Fprintf(&b, "floorpland_slo_burn_rate{slo=%q,window=%q} %g\n", st.Objective.Name, br.Window, br.Burn)
+				}
 			}
 		}
 	}

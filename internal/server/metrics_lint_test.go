@@ -13,13 +13,16 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/portfolio"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // populatedMetrics builds a metrics value exercising every family render
 // path: flat counters, gauges, per-engine telemetry and histograms,
-// candidate-cache counters, and portfolio member stats.
+// candidate-cache counters, portfolio member stats, the wide-event
+// pipeline counters, and the SLO gauges.
 func populatedMetrics() *metrics {
 	m := newMetrics()
 	m.requests.Add(3)
@@ -28,6 +31,19 @@ func populatedMetrics() *metrics {
 	m.cacheHits.Add(1)
 	m.cacheMisses.Add(2)
 	m.candCacheStats = func() (int64, int64) { return 7, 5 }
+	m.eventStats = func() telemetry.Stats {
+		return telemetry.Stats{Emitted: 9, Kept: 6, SampledOut: 3, Exported: 5, DroppedQueue: 1}
+	}
+	m.sloStatus = func() []slo.Status {
+		return []slo.Status{{
+			Objective:            slo.Objective{Name: "solve-availability"},
+			ErrorBudgetRemaining: 0.5,
+			BurnRates: []slo.BurnRate{
+				{Window: "5m", Burn: 0.7, Total: 12},
+				{Window: "1h", Burn: 0.4, Total: 80},
+			},
+		}}
+	}
 	m.portfolioStats = func() []portfolio.MemberStats {
 		return []portfolio.MemberStats{{Name: "exact", Races: 1, Wins: 1, Total: time.Second}}
 	}

@@ -37,6 +37,8 @@ import (
 	"repro/internal/flight"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
 )
 
 // errBreakerOpen reports that the requested engine's circuit breaker is
@@ -95,6 +97,24 @@ type Config struct {
 	// SessionTTL is how long an untouched session survives before lazy
 	// eviction reclaims it (default 30m).
 	SessionTTL time.Duration
+	// EventSink receives the exported wide events (one JSON-able record
+	// per solve and session batch); nil keeps events in the in-memory
+	// tail behind /debug/events only.
+	EventSink telemetry.Sink
+	// EventQueueSize bounds the wide-event export queue; a full queue
+	// drops events instead of blocking solves (default 256).
+	EventQueueSize int
+	// EventTailSize bounds the in-memory event tail behind /debug/events
+	// (default 256).
+	EventTailSize int
+	// EventSampleRate is the keep probability for unremarkable events;
+	// errors, budget breaches and the slow tail are always kept
+	// (default 0.1; 1 keeps everything, negative keeps only the
+	// remarkable).
+	EventSampleRate float64
+	// SLOs overrides the tracked service-level objectives (default
+	// slo.DefaultObjectives). Burn-rate alerts use slo.DefaultRules.
+	SLOs []slo.Objective
 	// Solve overrides the solver (tests); nil uses floorplanner.Solve.
 	Solve SolveFunc
 	// Logger receives structured request logs; nil uses slog.Default.
@@ -163,6 +183,8 @@ type Server struct {
 	metrics  *metrics
 	breakers *guard.BreakerSet // nil when breakers are disabled
 	sessions *sessionRegistry
+	events   *telemetry.Exporter
+	slos     *slo.Tracker
 	log      *slog.Logger
 	closing  atomic.Bool
 }
@@ -184,8 +206,28 @@ func New(cfg Config) *Server {
 		sessions: newSessionRegistry(cfg.MaxSessions, cfg.SessionTTL),
 		log:      cfg.Logger,
 	}
+	s.events = telemetry.New(telemetry.Config{
+		Sink:       cfg.EventSink,
+		QueueSize:  cfg.EventQueueSize,
+		TailSize:   cfg.EventTailSize,
+		SampleRate: cfg.EventSampleRate,
+	})
+	objectives := cfg.SLOs
+	if len(objectives) == 0 {
+		objectives = slo.DefaultObjectives()
+	}
+	tracker, err := slo.New(slo.Config{Objectives: objectives, OnAlert: s.onSLOAlert})
+	if err != nil {
+		// A malformed custom SLO set must not take the daemon down with
+		// it; run the stock objectives and say so.
+		cfg.Logger.Error("invalid SLO config, using defaults", "err", err)
+		tracker, _ = slo.New(slo.Config{Objectives: slo.DefaultObjectives(), OnAlert: s.onSLOAlert})
+	}
+	s.slos = tracker
 	s.sessions.onExpire = func() { s.metrics.sessionsExpired.Add(1) }
 	s.metrics.sessionsLive = s.sessions.live
+	s.metrics.eventStats = s.events.Stats
+	s.metrics.sloStatus = s.slos.Evaluate
 	s.metrics.queueDepth = s.pool.queueDepth
 	s.metrics.portfolioStats = defaultPortfolioStats
 	s.metrics.candCacheStats = core.CandCacheStats
@@ -214,10 +256,40 @@ func New(cfg Config) *Server {
 func (s *Server) FlightRecorder() *flight.Recorder { return s.flight }
 
 // Close stops admissions, drains in-flight solves and cancels queued
-// ones, bounded by ctx.
+// ones, bounded by ctx, then flushes and closes the wide-event exporter
+// (and its sink).
 func (s *Server) Close(ctx context.Context) error {
 	s.closing.Store(true)
-	return s.pool.close(ctx)
+	err := s.pool.close(ctx)
+	if eerr := s.events.Close(); err == nil {
+		err = eerr
+	}
+	return err
+}
+
+// Events returns the server's wide-event exporter (the pipeline behind
+// /debug/events), exposed for the daemon binary and tests.
+func (s *Server) Events() *telemetry.Exporter { return s.events }
+
+// onSLOAlert is the burn-rate transition hook: fired alerts land in the
+// log at warning level, resolutions at info, both carrying the burns
+// that drove them.
+func (s *Server) onSLOAlert(ev slo.AlertEvent) {
+	if ev.Firing {
+		s.log.Warn("slo alert firing",
+			"objective", ev.Objective,
+			"rule", ev.Rule,
+			"short_burn", ev.ShortBurn,
+			"long_burn", ev.LongBurn,
+		)
+		return
+	}
+	s.log.Info("slo alert resolved",
+		"objective", ev.Objective,
+		"rule", ev.Rule,
+		"short_burn", ev.ShortBurn,
+		"long_burn", ev.LongBurn,
+	)
 }
 
 // Handler returns the daemon's HTTP routes.
@@ -231,6 +303,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/solves", s.handleDebugSolves)
 	mux.HandleFunc("/debug/solves/", s.handleDebugSolve)
+	mux.HandleFunc("/debug/events", s.handleDebugEvents)
+	mux.HandleFunc("/debug/slo", s.handleDebugSLO)
 	return s.logRequests(s.recoverPanics(mux))
 }
 
@@ -359,7 +433,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if entry.err != nil {
 			frec.Err = entry.err.Error()
 		}
-		s.recordFlight(frec)
+		frec.Seq = s.recordFlight(frec)
+		s.observeSolve(r.Context(), frec, opts.TimeLimit, entry.err)
 		s.respondEntry(w, r, key, engine, req.Problem, entry, true, false, req.Trace)
 		return
 	}
@@ -402,7 +477,8 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 			s.metrics.breakerRejected.Add(1)
 			frec.Outcome = outcomeLabel(nil, errBreakerOpen)
 			frec.Err = errBreakerOpen.Error()
-			s.recordFlight(frec)
+			frec.Seq = s.recordFlight(frec)
+			s.observeSolve(ctx, frec, opts.TimeLimit, errBreakerOpen)
 			return cacheEntry{err: errBreakerOpen}
 		}
 	}
@@ -464,7 +540,8 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 		frec.Outcome = outcomeLabel(nil, err)
 		frec.Err = err.Error()
 		frec.DurationMS = durationMS(time.Since(started))
-		s.recordFlight(frec)
+		frec.Seq = s.recordFlight(frec)
+		s.observeSolve(ctx, frec, opts.TimeLimit, err)
 		return cacheEntry{err: err}
 	}
 	sol, err := task.wait(ctx)
@@ -516,6 +593,8 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 	}
 	frec.Trace = rec.Trace()
 	seq := s.recordFlight(frec)
+	frec.Seq = seq
+	s.observeSolve(ctx, frec, opts.TimeLimit, err)
 	entry := cacheEntry{sol: sol, err: err, trace: frec.Trace, flightSeq: seq}
 	if err == nil || errors.Is(err, core.ErrInfeasible) {
 		s.cache.put(key, entry)
@@ -536,6 +615,61 @@ func (s *Server) recordFlight(rec flight.Record) int64 {
 		}
 	}
 	return s.flight.Record(rec)
+}
+
+// observeSolve feeds one finished solve into the wide-event pipeline and
+// the SLO tracker. The flight record must already carry its ring
+// sequence (frec.Seq) so the exported event and /debug/solves agree on
+// identity.
+func (s *Server) observeSolve(ctx context.Context, frec flight.Record, budget time.Duration, err error) {
+	ev := telemetry.Event{
+		Record:    frec,
+		Kind:      "solve",
+		Endpoint:  "/v1/solve",
+		RequestID: requestID(ctx),
+		BudgetMS:  durationMS(budget),
+	}
+	// Overrun is measured against the same tolerance the SLO's
+	// budget-relative latency objective uses, so the two never disagree
+	// about whether a solve blew its deadline.
+	if over := frec.DurationMS - ev.BudgetMS - durationMS(slo.BudgetEpsilon); over > 0 && !frec.Cached {
+		ev.BudgetOverrunMS = over
+	}
+	s.events.Emit(ev)
+	failed, counted := sloCounts(err)
+	if !counted {
+		return
+	}
+	s.slos.Record(slo.Sample{
+		Engine:   frec.Engine,
+		Endpoint: "/v1/solve",
+		Failed:   failed,
+		Duration: time.Duration(frec.DurationMS * float64(time.Millisecond)),
+		Budget:   budget,
+	})
+}
+
+// sloCounts classifies a solve error for the SLO tracker: failed says
+// whether the request burns error budget, counted whether it enters the
+// denominator at all. Definitive answers (including proven infeasibility
+// and an honest "no solution in budget") are good service. Load-shed,
+// shutdown and client-canceled requests are excluded entirely — they say
+// nothing about whether the service is meeting its objectives. Everything
+// else (engine errors, panics, invalid solutions, open breakers,
+// deadline blowouts) burns budget.
+func sloCounts(err error) (failed, counted bool) {
+	switch {
+	case err == nil,
+		errors.Is(err, core.ErrInfeasible),
+		errors.Is(err, core.ErrNoSolution):
+		return false, true
+	case errors.Is(err, errQueueFull),
+		errors.Is(err, errShuttingDown),
+		errors.Is(err, context.Canceled):
+		return false, false
+	default:
+		return true, true
+	}
 }
 
 // durationMS converts a duration to float milliseconds for wire records.
@@ -699,6 +833,26 @@ func newRequestID() string {
 	return hex.EncodeToString(buf[:])
 }
 
+// maxRequestIDLen caps a client-supplied X-Request-ID.
+const maxRequestIDLen = 64
+
+// sanitizeRequestID vets a client-supplied request ID before it is
+// echoed into response headers, logs and exported events: only printable
+// non-space ASCII survives, truncated to maxRequestIDLen. Anything else
+// (header injection attempts, control bytes, emptiness) is discarded and
+// the caller mints a fresh ID.
+func sanitizeRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= 0x20 || id[i] >= 0x7f {
+			return ""
+		}
+	}
+	return id
+}
+
 // recoverPanics is the HTTP-layer last-resort recovery: a panic in any
 // handler answers 500 (best effort; a mid-stream panic just truncates
 // the response) instead of killing the daemon.
@@ -723,7 +877,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
-		id := r.Header.Get("X-Request-ID")
+		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
 		if id == "" {
 			id = newRequestID()
 		}

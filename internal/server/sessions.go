@@ -17,6 +17,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -30,6 +31,8 @@ import (
 	"repro/internal/device"
 	"repro/internal/flight"
 	"repro/internal/session"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
 )
 
 // liveSession is one registry entry: the manager plus the bookkeeping
@@ -381,7 +384,7 @@ func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id s
 
 	started := time.Now()
 	resp := SessionEventsResponse{ID: id, Results: make([]session.EventResult, 0, len(req.Events))}
-	var defrags, corrupted int
+	stats := flight.SessionStats{SessionID: id, FragBefore: ls.mgr.Fragmentation()}
 	for i, ev := range req.Events {
 		res, err := ls.mgr.Apply(ev)
 		if err != nil {
@@ -389,7 +392,8 @@ func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id s
 			// are stateful and moves already flowed through the config
 			// memory — and the client learns exactly where the batch broke.
 			s.metrics.sessionEvents.Add(int64(i))
-			s.recordSessionFlight(ls, i, time.Since(started), err)
+			stats.Events = i
+			s.recordSessionFlight(r.Context(), ls, stats, time.Since(started), err)
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("event %d: %v", i, err))
 			return
 		}
@@ -397,16 +401,18 @@ func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id s
 		resp.Fragmentation = res.Fragmentation
 		resp.Occupancy = res.Occupancy
 		if res.Defrag != nil && res.Defrag.Executed {
-			defrags++
+			stats.Defrags++
 			if res.Defrag.Schedule != nil {
-				corrupted += res.Defrag.Schedule.CorruptedFrames
+				stats.Moves += res.Defrag.Schedule.Executed
+				stats.CorruptedFrames += res.Defrag.Schedule.CorruptedFrames
 			}
 		}
 	}
 	s.metrics.sessionEvents.Add(int64(len(req.Events)))
-	s.metrics.sessionDefrags.Add(int64(defrags))
-	s.metrics.sessionCorrupted.Add(int64(corrupted))
-	s.recordSessionFlight(ls, len(req.Events), time.Since(started), nil)
+	s.metrics.sessionDefrags.Add(int64(stats.Defrags))
+	s.metrics.sessionCorrupted.Add(int64(stats.CorruptedFrames))
+	stats.Events = len(req.Events)
+	s.recordSessionFlight(r.Context(), ls, stats, time.Since(started), nil)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -440,22 +446,43 @@ func canonicalizeRequirements(req device.Requirements) device.Requirements {
 
 // recordSessionFlight appends one event-batch record to the flight
 // ring, keyed by session id under the pseudo-engine "session", so
-// /debug/solves interleaves online batches with offline solves.
-func (s *Server) recordSessionFlight(ls *liveSession, applied int, elapsed time.Duration, err error) {
+// /debug/solves interleaves online batches with offline solves — then
+// feeds the same record to the wide-event pipeline and the SLO tracker.
+// stats carries the batch's defrag work (frag before/after, executed
+// moves) so an exported session event is self-contained.
+func (s *Server) recordSessionFlight(ctx context.Context, ls *liveSession, stats flight.SessionStats, elapsed time.Duration, err error) {
 	frag := ls.mgr.Fragmentation()
+	stats.FragAfter = frag
 	rec := flight.Record{
 		Key:        ls.id,
 		Engine:     "session",
 		Outcome:    "ok",
 		Objective:  &frag,
 		DurationMS: durationMS(elapsed),
+		Session:    &stats,
 	}
-	rec.RequestDigest = fmt.Sprintf("session:%s:%d", ls.id, applied)
+	rec.RequestDigest = fmt.Sprintf("session:%s:%d", ls.id, stats.Events)
 	if err != nil {
 		rec.Outcome = "error"
 		rec.Err = err.Error()
 	}
-	s.recordFlight(rec)
+	rec.Seq = s.recordFlight(rec)
+	s.events.Emit(telemetry.Event{
+		Record:    rec,
+		Kind:      "session",
+		Endpoint:  "/v1/sessions/events",
+		RequestID: requestID(ctx),
+	})
+	// Malformed events are client errors (HTTP 400): they don't enter the
+	// availability objective's denominator at all, same as a canceled
+	// solve. A clean batch is good service.
+	if err == nil {
+		s.slos.Record(slo.Sample{
+			Engine:   "session",
+			Endpoint: "/v1/sessions/events",
+			Duration: elapsed,
+		})
+	}
 }
 
 // sessionInfo assembles the full reply for create/get.

@@ -1,0 +1,357 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is the synthetic clock the burn-rate tests drive.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func good(endpoint string) Sample            { return Sample{Endpoint: endpoint, Duration: 10 * time.Millisecond} }
+func bad(endpoint string) Sample {
+	return Sample{Endpoint: endpoint, Failed: true, Duration: 10 * time.Millisecond}
+}
+func mustTracker(t *testing.T, cfg Config) *Tracker {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func statusOf(t *testing.T, statuses []Status, name string) Status {
+	t.Helper()
+	for _, s := range statuses {
+		if s.Objective.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no status for objective %q", name)
+	return Status{}
+}
+
+func alertOf(t *testing.T, s Status, rule string) Alert {
+	t.Helper()
+	for _, a := range s.Alerts {
+		if a.Rule == rule {
+			return a
+		}
+	}
+	t.Fatalf("objective %q has no rule %q", s.Objective.Name, rule)
+	return Alert{}
+}
+
+// TestFastBurnAlertCrossesWindows drives the canonical incident arc on a
+// synthetic clock: an hour of clean traffic (no alert), a five-minute
+// total outage (fast rule fires, edge-triggered once), recovery (fast
+// rule resolves once the outage ages out of the short window).
+func TestFastBurnAlertCrossesWindows(t *testing.T) {
+	clock := newClock()
+	var events []AlertEvent
+	tr := mustTracker(t, Config{
+		Objectives: []Objective{{Name: "avail", Kind: Availability, Target: 0.99, Window: time.Hour, Endpoint: "/v1/solve"}},
+		Now:        clock.now,
+		OnAlert:    func(ev AlertEvent) { events = append(events, ev) },
+	})
+
+	// 55 minutes of healthy traffic: two good solves per bucket.
+	for i := 0; i < 110; i++ {
+		tr.Record(good("/v1/solve"))
+		tr.Record(good("/v1/solve"))
+		clock.advance(30 * time.Second)
+	}
+	st := statusOf(t, tr.Evaluate(), "avail")
+	if st.Compliance != 1 || st.ErrorBudgetRemaining != 1 {
+		t.Fatalf("clean traffic: compliance %v, budget %v, want 1/1", st.Compliance, st.ErrorBudgetRemaining)
+	}
+	for _, a := range st.Alerts {
+		if a.Firing {
+			t.Fatalf("alert %q firing on clean traffic", a.Rule)
+		}
+	}
+	if len(events) != 0 {
+		t.Fatalf("clean traffic produced alert events: %+v", events)
+	}
+
+	// Five-minute total outage at 10x rate.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 20; j++ {
+			tr.Record(bad("/v1/solve"))
+		}
+		clock.advance(30 * time.Second)
+	}
+	st = statusOf(t, tr.Evaluate(), "avail")
+	fast := alertOf(t, st, "fast")
+	if !fast.Firing {
+		t.Fatalf("fast rule not firing after outage: %+v", fast)
+	}
+	// Short window holds only failures: burn = 1.0/0.01 = 100.
+	if fast.ShortBurn < 90 {
+		t.Fatalf("short burn %v, want ~100 (all-failure window)", fast.ShortBurn)
+	}
+	if fast.LongBurn < 14.4 {
+		t.Fatalf("long burn %v, want >= 14.4", fast.LongBurn)
+	}
+	if slow := alertOf(t, st, "slow"); !slow.Firing {
+		// The 6h window also holds the outage; burn there exceeds 1 too.
+		t.Fatalf("slow rule should also fire during a total outage: %+v", slow)
+	}
+	if st.ErrorBudgetRemaining >= 0 {
+		t.Fatalf("budget remaining %v after blowing the window, want negative", st.ErrorBudgetRemaining)
+	}
+	var fastFired int
+	for _, ev := range events {
+		if ev.Rule == "fast" && ev.Firing {
+			fastFired++
+		}
+	}
+	if fastFired != 1 {
+		t.Fatalf("fast rule fired %d events, want exactly 1 (edge-triggered)", fastFired)
+	}
+	// Re-evaluating without new samples must not re-fire.
+	tr.Evaluate()
+	n := len(events)
+	tr.Evaluate()
+	if len(events) != n {
+		t.Fatalf("steady-state Evaluate produced new transitions")
+	}
+
+	// Recovery: six minutes of clean traffic pushes the outage out of the
+	// 5m window; the fast rule resolves even though the 1h window still
+	// remembers the incident.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 20; j++ {
+			tr.Record(good("/v1/solve"))
+		}
+		clock.advance(30 * time.Second)
+	}
+	st = statusOf(t, tr.Evaluate(), "avail")
+	fast = alertOf(t, st, "fast")
+	if fast.Firing {
+		t.Fatalf("fast rule still firing after recovery: %+v", fast)
+	}
+	if fast.LongBurn < 14.4 {
+		t.Fatalf("long window should still remember the outage: %+v", fast)
+	}
+	var resolved bool
+	for _, ev := range events[n:] {
+		if ev.Rule == "fast" && !ev.Firing {
+			resolved = true
+		}
+	}
+	if !resolved {
+		t.Fatal("no resolve event for the fast rule")
+	}
+}
+
+// TestSlowBurnAlertNeedsSustainedBurn feeds a steady 3% bad fraction —
+// burn 3 against a 99% target — for three days. The slow rule (burn 1
+// over 6h/3d) fires; the fast rule (burn 14.4) must not.
+func TestSlowBurnAlertNeedsSustainedBurn(t *testing.T) {
+	clock := newClock()
+	tr := mustTracker(t, Config{
+		Objectives: []Objective{{Name: "avail", Kind: Availability, Target: 0.99, Window: time.Hour}},
+		Now:        clock.now,
+	})
+	// One sample per bucket, every 33rd one bad (~3%).
+	buckets := int(72*time.Hour/(30*time.Second)) + 10
+	for i := 0; i < buckets; i++ {
+		if i%33 == 0 {
+			tr.Record(bad("/v1/solve"))
+		} else {
+			tr.Record(good("/v1/solve"))
+		}
+		clock.advance(30 * time.Second)
+	}
+	st := statusOf(t, tr.Evaluate(), "avail")
+	slow := alertOf(t, st, "slow")
+	if !slow.Firing {
+		t.Fatalf("slow rule not firing on sustained burn ~3: %+v", slow)
+	}
+	if fast := alertOf(t, st, "fast"); fast.Firing {
+		t.Fatalf("fast rule firing on a slow leak: %+v", fast)
+	}
+}
+
+// TestErrorBudgetArithmetic pins the budget-remaining formula.
+func TestErrorBudgetArithmetic(t *testing.T) {
+	clock := newClock()
+	tr := mustTracker(t, Config{
+		Objectives: []Objective{{Name: "avail", Kind: Availability, Target: 0.99, Window: time.Hour}},
+		Now:        clock.now,
+	})
+	// 1000 samples, 5 bad: compliance 0.995, half the 1% budget spent.
+	for i := 0; i < 1000; i++ {
+		if i < 5 {
+			tr.Record(bad("/v1/solve"))
+		} else {
+			tr.Record(good("/v1/solve"))
+		}
+	}
+	st := statusOf(t, tr.Evaluate(), "avail")
+	if st.Good != 995 || st.Total != 1000 {
+		t.Fatalf("counts %d/%d, want 995/1000", st.Good, st.Total)
+	}
+	if st.Compliance < 0.9949 || st.Compliance > 0.9951 {
+		t.Fatalf("compliance %v, want 0.995", st.Compliance)
+	}
+	if st.ErrorBudgetRemaining < 0.499 || st.ErrorBudgetRemaining > 0.501 {
+		t.Fatalf("budget remaining %v, want 0.5", st.ErrorBudgetRemaining)
+	}
+}
+
+// TestLatencyObjectiveBudgetRelative checks the budget-relative goodness
+// rule: within budget+epsilon good, past it bad, no budget always good,
+// failed never good. A fixed-threshold objective runs alongside.
+func TestLatencyObjectiveBudgetRelative(t *testing.T) {
+	clock := newClock()
+	tr := mustTracker(t, Config{
+		Objectives: []Objective{
+			{Name: "lat-budget", Kind: Latency, Target: 0.5, Window: time.Hour},
+			{Name: "lat-fixed", Kind: Latency, Target: 0.5, Window: time.Hour, ThresholdMS: 100},
+		},
+		Now: clock.now,
+	})
+	budget := 2 * time.Second
+	samples := []struct {
+		s          Sample
+		wantBudget bool // good under lat-budget?
+		wantFixed  bool // good under lat-fixed?
+	}{
+		{Sample{Duration: budget, Budget: budget}, true, false},
+		{Sample{Duration: budget + BudgetEpsilon, Budget: budget}, true, false},
+		{Sample{Duration: budget + BudgetEpsilon + time.Millisecond, Budget: budget}, false, false},
+		{Sample{Duration: 50 * time.Millisecond, Budget: budget}, true, true},
+		{Sample{Duration: 10 * time.Second}, true, false}, // no budget: budget-relative can't judge it
+		{Sample{Duration: time.Millisecond, Failed: true}, false, false},
+		{Sample{Duration: 100 * time.Millisecond}, true, true},
+		{Sample{Duration: 101 * time.Millisecond}, true, false},
+	}
+	var wantB, wantF int64
+	for _, tc := range samples {
+		tr.Record(tc.s)
+		if tc.wantBudget {
+			wantB++
+		}
+		if tc.wantFixed {
+			wantF++
+		}
+	}
+	statuses := tr.Evaluate()
+	if st := statusOf(t, statuses, "lat-budget"); st.Good != wantB || st.Total != int64(len(samples)) {
+		t.Fatalf("lat-budget counts %d/%d, want %d/%d", st.Good, st.Total, wantB, len(samples))
+	}
+	if st := statusOf(t, statuses, "lat-fixed"); st.Good != wantF || st.Total != int64(len(samples)) {
+		t.Fatalf("lat-fixed counts %d/%d, want %d/%d", st.Good, st.Total, wantF, len(samples))
+	}
+}
+
+// TestObjectiveSliceFilters checks engine/endpoint matching.
+func TestObjectiveSliceFilters(t *testing.T) {
+	clock := newClock()
+	tr := mustTracker(t, Config{
+		Objectives: []Objective{
+			{Name: "solve-only", Kind: Availability, Target: 0.9, Window: time.Hour, Endpoint: "/v1/solve"},
+			{Name: "exact-only", Kind: Availability, Target: 0.9, Window: time.Hour, Engine: "exact"},
+		},
+		Now: clock.now,
+	})
+	tr.Record(Sample{Endpoint: "/v1/solve", Engine: "heuristic"})
+	tr.Record(Sample{Endpoint: "/v1/sessions/events", Engine: "exact", Failed: true})
+	statuses := tr.Evaluate()
+	if st := statusOf(t, statuses, "solve-only"); st.Total != 1 || st.Good != 1 {
+		t.Fatalf("solve-only saw %d/%d, want 1/1", st.Good, st.Total)
+	}
+	if st := statusOf(t, statuses, "exact-only"); st.Total != 1 || st.Good != 0 {
+		t.Fatalf("exact-only saw %d/%d, want 0/1", st.Good, st.Total)
+	}
+}
+
+// TestStaleBucketsAgeOut advances the clock far past every window and
+// checks old failures stop counting without any explicit expiry pass.
+func TestStaleBucketsAgeOut(t *testing.T) {
+	clock := newClock()
+	tr := mustTracker(t, Config{
+		Objectives: []Objective{{Name: "avail", Kind: Availability, Target: 0.99, Window: time.Hour}},
+		Now:        clock.now,
+	})
+	for i := 0; i < 50; i++ {
+		tr.Record(bad("/v1/solve"))
+	}
+	clock.advance(4 * 24 * time.Hour)
+	tr.Record(good("/v1/solve"))
+	st := statusOf(t, tr.Evaluate(), "avail")
+	if st.Total != 1 || st.Good != 1 || st.Compliance != 1 {
+		t.Fatalf("stale failures still counted: %+v", st)
+	}
+	for _, a := range st.Alerts {
+		if a.Firing {
+			t.Fatalf("alert %q firing on aged-out failures", a.Rule)
+		}
+	}
+}
+
+// TestEmptyTrackerEvaluates checks the no-traffic posture: full budget,
+// compliance 1, nothing firing.
+func TestEmptyTrackerEvaluates(t *testing.T) {
+	tr := mustTracker(t, Config{Objectives: DefaultObjectives()})
+	for _, st := range tr.Evaluate() {
+		if st.Compliance != 1 || st.ErrorBudgetRemaining != 1 {
+			t.Fatalf("empty %q: %+v", st.Objective.Name, st)
+		}
+		for _, a := range st.Alerts {
+			if a.Firing {
+				t.Fatalf("empty tracker fires %q/%q", st.Objective.Name, a.Rule)
+			}
+		}
+	}
+}
+
+// TestConfigValidation rejects malformed objectives and rules.
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no objectives", Config{}, "no objectives"},
+		{"bad target", Config{Objectives: []Objective{{Name: "x", Kind: Availability, Target: 1.2, Window: time.Hour}}}, "target"},
+		{"no window", Config{Objectives: []Objective{{Name: "x", Kind: Availability, Target: 0.9}}}, "window"},
+		{"bad kind", Config{Objectives: []Objective{{Name: "x", Kind: "velocity", Target: 0.9, Window: time.Hour}}}, "kind"},
+		{"unnamed", Config{Objectives: []Objective{{Kind: Availability, Target: 0.9, Window: time.Hour}}}, "name"},
+		{"duplicate", Config{Objectives: []Objective{
+			{Name: "x", Kind: Availability, Target: 0.9, Window: time.Hour},
+			{Name: "x", Kind: Availability, Target: 0.9, Window: time.Hour},
+		}}, "duplicate"},
+		{"bad rule", Config{
+			Objectives: []Objective{{Name: "x", Kind: Availability, Target: 0.9, Window: time.Hour}},
+			Rules:      []Rule{{Name: "r", Short: time.Hour, Long: time.Minute, Burn: 2}},
+		}, "malformed"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWindowLabel pins the compact rendering used in metrics labels.
+func TestWindowLabel(t *testing.T) {
+	for d, want := range map[time.Duration]string{
+		5 * time.Minute:  "5m",
+		time.Hour:        "1h",
+		6 * time.Hour:    "6h",
+		72 * time.Hour:   "3d",
+		90 * time.Second: "1m30s",
+	} {
+		if got := windowLabel(d); got != want {
+			t.Errorf("windowLabel(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

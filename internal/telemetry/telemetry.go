@@ -1,0 +1,352 @@
+// Package telemetry is the wide-event export layer: every solve and
+// every session event batch becomes ONE structured event carrying the
+// whole story — request ID, problem digest, engine, outcome, objective,
+// duration, fallback stages, breaker and cache state, budget compliance
+// and the flight sequence — so a single grep over the event log answers
+// questions that would otherwise need joining three log streams.
+//
+// Exporting must never slow a solve down. Emit is non-blocking: events
+// pass a tail-sampling decision (always keep errors, panics, invalid
+// solutions, budget breaches and the slowest tail; keep a configurable
+// random fraction of the unremarkable rest) and are then handed to a
+// bounded queue drained by one background goroutine. A full queue drops
+// the event and counts the drop — backpressure never reaches the solve
+// path. The drained events go to an optional Sink (production: the
+// rotating JSONL FileSink) and into an in-memory tail ring served at
+// GET /debug/events.
+package telemetry
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// Event is one wide event: a flight record plus the service context the
+// ring does not carry. The embedded record contributes the solve fields
+// (digest, key, engine, outcome, objective, duration, stages, breakers,
+// session stats, flight seq); Trace is stripped before export to keep
+// events one line wide.
+type Event struct {
+	flight.Record
+	// Kind discriminates the event: "solve" or "session".
+	Kind string `json:"kind"`
+	// Endpoint is the serving endpoint the event came through
+	// ("/v1/solve", "/v1/sessions/events").
+	Endpoint string `json:"endpoint,omitempty"`
+	// RequestID is the HTTP request ID (sanitized), correlating the
+	// event with request logs.
+	RequestID string `json:"request_id,omitempty"`
+	// BudgetMS is the solve's time budget in milliseconds (0 when the
+	// event has no budget, e.g. session batches).
+	BudgetMS float64 `json:"budget_ms,omitempty"`
+	// BudgetOverrunMS is how far the duration exceeded the budget plus
+	// the deadline-contract epsilon; 0 when compliant. A positive value
+	// marks a deadline-contract breach and forces the event through
+	// sampling.
+	BudgetOverrunMS float64 `json:"budget_overrun_ms,omitempty"`
+	// SampleReason records why the event survived tail sampling:
+	// "error", "budget", "slow" or "random".
+	SampleReason string `json:"sample_reason,omitempty"`
+}
+
+// Sink receives exported events, one call per event, from the
+// exporter's single drain goroutine (implementations need no internal
+// locking against the exporter, only against their own concurrent
+// users).
+type Sink interface {
+	WriteEvent(ev *Event) error
+}
+
+// Stats are the exporter's monotonic counters. Emitted is every Emit
+// call; each one ends in exactly one of Kept, SampledOut or — when the
+// queue was full or the exporter closed — DroppedQueue. Exported counts
+// events the drain goroutine has fully processed so far; SinkErrors
+// counts failed sink writes (the event still reaches the tail ring).
+type Stats struct {
+	Emitted      int64 `json:"emitted"`
+	Kept         int64 `json:"kept"`
+	SampledOut   int64 `json:"sampled_out"`
+	DroppedQueue int64 `json:"dropped_queue"`
+	Exported     int64 `json:"exported"`
+	SinkErrors   int64 `json:"sink_errors"`
+}
+
+// Config tunes an Exporter. The zero value is usable: no sink (tail
+// ring only), defaults elsewhere.
+type Config struct {
+	// Sink receives exported events; nil keeps events in memory only.
+	// If the sink implements io.Closer it is closed by Exporter.Close.
+	Sink Sink
+	// QueueSize bounds the export queue (default 256). A full queue
+	// drops events instead of blocking Emit.
+	QueueSize int
+	// TailSize bounds the in-memory tail ring behind /debug/events
+	// (default 256).
+	TailSize int
+	// SampleRate is the keep probability for unremarkable events —
+	// those that are not errors, budget breaches or slow-tail outliers
+	// (default 0.1; 1 keeps everything, negative keeps none).
+	SampleRate float64
+	// Seed seeds the sampling RNG (0 uses the wall clock), so tests can
+	// pin the probabilistic path.
+	Seed int64
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueSize  = 256
+	DefaultTailSize   = 256
+	DefaultSampleRate = 0.1
+)
+
+// slowWindow is how many recent durations the slow-tail estimator
+// remembers; slowQuantile is the quantile above which an event is
+// "slow" and always kept; slowRecompute is how often (in observations)
+// the threshold is re-derived; slowMinObs is the observations required
+// before the estimator trusts itself.
+const (
+	slowWindow    = 128
+	slowQuantile  = 0.95
+	slowRecompute = 16
+	slowMinObs    = 16
+)
+
+// Exporter is the non-blocking wide-event pipeline. Safe for concurrent
+// use.
+type Exporter struct {
+	sink  Sink
+	queue chan Event
+
+	stats struct {
+		emitted, kept, sampledOut, droppedQueue, exported, sinkErrors atomic.Int64
+	}
+
+	// closeMu serializes Emit's channel send against Close's close(),
+	// so a late Emit cannot send on a closed channel.
+	closeMu sync.RWMutex
+	closed  bool
+	done    chan struct{}
+
+	// sampleMu guards the sampling state: the RNG and the slow-tail
+	// duration window.
+	sampleMu   sync.Mutex
+	rng        *rand.Rand
+	sampleRate float64
+	durs       [slowWindow]float64
+	nDurs      int // total durations ever observed
+	slowThresh float64
+
+	// tailMu guards the tail ring (drain goroutine writes, HTTP reads).
+	tailMu   sync.Mutex
+	tail     []Event
+	tailNext int64
+}
+
+// New builds an Exporter and starts its drain goroutine. Call Close to
+// flush and stop it.
+func New(cfg Config) *Exporter {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.TailSize <= 0 {
+		cfg.TailSize = DefaultTailSize
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	e := &Exporter{
+		sink:       cfg.Sink,
+		queue:      make(chan Event, cfg.QueueSize),
+		done:       make(chan struct{}),
+		rng:        rand.New(rand.NewSource(seed)),
+		sampleRate: cfg.SampleRate,
+		tail:       make([]Event, cfg.TailSize),
+	}
+	go e.drain()
+	return e
+}
+
+// Emit offers one event to the pipeline and returns immediately. The
+// event is dropped (and counted) when sampling rejects it, when the
+// queue is full, or after Close.
+func (e *Exporter) Emit(ev Event) {
+	e.stats.emitted.Add(1)
+	reason, keep := e.sample(&ev)
+	if !keep {
+		e.stats.sampledOut.Add(1)
+		return
+	}
+	ev.SampleReason = reason
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	ev.Trace = nil // wide events stay one line wide; traces live in the flight ring
+
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		e.stats.droppedQueue.Add(1)
+		return
+	}
+	select {
+	case e.queue <- ev:
+		e.stats.kept.Add(1)
+	default:
+		e.stats.droppedQueue.Add(1)
+	}
+}
+
+// sample decides whether ev survives tail sampling and why. Remarkable
+// events — failures, budget breaches and the slowest tail — always
+// survive; the rest survive with probability SampleRate.
+func (e *Exporter) sample(ev *Event) (string, bool) {
+	switch ev.Outcome {
+	case "panic", "invalid", "error":
+		e.observeDuration(ev.DurationMS)
+		return "error", true
+	}
+	if ev.Err != "" {
+		e.observeDuration(ev.DurationMS)
+		return "error", true
+	}
+	if ev.BudgetOverrunMS > 0 {
+		e.observeDuration(ev.DurationMS)
+		return "budget", true
+	}
+	if ev.Cached {
+		// Cache hits carry no fresh duration signal; they only face the
+		// probabilistic gate.
+		return "random", e.draw()
+	}
+	if e.observeDuration(ev.DurationMS) {
+		return "slow", true
+	}
+	return "random", e.draw()
+}
+
+// draw is one probabilistic keep decision.
+func (e *Exporter) draw() bool {
+	if e.sampleRate >= 1 {
+		return true
+	}
+	if e.sampleRate <= 0 {
+		return false
+	}
+	e.sampleMu.Lock()
+	defer e.sampleMu.Unlock()
+	return e.rng.Float64() < e.sampleRate
+}
+
+// observeDuration folds d into the slow-tail window and reports whether
+// d sits in the current slowest tail. The threshold is the windowed
+// slowQuantile, re-derived every slowRecompute observations, trusted
+// only after slowMinObs.
+func (e *Exporter) observeDuration(d float64) bool {
+	e.sampleMu.Lock()
+	defer e.sampleMu.Unlock()
+	e.durs[e.nDurs%slowWindow] = d
+	e.nDurs++
+	if e.nDurs%slowRecompute == 0 {
+		n := min(e.nDurs, slowWindow)
+		window := make([]float64, n)
+		copy(window, e.durs[:n])
+		sort.Float64s(window)
+		e.slowThresh = window[int(slowQuantile*float64(n-1))]
+	}
+	// Strictly greater: with a population of tied durations the p95
+	// equals the common value, and "slow" must mean slower than the
+	// pack, not equal to it.
+	return e.nDurs > slowMinObs && e.slowThresh > 0 && d > e.slowThresh
+}
+
+// drain is the single background consumer: tail ring, then sink.
+func (e *Exporter) drain() {
+	defer close(e.done)
+	for ev := range e.queue {
+		e.tailMu.Lock()
+		e.tail[int(e.tailNext%int64(len(e.tail)))] = ev
+		e.tailNext++
+		e.tailMu.Unlock()
+		if e.sink != nil {
+			if err := e.sink.WriteEvent(&ev); err != nil {
+				e.stats.sinkErrors.Add(1)
+			}
+		}
+		e.stats.exported.Add(1)
+	}
+	if c, ok := e.sink.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// Close stops intake, drains the queue to the sink, closes the sink if
+// it is an io.Closer, and waits for the drain goroutine to finish.
+// Emit calls after Close are counted as drops. Idempotent.
+func (e *Exporter) Close() error {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		<-e.done
+		return nil
+	}
+	e.closed = true
+	close(e.queue)
+	e.closeMu.Unlock()
+	<-e.done
+	return nil
+}
+
+// Stats snapshots the exporter counters.
+func (e *Exporter) Stats() Stats {
+	return Stats{
+		Emitted:      e.stats.emitted.Load(),
+		Kept:         e.stats.kept.Load(),
+		SampledOut:   e.stats.sampledOut.Load(),
+		DroppedQueue: e.stats.droppedQueue.Load(),
+		Exported:     e.stats.exported.Load(),
+		SinkErrors:   e.stats.sinkErrors.Load(),
+	}
+}
+
+// Tail returns up to n exported events, newest first (n <= 0 returns
+// everything held).
+func (e *Exporter) Tail(n int) []Event {
+	e.tailMu.Lock()
+	defer e.tailMu.Unlock()
+	held := int(min(e.tailNext, int64(len(e.tail))))
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]Event, 0, n)
+	for seq := e.tailNext; seq > e.tailNext-int64(n); seq-- {
+		out = append(out, e.tail[int((seq-1)%int64(len(e.tail)))])
+	}
+	return out
+}
+
+// Sync blocks until every event enqueued before the call has been
+// processed by the drain goroutine (test helper; bounded by the queue
+// being finite).
+func (e *Exporter) Sync() {
+	for {
+		s := e.Stats()
+		if s.Exported >= s.Kept {
+			return
+		}
+		select {
+		case <-e.done:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

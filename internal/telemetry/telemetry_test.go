@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// collectSink records every exported event, optionally sleeping per
+// write to model a slow disk.
+type collectSink struct {
+	mu     sync.Mutex
+	delay  time.Duration
+	events []Event
+	closed bool
+}
+
+func (s *collectSink) WriteEvent(ev *Event) error {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, *ev)
+	return nil
+}
+
+func (s *collectSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *collectSink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+func solveEvent(outcome string, durMS float64) Event {
+	return Event{
+		Kind:     "solve",
+		Endpoint: "/v1/solve",
+		Record:   flight.Record{Engine: "exact", Outcome: outcome, DurationMS: durMS},
+	}
+}
+
+// TestExporterAlwaysKeepsRemarkableEvents pins the tail-sampling
+// policy: errors, panics, invalid solutions and budget breaches survive
+// even with a zero sample rate.
+func TestExporterAlwaysKeepsRemarkableEvents(t *testing.T) {
+	e := New(Config{SampleRate: -1, Seed: 1})
+	defer e.Close()
+
+	e.Emit(solveEvent("error", 5))
+	e.Emit(solveEvent("panic", 5))
+	e.Emit(solveEvent("invalid", 5))
+	breach := solveEvent("solved", 2400)
+	breach.BudgetMS = 2000
+	breach.BudgetOverrunMS = 150
+	e.Emit(breach)
+	e.Emit(solveEvent("solved", 5)) // unremarkable: sampled out at rate<=0
+
+	e.Sync()
+	got := e.Tail(0)
+	if len(got) != 4 {
+		t.Fatalf("tail holds %d events, want 4: %+v", len(got), got)
+	}
+	reasons := map[string]int{}
+	for _, ev := range got {
+		reasons[ev.SampleReason]++
+	}
+	if reasons["error"] != 3 || reasons["budget"] != 1 {
+		t.Fatalf("sample reasons = %v, want 3 error + 1 budget", reasons)
+	}
+	st := e.Stats()
+	if st.SampledOut != 1 {
+		t.Fatalf("sampled_out = %d, want 1", st.SampledOut)
+	}
+}
+
+// TestExporterKeepsSlowTail feeds a stable duration population and
+// checks an outlier far past the p95 survives with reason "slow" while
+// its ordinary siblings are sampled out.
+func TestExporterKeepsSlowTail(t *testing.T) {
+	e := New(Config{SampleRate: -1, Seed: 1})
+	defer e.Close()
+
+	// Warm the estimator past slowMinObs and a recompute boundary.
+	for i := 0; i < 64; i++ {
+		e.Emit(solveEvent("solved", 10+float64(i%5)))
+	}
+	e.Emit(solveEvent("solved", 500)) // 35x the window's p95
+	e.Sync()
+
+	got := e.Tail(0)
+	if len(got) != 1 || got[0].SampleReason != "slow" || got[0].DurationMS != 500 {
+		t.Fatalf("tail = %+v, want exactly the 500ms outlier kept as slow", got)
+	}
+}
+
+// TestExporterProbabilisticRate checks the random gate keeps roughly
+// SampleRate of unremarkable events and that rate 1 keeps all.
+func TestExporterProbabilisticRate(t *testing.T) {
+	e := New(Config{SampleRate: 1, Seed: 1})
+	for i := 0; i < 50; i++ {
+		e.Emit(solveEvent("solved", 10))
+	}
+	e.Close()
+	if st := e.Stats(); st.Kept != 50 || st.Exported != 50 {
+		t.Fatalf("rate 1: stats %+v, want 50 kept+exported", st)
+	}
+
+	e = New(Config{SampleRate: 0.2, Seed: 42, QueueSize: 4096})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		e.Emit(solveEvent("solved", 10))
+	}
+	e.Close()
+	st := e.Stats()
+	kept := st.Kept
+	if kept < n/10 || kept > n/2 {
+		t.Fatalf("rate 0.2 kept %d of %d, outside the plausible band", kept, n)
+	}
+	if st.SampledOut+kept != n {
+		t.Fatalf("stats don't balance: %+v", st)
+	}
+}
+
+// TestExporterNeverBlocksOnSlowSink is the backpressure contract: with
+// a saturated sink, concurrent emitters finish promptly, events are
+// dropped rather than queued unboundedly, and the counters balance
+// exactly. Run under -race this also exercises the Emit/drain/Tail
+// locking.
+func TestExporterNeverBlocksOnSlowSink(t *testing.T) {
+	sink := &collectSink{delay: 2 * time.Millisecond}
+	e := New(Config{Sink: sink, SampleRate: 1, Seed: 1, QueueSize: 8, TailSize: 8})
+
+	const workers, perWorker = 8, 50
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				e.Emit(solveEvent("error", float64(i))) // always kept: queue pressure guaranteed
+				_ = e.Tail(4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 400 events at 2ms each would take 800ms through the sink; the
+	// emitters must not be paying that.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("emitters took %v; Emit is blocking on the sink", elapsed)
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	total := int64(workers * perWorker)
+	if st.Emitted != total {
+		t.Fatalf("emitted %d, want %d", st.Emitted, total)
+	}
+	if st.Kept+st.DroppedQueue+st.SampledOut != total {
+		t.Fatalf("counters don't balance: %+v", st)
+	}
+	if st.DroppedQueue == 0 {
+		t.Fatalf("no drops despite a saturated sink: %+v", st)
+	}
+	if st.Exported != st.Kept {
+		t.Fatalf("close did not drain: exported %d != kept %d", st.Exported, st.Kept)
+	}
+	if int64(sink.len()) != st.Exported {
+		t.Fatalf("sink saw %d events, exporter counted %d", sink.len(), st.Exported)
+	}
+	if !sink.closed {
+		t.Fatal("Close did not close the sink")
+	}
+
+	// Post-close emits are counted drops, not panics.
+	e.Emit(solveEvent("error", 1))
+	if st := e.Stats(); st.DroppedQueue == 0 || st.Emitted != total+1 {
+		t.Fatalf("post-close emit not counted as drop: %+v", st)
+	}
+}
+
+// TestExporterTailNewestFirst checks Tail ordering and bounding.
+func TestExporterTailNewestFirst(t *testing.T) {
+	e := New(Config{SampleRate: 1, Seed: 1, TailSize: 4})
+	defer e.Close()
+	for i := 0; i < 6; i++ {
+		e.Emit(solveEvent("solved", float64(i)))
+	}
+	e.Sync()
+	got := e.Tail(0)
+	if len(got) != 4 {
+		t.Fatalf("tail holds %d, want 4 (ring bound)", len(got))
+	}
+	for i, ev := range got {
+		if want := float64(5 - i); ev.DurationMS != want {
+			t.Fatalf("tail[%d].duration = %v, want %v (newest first)", i, ev.DurationMS, want)
+		}
+	}
+	if got := e.Tail(2); len(got) != 2 || got[0].DurationMS != 5 {
+		t.Fatalf("tail(2) = %+v", got)
+	}
+}
+
+// TestFileSinkRotation fills the sink past its byte budget and checks
+// the JSONL rotation chain: live file fresh, .1 and .2 shifted, .3
+// dropped, every surviving line valid JSON.
+func TestFileSinkRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	sink, err := NewFileSink(path, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		ev := solveEvent("solved", float64(i))
+		ev.Time = time.Unix(int64(i), 0)
+		ev.RequestID = fmt.Sprintf("req-%03d", i)
+		if err := sink.WriteEvent(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines int
+	for _, name := range []string{path, path + ".1", path + ".2"} {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatalf("rotation chain missing %s: %v", name, err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("%s holds a non-JSON line: %v", name, err)
+			}
+			lines++
+		}
+		f.Close()
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatalf("rotation kept more than 2 old files: %v", err)
+	}
+	if lines == 0 || lines > 40 {
+		t.Fatalf("rotation chain holds %d lines, want 1..40", lines)
+	}
+
+	// Reopening appends: the live file keeps its contents.
+	sink2, err := NewFileSink(path, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := solveEvent("solved", 1)
+	if err := sink2.WriteEvent(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestExporterCloseIdempotent double-closes and emits concurrently with
+// Close (race-detector fodder for the closeMu handshake).
+func TestExporterCloseIdempotent(t *testing.T) {
+	e := New(Config{SampleRate: 1, Seed: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				e.Emit(solveEvent("solved", 1))
+			}
+		}()
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); e.Close() }()
+	go func() { defer wg.Done(); e.Close() }()
+	wg.Wait()
+	st := e.Stats()
+	if st.Kept+st.SampledOut+st.DroppedQueue != st.Emitted {
+		t.Fatalf("counters don't balance after racing close: %+v", st)
+	}
+}
