@@ -16,6 +16,9 @@
 #   make sim-json  run the floorsim online-session driver and validate
 #                  SIM.json (tune with SIM_DEVICE/SIM_EVENTS/SIM_SEED/
 #                  SIM_INTENSITY; CI runs the seeded smoke)
+#   make sim-faults run the floorsim soak under injected reconfiguration
+#                  faults (SIM_FAULT_SEED) and validate the report —
+#                  proves zero corrupted frames and zero lost tasks
 #   make fuzz      short fuzz smoke over the wire-format decoders
 #                  (FUZZTIME=10s per target by default)
 
@@ -43,7 +46,10 @@ SIM_SEED      ?= 7
 SIM_INTENSITY ?= 0.6
 SIM_OUT       ?= SIM.json
 
-.PHONY: check fmt vet build test race bench obs-bench bench-json bench-diff sim-json fuzz serve clean
+SIM_FAULT_SEED ?= 7
+SIM_FAULTS_OUT ?= SIM_FAULTS.json
+
+.PHONY: check fmt vet build test race bench obs-bench bench-json bench-diff sim-json sim-faults fuzz serve clean
 
 check: fmt vet build race
 
@@ -99,10 +105,18 @@ sim-json:
 		-intensity $(SIM_INTENSITY) -out $(SIM_OUT)
 	$(BIN)/floorsim -validate $(SIM_OUT)
 
+sim-faults:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/floorsim ./cmd/floorsim
+	$(BIN)/floorsim -device $(SIM_DEVICE) -events $(SIM_EVENTS) -seed $(SIM_SEED) \
+		-intensity $(SIM_INTENSITY) -faults seed:$(SIM_FAULT_SEED) -out $(SIM_FAULTS_OUT)
+	$(BIN)/floorsim -validate $(SIM_FAULTS_OUT)
+
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzProblemDecode      -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzSolveRequestDecode -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzDecode             -fuzztime $(FUZZTIME) ./internal/bitstream
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay          -fuzztime $(FUZZTIME) ./internal/session
 
 serve: build
 	$(BIN)/floorpland -addr :8080

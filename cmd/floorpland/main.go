@@ -36,9 +36,18 @@
 // and session batch that survives tail sampling) to a size-rotated file;
 // without it events stay in the in-memory tail behind /debug/events.
 //
+// -session-dir makes online-placement sessions durable: every applied
+// event batch is written to a per-session write-ahead log before the
+// response is acknowledged, periodic snapshots bound replay, and on
+// start the daemon replays every recoverable session — frame-verified —
+// back into the registry. -faults drives reconfiguration frame loads
+// through an injected-fault plan (resilience testing; see
+// reconfig.ParseFaultPlan).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// requests, drains in-flight solves and cancels queued ones. SIGUSR1
-// dumps the flight recorder ring to -flight-dump as JSON without
+// requests, drains in-flight solves and cancels queued ones; with
+// -session-dir set it also flushes a final snapshot per live session.
+// SIGUSR1 dumps the flight recorder ring to -flight-dump as JSON without
 // interrupting service.
 package main
 
@@ -59,6 +68,7 @@ import (
 
 	floorplanner "repro"
 	"repro/internal/logx"
+	"repro/internal/reconfig"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -87,6 +97,9 @@ func run() error {
 		logFormat    = flag.String("log-format", "text", "log format: "+logx.Formats)
 		maxSessions  = flag.Int("max-sessions", 16, "live online-placement sessions the daemon holds")
 		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "idle time before a session is reclaimed")
+		sessionDir   = flag.String("session-dir", "", "persist sessions (WAL + snapshots) under this directory and recover them on start (empty = in-memory only)")
+		sessionSnap  = flag.Int("session-snapshot-every", 0, "WAL records between session snapshots (0 = 64)")
+		faultSpec    = flag.String("faults", "", "reconfiguration fault-injection plan, e.g. seed:7 or script:transient,pass (empty disables; for resilience testing)")
 		flightSize   = flag.Int("flight", 256, "solve records kept in the flight recorder ring (/debug/solves)")
 		flightDump   = flag.String("flight-dump", "floorpland-flight.json", "file the flight ring is dumped to on SIGUSR1")
 		eventsPath   = flag.String("events", "", "export wide events as JSON lines to this file (empty keeps them in-memory only)")
@@ -114,6 +127,10 @@ func run() error {
 			return err
 		}
 	}
+	faultPlan, err := reconfig.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		return err
+	}
 	var eventSink telemetry.Sink
 	if *eventsPath != "" {
 		fs, err := telemetry.NewFileSink(*eventsPath, *eventsMax, *eventsKeep)
@@ -125,23 +142,26 @@ func run() error {
 		eventSink = fs
 	}
 	srv := server.New(server.Config{
-		Workers:          *workers,
-		QueueSize:        *queue,
-		CacheSize:        *cacheSize,
-		DefaultEngine:    *engine,
-		FallbackChain:    fallbackChain,
-		BreakerThreshold: *brkThreshold,
-		BreakerCooldown:  *brkCooldown,
-		DefaultTimeLimit: *defaultLimit,
-		MaxTimeLimit:     *maxLimit,
-		MaxSessions:      *maxSessions,
-		SessionTTL:       *sessionTTL,
-		FlightSize:       *flightSize,
-		EventSink:        eventSink,
-		EventTailSize:    *eventsTail,
-		EventSampleRate:  *eventsSample,
-		Logger:           log,
-		Version:          buildVersion(),
+		Workers:              *workers,
+		QueueSize:            *queue,
+		CacheSize:            *cacheSize,
+		DefaultEngine:        *engine,
+		FallbackChain:        fallbackChain,
+		BreakerThreshold:     *brkThreshold,
+		BreakerCooldown:      *brkCooldown,
+		DefaultTimeLimit:     *defaultLimit,
+		MaxTimeLimit:         *maxLimit,
+		MaxSessions:          *maxSessions,
+		SessionTTL:           *sessionTTL,
+		SessionDir:           *sessionDir,
+		SessionSnapshotEvery: *sessionSnap,
+		SessionFaults:        faultPlan,
+		FlightSize:           *flightSize,
+		EventSink:            eventSink,
+		EventTailSize:        *eventsTail,
+		EventSampleRate:      *eventsSample,
+		Logger:               log,
+		Version:              buildVersion(),
 	})
 
 	// SIGUSR1 dumps the flight ring — the last -flight solve records,

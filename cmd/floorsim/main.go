@@ -13,7 +13,15 @@
 //
 //	floorsim -out SIM.json                          # default seeded run
 //	floorsim -device fx70t -events 250 -seed 7 -intensity 0.6
+//	floorsim -faults seed:7 -out SIM.json           # soak under injected faults
 //	floorsim -validate SIM.json                     # validate an existing report
+//
+// -faults drives the replay through reconfig's fault-injection plan
+// (see reconfig.ParseFaultPlan): frame loads fail transiently, corrupt
+// frames, or get stuck, and the report then carries the retry /
+// repair / rollback accounting. Validation requires zero corrupted
+// frames and zero lost tasks regardless of the plan — the soak proves
+// the hardened pipeline absorbs the faults.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	floorplanner "repro"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/reconfig"
 	"repro/internal/session"
 	"repro/internal/simfmt"
 )
@@ -48,6 +57,7 @@ func run() error {
 		cooldown    = flag.Int("cooldown", 6, "minimum events between defragmentation attempts")
 		engineName  = flag.String("engine", "constructive", "fallback floorplanner engine for hard arrivals (empty disables)")
 		solveBudget = flag.Duration("solve-budget", 2*time.Second, "per-fallback-solve time budget")
+		faults      = flag.String("faults", "", "fault-injection plan, e.g. seed:7 or script:transient,pass (empty disables)")
 		out         = flag.String("out", "SIM.json", "output report path")
 		validate    = flag.String("validate", "", "validate an existing report at this path and exit")
 		quiet       = flag.Bool("q", false, "suppress per-cycle progress output")
@@ -73,6 +83,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	plan, err := reconfig.ParseFaultPlan(*faults)
+	if err != nil {
+		return err
+	}
 	var engine core.Engine
 	if *engineName != "" {
 		engine, err = floorplanner.NewEngine(*engineName)
@@ -95,6 +109,8 @@ func run() error {
 		FragThreshold: *fragThresh,
 		Cooldown:      *cooldown,
 		SolveBudget:   *solveBudget,
+		Faults:        plan,
+		FaultSpec:     *faults,
 		Progress:      progress,
 	})
 	if err != nil {
@@ -125,6 +141,11 @@ type simConfig struct {
 	FragThreshold float64
 	Cooldown      int
 	SolveBudget   time.Duration
+	// Faults, when non-nil, drives every frame load through the
+	// injection plan; FaultSpec is its flag spelling, recorded in the
+	// report.
+	Faults    *reconfig.FaultPlan
+	FaultSpec string
 	// Progress, when non-nil, receives one line per defrag cycle plus a
 	// summary line.
 	Progress func(format string, args ...any)
@@ -141,6 +162,7 @@ func runSim(cfg simConfig) (*simfmt.Report, error) {
 		FragThreshold:  cfg.FragThreshold,
 		DefragCooldown: cfg.Cooldown,
 		SolveBudget:    cfg.SolveBudget,
+		Faults:         cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -167,11 +189,26 @@ func runSim(cfg simConfig) (*simfmt.Report, error) {
 	if host, err := os.Hostname(); err == nil {
 		report.Host = host
 	}
+	report.FaultPlan = cfg.FaultSpec
 
+	// expected tracks every module acknowledged as placed and not yet
+	// departed; at the end of the replay each of them must still be in
+	// the live set, or the pipeline lost a task.
+	expected := make(map[string]bool)
 	for _, ev := range workload {
 		res, err := mgr.Apply(ev)
 		if err != nil {
 			return nil, fmt.Errorf("event (%s %q): %w", ev.Kind, ev.Name, err)
+		}
+		switch ev.Kind {
+		case session.Arrival:
+			if res.Placed {
+				expected[ev.Name] = true
+			}
+		case session.Departure:
+			if !res.Rejected {
+				delete(expected, ev.Name)
+			}
 		}
 		report.FragTrajectory = append(report.FragTrajectory, simfmt.FragPoint{
 			Event:     res.Seq,
@@ -191,6 +228,8 @@ func runSim(cfg simConfig) (*simfmt.Report, error) {
 				cycle.BusyMS = durMS(d.Schedule.BusyTime)
 				cycle.FramesVerified = d.Schedule.FramesVerified
 				cycle.CorruptedFrames = d.Schedule.CorruptedFrames
+				cycle.Retries = d.Schedule.Retries
+				cycle.RolledBack = d.Schedule.RolledBack
 			}
 			report.DefragCycles = append(report.DefragCycles, cycle)
 			if cfg.Progress != nil {
@@ -215,12 +254,30 @@ func runSim(cfg simConfig) (*simfmt.Report, error) {
 	report.FramesWritten = snap.Reconfig.FramesWritten
 	report.BusyMS = durMS(snap.Reconfig.BusyTime)
 	report.CorruptedFrames = stats.CorruptedFrames
+	report.FaultsInjected = snap.Reconfig.FaultsInjected
+	report.Retries = snap.Reconfig.Retries
+	report.CorruptionsRepaired = snap.Reconfig.CorruptionsRepaired
+	report.Rollbacks = snap.Reconfig.Rollbacks
+	live := make(map[string]bool, len(snap.Live))
+	for _, mod := range snap.Live {
+		live[mod.Name] = true
+	}
+	for name := range expected {
+		if !live[name] {
+			report.LostTasks++
+		}
+	}
 	report.CreatedAt = time.Now().UTC()
 
 	if cfg.Progress != nil {
 		cfg.Progress("%d events: %d placed (%d fallback), %d rejected, %d defrag cycles, final frag %.3f",
 			report.Events, report.Placed, report.PlacedFallback, report.Rejected,
 			len(report.DefragCycles), report.FinalFragmentation)
+		if cfg.FaultSpec != "" {
+			cfg.Progress("faults %q: %d injected, %d retries, %d corruptions repaired, %d rollbacks, %d lost tasks",
+				cfg.FaultSpec, report.FaultsInjected, report.Retries,
+				report.CorruptionsRepaired, report.Rollbacks, report.LostTasks)
+		}
 	}
 	return report, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/heuristic"
+	"repro/internal/reconfig"
 )
 
 // TestEndToEndFX70T is the subsystem's acceptance demo: a seeded
@@ -96,6 +97,40 @@ func TestRunSimDeterministic(t *testing.T) {
 		if a.FragTrajectory[i] != b.FragTrajectory[i] {
 			t.Fatalf("trajectory diverged at point %d", i)
 		}
+	}
+}
+
+// TestRunSimFaultSoak replays a workload under seeded fault injection:
+// the hardened pipeline must absorb every fault — reporting its retry
+// and repair work — with zero corrupted frames and zero lost tasks, and
+// the report must still validate.
+func TestRunSimFaultSoak(t *testing.T) {
+	plan, err := reconfig.ParseFaultPlan("seed:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := runSim(simConfig{
+		Device:        device.VirtexFX70T(),
+		Events:        150,
+		Seed:          3,
+		Intensity:     0.6,
+		FragThreshold: 0.55,
+		Cooldown:      6,
+		Faults:        plan,
+		FaultSpec:     "seed:7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FaultsInjected == 0 || report.Retries == 0 {
+		t.Fatalf("soak injected no faults: %+v", report)
+	}
+	if report.CorruptedFrames != 0 || report.LostTasks != 0 {
+		t.Fatalf("soak corrupted %d frames, lost %d tasks", report.CorruptedFrames, report.LostTasks)
+	}
+	var buf bytes.Buffer
+	if err := report.Write(&buf); err != nil {
+		t.Fatal(err)
 	}
 }
 

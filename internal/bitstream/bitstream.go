@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"repro/internal/device"
 	"repro/internal/grid"
@@ -254,6 +255,52 @@ func (cm *ConfigMemory) Unload(task string) {
 func (cm *ConfigMemory) Frame(addr FrameAddress) ([FrameBytes]byte, bool) {
 	p, ok := cm.frames[addr]
 	return p, ok
+}
+
+// CorruptFrame flips the given bit mask into the first payload word of a
+// loaded frame, reporting whether the frame existed. It models an upset
+// during shift-in — the write "succeeded" but the stored content is
+// wrong — and exists for fault injection; only readback can detect it.
+func (cm *ConfigMemory) CorruptFrame(addr FrameAddress, mask byte) bool {
+	p, ok := cm.frames[addr]
+	if !ok {
+		return false
+	}
+	p[0] ^= mask
+	cm.frames[addr] = p
+	return true
+}
+
+// Digest hashes every configured frame (address and payload, in address
+// order) into one CRC-32. Two configuration memories holding the same
+// design content at the same locations digest identically — the
+// frame-for-frame equality check crash-recovery verification relies on.
+func (cm *ConfigMemory) Digest() uint32 {
+	addrs := make([]FrameAddress, 0, len(cm.frames))
+	for addr := range cm.frames {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		a, b := addrs[i], addrs[j]
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Minor < b.Minor
+	})
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, addr := range addrs {
+		binary.LittleEndian.PutUint16(buf[0:], uint16(addr.Column))
+		binary.LittleEndian.PutUint16(buf[2:], uint16(addr.Row))
+		binary.LittleEndian.PutUint16(buf[4:], uint16(addr.Minor))
+		h.Write(buf[:6])
+		p := cm.frames[addr]
+		h.Write(p[:])
+	}
+	return h.Sum32()
 }
 
 // LoadedFrames returns the number of configured frames.

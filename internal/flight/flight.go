@@ -77,6 +77,15 @@ type SessionStats struct {
 	// CorruptedFrames counts frame-readback mismatches across the
 	// batch's executed schedules (0 on a correct run).
 	CorruptedFrames int `json:"corrupted_frames,omitempty"`
+	// Retries counts frame-write attempts the batch repeated after
+	// injected transient faults or detected corruptions.
+	Retries int `json:"retries,omitempty"`
+	// Rollbacks counts schedule moves the batch undid after mid-schedule
+	// hard failures (transactional defrag rollback).
+	Rollbacks int `json:"rollbacks,omitempty"`
+	// WALRecords counts write-ahead-log records the batch appended
+	// (durable sessions only).
+	WALRecords int `json:"wal_records,omitempty"`
 }
 
 // Record is one solve's flight entry. Seq is assigned by the recorder

@@ -36,6 +36,10 @@ const (
 	// model) rejected the operation for a reason the pre-checks did not
 	// anticipate; the wrapped error carries the detail.
 	KindRejected
+	// KindFaulted: an injected (or, on real hardware, observed)
+	// configuration-port fault persisted past the operation's retry
+	// budget. The wrapped error is ErrFaultInjected.
+	KindFaulted
 )
 
 var errKindNames = map[ErrKind]string{
@@ -47,6 +51,7 @@ var errKindNames = map[ErrKind]string{
 	KindIncompatible:      "incompatible",
 	KindIllegalArea:       "illegal_area",
 	KindRejected:          "rejected",
+	KindFaulted:           "faulted",
 }
 
 func (k ErrKind) String() string {

@@ -1,0 +1,249 @@
+package reconfig
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultKind is one kind of injected hardware fault on the configuration
+// port. Faults model the failure modes a real ICAP/PCAP write path
+// exhibits: a write that fails transiently (bus contention, clocking),
+// a write that lands but corrupts frame content (SEU during shift-in),
+// and a port that stays dead for the rest of the operation.
+type FaultKind int
+
+const (
+	// FaultPass lets the frame write through untouched.
+	FaultPass FaultKind = iota
+	// FaultTransient fails this write attempt; a retry draws again.
+	FaultTransient
+	// FaultCorrupt lets the write land but flips bits in one written
+	// frame — only readback verification can catch it.
+	FaultCorrupt
+	// FaultStuck fails this write attempt and every retry of the same
+	// operation (the port is dead for this op): the operation hard-fails
+	// once the retry budget is exhausted.
+	FaultStuck
+)
+
+var faultNames = map[FaultKind]string{
+	FaultPass:      "pass",
+	FaultTransient: "transient",
+	FaultCorrupt:   "corrupt",
+	FaultStuck:     "stuck",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// ErrFaultInjected is the root cause carried by KindFaulted operation
+// errors: the injected hardware fault persisted past the retry budget.
+var ErrFaultInjected = errors.New("reconfig: injected hardware fault persisted past retries")
+
+// FaultPlan schedules injected configuration-port faults for a Manager,
+// in the spirit of guard.Chaos. Two modes:
+//
+//   - Script: a non-empty fault list consumed one entry per frame-write
+//     attempt, cycling — exact control for unit tests;
+//   - Weights: when Script is empty, each attempt draws from the weighted
+//     distribution using a rand.Rand seeded with Seed, so a whole soak is
+//     reproducible from one integer.
+//
+// The zero weights (with an empty script) inject nothing. A FaultPlan is
+// safe for concurrent use; concurrent operations consume schedule
+// entries in arrival order.
+type FaultPlan struct {
+	// Seed seeds the weighted draw (ignored in Script mode).
+	Seed int64
+	// Script, when non-empty, is cycled deterministically attempt by
+	// attempt.
+	Script []FaultKind
+	// PassWeight .. StuckWeight are the relative draw weights for the
+	// weighted mode.
+	PassWeight      int
+	TransientWeight int
+	CorruptWeight   int
+	StuckWeight     int
+	// MaxAttempts caps the write attempts per operation, first try
+	// included (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry, doubling per
+	// retry up to MaxBackoff. The default 0 retries immediately — the
+	// substrate is simulated, so tests and soaks stay fast; set it when
+	// exercising real backoff timing.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = 50ms, only relevant
+	// when BaseBackoff > 0).
+	MaxBackoff time.Duration
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int
+}
+
+// DefaultMaxAttempts is the per-operation write-attempt cap (first try
+// plus retries) used when a FaultPlan does not set its own.
+const DefaultMaxAttempts = 4
+
+// DefaultFaultWeights returns the weighted mix a bare "seed:N" plan
+// uses: mostly clean writes with a tail of transient, corrupt and stuck
+// faults — enough to exercise every recovery path in a soak without
+// drowning the workload.
+func DefaultFaultWeights() (pass, transient, corrupt, stuck int) {
+	return 90, 5, 4, 1
+}
+
+// ParseFaultPlan builds a plan from a flag value:
+//
+//	off                         no injection (returns nil)
+//	seed:7                      weighted mode, default weights
+//	seed:7,transient:10,corrupt:5,stuck:1,pass:84
+//	seed:7,attempts:6           override the retry budget
+//	script:transient,pass,stuck exact per-attempt schedule
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" || s == "none" {
+		return nil, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "script:"); ok {
+		plan := &FaultPlan{}
+		for _, name := range strings.Split(rest, ",") {
+			found := false
+			for k, n := range faultNames {
+				if n == strings.TrimSpace(name) {
+					plan.Script = append(plan.Script, k)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("reconfig: unknown fault %q (want pass, transient, corrupt or stuck)", name)
+			}
+		}
+		return plan, nil
+	}
+	plan := &FaultPlan{}
+	plan.PassWeight, plan.TransientWeight, plan.CorruptWeight, plan.StuckWeight = DefaultFaultWeights()
+	seeded := false
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("reconfig: fault plan part %q is not key:value", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("reconfig: fault plan %s: %w", key, err)
+		}
+		switch key {
+		case "seed":
+			plan.Seed, seeded = int64(n), true
+		case "pass":
+			plan.PassWeight = n
+		case "transient":
+			plan.TransientWeight = n
+		case "corrupt":
+			plan.CorruptWeight = n
+		case "stuck":
+			plan.StuckWeight = n
+		case "attempts":
+			plan.MaxAttempts = n
+		default:
+			return nil, fmt.Errorf("reconfig: unknown fault plan key %q", key)
+		}
+	}
+	if !seeded {
+		return nil, fmt.Errorf("reconfig: fault plan %q names no seed (use seed:N or script:...)", s)
+	}
+	return plan, nil
+}
+
+// maxAttempts returns the plan's effective per-operation attempt cap. A
+// nil plan injects nothing, so one attempt always suffices.
+func (p *FaultPlan) maxAttempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// backoff sleeps the capped exponential delay before retry number n
+// (1-based). With BaseBackoff 0 it returns immediately.
+func (p *FaultPlan) backoff(n int) {
+	if p == nil || p.BaseBackoff <= 0 {
+		return
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 50 * time.Millisecond
+	}
+	d := p.BaseBackoff << (n - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	time.Sleep(d)
+}
+
+// draw consumes one schedule entry. A nil plan always passes.
+func (p *FaultPlan) draw() FaultKind {
+	if p == nil {
+		return FaultPass
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	if len(p.Script) > 0 {
+		return p.Script[(p.calls-1)%len(p.Script)]
+	}
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	weights := [...]struct {
+		k FaultKind
+		w int
+	}{
+		{FaultPass, p.PassWeight},
+		{FaultTransient, p.TransientWeight},
+		{FaultCorrupt, p.CorruptWeight},
+		{FaultStuck, p.StuckWeight},
+	}
+	total := 0
+	for _, e := range weights {
+		if e.w > 0 {
+			total += e.w
+		}
+	}
+	if total == 0 {
+		return FaultPass
+	}
+	n := p.rng.Intn(total)
+	for _, e := range weights {
+		if e.w <= 0 {
+			continue
+		}
+		if n < e.w {
+			return e.k
+		}
+		n -= e.w
+	}
+	return FaultPass
+}
+
+// Draws returns how many write attempts the plan has scheduled faults
+// for (diagnostics).
+func (p *FaultPlan) Draws() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}

@@ -1,0 +1,185 @@
+package reconfig
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sdr"
+)
+
+func TestParseFaultPlan(t *testing.T) {
+	for _, spec := range []string{"", "off", "none"} {
+		plan, err := ParseFaultPlan(spec)
+		if err != nil || plan != nil {
+			t.Fatalf("ParseFaultPlan(%q) = %v, %v; want nil, nil", spec, plan, err)
+		}
+	}
+
+	plan, err := ParseFaultPlan("seed:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, tr, c, st := DefaultFaultWeights()
+	if plan.Seed != 7 || plan.PassWeight != p || plan.TransientWeight != tr ||
+		plan.CorruptWeight != c || plan.StuckWeight != st {
+		t.Fatalf("seed:7 plan = %+v", plan)
+	}
+
+	plan, err = ParseFaultPlan("seed:3,transient:10,corrupt:5,stuck:1,pass:84,attempts:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 3 || plan.TransientWeight != 10 || plan.CorruptWeight != 5 ||
+		plan.StuckWeight != 1 || plan.PassWeight != 84 || plan.MaxAttempts != 6 {
+		t.Fatalf("explicit plan = %+v", plan)
+	}
+
+	plan, err = ParseFaultPlan("script:transient,pass,stuck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FaultKind{FaultTransient, FaultPass, FaultStuck}
+	if len(plan.Script) != len(want) {
+		t.Fatalf("script = %v, want %v", plan.Script, want)
+	}
+	for i, k := range want {
+		if plan.Script[i] != k {
+			t.Fatalf("script = %v, want %v", plan.Script, want)
+		}
+	}
+
+	for _, bad := range []string{"transient:10", "seed:x", "script:bogus", "seed:1,wat:2", "justwords"} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Fatalf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTransientFaultRetried: a transient write failure is absorbed by
+// one retry and the operation succeeds with verified frames.
+func TestTransientFaultRetried(t *testing.T) {
+	m, p := sdr2Manager(t)
+	m.SetFaultPlan(&FaultPlan{Script: []FaultKind{FaultTransient, FaultPass}})
+	ri := p.RegionIndex(sdr.CarrierRecovery)
+	if err := m.Configure(ri, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.FaultsInjected != 1 || st.Retries != 1 {
+		t.Fatalf("stats = %+v, want 1 fault, 1 retry", st)
+	}
+	frames, corrupted := m.VerifyRegion(ri)
+	if frames == 0 || corrupted != 0 {
+		t.Fatalf("verify = %d frames, %d corrupted", frames, corrupted)
+	}
+}
+
+// TestCorruptFaultRepaired: a corrupted write is caught by readback
+// verification and the retry rewrites clean frames.
+func TestCorruptFaultRepaired(t *testing.T) {
+	m, p := sdr2Manager(t)
+	m.SetFaultPlan(&FaultPlan{Script: []FaultKind{FaultCorrupt, FaultPass}})
+	ri := p.RegionIndex(sdr.Demodulator)
+	if err := m.Configure(ri, 200, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.FaultsInjected != 1 || st.CorruptionsRepaired != 1 || st.Retries != 1 {
+		t.Fatalf("stats = %+v, want 1 fault, 1 repair, 1 retry", st)
+	}
+	if _, corrupted := m.VerifyRegion(ri); corrupted != 0 {
+		t.Fatalf("%d corrupted frames survived the repair", corrupted)
+	}
+}
+
+// TestStuckFaultHardFails: a stuck port exhausts the retry budget, the
+// operation fails with KindFaulted, and no half-written configuration
+// lingers — a clean retry of the same configure succeeds.
+func TestStuckFaultHardFails(t *testing.T) {
+	m, p := sdr2Manager(t)
+	m.SetFaultPlan(&FaultPlan{Script: []FaultKind{FaultStuck}})
+	ri := p.RegionIndex(sdr.SignalDecoder)
+	err := m.Configure(ri, 7, 0)
+	if err == nil {
+		t.Fatal("configure succeeded through a stuck port")
+	}
+	if kind, ok := KindOf(err); !ok || kind != KindFaulted {
+		t.Fatalf("error kind = %v (ok %v), want KindFaulted (%v)", kind, ok, err)
+	}
+	if !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("error %v does not wrap ErrFaultInjected", err)
+	}
+	st := m.Stats()
+	if st.Retries != DefaultMaxAttempts-1 {
+		t.Fatalf("retries = %d, want %d", st.Retries, DefaultMaxAttempts-1)
+	}
+	if m.CurrentSlot(ri) != -1 || st.Configurations != 0 {
+		t.Fatalf("failed configure left state: slot %d, %+v", m.CurrentSlot(ri), st)
+	}
+
+	m.SetFaultPlan(nil)
+	if err := m.Configure(ri, 7, 0); err != nil {
+		t.Fatalf("clean configure after fault failure: %v", err)
+	}
+	if _, corrupted := m.VerifyRegion(ri); corrupted != 0 {
+		t.Fatalf("%d corrupted frames after recovery", corrupted)
+	}
+}
+
+// TestScheduleRollsBackOnHardFault: a schedule that hard-fails mid-way
+// is unwound in reverse — the layout and the configuration memory end
+// frame-for-frame identical to where they started.
+func TestScheduleRollsBackOnHardFault(t *testing.T) {
+	m, p := sdr2Manager(t)
+	ri := p.RegionIndex(sdr.SignalDecoder)
+	if err := m.Configure(ri, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	digest := m.FrameDigest()
+
+	// First move's single write passes; the second move's port is stuck.
+	m.SetFaultPlan(&FaultPlan{Script: []FaultKind{FaultPass, FaultStuck}})
+	rep, err := m.ExecuteSchedule([]Move{{Region: ri, Slot: 1}, {Region: ri, Slot: 2}})
+	if err == nil {
+		t.Fatal("schedule succeeded through a stuck port")
+	}
+	if !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("schedule error %v does not wrap ErrFaultInjected", err)
+	}
+	if rep.Executed != 0 || rep.RolledBack != 1 {
+		t.Fatalf("report = %+v, want net 0 executed, 1 rolled back", rep)
+	}
+	if m.CurrentSlot(ri) != 0 {
+		t.Fatalf("region left at slot %d after rollback", m.CurrentSlot(ri))
+	}
+	if got := m.FrameDigest(); got != digest {
+		t.Fatalf("frame digest %08x after rollback, want %08x — fabric diverged", got, digest)
+	}
+	st := m.Stats()
+	if st.Rollbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 rollback", st)
+	}
+	if _, corrupted := m.VerifyRegion(ri); corrupted != 0 {
+		t.Fatalf("%d corrupted frames after rollback", corrupted)
+	}
+}
+
+// TestFaultPlanWeightedDeterminism: the same seed draws the same fault
+// sequence — soaks are reproducible from one integer.
+func TestFaultPlanWeightedDeterminism(t *testing.T) {
+	draw := func() []FaultKind {
+		p := &FaultPlan{Seed: 42}
+		p.PassWeight, p.TransientWeight, p.CorruptWeight, p.StuckWeight = DefaultFaultWeights()
+		seq := make([]FaultKind, 64)
+		for i := range seq {
+			seq[i] = p.draw()
+		}
+		return seq
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

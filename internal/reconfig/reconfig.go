@@ -67,6 +67,10 @@ type Manager struct {
 	mode    []int64  // per region: loaded mode seed (valid when current >= 0)
 	store   map[storeKey]*bitstream.Bitstream
 
+	// faults, when non-nil, injects configuration-port failures into
+	// every frame write; loadFrames retries/repairs around them.
+	faults *FaultPlan
+
 	stats Stats
 }
 
@@ -78,15 +82,27 @@ type storeKey struct {
 // Stats accumulates the manager's activity.
 type Stats struct {
 	// Configurations counts initial mode loads.
-	Configurations int
+	Configurations int `json:"configurations"`
 	// ModeSwitches counts reconfigurations of a region in place.
-	ModeSwitches int
+	ModeSwitches int `json:"mode_switches"`
 	// Relocations counts moves between compatible slots.
-	Relocations int
+	Relocations int `json:"relocations"`
 	// FramesWritten is the total configuration frames written.
-	FramesWritten int
+	FramesWritten int `json:"frames_written"`
 	// BusyTime is the summed configuration-port time.
-	BusyTime time.Duration
+	BusyTime time.Duration `json:"busy_time"`
+	// FaultsInjected counts frame-write attempts a FaultPlan failed or
+	// corrupted.
+	FaultsInjected int `json:"faults_injected,omitempty"`
+	// Retries counts frame-write attempts repeated after a transient
+	// failure or a detected corruption.
+	Retries int `json:"retries,omitempty"`
+	// CorruptionsRepaired counts corrupted writes caught by readback
+	// verification and repaired by rewriting the frames.
+	CorruptionsRepaired int `json:"corruptions_repaired,omitempty"`
+	// Rollbacks counts moves undone by ExecuteSchedule's transactional
+	// rollback after a mid-schedule hard failure.
+	Rollbacks int `json:"rollbacks,omitempty"`
 }
 
 // New builds a manager from a validated problem/solution pair.
@@ -139,6 +155,21 @@ func (m *Manager) CurrentSlot(region int) int { return m.current[region] }
 // Stats returns the accumulated activity counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
+// RestoreStats overwrites the activity counters — used by crash
+// recovery to resume the counters a persisted session had accumulated,
+// instead of restarting them at the replay's (much smaller) cost.
+func (m *Manager) RestoreStats(s Stats) { m.stats = s }
+
+// SetFaultPlan installs (or, with nil, removes) the injected-fault
+// schedule applied to subsequent frame writes.
+func (m *Manager) SetFaultPlan(p *FaultPlan) { m.faults = p }
+
+// FrameDigest hashes the entire configuration memory (every loaded
+// frame's address and payload). Two managers operating the same live
+// design digest identically — the frame-for-frame equality check used
+// by crash-recovery tests.
+func (m *Manager) FrameDigest() uint32 { return m.cm.Digest() }
+
 // taskName labels a region's configuration in the config memory.
 func (m *Manager) taskName(region int) string {
 	return fmt.Sprintf("region-%d:%s", region, m.names[region])
@@ -166,6 +197,84 @@ func (m *Manager) charge(bs *bitstream.Bitstream) {
 	m.stats.BusyTime += time.Duration(bs.FrameCount()) * m.frameTime
 }
 
+// loadFrames writes a bitstream into configuration memory under the
+// fault plan, retrying with capped exponential backoff. Each attempt
+// draws one fault:
+//
+//   - pass: the write lands and is readback-verified (belt and braces —
+//     a silently corrupted pass would otherwise survive);
+//   - transient: the attempt fails; the next attempt draws afresh;
+//   - corrupt: the write lands with flipped bits in one frame; readback
+//     verification catches the mismatch and the retry rewrites;
+//   - stuck: the port is dead for the rest of this operation — every
+//     remaining attempt fails.
+//
+// When the attempt budget is exhausted the operation hard-fails with a
+// KindFaulted OpError wrapping ErrFaultInjected; the frames the task had
+// written in failed attempts are unloaded so no half-written
+// configuration lingers. Substrate rejections (CRC, ownership, bounds)
+// are not retried: they are deterministic model errors, not hardware
+// flakes.
+func (m *Manager) loadFrames(op string, region, slot int, bs *bitstream.Bitstream, task string) error {
+	stuck := false
+	for attempt := 1; ; attempt++ {
+		fault := m.faults.draw()
+		if stuck {
+			fault = FaultStuck
+		}
+		switch fault {
+		case FaultTransient, FaultStuck:
+			m.stats.FaultsInjected++
+			if fault == FaultStuck {
+				stuck = true
+			}
+		case FaultCorrupt:
+			m.stats.FaultsInjected++
+			if err := m.cm.Load(bs, task); err != nil {
+				return wrapErr(op, region, slot, err)
+			}
+			m.charge(bs)
+			m.cm.CorruptFrame(bs.Frames[attempt%len(bs.Frames)].Addr, 0xA5)
+			if m.verifyLoaded(bs) > 0 {
+				m.stats.CorruptionsRepaired++
+			}
+		default: // FaultPass
+			if err := m.cm.Load(bs, task); err != nil {
+				return wrapErr(op, region, slot, err)
+			}
+			m.charge(bs)
+			if m.verifyLoaded(bs) == 0 {
+				return nil
+			}
+			// A pass whose readback still mismatches means stale frames
+			// from an earlier corrupted attempt survived under another
+			// owner — cannot happen with same-task overwrite, but verify
+			// is cheap and the retry below is the right response anyway.
+			m.stats.CorruptionsRepaired++
+		}
+		if attempt >= m.faults.maxAttempts() {
+			m.cm.Unload(task)
+			return &OpError{Op: op, Region: region, Slot: slot, Kind: KindFaulted,
+				Detail: fmt.Sprintf("after %d attempts", attempt), Err: ErrFaultInjected}
+		}
+		m.stats.Retries++
+		m.faults.backoff(attempt)
+	}
+}
+
+// verifyLoaded reads the bitstream's frames back from configuration
+// memory and counts mismatches against the expected payloads.
+func (m *Manager) verifyLoaded(bs *bitstream.Bitstream) int {
+	mismatched := 0
+	for _, f := range bs.Frames {
+		got, ok := m.cm.Frame(f.Addr)
+		if !ok || got != f.Payload {
+			mismatched++
+		}
+	}
+	return mismatched
+}
+
 // Configure loads a module mode into one of the region's slots.
 func (m *Manager) Configure(region int, mode int64, slot int) error {
 	const op = "configure"
@@ -188,13 +297,12 @@ func (m *Manager) Configure(region int, mode int64, slot int) error {
 	if err != nil {
 		return wrapErr(op, region, slot, err)
 	}
-	if err := m.cm.Load(placed, m.taskName(region)); err != nil {
-		return wrapErr(op, region, slot, err)
+	if err := m.loadFrames(op, region, slot, placed, m.taskName(region)); err != nil {
+		return err
 	}
 	m.current[region] = slot
 	m.mode[region] = mode
 	m.stats.Configurations++
-	m.charge(placed)
 	return nil
 }
 
@@ -218,12 +326,22 @@ func (m *Manager) SwitchMode(region int, mode int64) error {
 		return wrapErr(op, region, slot, err)
 	}
 	m.cm.Unload(m.taskName(region))
-	if err := m.cm.Load(placed, m.taskName(region)); err != nil {
-		return wrapErr(op, region, slot, err)
+	if err := m.loadFrames(op, region, slot, placed, m.taskName(region)); err != nil {
+		// An in-place switch overwrites the region's own frames, so a
+		// hard fault here has already torn the old mode down. Restore it
+		// from the stored image so the region keeps running what it ran
+		// before: the restore bypasses injection — the image is known
+		// good, and modelling a second-order fault on the recovery write
+		// adds nothing (the caller already gets the KindFaulted error).
+		if old, berr := m.bitstreamFor(region, m.mode[region]); berr == nil {
+			if restored, rerr := bitstream.Relocate(m.dev, old, m.slots[region][slot].Area); rerr == nil {
+				_ = m.cm.Load(restored, m.taskName(region))
+			}
+		}
+		return err
 	}
 	m.mode[region] = mode
 	m.stats.ModeSwitches++
-	m.charge(placed)
 	return nil
 }
 
@@ -266,10 +384,14 @@ func (m *Manager) Relocate(region, slot int) error {
 		return wrapErr(op, region, slot, err)
 	}
 	// Configure the target first (it is reserved, so it must be free),
-	// then release the source — make-before-break.
+	// then release the source — make-before-break. Only this first write
+	// goes through the fault plan: if it hard-fails the source copy is
+	// still live and the region is untouched. The ownership handover
+	// below rewrites frames whose content is already verified on the
+	// fabric, so it bypasses injection.
 	tmpTask := m.taskName(region) + ":moving"
-	if err := m.cm.Load(moved, tmpTask); err != nil {
-		return wrapErr(op, region, slot, err)
+	if err := m.loadFrames(op, region, slot, moved, tmpTask); err != nil {
+		return err
 	}
 	m.cm.Unload(m.taskName(region))
 	m.cm.Unload(tmpTask)
@@ -278,7 +400,6 @@ func (m *Manager) Relocate(region, slot int) error {
 	}
 	m.current[region] = slot
 	m.stats.Relocations++
-	m.charge(moved)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package reconfig
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/bitstream"
@@ -25,6 +27,13 @@ type ScheduleReport struct {
 	FramesVerified int `json:"frames_verified"`
 	// CorruptedFrames counts readback mismatches (0 on a correct run).
 	CorruptedFrames int `json:"corrupted_frames"`
+	// Retries counts frame-write attempts the schedule repeated after
+	// injected transient faults or detected corruptions.
+	Retries int `json:"retries,omitempty"`
+	// RolledBack counts moves undone after a mid-schedule hard failure.
+	// Executed is net of rollback: a fully rolled-back schedule reports
+	// Executed 0.
+	RolledBack int `json:"rolled_back,omitempty"`
 }
 
 // ExecuteSchedule runs an ordered relocation schedule move by move. Each
@@ -33,23 +42,59 @@ type ScheduleReport struct {
 // are read back from configuration memory and verified against the
 // expected design content.
 //
-// Execution stops at the first failing move; the report covers the moves
-// that did execute, and the error identifies the one that did not.
+// The schedule is transactional: when a move hard-fails (its retry
+// budget exhausted, or a substrate rejection), the moves already
+// executed are undone in reverse order so the layout returns to its
+// pre-schedule state — a partial defrag never strands the plan halfway.
+// Reverse order makes each undo target exactly the slot that move
+// vacated, so every rollback relocation is conflict-free; rollback
+// writes bypass fault injection (every region stays on-fabric either
+// way under make-before-break, but a faulted rollback would leave the
+// layout in a third state neither the planner nor the caller asked
+// for). The report covers the net effect, and the error identifies the
+// move that failed.
 func (m *Manager) ExecuteSchedule(moves []Move) (*ScheduleReport, error) {
 	rep := &ScheduleReport{}
+	before := m.stats
+	type done struct{ region, from int }
+	var executed []done
+	var failErr error
 	for _, mv := range moves {
-		before := m.stats
+		from := m.current[mv.Region]
 		if err := m.Relocate(mv.Region, mv.Slot); err != nil {
-			return rep, err
+			failErr = err
+			break
 		}
+		executed = append(executed, done{region: mv.Region, from: from})
 		rep.Executed++
-		rep.FramesWritten += m.stats.FramesWritten - before.FramesWritten
-		rep.BusyTime += m.stats.BusyTime - before.BusyTime
 		frames, corrupted := m.VerifyRegion(mv.Region)
 		rep.FramesVerified += frames
 		rep.CorruptedFrames += corrupted
 	}
-	return rep, nil
+	if failErr != nil {
+		plan := m.faults
+		m.faults = nil
+		for i := len(executed) - 1; i >= 0; i-- {
+			d := executed[i]
+			if err := m.Relocate(d.region, d.from); err != nil {
+				// Cannot happen on the fault-free rollback path (the slot
+				// was just vacated); surface it rather than mask it.
+				failErr = errors.Join(failErr, fmt.Errorf("rollback of region %d to slot %d: %w", d.region, d.from, err))
+				break
+			}
+			rep.Executed--
+			rep.RolledBack++
+			m.stats.Rollbacks++
+			frames, corrupted := m.VerifyRegion(d.region)
+			rep.FramesVerified += frames
+			rep.CorruptedFrames += corrupted
+		}
+		m.faults = plan
+	}
+	rep.FramesWritten = m.stats.FramesWritten - before.FramesWritten
+	rep.BusyTime = m.stats.BusyTime - before.BusyTime
+	rep.Retries = m.stats.Retries - before.Retries
+	return rep, failErr
 }
 
 // VerifyRegion reads the region's frames back from configuration memory

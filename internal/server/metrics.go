@@ -76,6 +76,14 @@ type metrics struct {
 	sessionDefrags   atomic.Int64
 	sessionCorrupted atomic.Int64
 
+	// Session durability and fault-recovery counters (sessions.go,
+	// recovery.go).
+	sessionWALRecords atomic.Int64
+	sessionReplays    atomic.Int64
+	sessionRecoveries atomic.Int64
+	sessionRetries    atomic.Int64
+	sessionRollbacks  atomic.Int64
+
 	queueDepth   func() int // live gauge, set by the server
 	sessionsLive func() int // live session gauge, set by the server
 	// breakerStats, when set, supplies the per-engine circuit breaker
@@ -245,6 +253,11 @@ func (m *metrics) render() string {
 	counter("floorpland_session_events_total", "Arrival/departure events applied across all sessions.", m.sessionEvents.Load())
 	counter("floorpland_session_defrag_cycles_total", "Executed defragmentation cycles across all sessions.", m.sessionDefrags.Load())
 	counter("floorpland_session_corrupted_frames_total", "Frame readback mismatches across all executed relocation schedules (0 on a correct run).", m.sessionCorrupted.Load())
+	counter("floorpland_session_wal_records_total", "Write-ahead-log records appended across all durable sessions.", m.sessionWALRecords.Load())
+	counter("floorpland_session_replays_total", "WAL records replayed while recovering sessions at startup.", m.sessionReplays.Load())
+	counter("floorpland_session_recoveries_total", "Sessions rebuilt from snapshot+WAL at startup.", m.sessionRecoveries.Load())
+	counter("floorpland_session_reconfig_retries_total", "Frame-write attempts retried after transient faults or detected corruptions.", m.sessionRetries.Load())
+	counter("floorpland_session_rollbacks_total", "Relocation-schedule moves rolled back after mid-schedule hard failures.", m.sessionRollbacks.Load())
 	if m.candCacheStats != nil {
 		hits, misses := m.candCacheStats()
 		counter("floorpland_candidate_cache_hits_total", "Candidate enumerations served from the shared candidate cache.", hits)

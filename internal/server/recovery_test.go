@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/reconfig"
+	"repro/internal/session"
+)
+
+// startDurableServer brings up a server persisting sessions under dir.
+// The returned shutdown func gracefully drains (the clean-restart
+// path); not calling it and just closing the HTTP listener is the
+// crash path.
+func startDurableServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server, func()) {
+	t.Helper()
+	cfg.SessionDir = dir
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	return s, ts, func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Fatalf("closing server: %v", err)
+		}
+	}
+}
+
+func applyWorkload(t *testing.T, client *http.Client, baseURL, id string, events []session.Event) {
+	t.Helper()
+	var resp SessionEventsResponse
+	code := sessionPost(t, client, baseURL+"/v1/sessions/"+id+"/events",
+		SessionEventsRequest{Events: events}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("apply events: HTTP %d", code)
+	}
+	if len(resp.Results) != len(events) {
+		t.Fatalf("%d results for %d events", len(resp.Results), len(events))
+	}
+}
+
+// TestServerRecoversSessionsAcrossRestart drives the full daemon
+// restart: sessions created and fed on one Server instance come back —
+// same id, same live modules, same frame digest — on a second instance
+// over the same directory. The first leg stops cleanly (drain flushes a
+// final snapshot); a second restart exercises recovery from that
+// snapshot alone.
+func TestServerRecoversSessionsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1, shutdown1 := startDurableServer(t, dir, Config{})
+	client := ts1.Client()
+
+	info := createSession(t, client, ts1.URL, CreateSessionRequest{Device: "k160t", FragThreshold: -1})
+	workload := session.GenerateWorkload(session.WorkloadConfig{
+		Seed: 9, Events: 60, Intensity: 0.5, Device: device.Kintex7K160T(),
+	})
+	applyWorkload(t, client, ts1.URL, info.ID, workload)
+
+	var before SessionInfo
+	if code := sessionGet(t, client, ts1.URL+"/v1/sessions/"+info.ID, &before); code != http.StatusOK {
+		t.Fatalf("get session: HTTP %d", code)
+	}
+	ls1, ok := s1.sessions.get(info.ID)
+	if !ok {
+		t.Fatal("session missing from registry")
+	}
+	digest := ls1.mgr.FrameDigest()
+	shutdown1() // graceful drain: final snapshot per session
+
+	// Restart: the second instance must resurrect the session.
+	s2, ts2, shutdown2 := startDurableServer(t, dir, Config{})
+	defer shutdown2()
+	client = ts2.Client()
+
+	var after SessionInfo
+	if code := sessionGet(t, client, ts2.URL+"/v1/sessions/"+info.ID, &after); code != http.StatusOK {
+		t.Fatalf("recovered session not served: HTTP %d", code)
+	}
+	if after.Device != before.Device {
+		t.Fatalf("recovered device %q, want %q", after.Device, before.Device)
+	}
+	if len(after.Snapshot.Live) != len(before.Snapshot.Live) {
+		t.Fatalf("recovered %d live modules, want %d", len(after.Snapshot.Live), len(before.Snapshot.Live))
+	}
+	for i := range after.Snapshot.Live {
+		if after.Snapshot.Live[i] != before.Snapshot.Live[i] {
+			t.Fatalf("live module %d: recovered %+v, want %+v",
+				i, after.Snapshot.Live[i], before.Snapshot.Live[i])
+		}
+	}
+	ls2, ok := s2.sessions.get(info.ID)
+	if !ok {
+		t.Fatal("recovered session missing from registry")
+	}
+	if got := ls2.mgr.FrameDigest(); got != digest {
+		t.Fatalf("recovered frame digest %08x, want %08x", got, digest)
+	}
+	if got := scrapeCounter(t, client, ts2.URL, "floorpland_session_recoveries_total"); got != 1 {
+		t.Fatalf("session_recoveries_total = %d, want 1", got)
+	}
+
+	// The recovered session keeps serving.
+	applyWorkload(t, client, ts2.URL, info.ID, []session.Event{
+		{Kind: session.Departure, Name: workload[0].Name},
+	})
+}
+
+// TestServerRecoversFromCrash skips the graceful drain entirely: the
+// first instance is abandoned mid-flight, so the second must replay WAL
+// records on top of the last periodic snapshot.
+func TestServerRecoversFromCrash(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1, _ := startDurableServer(t, dir, Config{SessionSnapshotEvery: 16})
+	client := ts1.Client()
+
+	info := createSession(t, client, ts1.URL, CreateSessionRequest{Device: "fx70t", FragThreshold: -1})
+	workload := session.GenerateWorkload(session.WorkloadConfig{
+		Seed: 4, Events: 40, Intensity: 0.5, Device: device.VirtexFX70T(),
+	})
+	applyWorkload(t, client, ts1.URL, info.ID, workload)
+	ls1, ok := s1.sessions.get(info.ID)
+	if !ok {
+		t.Fatal("session missing from registry")
+	}
+	digest := ls1.mgr.FrameDigest()
+	stats := ls1.mgr.Stats()
+	// Crash: close only the listener. The worker pool and session stores
+	// are dropped on the floor — nothing flushes.
+	ts1.Close()
+
+	s2, ts2, shutdown2 := startDurableServer(t, dir, Config{SessionSnapshotEvery: 16})
+	defer shutdown2()
+	client = ts2.Client()
+
+	ls2, ok := s2.sessions.get(info.ID)
+	if !ok {
+		t.Fatal("crashed session not recovered")
+	}
+	if got := ls2.mgr.FrameDigest(); got != digest {
+		t.Fatalf("recovered frame digest %08x, want %08x", got, digest)
+	}
+	if got := ls2.mgr.Stats().Events; got != stats.Events {
+		t.Fatalf("recovered %d events, want %d", got, stats.Events)
+	}
+	// A crash after the last periodic snapshot leaves WAL records to
+	// replay; the replay counter must account for them.
+	if got := scrapeCounter(t, client, ts2.URL, "floorpland_session_replays_total"); got <= 0 {
+		t.Fatalf("session_replays_total = %d, want > 0", got)
+	}
+}
+
+// TestSessionDeleteRemovesDurableState: DELETE must purge the session's
+// directory so a later restart cannot resurrect it.
+func TestSessionDeleteRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, shutdown := startDurableServer(t, dir, Config{})
+	client := ts.Client()
+
+	info := createSession(t, client, ts.URL, CreateSessionRequest{Device: "k160t", FragThreshold: -1})
+	sessDir := filepath.Join(dir, info.ID)
+	if _, err := os.Stat(sessDir); err != nil {
+		t.Fatalf("session dir not created: %v", err)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: HTTP %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(sessDir); !os.IsNotExist(err) {
+		t.Fatalf("session dir survived DELETE: %v", err)
+	}
+	shutdown()
+
+	// A restart over the directory must not bring the session back.
+	_, ts2, shutdown2 := startDurableServer(t, dir, Config{})
+	defer shutdown2()
+	var list SessionListResponse
+	if code := sessionGet(t, ts2.Client(), ts2.URL+"/v1/sessions", &list); code != http.StatusOK {
+		t.Fatalf("list sessions: HTTP %d", code)
+	}
+	if len(list.Sessions) != 0 {
+		t.Fatalf("deleted session resurrected: %+v", list.Sessions)
+	}
+}
+
+// TestServerFaultMetrics: a fault plan on the server surfaces retries in
+// /metrics while the workload still applies cleanly.
+func TestServerFaultMetrics(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := reconfig.ParseFaultPlan("script:transient,pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, shutdown := startDurableServer(t, dir, Config{SessionFaults: plan})
+	defer shutdown()
+	client := ts.Client()
+
+	info := createSession(t, client, ts.URL, CreateSessionRequest{Device: "fx70t", FragThreshold: -1})
+	workload := session.GenerateWorkload(session.WorkloadConfig{
+		Seed: 6, Events: 20, Intensity: 0.5, Device: device.VirtexFX70T(),
+	})
+	applyWorkload(t, client, ts.URL, info.ID, workload)
+
+	if got := scrapeCounter(t, client, ts.URL, "floorpland_session_reconfig_retries_total"); got <= 0 {
+		t.Fatalf("session_reconfig_retries_total = %d, want > 0", got)
+	}
+	if got := scrapeCounter(t, client, ts.URL, "floorpland_session_corrupted_frames_total"); got != 0 {
+		t.Fatalf("session_corrupted_frames_total = %d under transient faults", got)
+	}
+	if got := scrapeCounter(t, client, ts.URL, "floorpland_session_wal_records_total"); got != int64(len(workload)) {
+		t.Fatalf("session_wal_records_total = %d, want %d", got, len(workload))
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/reconfig"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
@@ -97,6 +98,18 @@ type Config struct {
 	// SessionTTL is how long an untouched session survives before lazy
 	// eviction reclaims it (default 30m).
 	SessionTTL time.Duration
+	// SessionDir, when set, makes sessions durable: each session's WAL
+	// and snapshots live under SessionDir/<id>, and New replays every
+	// recoverable session found there (sessions idle past SessionTTL are
+	// purged instead).
+	SessionDir string
+	// SessionSnapshotEvery is the WAL-records-per-snapshot cadence for
+	// durable sessions (0 = session.DefaultSnapshotEvery).
+	SessionSnapshotEvery int
+	// SessionFaults, when non-nil, injects configuration-port faults
+	// into every session's frame writes (fault soaks; see
+	// reconfig.ParseFaultPlan).
+	SessionFaults *reconfig.FaultPlan
 	// EventSink receives the exported wide events (one JSON-able record
 	// per solve and session batch); nil keeps events in the in-memory
 	// tail behind /debug/events only.
@@ -224,7 +237,14 @@ func New(cfg Config) *Server {
 		tracker, _ = slo.New(slo.Config{Objectives: slo.DefaultObjectives(), OnAlert: s.onSLOAlert})
 	}
 	s.slos = tracker
-	s.sessions.onExpire = func() { s.metrics.sessionsExpired.Add(1) }
+	s.sessions.onExpire = func(ls *liveSession) {
+		s.metrics.sessionsExpired.Add(1)
+		// An expired session must not be resurrected by replay: its
+		// durable files go with it.
+		if err := ls.mgr.Discard(); err != nil {
+			s.log.Error("discarding expired session state", "session_id", ls.id, "err", err)
+		}
+	}
 	s.metrics.sessionsLive = s.sessions.live
 	s.metrics.eventStats = s.events.Stats
 	s.metrics.sloStatus = s.slos.Evaluate
@@ -247,6 +267,9 @@ func New(cfg Config) *Server {
 			"stack", string(stack),
 		)
 	}
+	if cfg.SessionDir != "" {
+		s.recoverSessions()
+	}
 	return s
 }
 
@@ -256,11 +279,17 @@ func New(cfg Config) *Server {
 func (s *Server) FlightRecorder() *flight.Recorder { return s.flight }
 
 // Close stops admissions, drains in-flight solves and cancels queued
-// ones, bounded by ctx, then flushes and closes the wide-event exporter
-// (and its sink).
+// ones, bounded by ctx, flushes a final snapshot for every live session
+// (graceful drain — a restarted daemon replays them back), then flushes
+// and closes the wide-event exporter (and its sink).
 func (s *Server) Close(ctx context.Context) error {
 	s.closing.Store(true)
 	err := s.pool.close(ctx)
+	flushed, drainErr := s.drainSessions()
+	s.log.Info("session drain", "flushed", flushed)
+	if err == nil {
+		err = drainErr
+	}
 	if eerr := s.events.Close(); err == nil {
 		err = eerr
 	}

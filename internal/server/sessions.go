@@ -10,10 +10,14 @@
 //	POST   /v1/sessions/{id}/events  apply an event batch
 //	DELETE /v1/sessions/{id}         close a session
 //
-// Sessions live in memory only: a bounded registry with lazy TTL
-// eviction (touched on every use), so an abandoned session costs
-// nothing once it ages out and a runaway client cannot accumulate
-// unbounded device state.
+// Sessions live in a bounded registry with lazy TTL eviction (touched
+// on every use), so an abandoned session costs nothing once it ages out
+// and a runaway client cannot accumulate unbounded device state. With
+// Config.SessionDir set, sessions are also durable: every applied event
+// is WAL-logged before its result is acknowledged, snapshots compact
+// the log, and a restarted daemon replays each session back
+// (recovery.go) — eviction and DELETE purge the durable files so a dead
+// session cannot be resurrected.
 package server
 
 import (
@@ -21,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -55,8 +60,9 @@ type sessionRegistry struct {
 	ttl      time.Duration
 	byID     map[string]*liveSession
 	lastUsed map[string]time.Time
-	// onExpire, when set, observes each TTL eviction (metrics hook).
-	onExpire func()
+	// onExpire, when set, observes each TTL eviction (metrics hook plus
+	// durable-state purge).
+	onExpire func(*liveSession)
 }
 
 func newSessionRegistry(capacity int, ttl time.Duration) *sessionRegistry {
@@ -73,10 +79,11 @@ func newSessionRegistry(capacity int, ttl time.Duration) *sessionRegistry {
 func (r *sessionRegistry) evictExpiredLocked(now time.Time) {
 	for id, used := range r.lastUsed {
 		if now.Sub(used) > r.ttl {
+			ls := r.byID[id]
 			delete(r.byID, id)
 			delete(r.lastUsed, id)
-			if r.onExpire != nil {
-				r.onExpire()
+			if r.onExpire != nil && ls != nil {
+				r.onExpire(ls)
 			}
 		}
 	}
@@ -112,14 +119,15 @@ func (r *sessionRegistry) get(id string) (*liveSession, bool) {
 	return ls, ok
 }
 
-// remove deletes the session, reporting whether it was present.
-func (r *sessionRegistry) remove(id string) bool {
+// remove deletes the session, returning it when it was present (so the
+// caller can purge its durable state).
+func (r *sessionRegistry) remove(id string) (*liveSession, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.byID[id]
+	ls, ok := r.byID[id]
 	delete(r.byID, id)
 	delete(r.lastUsed, id)
-	return ok
+	return ls, ok
 }
 
 // list returns the live sessions ordered by creation time.
@@ -262,25 +270,53 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "solve_budget_ms must be non-negative")
 		return
 	}
-	mgr, err := session.New(session.Config{
+	id := newRequestID()
+	created := time.Now()
+	cfg := session.Config{
 		Device:         dev,
 		Engine:         engine,
 		FragThreshold:  req.FragThreshold,
 		DefragCooldown: req.DefragCooldown,
 		SolveBudget:    time.Duration(req.SolveBudgetMS) * time.Millisecond,
-	})
+		SnapshotEvery:  s.cfg.SessionSnapshotEvery,
+		Faults:         s.cfg.SessionFaults,
+	}
+	if s.cfg.SessionDir != "" {
+		store, err := session.OpenStore(filepath.Join(s.cfg.SessionDir, id))
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "opening session store: "+err.Error())
+			return
+		}
+		cfg.Store = store
+		// Meta records the raw request values (not the resolved
+		// defaults), so a recovery re-applies exactly the same Config.
+		cfg.Meta = session.Meta{
+			ID:             id,
+			Device:         dev.Name(),
+			Engine:         req.Engine,
+			FragThreshold:  req.FragThreshold,
+			DefragCooldown: req.DefragCooldown,
+			SolveBudgetMS:  req.SolveBudgetMS,
+			CreatedAt:      created,
+		}
+	}
+	mgr, err := session.New(cfg)
 	if err != nil {
+		if cfg.Store != nil {
+			cfg.Store.Purge()
+		}
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	ls := &liveSession{
-		id:      newRequestID(),
+		id:      id,
 		device:  dev.Name(),
 		engine:  req.Engine,
-		created: time.Now(),
+		created: created,
 		mgr:     mgr,
 	}
 	if err := s.sessions.add(ls); err != nil {
+		_ = mgr.Discard()
 		s.writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("session limit (%d) reached; close or let idle sessions expire", s.cfg.MaxSessions))
 		return
@@ -346,9 +382,15 @@ func (s *Server) getSession(w http.ResponseWriter, id string) {
 }
 
 func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request, id string) {
-	if !s.sessions.remove(id) {
+	ls, ok := s.sessions.remove(id)
+	if !ok {
 		s.writeError(w, http.StatusNotFound, "no such session (closed or expired)")
 		return
+	}
+	// A closed session must not come back on restart: purge its WAL and
+	// snapshot along with the registry entry.
+	if err := ls.mgr.Discard(); err != nil {
+		s.log.Error("discarding session state", "session_id", id, "err", err)
 	}
 	s.metrics.sessionsClosed.Add(1)
 	s.log.Info("session closed",
@@ -385,6 +427,18 @@ func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id s
 	started := time.Now()
 	resp := SessionEventsResponse{ID: id, Results: make([]session.EventResult, 0, len(req.Events))}
 	stats := flight.SessionStats{SessionID: id, FragBefore: ls.mgr.Fragmentation()}
+	// Durability/fault work is accounted as batch deltas of the
+	// manager's counters, so retries inside failed events count too.
+	sBefore, rBefore := ls.mgr.Stats(), ls.mgr.ReconfigStats()
+	closeDeltas := func() {
+		sAfter, rAfter := ls.mgr.Stats(), ls.mgr.ReconfigStats()
+		stats.WALRecords = sAfter.WALRecords - sBefore.WALRecords
+		stats.Retries = rAfter.Retries - rBefore.Retries
+		stats.Rollbacks = rAfter.Rollbacks - rBefore.Rollbacks
+		s.metrics.sessionWALRecords.Add(int64(stats.WALRecords))
+		s.metrics.sessionRetries.Add(int64(stats.Retries))
+		s.metrics.sessionRollbacks.Add(int64(stats.Rollbacks))
+	}
 	for i, ev := range req.Events {
 		res, err := ls.mgr.Apply(ev)
 		if err != nil {
@@ -393,6 +447,7 @@ func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id s
 			// memory — and the client learns exactly where the batch broke.
 			s.metrics.sessionEvents.Add(int64(i))
 			stats.Events = i
+			closeDeltas()
 			s.recordSessionFlight(r.Context(), ls, stats, time.Since(started), err)
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("event %d: %v", i, err))
 			return
@@ -412,6 +467,7 @@ func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id s
 	s.metrics.sessionDefrags.Add(int64(stats.Defrags))
 	s.metrics.sessionCorrupted.Add(int64(stats.CorruptedFrames))
 	stats.Events = len(req.Events)
+	closeDeltas()
 	s.recordSessionFlight(r.Context(), ls, stats, time.Since(started), nil)
 	s.writeJSON(w, http.StatusOK, resp)
 }

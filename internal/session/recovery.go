@@ -1,0 +1,173 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/reconfig"
+)
+
+// RecoveryReport accounts for one session's crash recovery.
+type RecoveryReport struct {
+	// SessionID echoes the recovered session's Meta.ID.
+	SessionID string `json:"session_id"`
+	// SnapshotEvents is how many events the snapshot base covered.
+	SnapshotEvents int `json:"snapshot_events"`
+	// WALRecords is how many WAL records were replayed on top.
+	WALRecords int `json:"wal_records"`
+	// Live is the number of live modules after recovery.
+	Live int `json:"live"`
+	// FramesVerified / CorruptedFrames report the post-recovery frame
+	// readback over every live region. Recovery fails on any corruption.
+	FramesVerified  int `json:"frames_verified"`
+	CorruptedFrames int `json:"corrupted_frames"`
+	// TornTail describes a truncated or corrupted WAL suffix that was
+	// discarded ("" when the log was clean). Records past a torn tail
+	// were never acknowledged to a client, so dropping them is correct.
+	TornTail string `json:"torn_tail,omitempty"`
+}
+
+// Restore rebuilds a session from its durable state: the snapshot is
+// the base, each WAL record folds its layout delta and counters on top,
+// and the resulting layout is materialized onto a fresh device —
+// AddRegion + Configure per module, name-sorted, so two restores of the
+// same log are frame-for-frame identical (bitstream payloads are
+// position-independent, so loading a module directly at its final area
+// reproduces exactly the frames the original session's moves left).
+//
+// Replay folds recorded outcomes, never re-running placement or defrag
+// planning: those paths are time-budgeted and nondeterministic, and the
+// log records what actually happened, rollbacks included.
+//
+// cfg.Store must be the store lr was loaded from; materialization runs
+// fault-free (cfg.Faults is installed only afterwards), its port writes
+// do not disturb the restored counters, and a fresh snapshot compacts
+// the replayed WAL before Restore returns.
+func Restore(cfg Config, lr *LoadResult) (*Manager, *RecoveryReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Store == nil {
+		return nil, nil, fmt.Errorf("session: restore needs a store")
+	}
+	if lr == nil || lr.State == nil {
+		return nil, nil, fmt.Errorf("session: restore: no snapshot to restore from")
+	}
+
+	// Fold the snapshot base and the WAL records into the final state.
+	st := lr.State
+	layout := make(map[string]persistedModule, len(st.Modules))
+	for _, pm := range st.Modules {
+		layout[pm.Name] = pm
+	}
+	stats, rstats := st.Stats, st.Reconfig
+	lastDefrag, lastClientSeq := st.LastDefrag, st.LastClientSeq
+	window := append([]EventResult(nil), st.Window...)
+	for _, rec := range lr.Records {
+		for _, op := range rec.Ops {
+			switch op.Op {
+			case "place":
+				layout[op.Module.Name] = op.Module
+			case "move":
+				pm, ok := layout[op.Module.Name]
+				if !ok {
+					return nil, nil, fmt.Errorf("session: restore: WAL moves unknown module %q", op.Module.Name)
+				}
+				pm.Rect = op.Module.Rect
+				layout[op.Module.Name] = pm
+			case "remove":
+				delete(layout, op.Module.Name)
+			default:
+				return nil, nil, fmt.Errorf("session: restore: WAL has unknown layout op %q", op.Op)
+			}
+		}
+		stats, rstats, lastDefrag = rec.Stats, rec.Reconfig, rec.LastDefrag
+		if cs := rec.Result.Event.ClientSeq; cs > 0 {
+			lastClientSeq = cs
+			window = append(window, rec.Result)
+			if len(window) > idempotencyWindow {
+				window = window[len(window)-idempotencyWindow:]
+			}
+		}
+	}
+
+	// Materialize the layout onto a fresh device, fault-free. The
+	// persisted Meta is authoritative over whatever the caller set.
+	cfg.Meta = st.Meta
+	faults := cfg.Faults
+	cfg.Faults = nil
+	m := &Manager{
+		cfg:           cfg,
+		rcm:           reconfig.NewDynamic(cfg.Device, cfg.FrameTime),
+		free:          NewFreeSpace(cfg.Device),
+		modules:       map[string]*module{},
+		store:         cfg.Store,
+		lastDefrag:    lastDefrag,
+		lastClientSeq: lastClientSeq,
+		window:        window,
+	}
+	names := sortedKeys(layout)
+	for _, name := range names {
+		pm := layout[name]
+		ri, err := m.rcm.AddRegion(pm.Name, pm.Rect)
+		if err != nil {
+			return nil, nil, fmt.Errorf("session: restore %q: %w", pm.Name, err)
+		}
+		if err := m.rcm.Configure(ri, pm.Mode, 0); err != nil {
+			return nil, nil, fmt.Errorf("session: restore %q: %w", pm.Name, err)
+		}
+		if err := m.free.Insert(pm.Rect); err != nil {
+			return nil, nil, fmt.Errorf("session: restore %q: %w", pm.Name, err)
+		}
+		m.modules[pm.Name] = &module{
+			name: pm.Name, req: pm.Req, mode: pm.Mode, region: ri, fallback: pm.Fallback,
+		}
+	}
+
+	// The materialization's own port writes are recovery work, not
+	// session activity: overwrite with the persisted counters, then
+	// re-arm fault injection for live traffic.
+	m.rcm.RestoreStats(rstats)
+	m.cfg.Faults = faults
+	m.rcm.SetFaultPlan(faults)
+	m.stats = stats
+
+	rep := &RecoveryReport{
+		SessionID:      st.Meta.ID,
+		SnapshotEvents: st.Stats.Events,
+		WALRecords:     len(lr.Records),
+		Live:           len(m.modules),
+	}
+	if lr.Torn != nil {
+		rep.TornTail = lr.Torn.Error()
+	}
+
+	// Verify the rebuilt fabric frame by frame against what every live
+	// module should hold — the recovery is only trusted when readback
+	// matches exactly.
+	for _, mod := range sortedModules(m.modules) {
+		frames, corrupted := m.rcm.VerifyRegion(mod.region)
+		rep.FramesVerified += frames
+		rep.CorruptedFrames += corrupted
+	}
+	if rep.CorruptedFrames > 0 {
+		return nil, rep, fmt.Errorf("session: restore: %d of %d frames failed readback verification",
+			rep.CorruptedFrames, rep.FramesVerified)
+	}
+
+	// Compact: the replayed WAL is now captured in a fresh snapshot.
+	if err := m.snapshotLocked(); err != nil {
+		return nil, rep, err
+	}
+	return m, rep, nil
+}
+
+func sortedModules(mods map[string]*module) []*module {
+	out := make([]*module, 0, len(mods))
+	for _, mod := range mods {
+		out = append(out, mod)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -11,6 +11,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,6 +34,12 @@ const (
 	DefaultFragThreshold  = 0.55
 	DefaultDefragCooldown = 8
 	DefaultSolveBudget    = 2 * time.Second
+	// DefaultSnapshotEvery is how many WAL records accumulate before the
+	// session compacts them into a snapshot.
+	DefaultSnapshotEvery = 64
+	// idempotencyWindow bounds how many recent client-sequenced results a
+	// session retains for duplicate detection.
+	idempotencyWindow = 128
 )
 
 // Config parameterizes a session.
@@ -57,6 +64,19 @@ type Config struct {
 	// SolveBudget bounds each fallback floorplanner solve
 	// (0 = DefaultSolveBudget).
 	SolveBudget time.Duration
+	// Store, when non-nil, makes the session durable: every applied
+	// event is WAL-appended before its result is returned, and every
+	// SnapshotEvery records the WAL is compacted into a snapshot.
+	Store *Store
+	// SnapshotEvery is the WAL-records-per-snapshot cadence
+	// (0 = DefaultSnapshotEvery). Only meaningful with a Store.
+	SnapshotEvery int
+	// Meta identifies the session in its durable files (ignored without
+	// a Store).
+	Meta Meta
+	// Faults, when non-nil, injects configuration-port faults into every
+	// frame write the session performs (see reconfig.FaultPlan).
+	Faults *reconfig.FaultPlan
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -74,6 +94,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SolveBudget <= 0 {
 		c.SolveBudget = DefaultSolveBudget
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
 	}
 	return c, nil
 }
@@ -98,6 +121,11 @@ type Event struct {
 	Req device.Requirements `json:"req,omitempty"`
 	// Mode seeds the module's bitstream content (arrivals only).
 	Mode int64 `json:"mode,omitempty"`
+	// ClientSeq, when positive, makes the event idempotent: the client
+	// numbers its events per session, strictly increasing. A resubmission
+	// of an already-applied ClientSeq (a retry after a lost ack) returns
+	// the recorded result with Duplicate set instead of double-applying.
+	ClientSeq int64 `json:"client_seq,omitempty"`
 }
 
 // EventResult reports what one event did to the session.
@@ -126,6 +154,10 @@ type EventResult struct {
 	// Defrag is non-nil when the event triggered a defragmentation
 	// cycle (executed or abandoned — see its Executed field).
 	Defrag *DefragReport `json:"defrag,omitempty"`
+	// Duplicate reports that this result was recorded by an earlier
+	// application of the same ClientSeq and is being replayed to a
+	// retrying client — nothing was re-applied.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // DefragReport describes one defragmentation cycle.
@@ -157,6 +189,12 @@ type Stats struct {
 	// CorruptedFrames sums readback mismatches across every executed
 	// relocation schedule (0 on a correct run).
 	CorruptedFrames int `json:"corrupted_frames"`
+	// WALRecords counts events appended to the write-ahead log (0 for
+	// non-durable sessions).
+	WALRecords int `json:"wal_records,omitempty"`
+	// Snapshots counts snapshot compactions written (0 for non-durable
+	// sessions).
+	Snapshots int `json:"snapshots,omitempty"`
 }
 
 // ModuleInfo describes one live module in a Snapshot.
@@ -198,29 +236,65 @@ type Manager struct {
 	modules    map[string]*module
 	stats      Stats
 	lastDefrag int // event seq of the last defrag attempt, 0 if never
+
+	// Durability (nil store = in-memory session).
+	store         *Store
+	sinceSnapshot int // WAL records since the last snapshot
+	// Idempotency: highest ClientSeq applied, and a bounded window of
+	// recent client-sequenced results for duplicate replay.
+	lastClientSeq int64
+	window        []EventResult
 }
 
-// New builds an empty session over cfg.Device.
+// New builds an empty session over cfg.Device. With a cfg.Store, an
+// initial snapshot is written immediately, so a session that crashes
+// before its first event still recovers (empty, with its Meta).
 func New(cfg Config) (*Manager, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:     cfg,
 		rcm:     reconfig.NewDynamic(cfg.Device, cfg.FrameTime),
 		free:    NewFreeSpace(cfg.Device),
 		modules: map[string]*module{},
-	}, nil
+		store:   cfg.Store,
+	}
+	m.rcm.SetFaultPlan(cfg.Faults)
+	if m.store != nil {
+		if err := m.snapshotLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // Apply ingests one event and returns what it did. Errors are reserved
 // for malformed events and internal invariant violations; an arrival the
 // session cannot place is a non-error result with Rejected set.
+//
+// For durable sessions the result is acknowledged only after its WAL
+// record is on stable storage; an append failure is an error and the
+// event does not count as applied (the caller must retry — with a
+// ClientSeq, safely).
 func (m *Manager) Apply(ev Event) (*EventResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	if ev.ClientSeq > 0 && ev.ClientSeq <= m.lastClientSeq {
+		for i := len(m.window) - 1; i >= 0; i-- {
+			if m.window[i].Event.ClientSeq == ev.ClientSeq {
+				dup := m.window[i]
+				dup.Duplicate = true
+				return &dup, nil
+			}
+		}
+		return nil, fmt.Errorf("session: client seq %d was already applied but has aged out of the %d-result idempotency window",
+			ev.ClientSeq, idempotencyWindow)
+	}
+
+	before := m.layoutLocked()
 	m.stats.Events++
 	res := &EventResult{Seq: m.stats.Events, Event: ev}
 	var err error
@@ -241,7 +315,138 @@ func (m *Manager) Apply(ev Event) (*EventResult, error) {
 	}
 	res.Fragmentation = m.free.Fragmentation()
 	res.Occupancy = m.free.Occupancy()
+
+	if ev.ClientSeq > 0 {
+		m.lastClientSeq = ev.ClientSeq
+		m.window = append(m.window, *res)
+		if len(m.window) > idempotencyWindow {
+			m.window = m.window[len(m.window)-idempotencyWindow:]
+		}
+	}
+	if m.store != nil {
+		m.stats.WALRecords++
+		rec := &walRecord{
+			Result:     *res,
+			Ops:        diffLayout(before, m.layoutLocked()),
+			LastDefrag: m.lastDefrag,
+			Stats:      m.stats,
+			Reconfig:   m.rcm.Stats(),
+		}
+		if err := m.store.AppendEvent(rec); err != nil {
+			return nil, err
+		}
+		m.sinceSnapshot++
+		if m.sinceSnapshot >= m.cfg.SnapshotEvery {
+			// A failed compaction is not fatal: the WAL still holds every
+			// record, so durability is intact; the next event retries.
+			_ = m.snapshotLocked()
+		}
+	}
 	return res, nil
+}
+
+// layoutLocked captures the live layout keyed by module name. Callers
+// hold m.mu.
+func (m *Manager) layoutLocked() map[string]persistedModule {
+	out := make(map[string]persistedModule, len(m.modules))
+	for name, mod := range m.modules {
+		rect, _ := m.rcm.CurrentArea(mod.region)
+		out[name] = persistedModule{
+			Name: name, Rect: rect, Mode: mod.mode, Req: mod.req, Fallback: mod.fallback,
+		}
+	}
+	return out
+}
+
+// diffLayout expresses after-vs-before as layout ops: removes, then
+// moves, then places, each name-sorted for deterministic records.
+func diffLayout(before, after map[string]persistedModule) []layoutOp {
+	var ops []layoutOp
+	for _, name := range sortedKeys(before) {
+		if _, still := after[name]; !still {
+			ops = append(ops, layoutOp{Op: "remove", Module: persistedModule{Name: name}})
+		}
+	}
+	for _, name := range sortedKeys(after) {
+		cur := after[name]
+		prev, was := before[name]
+		switch {
+		case !was:
+			ops = append(ops, layoutOp{Op: "place", Module: cur})
+		case prev.Rect != cur.Rect:
+			ops = append(ops, layoutOp{Op: "move", Module: persistedModule{Name: name, Rect: cur.Rect}})
+		}
+	}
+	return ops
+}
+
+func sortedKeys(m map[string]persistedModule) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// snapshotLocked compacts the session's durable state: persists a full
+// snapshot and truncates the WAL. Callers hold m.mu (or own m
+// exclusively, as in New and Restore).
+func (m *Manager) snapshotLocked() error {
+	m.stats.Snapshots++
+	state := &persistedState{
+		Meta:          m.cfg.Meta,
+		LastDefrag:    m.lastDefrag,
+		LastClientSeq: m.lastClientSeq,
+		Window:        append([]EventResult(nil), m.window...),
+		Stats:         m.stats,
+		Reconfig:      m.rcm.Stats(),
+	}
+	layout := m.layoutLocked()
+	for _, name := range sortedKeys(layout) {
+		state.Modules = append(state.Modules, layout[name])
+	}
+	if err := m.store.WriteSnapshot(state); err != nil {
+		m.stats.Snapshots--
+		return err
+	}
+	m.sinceSnapshot = 0
+	return nil
+}
+
+// Close flushes a final snapshot (durable sessions) and closes the
+// store. The manager must not be used afterwards.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store == nil {
+		return nil
+	}
+	err := m.snapshotLocked()
+	if cerr := m.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Discard closes the store and deletes the session's durable files, so
+// a deleted session cannot be resurrected by replay. In-memory sessions
+// discard trivially.
+func (m *Manager) Discard() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store == nil {
+		return nil
+	}
+	return m.store.Purge()
+}
+
+// FrameDigest hashes the full configuration memory under the session —
+// the frame-for-frame state equality check recovery tests rely on.
+func (m *Manager) FrameDigest() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rcm.FrameDigest()
 }
 
 func (m *Manager) applyArrival(ev Event, res *EventResult) error {
@@ -281,6 +486,17 @@ func (m *Manager) admit(ev Event, rect grid.Rect, fallback bool, res *EventResul
 		return fmt.Errorf("session: admit %q: %w", ev.Name, err)
 	}
 	if err := m.rcm.Configure(ri, ev.Mode, 0); err != nil {
+		if errors.Is(err, reconfig.ErrFaultInjected) {
+			// The retry budget ran out loading this module; the loader
+			// already unloaded the partial task, so retire the region
+			// and report a rejection — nothing is stranded and the
+			// client can resubmit.
+			_ = m.rcm.RemoveRegion(ri)
+			m.stats.Rejected++
+			res.Rejected = true
+			res.Reason = fmt.Sprintf("reconfiguration failed: %v", err)
+			return nil
+		}
 		return fmt.Errorf("session: admit %q: %w", ev.Name, err)
 	}
 	if err := m.free.Insert(rect); err != nil {
@@ -389,6 +605,15 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// ReconfigStats returns the underlying reconfig manager's counters —
+// the cheap accessor batch-delta accounting needs (Snapshot builds the
+// whole live list).
+func (m *Manager) ReconfigStats() reconfig.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rcm.Stats()
 }
 
 // Fragmentation returns the current free-space fragmentation.

@@ -1,0 +1,295 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/grid"
+	"repro/internal/reconfig"
+)
+
+// On-disk layout of one session's durable state, under its own
+// directory:
+//
+//	snapshot.wal   one WAL frame holding a persistedState (atomic:
+//	               written to snapshot.tmp, fsynced, renamed)
+//	events.wal     one WAL frame per applied event since the snapshot
+//
+// Recovery is snapshot ⊕ events: the snapshot is the base, each event
+// record folds its layout delta on top. A snapshot write truncates
+// events.wal, bounding replay work.
+
+const (
+	snapshotFile = "snapshot.wal"
+	eventsFile   = "events.wal"
+)
+
+// Meta identifies a persisted session and carries what the daemon needs
+// to rebuild its Config after a restart (the engine is rebuilt by name).
+type Meta struct {
+	ID             string    `json:"id"`
+	Device         string    `json:"device"`
+	Engine         string    `json:"engine"`
+	FragThreshold  float64   `json:"frag_threshold"`
+	DefragCooldown int       `json:"defrag_cooldown"`
+	SolveBudgetMS  int64     `json:"solve_budget_ms"`
+	CreatedAt      time.Time `json:"created_at"`
+}
+
+// persistedModule is one live module's durable record: everything
+// needed to regenerate and reload its exact frames at its exact area.
+type persistedModule struct {
+	Name     string              `json:"name"`
+	Rect     grid.Rect           `json:"rect"`
+	Mode     int64               `json:"mode"`
+	Req      device.Requirements `json:"req"`
+	Fallback bool                `json:"fallback,omitempty"`
+}
+
+// persistedState is the snapshot payload: the full durable state of a
+// session at one event boundary.
+type persistedState struct {
+	Meta          Meta              `json:"meta"`
+	LastDefrag    int               `json:"last_defrag,omitempty"`
+	LastClientSeq int64             `json:"last_client_seq,omitempty"`
+	Window        []EventResult     `json:"window,omitempty"`
+	Stats         Stats             `json:"stats"`
+	Reconfig      reconfig.Stats    `json:"reconfig"`
+	Modules       []persistedModule `json:"modules,omitempty"`
+}
+
+// layoutOp is one event's effect on the live layout. Ops are diffs of
+// the layout around the event, so they capture exactly what happened —
+// including fallback migrations, defrag moves and transactional
+// rollbacks — without replay having to re-run any (nondeterministic,
+// time-budgeted) planning.
+type layoutOp struct {
+	// Op is "place", "move" or "remove".
+	Op string `json:"op"`
+	// Module carries the affected module; "move" uses Name and Rect,
+	// "remove" only Name.
+	Module persistedModule `json:"module"`
+}
+
+// walRecord is one events.wal frame: the applied event's recorded
+// result, its layout delta, and the post-event counters (carried whole
+// — they are a handful of ints — so replay never recomputes them).
+type walRecord struct {
+	Result     EventResult    `json:"result"`
+	Ops        []layoutOp     `json:"ops,omitempty"`
+	LastDefrag int            `json:"last_defrag,omitempty"`
+	Stats      Stats          `json:"stats"`
+	Reconfig   reconfig.Stats `json:"reconfig"`
+}
+
+// Store owns one session's durable files. Safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	events *os.File
+	// records counts frames in the current events.wal.
+	records int
+}
+
+// OpenStore opens (creating as needed) a session's durable directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("session: open store: %w", err)
+	}
+	s := &Store{dir: dir}
+	if err := s.openEvents(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// openEvents opens events.wal for appending, writing the magic when the
+// file is new. Callers hold s.mu or are the constructor.
+func (s *Store) openEvents() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, eventsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("session: open events WAL: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("session: open events WAL: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(walMagic); err != nil {
+			f.Close()
+			return fmt.Errorf("session: open events WAL: %w", err)
+		}
+	}
+	s.events = f
+	return nil
+}
+
+// AppendEvent appends one record to events.wal and syncs it to stable
+// storage — it returns only once the record would survive a crash.
+func (s *Store) AppendEvent(rec *walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("session: encode WAL record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.events == nil {
+		return fmt.Errorf("session: store is closed")
+	}
+	if err := writeWALFrame(s.events, payload); err != nil {
+		return fmt.Errorf("session: append WAL record: %w", err)
+	}
+	if err := s.events.Sync(); err != nil {
+		return fmt.Errorf("session: sync WAL: %w", err)
+	}
+	s.records++
+	return nil
+}
+
+// Records returns the events.wal frame count since the last snapshot.
+func (s *Store) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// WriteSnapshot atomically replaces the snapshot with state and
+// truncates events.wal: tmp-write, fsync, rename — a crash at any point
+// leaves either the old snapshot (plus its events) or the new one.
+func (s *Store) WriteSnapshot(state *persistedState) error {
+	payload, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("session: encode snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.events == nil {
+		return fmt.Errorf("session: store is closed")
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("session: write snapshot: %w", err)
+	}
+	if _, err := f.WriteString(walMagic); err == nil {
+		err = writeWALFrame(f, payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("session: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("session: write snapshot: %w", err)
+	}
+	// The snapshot covers everything in events.wal — truncate it.
+	s.events.Close()
+	if err := os.Remove(filepath.Join(s.dir, eventsFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("session: truncate events WAL: %w", err)
+	}
+	s.records = 0
+	return s.openEvents()
+}
+
+// LoadResult is what a store held on disk: the snapshot (nil when none
+// was ever written), the clean prefix of event records appended after
+// it, and — when the WAL tail was torn or corrupted — where decoding
+// stopped. A torn tail is expected after a crash mid-append: the
+// records before it are intact and the lost suffix was never
+// acknowledged.
+type LoadResult struct {
+	State   *persistedState
+	Records []*walRecord
+	Torn    *CorruptError
+}
+
+// Load reads the snapshot and event records back. A missing snapshot
+// with a missing/empty WAL is (nil, nil, nil)-ish: State nil, no
+// records. A corrupt snapshot is a hard error — there is no base state
+// to replay onto.
+func (s *Store) Load() (*LoadResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lr := &LoadResult{}
+	snap, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
+	switch {
+	case os.IsNotExist(err):
+		// No snapshot: fall through with nil State.
+	case err != nil:
+		return nil, fmt.Errorf("session: read snapshot: %w", err)
+	default:
+		frames, corrupt := readWALFramesBytes(snap)
+		if corrupt != nil && len(frames) == 0 {
+			return nil, fmt.Errorf("session: snapshot unreadable: %w", corrupt)
+		}
+		if len(frames) == 0 {
+			return nil, fmt.Errorf("session: snapshot holds no record")
+		}
+		state := &persistedState{}
+		if err := json.Unmarshal(frames[0], state); err != nil {
+			return nil, fmt.Errorf("session: decode snapshot: %w", err)
+		}
+		lr.State = state
+	}
+	events, err := os.ReadFile(filepath.Join(s.dir, eventsFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return lr, nil
+		}
+		return nil, fmt.Errorf("session: read events WAL: %w", err)
+	}
+	frames, corrupt := readWALFramesBytes(events)
+	lr.Torn = corrupt
+	for i, payload := range frames {
+		rec := &walRecord{}
+		if err := json.Unmarshal(payload, rec); err != nil {
+			// A frame that checksums but does not decode is corruption
+			// the CRC cannot see (it was written corrupt); stop here and
+			// keep the prefix, like a torn tail.
+			lr.Torn = &CorruptError{Record: i, Reason: fmt.Sprintf("record decodes as invalid JSON: %v", err)}
+			break
+		}
+		lr.Records = append(lr.Records, rec)
+	}
+	return lr, nil
+}
+
+// readWALFramesBytes decodes a whole WAL image held in memory.
+func readWALFramesBytes(data []byte) ([][]byte, *CorruptError) {
+	return readWALFrames(bytes.NewReader(data))
+}
+
+// Close closes the store's files. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.events == nil {
+		return nil
+	}
+	err := s.events.Close()
+	s.events = nil
+	return err
+}
+
+// Purge closes the store and deletes its directory — the session can
+// never be resurrected by replay.
+func (s *Store) Purge() error {
+	s.Close()
+	return os.RemoveAll(s.dir)
+}

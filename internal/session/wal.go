@@ -1,0 +1,99 @@
+package session
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// WAL framing: a magic line, then one frame per record —
+//
+//	uint32 LE payload length
+//	uint32 LE CRC-32 (IEEE) of the payload
+//	payload (JSON)
+//	'\n' (keeps the file greppable; not part of the checksum)
+//
+// The length prefix makes records skippable without parsing JSON; the
+// checksum catches torn tails and bit flips. Readers return the longest
+// clean prefix plus a structured *CorruptError for whatever follows —
+// never a panic, never a silently diverged record.
+
+// walMagic heads every WAL and snapshot file.
+const walMagic = "FLOORWAL1\n"
+
+// maxWALRecord bounds a single record's payload. Anything larger is a
+// corrupt length prefix, not a real record — the cap keeps a flipped
+// length bit from driving a giant allocation.
+const maxWALRecord = 16 << 20
+
+// CorruptError reports where and why WAL decoding stopped. Records
+// before Offset decoded cleanly.
+type CorruptError struct {
+	// Offset is the file offset of the first undecodable byte.
+	Offset int64
+	// Record is the index of the record that failed (0-based).
+	Record int
+	// Reason says what was wrong.
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("session: corrupt WAL record %d at offset %d: %s", e.Record, e.Offset, e.Reason)
+}
+
+// writeWALFrame frames one payload onto w.
+func writeWALFrame(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte{'\n'})
+	return err
+}
+
+// readWALFrames decodes every record of a WAL stream (magic included).
+// It returns the clean prefix; corrupt is non-nil when decoding stopped
+// early (torn tail, bit flip, bad magic) and says where.
+func readWALFrames(r io.Reader) (records [][]byte, corrupt *CorruptError) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(walMagic))
+	n, err := io.ReadFull(br, magic)
+	if err != nil || string(magic) != walMagic {
+		return nil, &CorruptError{Offset: 0, Record: 0, Reason: fmt.Sprintf("bad magic %q", magic[:n])}
+	}
+	offset := int64(len(walMagic))
+	for i := 0; ; i++ {
+		var hdr [8]byte
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			return records, &CorruptError{Offset: offset, Record: i, Reason: fmt.Sprintf("torn header (%d of 8 bytes)", n)}
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxWALRecord {
+			return records, &CorruptError{Offset: offset, Record: i, Reason: fmt.Sprintf("record length %d exceeds cap %d", length, maxWALRecord)}
+		}
+		payload := make([]byte, length)
+		if n, err := io.ReadFull(br, payload); err != nil {
+			return records, &CorruptError{Offset: offset, Record: i, Reason: fmt.Sprintf("torn payload (%d of %d bytes)", n, length)}
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return records, &CorruptError{Offset: offset, Record: i, Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", sum, got)}
+		}
+		if b, err := br.ReadByte(); err != nil || b != '\n' {
+			return records, &CorruptError{Offset: offset, Record: i, Reason: "missing record terminator"}
+		}
+		records = append(records, payload)
+		offset += 8 + int64(length) + 1
+	}
+}

@@ -106,5 +106,10 @@ func GenerateWorkload(cfg WorkloadConfig) []Event {
 			live = live[:len(live)-1]
 		}
 	}
+	// Number the stream so replays and retries are idempotent against a
+	// durable session.
+	for i := range events {
+		events[i].ClientSeq = int64(i + 1)
+	}
 	return events
 }

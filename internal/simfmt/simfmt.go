@@ -71,6 +71,23 @@ type Report struct {
 	// CorruptedFrames counts readback mismatches across every executed
 	// relocation schedule; any nonzero value fails validation.
 	CorruptedFrames int `json:"corrupted_frames"`
+
+	// FaultPlan describes the injected-fault plan the run was driven
+	// under (empty = no injection). When set, FaultsInjected counts the
+	// faults the reconfiguration pipeline absorbed, Retries the extra
+	// load attempts it took, CorruptionsRepaired the corrupted frame
+	// sets caught by readback and rewritten, and Rollbacks the
+	// mid-schedule failures unwound transactionally.
+	FaultPlan           string `json:"fault_plan,omitempty"`
+	FaultsInjected      int    `json:"faults_injected,omitempty"`
+	Retries             int    `json:"retries,omitempty"`
+	CorruptionsRepaired int    `json:"corruptions_repaired,omitempty"`
+	Rollbacks           int    `json:"rollbacks,omitempty"`
+	// LostTasks counts modules that arrived, were acknowledged as
+	// placed, never departed, and yet are absent from the final live
+	// set; any nonzero value fails validation — the pipeline stranded a
+	// task.
+	LostTasks int `json:"lost_tasks"`
 }
 
 // FragPoint samples fragmentation after one event.
@@ -100,6 +117,11 @@ type DefragCycle struct {
 	// FramesVerified and CorruptedFrames report the post-move readback.
 	FramesVerified  int `json:"frames_verified"`
 	CorruptedFrames int `json:"corrupted_frames"`
+	// Retries counts extra load attempts forced by injected faults;
+	// RolledBack counts moves unwound after a mid-schedule hard failure
+	// (Executed is net of rollback).
+	Retries    int `json:"retries,omitempty"`
+	RolledBack int `json:"rolled_back,omitempty"`
 }
 
 func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
@@ -141,6 +163,15 @@ func (r *Report) Validate() error {
 	if r.CorruptedFrames != 0 {
 		return fmt.Errorf("simfmt: %d corrupted frames — the relocation substrate is broken", r.CorruptedFrames)
 	}
+	if r.LostTasks != 0 {
+		return fmt.Errorf("simfmt: %d lost tasks — the pipeline stranded placed modules", r.LostTasks)
+	}
+	if r.FaultsInjected < 0 || r.Retries < 0 || r.CorruptionsRepaired < 0 || r.Rollbacks < 0 {
+		return fmt.Errorf("simfmt: negative fault accounting")
+	}
+	if r.FaultPlan == "" && (r.FaultsInjected != 0 || r.Retries != 0 || r.CorruptionsRepaired != 0 || r.Rollbacks != 0) {
+		return fmt.Errorf("simfmt: fault accounting without a fault plan")
+	}
 	last := 0
 	for i, p := range r.FragTrajectory {
 		if p.Event <= last {
@@ -173,14 +204,19 @@ func (r *Report) Validate() error {
 				return fmt.Errorf("simfmt: defrag cycle %d fragmentation %v outside [0, 1]", i, f)
 			}
 		}
-		if c.Executed > 0 && c.FragAfter >= c.FragBefore {
+		// Under fault injection a mid-schedule failure rolls the layout
+		// back, so a cycle can legitimately execute moves without
+		// improving fragmentation — the no-improvement check only holds
+		// for fault-free runs.
+		if c.Executed > 0 && c.FragAfter >= c.FragBefore && r.FaultPlan == "" {
 			return fmt.Errorf("simfmt: defrag cycle %d executed but did not improve (%v -> %v)",
 				i, c.FragBefore, c.FragAfter)
 		}
 		if c.CorruptedFrames != 0 {
 			return fmt.Errorf("simfmt: defrag cycle %d corrupted %d frames", i, c.CorruptedFrames)
 		}
-		if c.FramesVerified < 0 || c.FramesWritten < 0 || !finite(c.BusyMS) || c.BusyMS < 0 {
+		if c.FramesVerified < 0 || c.FramesWritten < 0 || !finite(c.BusyMS) || c.BusyMS < 0 ||
+			c.Retries < 0 || c.RolledBack < 0 {
 			return fmt.Errorf("simfmt: defrag cycle %d has negative accounting", i)
 		}
 		prev = c.AtEvent
