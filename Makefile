@@ -5,7 +5,11 @@
 #   make serve   run the floorplanning service daemon locally
 #   make test      plain test run (no race detector; faster)
 #   make bench     candidate-enumeration cache benchmarks (hit vs miss)
-#   make obs-bench telemetry overhead benchmarks (bare vs no-op vs recorder)
+#   make obs-bench telemetry + profile-label overhead benchmarks (bare vs
+#                  no-op vs recorder; labels off vs on)
+#   make diag-smoke boot floorpland with chaos + fault injection, force an
+#                  anomaly, and verify a diagnostic bundle lands (the CI
+#                  diag job; artifacts under DIAG_SMOKE_DIR)
 #   make bench-json run the floorbench harness and validate BENCH.json
 #                  (tune with BENCH_INSTANCES/BENCH_ENGINES/BENCH_BUDGET/
 #                   BENCH_REPEATS; CI runs a short smoke)
@@ -49,7 +53,7 @@ SIM_OUT       ?= SIM.json
 SIM_FAULT_SEED ?= 7
 SIM_FAULTS_OUT ?= SIM_FAULTS.json
 
-.PHONY: check fmt vet build test race bench obs-bench bench-json bench-diff sim-json sim-faults fuzz serve clean
+.PHONY: check fmt vet build test race bench obs-bench diag-smoke bench-json bench-diff sim-json sim-faults fuzz serve clean
 
 check: fmt vet build race
 
@@ -71,6 +75,7 @@ build:
 	$(GO) build -o $(BIN)/experiments  ./cmd/experiments
 	$(GO) build -o $(BIN)/floorbench   ./cmd/floorbench
 	$(GO) build -o $(BIN)/floorsim     ./cmd/floorsim
+	$(GO) build -o $(BIN)/floorplanctl ./cmd/floorplanctl
 
 test:
 	$(GO) test ./...
@@ -82,7 +87,10 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCandidate' -benchmem -benchtime 1x .
 
 obs-bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead|BenchmarkProfileLabelOverhead' -benchmem .
+
+diag-smoke:
+	./scripts/diag_smoke.sh
 
 bench-json:
 	@mkdir -p $(BIN)

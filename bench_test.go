@@ -19,6 +19,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/diag"
 	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/grid"
@@ -487,6 +488,59 @@ func BenchmarkObsOverhead(b *testing.B) {
 				b.Fatal("recorder saw no incumbents")
 			}
 		}
+	})
+}
+
+// BenchmarkProfileLabelOverhead quantifies the goroutine-label
+// attribution layer's cost on the same exact solve (DESIGN.md's
+// "Continuous profiling & diagnostics" section promises the disabled
+// path stays under 2% of solve time):
+//
+//	bare       nil Probe, labeling globally off — the seed baseline
+//	labels-off the diag.LabelProbe wrapper with labeling disabled, the
+//	           path every solve takes when neither -profile-every nor
+//	           -diag-dir is set
+//	labels-on  labeling enabled: pprof label sets swapped per span
+//
+// Compare bare vs labels-off for the disabled-path regression gate;
+// labels-on shows what a profiling daemon pays per attributed solve.
+func BenchmarkProfileLabelOverhead(b *testing.B) {
+	p := smallMILPProblem()
+	wasOn := diag.LabelingEnabled()
+	defer diag.SetLabeling(wasOn)
+
+	solve := func(b *testing.B, probe floorplanner.Probe) {
+		b.Helper()
+		ls := diag.LabelSet{Engine: "exact", Phase: "solve", Endpoint: "bench", Digest: "feedface"}
+		for i := 0; i < b.N; i++ {
+			diag.Do(context.Background(), ls, func(ctx context.Context) {
+				sol, err := (&exact.Engine{}).Solve(ctx, p, core.SolveOptions{
+					TimeLimit: benchBudget, Probe: probe,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sol.Proven {
+					b.Fatal("not proven")
+				}
+			})
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		diag.SetLabeling(false)
+		solve(b, nil)
+	})
+	b.Run("labels-off", func(b *testing.B) {
+		diag.SetLabeling(false)
+		lprobe := diag.NewLabelProbe(obs.Nop)
+		lprobe.Bind(context.Background())
+		solve(b, lprobe)
+	})
+	b.Run("labels-on", func(b *testing.B) {
+		diag.SetLabeling(true)
+		lprobe := diag.NewLabelProbe(obs.Nop)
+		lprobe.Bind(context.Background())
+		solve(b, lprobe)
 	})
 }
 

@@ -1,0 +1,166 @@
+// Command floorplanctl is the operator CLI for a running floorpland
+// daemon.
+//
+// Usage:
+//
+//	floorplanctl diag [-addr URL] [-out DIR] [-unpack] [-timeout D]
+//
+// diag fetches an on-demand diagnostic bundle from the daemon's
+// GET /debug/bundle endpoint and saves the tar.gz under -out using the
+// server-assigned name (bundle-<ts>.tar.gz). With -unpack it also
+// extracts the bundle next to the archive and prints manifest.json, so
+// an operator sees the trigger, build provenance and artifact list
+// without reaching for tar.
+package main
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "floorplanctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: floorplanctl diag [flags] (see -h)")
+	}
+	switch args[0] {
+	case "diag":
+		return runDiag(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want diag)", args[0])
+	}
+}
+
+// runDiag implements the diag subcommand: fetch, save and optionally
+// unpack one bundle.
+func runDiag(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diag", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "floorpland base URL")
+	outDir := fs.String("out", ".", "directory the bundle archive is saved to")
+	unpack := fs.Bool("unpack", false, "extract the bundle next to the archive and print manifest.json")
+	timeout := fs.Duration("timeout", 60*time.Second, "HTTP timeout for the capture (covers the server-side CPU profile window)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	name, data, err := fetchBundle(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(*outDir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "saved %s (%d bytes)\n", path, len(data))
+
+	if !*unpack {
+		return nil
+	}
+	dir := strings.TrimSuffix(path, ".tar.gz")
+	manifest, err := unpackBundle(data, dir)
+	if err != nil {
+		return fmt.Errorf("unpacking %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "unpacked into %s\n", dir)
+	out.Write(manifest)
+	if len(manifest) > 0 && manifest[len(manifest)-1] != '\n' {
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// fetchBundle GETs /debug/bundle and returns the server-assigned
+// filename (from Content-Disposition, with a timestamped fallback) and
+// the archive bytes.
+func fetchBundle(addr string, timeout time.Duration) (name string, data []byte, err error) {
+	client := &http.Client{Timeout: timeout}
+	url := strings.TrimSuffix(addr, "/") + "/debug/bundle"
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return "", nil, err
+	}
+	name = "bundle-" + time.Now().UTC().Format("20060102T150405") + ".tar.gz"
+	if cd := resp.Header.Get("Content-Disposition"); cd != "" {
+		if _, params, err := mime.ParseMediaType(cd); err == nil {
+			if fn := filepath.Base(params["filename"]); fn != "" && fn != "." && fn != "/" {
+				name = fn
+			}
+		}
+	}
+	return name, data, nil
+}
+
+// unpackBundle extracts the tar.gz into dir and returns manifest.json's
+// contents. Entry names are validated against path traversal: anything
+// absolute or escaping dir is rejected.
+func unpackBundle(data []byte, dir string) ([]byte, error) {
+	gz, err := gzip.NewReader(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, err
+	}
+	defer gz.Close()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var manifest []byte
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			continue
+		}
+		name := filepath.Clean(hdr.Name)
+		if filepath.IsAbs(name) || name == ".." || strings.HasPrefix(name, ".."+string(filepath.Separator)) {
+			return nil, fmt.Errorf("archive entry %q escapes the target directory", hdr.Name)
+		}
+		dest := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+			return nil, err
+		}
+		contents, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(dest, contents, 0o644); err != nil {
+			return nil, err
+		}
+		if name == "manifest.json" {
+			manifest = contents
+		}
+	}
+	if manifest == nil {
+		return nil, errors.New("bundle has no manifest.json")
+	}
+	return manifest, nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// syntheticBundle builds a minimal floorpland-style bundle archive.
+func syntheticBundle(t *testing.T, entries map[string]string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	// manifest.json first, like the real bundler.
+	names := []string{"manifest.json"}
+	for name := range entries {
+		if name != "manifest.json" {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		body := entries[name]
+		if err := tw.WriteHeader(&tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(body)), ModTime: time.Now(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func bundleServer(t *testing.T, name string, data []byte) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/bundle" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
+		w.Write(data)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestDiagFetchesAndSavesBundle(t *testing.T) {
+	data := syntheticBundle(t, map[string]string{
+		"manifest.json": `{"schema":"floorpland-diag/1","trigger":"manual"}`,
+		"flight.json":   `[]`,
+	})
+	srv := bundleServer(t, "bundle-20260807T000000.000Z.tar.gz", data)
+
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"diag", "-addr", srv.URL, "-out", dir}, &out); err != nil {
+		t.Fatalf("diag: %v", err)
+	}
+	path := filepath.Join(dir, "bundle-20260807T000000.000Z.tar.gz")
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("saved bundle: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("saved bundle differs from served bytes (%d vs %d)", len(got), len(data))
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Fatalf("output %q does not mention %s", out.String(), path)
+	}
+}
+
+func TestDiagUnpackPrintsManifest(t *testing.T) {
+	manifest := `{"schema":"floorpland-diag/1","trigger":"manual","contents":["flight.json"]}`
+	data := syntheticBundle(t, map[string]string{
+		"manifest.json": manifest,
+		"flight.json":   `[]`,
+	})
+	srv := bundleServer(t, "bundle-x.tar.gz", data)
+
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"diag", "-addr", srv.URL, "-out", dir, "-unpack"}, &out); err != nil {
+		t.Fatalf("diag -unpack: %v", err)
+	}
+	if !strings.Contains(out.String(), "floorpland-diag/1") {
+		t.Fatalf("output %q does not include the manifest", out.String())
+	}
+	for _, name := range []string{"manifest.json", "flight.json"} {
+		if _, err := os.Stat(filepath.Join(dir, "bundle-x", name)); err != nil {
+			t.Errorf("unpacked %s: %v", name, err)
+		}
+	}
+}
+
+func TestDiagRejectsTraversalEntries(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	body := "evil"
+	if err := tw.WriteHeader(&tar.Header{
+		Name: "../escape.txt", Mode: 0o644, Size: int64(len(body)), ModTime: time.Now(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tw.Write([]byte(body))
+	tw.Close()
+	gz.Close()
+	srv := bundleServer(t, "bundle-evil.tar.gz", buf.Bytes())
+
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"diag", "-addr", srv.URL, "-out", dir, "-unpack"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "escapes") {
+		t.Fatalf("want traversal rejection, got %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(filepath.Dir(dir), "escape.txt")); statErr == nil {
+		t.Fatal("traversal entry was written outside the target directory")
+	}
+}
+
+func TestDiagServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bundle capture failed", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	var out strings.Builder
+	err := run([]string{"diag", "-addr", srv.URL, "-out", t.TempDir()}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bundle capture failed") {
+		t.Fatalf("want server error surfaced, got %v", err)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Fatal("want error for unknown subcommand")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Fatal("want usage error for no args")
+	}
+}

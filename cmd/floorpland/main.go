@@ -28,6 +28,9 @@
 //	                        tail (tail-sampled); ?n= bounds the list
 //	GET  /debug/slo         per-objective error budgets, burn rates and
 //	                        alert states
+//	GET  /debug/bundle      capture a diagnostic bundle on demand and
+//	                        stream it back as tar.gz (floorplanctl diag
+//	                        is the CLI front end)
 //
 // Logs go to stderr at -log-level (default info) in -log-format (default
 // text; json for machine ingestion).
@@ -44,11 +47,20 @@
 // through an injected-fault plan (resilience testing; see
 // reconfig.ParseFaultPlan).
 //
+// -profile-every enables the continuous profiler: a short CPU profile
+// each interval, attributed per engine/phase via goroutine labels into
+// the floorpland_profile_* metric families. -diag-dir arms anomaly
+// triggers (panic, invalid solution, budget overrun, SLO alert,
+// reconfiguration rollback) that snapshot rate-limited diagnostic
+// bundles (bundle-<ts>.tar.gz) there; -chaos injects scripted or
+// seeded solve-path faults to fire-drill exactly that machinery.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // requests, drains in-flight solves and cancels queued ones; with
 // -session-dir set it also flushes a final snapshot per live session.
 // SIGUSR1 dumps the flight recorder ring to -flight-dump as JSON without
-// interrupting service.
+// interrupting service. SIGUSR2 captures a diagnostic bundle into
+// -diag-dir on demand.
 package main
 
 import (
@@ -67,6 +79,7 @@ import (
 	"time"
 
 	floorplanner "repro"
+	"repro/internal/guard"
 	"repro/internal/logx"
 	"repro/internal/reconfig"
 	"repro/internal/server"
@@ -108,6 +121,12 @@ func run() error {
 		eventsSample = flag.Float64("events-sample", 0, "keep probability for unremarkable events; errors, budget breaches and the slow tail are always kept (0 = 0.1, 1 keeps everything)")
 		eventsTail   = flag.Int("events-tail", 0, "wide events kept in memory behind /debug/events (0 = 256)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		diagDir      = flag.String("diag-dir", "", "write anomaly-triggered diagnostic bundles (bundle-<ts>.tar.gz) to this directory (empty disables triggers; /debug/bundle still works)")
+		diagKeep     = flag.Int("diag-keep", 0, "diagnostic bundles kept in -diag-dir before rotation (0 = 8)")
+		diagInterval = flag.Duration("diag-min-interval", 0, "minimum time between anomaly-triggered bundles (0 = 1m)")
+		profEvery    = flag.Duration("profile-every", 0, "continuous-profiler cadence: a short CPU profile each interval, attributed per engine/phase into floorpland_profile_* metrics (0 disables)")
+		profCPU      = flag.Duration("profile-cpu", 0, "CPU window per profiler cycle and bundle capture (0 = 250ms)")
+		chaosSpec    = flag.String("chaos", "", "solve-path chaos injection, e.g. seed:7 or script:panic,pass (empty disables; fire drills for the guard/diag layers)")
 	)
 	flag.Parse()
 
@@ -128,6 +147,10 @@ func run() error {
 		}
 	}
 	faultPlan, err := reconfig.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		return err
+	}
+	chaosCfg, err := guard.ParseChaosSpec(*chaosSpec)
 	if err != nil {
 		return err
 	}
@@ -160,6 +183,12 @@ func run() error {
 		EventSink:            eventSink,
 		EventTailSize:        *eventsTail,
 		EventSampleRate:      *eventsSample,
+		DiagDir:              *diagDir,
+		DiagKeep:             *diagKeep,
+		DiagMinInterval:      *diagInterval,
+		ProfileEvery:         *profEvery,
+		ProfileCPUDuration:   *profCPU,
+		Chaos:                chaosCfg,
 		Logger:               log,
 		Version:              buildVersion(),
 	})
@@ -176,6 +205,22 @@ func run() error {
 				continue
 			}
 			log.Info("flight ring dumped", "path", *flightDump, "records", srv.FlightRecorder().Len())
+		}
+	}()
+
+	// SIGUSR2 snapshots a full diagnostic bundle — CPU profile, heap and
+	// goroutine dumps, flight ring, events tail, SLO/breaker state — into
+	// -diag-dir, bypassing the anomaly triggers' rate limit.
+	usr2 := make(chan os.Signal, 1)
+	signal.Notify(usr2, syscall.SIGUSR2)
+	go func() {
+		for range usr2 {
+			path, err := srv.CaptureDiagBundle("SIGUSR2")
+			if err != nil {
+				log.Error("diag bundle failed", "err", err)
+				continue
+			}
+			log.Info("diag bundle written", "path", path)
 		}
 	}()
 

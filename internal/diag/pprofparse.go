@@ -1,0 +1,377 @@
+package diag
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// A minimal decoder for the pprof profile.proto wire format, covering
+// exactly what the sampler and the tests need: sample types, sample
+// values, and string-valued sample labels. Hand-rolled because the repo
+// takes no external dependencies; the full schema (locations, mappings,
+// functions) is deliberately skipped over.
+//
+// Field numbers (from profile.proto):
+//
+//	Profile:   1 sample_type (ValueType), 2 sample (Sample),
+//	           6 string_table, 9 time_nanos, 10 duration_nanos,
+//	           11 period_type (ValueType), 12 period
+//	ValueType: 1 type (string idx), 2 unit (string idx)
+//	Sample:    2 value (repeated int64), 3 label (Label)
+//	Label:     1 key (string idx), 2 str (string idx)
+//
+// Go's encoder emits fields in field order, so the string table (6)
+// arrives after the samples (2): decoding is two-pass — raw sub-message
+// bytes are collected first, string indices resolved after.
+
+// ValueType names one sample-value dimension, e.g. {cpu, nanoseconds}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one profile sample: a value per sample type plus its
+// string-valued pprof labels.
+type Sample struct {
+	Values []int64
+	Labels map[string]string
+}
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	PeriodType    ValueType
+	Period        int64
+	TimeNanos     int64
+	DurationNanos int64
+}
+
+// ValueIndex returns the index of the sample-value dimension named typ
+// ("cpu", "samples", ...), or -1 if absent.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// SampleCPUSeconds returns the CPU time of one sample in seconds: the
+// "cpu" value when the profile has one (unit nanoseconds), falling back
+// to samples×period for period-typed cpu profiles. Zero when the
+// profile carries no CPU dimension.
+func (p *Profile) SampleCPUSeconds(s Sample) float64 {
+	if i := p.ValueIndex("cpu"); i >= 0 && i < len(s.Values) {
+		return float64(s.Values[i]) / 1e9
+	}
+	if p.PeriodType.Type == "cpu" && p.Period > 0 {
+		if i := p.ValueIndex("samples"); i >= 0 && i < len(s.Values) {
+			return float64(s.Values[i]) * float64(p.Period) / 1e9
+		}
+	}
+	return 0
+}
+
+// gzipMagic prefixes every profile Go's runtime writes.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// ParseProfile decodes a (possibly gzipped) pprof protobuf profile.
+func ParseProfile(data []byte) (*Profile, error) {
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("diag: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("diag: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+
+	// Pass 1: split the top-level message, stashing raw sub-messages.
+	var (
+		strtab      []string
+		sampleTypes [][]byte
+		samples     [][]byte
+		periodType  []byte
+		prof        Profile
+	)
+	d := &protoDecoder{buf: data}
+	for d.more() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case field == 1 && wire == wireBytes: // sample_type
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, b)
+		case field == 2 && wire == wireBytes: // sample
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, b)
+		case field == 6 && wire == wireBytes: // string_table
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(b))
+		case field == 9 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			prof.TimeNanos = int64(v)
+		case field == 10 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			prof.DurationNanos = int64(v)
+		case field == 11 && wire == wireBytes: // period_type
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			periodType = b
+		case field == 12 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			prof.Period = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 2: resolve string indices now that the table is complete.
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, b := range sampleTypes {
+		vt, err := parseValueType(b, str)
+		if err != nil {
+			return nil, err
+		}
+		prof.SampleTypes = append(prof.SampleTypes, vt)
+	}
+	if periodType != nil {
+		vt, err := parseValueType(periodType, str)
+		if err != nil {
+			return nil, err
+		}
+		prof.PeriodType = vt
+	}
+	for _, b := range samples {
+		s, err := parseSample(b, str)
+		if err != nil {
+			return nil, err
+		}
+		prof.Samples = append(prof.Samples, s)
+	}
+	return &prof, nil
+}
+
+func parseValueType(b []byte, str func(uint64) string) (ValueType, error) {
+	var vt ValueType
+	d := &protoDecoder{buf: b}
+	for d.more() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch {
+		case field == 1 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.Type = str(v)
+		case field == 2 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.Unit = str(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(b []byte, str func(uint64) string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	d := &protoDecoder{buf: b}
+	for d.more() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return s, err
+		}
+		switch {
+		case field == 2 && wire == wireVarint: // unpacked value
+			v, err := d.varint()
+			if err != nil {
+				return s, err
+			}
+			s.Values = append(s.Values, int64(v))
+		case field == 2 && wire == wireBytes: // packed values
+			pb, err := d.bytes()
+			if err != nil {
+				return s, err
+			}
+			pd := &protoDecoder{buf: pb}
+			for pd.more() {
+				v, err := pd.varint()
+				if err != nil {
+					return s, err
+				}
+				s.Values = append(s.Values, int64(v))
+			}
+		case field == 3 && wire == wireBytes: // label
+			lb, err := d.bytes()
+			if err != nil {
+				return s, err
+			}
+			key, val, err := parseLabel(lb, str)
+			if err != nil {
+				return s, err
+			}
+			if key != "" && val != "" {
+				s.Labels[key] = val
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(b []byte, str func(uint64) string) (key, val string, err error) {
+	d := &protoDecoder{buf: b}
+	for d.more() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return "", "", err
+		}
+		switch {
+		case field == 1 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return "", "", err
+			}
+			key = str(v)
+		case field == 2 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return "", "", err
+			}
+			val = str(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return "", "", err
+			}
+		}
+	}
+	return key, val, nil
+}
+
+// Protobuf wire types.
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireBytes  = 2
+	wireI32    = 5
+)
+
+var errTruncated = errors.New("diag: truncated profile")
+
+type protoDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *protoDecoder) more() bool { return d.pos < len(d.buf) }
+
+func (d *protoDecoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, errTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("diag: varint overflow")
+}
+
+func (d *protoDecoder) tag() (field int, wire int, err error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+func (d *protoDecoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, errTruncated
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *protoDecoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireI64:
+		if len(d.buf)-d.pos < 8 {
+			return errTruncated
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytes()
+		return err
+	case wireI32:
+		if len(d.buf)-d.pos < 4 {
+			return errTruncated
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("diag: unknown wire type %d", wire)
+	}
+}

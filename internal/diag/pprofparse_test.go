@@ -1,0 +1,166 @@
+package diag
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+	"time"
+)
+
+// protoEncoder is the test-side mirror of the decoder: just enough
+// protobuf to hand-build synthetic profiles.
+type protoEncoder struct{ buf bytes.Buffer }
+
+func (e *protoEncoder) varint(v uint64) {
+	for v >= 0x80 {
+		e.buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	e.buf.WriteByte(byte(v))
+}
+
+func (e *protoEncoder) tag(field, wire int) { e.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (e *protoEncoder) varintField(field int, v uint64) {
+	e.tag(field, wireVarint)
+	e.varint(v)
+}
+
+func (e *protoEncoder) bytesField(field int, data []byte) {
+	e.tag(field, wireBytes)
+	e.varint(uint64(len(data)))
+	e.buf.Write(data)
+}
+
+func (e *protoEncoder) stringField(field int, s string) { e.bytesField(field, []byte(s)) }
+
+func encodeValueType(typ, unit uint64) []byte {
+	var e protoEncoder
+	e.varintField(1, typ)
+	e.varintField(2, unit)
+	return e.buf.Bytes()
+}
+
+func encodeLabel(key, str uint64) []byte {
+	var e protoEncoder
+	e.varintField(1, key)
+	e.varintField(2, str)
+	return e.buf.Bytes()
+}
+
+// syntheticProfile builds a two-sample profile mimicking Go's field
+// ordering: samples precede the string table, forcing two-pass
+// decoding. One sample has packed values + engine/phase labels, the
+// other unpacked values and no labels.
+func syntheticProfile(t *testing.T) []byte {
+	t.Helper()
+	strings := []string{"", "samples", "count", "cpu", "nanoseconds", "engine", "exact", "phase", "solve"}
+
+	var top protoEncoder
+	top.bytesField(1, encodeValueType(1, 2)) // samples/count
+	top.bytesField(1, encodeValueType(3, 4)) // cpu/nanoseconds
+
+	// Sample 1: packed values [5, 5_000_000], labels engine=exact phase=solve.
+	var packed protoEncoder
+	packed.varint(5)
+	packed.varint(5_000_000)
+	var s1 protoEncoder
+	s1.varintField(1, 42) // location_id — skipped by the parser
+	s1.bytesField(2, packed.buf.Bytes())
+	s1.bytesField(3, encodeLabel(5, 6))
+	s1.bytesField(3, encodeLabel(7, 8))
+	top.bytesField(2, s1.buf.Bytes())
+
+	// Sample 2: unpacked values, no labels.
+	var s2 protoEncoder
+	s2.varintField(2, 3)
+	s2.varintField(2, 3_000_000)
+	top.bytesField(2, s2.buf.Bytes())
+
+	for _, s := range strings {
+		top.stringField(6, s)
+	}
+	top.varintField(9, 1_700_000_000_000_000_000) // time_nanos
+	top.varintField(10, 250_000_000)              // duration_nanos
+	top.bytesField(11, encodeValueType(3, 4))     // period_type cpu/nanoseconds
+	top.varintField(12, 10_000_000)               // period
+	top.bytesField(7, []byte{0x08, 0x01})         // mapping — skipped
+	return top.buf.Bytes()
+}
+
+func TestParseSyntheticProfile(t *testing.T) {
+	raw := syntheticProfile(t)
+
+	// Parse both plain and gzipped (the runtime always gzips).
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(raw)
+	zw.Close()
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{{"plain", raw}, {"gzipped", gz.Bytes()}} {
+		p, err := ParseProfile(tc.data)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(p.SampleTypes) != 2 || p.SampleTypes[0].Type != "samples" || p.SampleTypes[1].Type != "cpu" {
+			t.Fatalf("%s: sample types %+v", tc.name, p.SampleTypes)
+		}
+		if p.ValueIndex("cpu") != 1 || p.ValueIndex("nope") != -1 {
+			t.Fatalf("%s: ValueIndex(cpu)=%d", tc.name, p.ValueIndex("cpu"))
+		}
+		if len(p.Samples) != 2 {
+			t.Fatalf("%s: %d samples", tc.name, len(p.Samples))
+		}
+		s1 := p.Samples[0]
+		if len(s1.Values) != 2 || s1.Values[0] != 5 || s1.Values[1] != 5_000_000 {
+			t.Fatalf("%s: sample 1 values %v", tc.name, s1.Values)
+		}
+		if s1.Labels[LabelEngine] != "exact" || s1.Labels[LabelPhase] != "solve" {
+			t.Fatalf("%s: sample 1 labels %v", tc.name, s1.Labels)
+		}
+		if got := p.SampleCPUSeconds(s1); got != 0.005 {
+			t.Fatalf("%s: cpu seconds %v, want 0.005", tc.name, got)
+		}
+		s2 := p.Samples[1]
+		if len(s2.Values) != 2 || s2.Values[1] != 3_000_000 || len(s2.Labels) != 0 {
+			t.Fatalf("%s: sample 2 %+v", tc.name, s2)
+		}
+		if p.Period != 10_000_000 || p.PeriodType.Type != "cpu" || p.DurationNanos != 250_000_000 {
+			t.Fatalf("%s: period %d type %+v duration %d", tc.name, p.Period, p.PeriodType, p.DurationNanos)
+		}
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	if _, err := ParseProfile([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Fatal("truncated gzip accepted")
+	}
+	// A bytes field whose declared length overruns the buffer.
+	var e protoEncoder
+	e.tag(2, wireBytes)
+	e.varint(100)
+	e.buf.WriteByte(0x01)
+	if _, err := ParseProfile(e.buf.Bytes()); err == nil {
+		t.Fatal("truncated field accepted")
+	}
+}
+
+// TestParseRealProfile round-trips an actual runtime CPU profile
+// through the parser: it must decode without error and carry a cpu
+// sample dimension.
+func TestParseRealProfile(t *testing.T) {
+	raw, err := CaptureCPUProfile(50*time.Millisecond, nil)
+	if err != nil {
+		t.Skipf("cpu profiling unavailable: %v", err)
+	}
+	p, err := ParseProfile(raw)
+	if err != nil {
+		t.Fatalf("parse real profile: %v", err)
+	}
+	if p.ValueIndex("cpu") < 0 && p.PeriodType.Type != "cpu" {
+		t.Fatalf("real profile has no cpu dimension: types %+v period %+v", p.SampleTypes, p.PeriodType)
+	}
+}

@@ -1,0 +1,220 @@
+package diag
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// cpuMu serializes CPU-profile capture: the runtime allows only one
+// StartCPUProfile at a time process-wide, and both the sampler and the
+// bundler want one.
+var cpuMu sync.Mutex
+
+// CaptureCPUProfile records a CPU profile for d (or until cancel
+// closes) and returns the gzipped protobuf bytes. It serializes with
+// every other capture in the process; if something outside this package
+// holds the profiler, it returns an error rather than waiting for it.
+func CaptureCPUProfile(d time.Duration, cancel <-chan struct{}) ([]byte, error) {
+	cpuMu.Lock()
+	defer cpuMu.Unlock()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("diag: start cpu profile: %w", err)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-cancel:
+	}
+	pprof.StopCPUProfile()
+	return buf.Bytes(), nil
+}
+
+// SamplerConfig configures the background profiler.
+type SamplerConfig struct {
+	// Every is the sampling cadence (required, > 0).
+	Every time.Duration
+	// CPUDuration is the length of each CPU profile window (250ms
+	// default). Must be shorter than Every.
+	CPUDuration time.Duration
+	// Ring is how many recent raw CPU profiles to retain (default 4).
+	Ring int
+	// OnCycle, when set, runs after each completed cycle (the server
+	// uses it to drive SLO evaluation between scrapes).
+	OnCycle func()
+	// Logger receives per-cycle errors (discarded when nil).
+	Logger *slog.Logger
+}
+
+// CPUShare is the aggregated CPU attribution of one {engine, phase}
+// label pair across all sampled profiles.
+type CPUShare struct {
+	Engine  string
+	Phase   string
+	Seconds float64
+}
+
+// ProfileStats is the sampler's exported state, rendered into the
+// floorpland_profile_* metric families.
+type ProfileStats struct {
+	Cycles         int64
+	Errors         int64
+	Shares         []CPUShare // sorted by engine, then phase
+	HeapAllocBytes uint64
+	Goroutines     int
+}
+
+type shareKey struct{ engine, phase string }
+
+// Sampler periodically captures short CPU profiles, attributes their
+// samples by goroutine label, and keeps the latest raw profiles.
+type Sampler struct {
+	cfg  SamplerConfig
+	stop chan struct{}
+	done chan struct{}
+
+	mu         sync.Mutex
+	cycles     int64
+	errors     int64
+	shares     map[shareKey]float64
+	ring       [][]byte
+	heapAlloc  uint64
+	goroutines int
+}
+
+// NewSampler starts the background sampling loop.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 250 * time.Millisecond
+	}
+	if cfg.CPUDuration >= cfg.Every {
+		cfg.CPUDuration = cfg.Every / 2
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 4
+	}
+	s := &Sampler{
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		shares: make(map[shareKey]float64),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.cfg.Every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.cycle()
+		}
+	}
+}
+
+func (s *Sampler) cycle() {
+	raw, err := CaptureCPUProfile(s.cfg.CPUDuration, s.stop)
+	if err != nil {
+		s.fail("cpu profile", err)
+		return
+	}
+	prof, err := ParseProfile(raw)
+	if err != nil {
+		s.fail("parse profile", err)
+		return
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	s.mu.Lock()
+	for _, sample := range prof.Samples {
+		sec := prof.SampleCPUSeconds(sample)
+		if sec == 0 {
+			continue
+		}
+		k := shareKey{sample.Labels[LabelEngine], sample.Labels[LabelPhase]}
+		if k.engine == "" {
+			k.engine = "unlabeled"
+		}
+		if k.phase == "" {
+			k.phase = "unlabeled"
+		}
+		s.shares[k] += sec
+	}
+	s.ring = append(s.ring, raw)
+	if len(s.ring) > s.cfg.Ring {
+		s.ring = s.ring[len(s.ring)-s.cfg.Ring:]
+	}
+	s.cycles++
+	s.heapAlloc = ms.HeapAlloc
+	s.goroutines = runtime.NumGoroutine()
+	s.mu.Unlock()
+
+	if s.cfg.OnCycle != nil {
+		s.cfg.OnCycle()
+	}
+}
+
+func (s *Sampler) fail(what string, err error) {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("diag sampler cycle failed", "stage", what, "err", err)
+	}
+}
+
+// Stats snapshots the sampler's aggregate state.
+func (s *Sampler) Stats() ProfileStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ProfileStats{
+		Cycles:         s.cycles,
+		Errors:         s.errors,
+		HeapAllocBytes: s.heapAlloc,
+		Goroutines:     s.goroutines,
+	}
+	for k, v := range s.shares {
+		st.Shares = append(st.Shares, CPUShare{Engine: k.engine, Phase: k.phase, Seconds: v})
+	}
+	sort.Slice(st.Shares, func(i, j int) bool {
+		if st.Shares[i].Engine != st.Shares[j].Engine {
+			return st.Shares[i].Engine < st.Shares[j].Engine
+		}
+		return st.Shares[i].Phase < st.Shares[j].Phase
+	})
+	return st
+}
+
+// LatestCPUProfile returns the most recent raw profile, or nil.
+func (s *Sampler) LatestCPUProfile() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return nil
+	}
+	return s.ring[len(s.ring)-1]
+}
+
+// Stop halts the loop and waits for the in-flight cycle to finish.
+func (s *Sampler) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}

@@ -1,0 +1,72 @@
+package diag
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSamplerCyclesAndStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling integration test")
+	}
+	var cycles atomic.Int64
+	s := NewSampler(SamplerConfig{
+		Every:       40 * time.Millisecond,
+		CPUDuration: 15 * time.Millisecond,
+		Ring:        2,
+		OnCycle:     func() { cycles.Add(1) },
+	})
+	defer s.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Cycles < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler made %d cycles in 10s", s.Stats().Cycles)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := s.Stats()
+	if st.Cycles < 2 {
+		t.Fatalf("cycles = %d", st.Cycles)
+	}
+	if cycles.Load() < st.Cycles {
+		t.Fatalf("OnCycle fired %d times for %d cycles", cycles.Load(), st.Cycles)
+	}
+	if st.HeapAllocBytes == 0 || st.Goroutines == 0 {
+		t.Fatalf("gauges not set: %+v", st)
+	}
+
+	raw := s.LatestCPUProfile()
+	if raw == nil {
+		t.Fatal("no profile retained in ring")
+	}
+	if _, err := ParseProfile(raw); err != nil {
+		t.Fatalf("ring profile unparseable: %v", err)
+	}
+
+	s.Stop() // idempotent with the deferred Stop
+	st2 := s.Stats()
+	time.Sleep(60 * time.Millisecond)
+	if got := s.Stats().Cycles; got != st2.Cycles {
+		t.Fatalf("sampler still cycling after Stop: %d -> %d", st2.Cycles, got)
+	}
+}
+
+func TestSamplerDefaults(t *testing.T) {
+	s := NewSampler(SamplerConfig{Every: time.Hour})
+	defer s.Stop()
+	if s.cfg.CPUDuration != 250*time.Millisecond {
+		t.Fatalf("default CPUDuration = %v", s.cfg.CPUDuration)
+	}
+	if s.cfg.Ring != 4 {
+		t.Fatalf("default Ring = %d", s.cfg.Ring)
+	}
+	// A cadence shorter than the default window clamps the window.
+	s2 := NewSampler(SamplerConfig{Every: 100 * time.Millisecond})
+	defer s2.Stop()
+	if s2.cfg.CPUDuration != 50*time.Millisecond {
+		t.Fatalf("clamped CPUDuration = %v", s2.cfg.CPUDuration)
+	}
+}

@@ -99,6 +99,11 @@ type Record struct {
 	// RequestDigest is the short problem digest (guard.RequestDigest)
 	// correlating this record with log lines.
 	RequestDigest string `json:"request_digest,omitempty"`
+	// LabelDigest is the goroutine-label join digest
+	// (diag.LabelSet.JoinDigest) the solve ran under: CPU-profile
+	// samples carry the same value as the "ldig" pprof label, so a
+	// profile sample joins back to the exact solve that was on CPU.
+	LabelDigest string `json:"label_digest,omitempty"`
 	// Key is the serving-layer cache key, when the solve went through
 	// the daemon.
 	Key string `json:"key,omitempty"`

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,8 +90,19 @@ func NewChaos(inner core.Engine, cfg ChaosConfig) *Chaos {
 	return &Chaos{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
-// Name implements core.Engine: "chaos(<inner>)".
-func (c *Chaos) Name() string { return fmt.Sprintf("chaos(%s)", c.inner.Name()) }
+// NewChaosInjector builds a Chaos with no inner engine, for callers
+// that inject faults around an arbitrary solve function via Apply (the
+// daemon's -chaos flag wraps its whole dispatch path this way).
+func NewChaosInjector(cfg ChaosConfig) *Chaos { return NewChaos(nil, cfg) }
+
+// Name implements core.Engine: "chaos(<inner>)", or "chaos" for an
+// injector with no inner engine.
+func (c *Chaos) Name() string {
+	if c.inner == nil {
+		return "chaos"
+	}
+	return fmt.Sprintf("chaos(%s)", c.inner.Name())
+}
 
 // Calls returns how many Solve calls the wrapper has seen.
 func (c *Chaos) Calls() int {
@@ -141,6 +154,16 @@ func (c *Chaos) next() (int, Fault) {
 // Solve implements core.Engine: apply the scheduled fault, then (for
 // FaultNone and FaultDelay) run the inner engine.
 func (c *Chaos) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptions) (*core.Solution, error) {
+	return c.Apply(ctx, p, func(ctx context.Context) (*core.Solution, error) {
+		return c.inner.Solve(ctx, p, opts)
+	})
+}
+
+// Apply consumes one schedule entry and applies it around inner: panic,
+// error and invalid faults replace the call; none and delay run it
+// (after the sleep). This is the injector form used by the daemon,
+// where "inner" is the whole guarded dispatch path, not a core.Engine.
+func (c *Chaos) Apply(ctx context.Context, p *core.Problem, inner func(context.Context) (*core.Solution, error)) (*core.Solution, error) {
 	n, fault := c.next()
 	switch fault {
 	case FaultPanic:
@@ -162,7 +185,103 @@ func (c *Chaos) Solve(ctx context.Context, p *core.Problem, opts core.SolveOptio
 			return nil, ctx.Err()
 		}
 	}
-	return c.inner.Solve(ctx, p, opts)
+	return inner(ctx)
+}
+
+// DefaultChaosWeights returns the weighted-mode defaults used by
+// ParseChaosSpec when a seed spec names no explicit weights: mostly
+// pass-through with a thin tail of every fault kind.
+func DefaultChaosWeights() (pass, panicW, invalid, errW, delay int) {
+	return 90, 4, 3, 2, 1
+}
+
+// ParseChaosSpec parses the -chaos flag grammar, mirroring
+// reconfig.ParseFaultPlan:
+//
+//	off | none | ""                        no chaos (nil config)
+//	script:panic,pass,error,...            deterministic script, cycled
+//	seed:7                                 weighted mode, default weights
+//	seed:7,panic:10,pass:85,delay:5        weighted mode, explicit weights
+//
+// Script entries are the Fault names (pass/none, panic, invalid, error,
+// delay); weight keys are the same names plus required leading seed.
+func ParseChaosSpec(spec string) (*ChaosConfig, error) {
+	spec = strings.TrimSpace(spec)
+	switch spec {
+	case "", "off", "none":
+		return nil, nil
+	}
+
+	if rest, ok := strings.CutPrefix(spec, "script:"); ok {
+		var script []Fault
+		for _, name := range strings.Split(rest, ",") {
+			switch strings.TrimSpace(name) {
+			case "pass", "none":
+				script = append(script, FaultNone)
+			case "panic":
+				script = append(script, FaultPanic)
+			case "invalid":
+				script = append(script, FaultInvalid)
+			case "error":
+				script = append(script, FaultError)
+			case "delay":
+				script = append(script, FaultDelay)
+			default:
+				return nil, fmt.Errorf("guard: chaos script entry %q (want pass|panic|invalid|error|delay)", name)
+			}
+		}
+		if len(script) == 0 {
+			return nil, errors.New("guard: empty chaos script")
+		}
+		return &ChaosConfig{Script: script}, nil
+	}
+
+	if !strings.HasPrefix(spec, "seed:") {
+		return nil, fmt.Errorf("guard: chaos spec %q (want off, script:..., or seed:N[,fault:weight...])", spec)
+	}
+	cfg := &ChaosConfig{}
+	cfg.PassWeight, cfg.PanicWeight, cfg.InvalidWeight, cfg.ErrorWeight, cfg.DelayWeight = DefaultChaosWeights()
+	explicit := false
+	for i, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("guard: chaos spec part %q", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("guard: chaos spec %s:%s (want a non-negative integer)", key, val)
+		}
+		if i == 0 {
+			if key != "seed" {
+				return nil, fmt.Errorf("guard: chaos spec must start with seed:, got %q", part)
+			}
+			cfg.Seed = int64(n)
+			continue
+		}
+		if !explicit {
+			// First explicit weight clears the defaults: the spec now
+			// defines the whole distribution.
+			cfg.PassWeight, cfg.PanicWeight, cfg.InvalidWeight, cfg.ErrorWeight, cfg.DelayWeight = 0, 0, 0, 0, 0
+			explicit = true
+		}
+		switch key {
+		case "pass", "none":
+			cfg.PassWeight = n
+		case "panic":
+			cfg.PanicWeight = n
+		case "invalid":
+			cfg.InvalidWeight = n
+		case "error":
+			cfg.ErrorWeight = n
+		case "delay":
+			cfg.DelayWeight = n
+		case "seed":
+			return nil, errors.New("guard: duplicate seed in chaos spec")
+		default:
+			return nil, fmt.Errorf("guard: chaos weight %q (want pass|panic|invalid|error|delay)", key)
+		}
+	}
+	return cfg, nil
 }
 
 // poison builds a floorplan that always fails Solution.Validate: region

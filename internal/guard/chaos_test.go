@@ -158,3 +158,77 @@ func TestChaosFallbackEverySlotPanics(t *testing.T) {
 		t.Errorf("winner = %q, want fallback(chaos(inner))", sol.Engine)
 	}
 }
+
+func TestParseChaosSpec(t *testing.T) {
+	for _, spec := range []string{"", "off", "none", "  off  "} {
+		cfg, err := ParseChaosSpec(spec)
+		if err != nil || cfg != nil {
+			t.Fatalf("ParseChaosSpec(%q) = %+v, %v; want nil, nil", spec, cfg, err)
+		}
+	}
+
+	cfg, err := ParseChaosSpec("script:panic,pass,error,invalid,delay,none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{FaultPanic, FaultNone, FaultError, FaultInvalid, FaultDelay, FaultNone}
+	if len(cfg.Script) != len(want) {
+		t.Fatalf("script = %v, want %v", cfg.Script, want)
+	}
+	for i, f := range want {
+		if cfg.Script[i] != f {
+			t.Fatalf("script = %v, want %v", cfg.Script, want)
+		}
+	}
+
+	cfg, err = ParseChaosSpec("seed:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, pa, in, er, de := DefaultChaosWeights()
+	if cfg.Seed != 7 || cfg.PassWeight != pw || cfg.PanicWeight != pa ||
+		cfg.InvalidWeight != in || cfg.ErrorWeight != er || cfg.DelayWeight != de {
+		t.Fatalf("seed:7 cfg = %+v", cfg)
+	}
+
+	cfg, err = ParseChaosSpec("seed:3,panic:10,pass:85,delay:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 3 || cfg.PanicWeight != 10 || cfg.PassWeight != 85 || cfg.DelayWeight != 5 ||
+		cfg.InvalidWeight != 0 || cfg.ErrorWeight != 0 {
+		t.Fatalf("explicit cfg = %+v", cfg)
+	}
+
+	for _, bad := range []string{
+		"panic:10", "seed:x", "script:bogus", "script:", "seed:1,wat:2",
+		"seed:1,seed:2", "seed:1,panic:-3", "justwords",
+	} {
+		if _, err := ParseChaosSpec(bad); err == nil {
+			t.Fatalf("ParseChaosSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestChaosInjectorApply: the engine-less injector form applies faults
+// around an arbitrary solve function, consuming the script in order.
+func TestChaosInjectorApply(t *testing.T) {
+	p := testProblem(t)
+	c := NewChaosInjector(ChaosConfig{Script: []Fault{FaultError, FaultNone}})
+	if c.Name() != "chaos" {
+		t.Fatalf("injector name = %q", c.Name())
+	}
+	inner := func(context.Context) (*core.Solution, error) {
+		return goodEngine("inner").Solve(context.Background(), p, core.SolveOptions{})
+	}
+	if _, err := c.Apply(context.Background(), p, inner); !errors.Is(err, ErrInjected) {
+		t.Fatalf("scripted error fault not applied: %v", err)
+	}
+	sol, err := c.Apply(context.Background(), p, inner)
+	if err != nil || sol == nil {
+		t.Fatalf("pass-through call = %v, %v", sol, err)
+	}
+	if c.Calls() != 2 {
+		t.Fatalf("calls = %d, want 2", c.Calls())
+	}
+}

@@ -29,7 +29,10 @@
 //     path including context cancellation and deadline expiry.
 package obs
 
-import "time"
+import (
+	"strings"
+	"time"
+)
 
 // Counter identifies an engine work counter. Counters are aggregated per
 // span by recording probes; deltas may be batched by emitters.
@@ -159,6 +162,18 @@ func OrNop(sp Span) Span {
 		return NopSpan
 	}
 	return sp
+}
+
+// SplitSpan decomposes a span name into its engine and phase parts
+// following the span-naming convention: an engine's own span is named
+// after the engine ("exact"), internal stages are "<engine>/<stage>"
+// ("milp-o/wire"). A bare engine span reports phase "solve"; only the
+// first slash splits, so "a/b/c" yields stage "b/c".
+func SplitSpan(name string) (engine, phase string) {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, "solve"
 }
 
 // SlackUntil returns the time remaining until deadline — the "deadline

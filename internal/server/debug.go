@@ -88,8 +88,10 @@ type DebugEventsResponse struct {
 	Events []telemetry.Event `json:"events"`
 }
 
-// handleDebugEvents serves GET /debug/events?n=: the kept wide-event
-// tail.
+// handleDebugEvents serves GET /debug/events?n=&kind=&outcome=: the
+// kept wide-event tail, optionally filtered by event kind ("solve",
+// "session") and/or outcome ("panic", "no_solution", ...). Filters
+// scan the whole retained tail and return the newest n matches.
 func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -105,9 +107,29 @@ func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	kind := r.URL.Query().Get("kind")
+	outcome := r.URL.Query().Get("outcome")
+	var events []telemetry.Event
+	if kind == "" && outcome == "" {
+		events = s.events.Tail(n)
+	} else {
+		events = make([]telemetry.Event, 0, n)
+		for _, ev := range s.events.Tail(0) { // newest first
+			if kind != "" && ev.Kind != kind {
+				continue
+			}
+			if outcome != "" && ev.Outcome != outcome {
+				continue
+			}
+			events = append(events, ev)
+			if len(events) == n {
+				break
+			}
+		}
+	}
 	s.writeJSON(w, http.StatusOK, DebugEventsResponse{
 		Stats:  s.events.Stats(),
-		Events: s.events.Tail(n),
+		Events: events,
 	})
 }
 

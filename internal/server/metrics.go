@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/guard"
 	"repro/internal/obs/hist"
 	"repro/internal/portfolio"
@@ -102,6 +103,12 @@ type metrics struct {
 	// /metrics drives the tracker's edge-triggered alert hook as a side
 	// effect, so a scraped daemon needs no background evaluation loop.
 	sloStatus func() []slo.Status
+	// profileStats, when set, supplies the continuous profiler's
+	// per-engine/phase CPU attribution and runtime gauges.
+	profileStats func() diag.ProfileStats
+	// diagStats, when set, supplies the diagnostic-bundle pipeline
+	// counters.
+	diagStats func() diag.BundleStats
 
 	// version labels floorpland_build_info; start anchors the uptime gauge.
 	version string
@@ -270,6 +277,36 @@ func (m *metrics) render() string {
 		counter("floorpland_events_dropped_total", "Wide events dropped because the export queue was full.", es.DroppedQueue)
 		counter("floorpland_events_sampled_out_total", "Unremarkable wide events discarded by tail sampling.", es.SampledOut)
 		counter("floorpland_events_sink_errors_total", "Wide-event sink write failures.", es.SinkErrors)
+	}
+	if m.diagStats != nil {
+		ds := m.diagStats()
+		if len(ds.Captured) > 0 {
+			triggers := make([]string, 0, len(ds.Captured))
+			for t := range ds.Captured {
+				triggers = append(triggers, t)
+			}
+			sort.Strings(triggers)
+			b.WriteString("# HELP floorpland_diag_bundles_total Diagnostic bundles captured, by trigger cause.\n# TYPE floorpland_diag_bundles_total counter\n")
+			for _, t := range triggers {
+				fmt.Fprintf(&b, "floorpland_diag_bundles_total{trigger=%q} %d\n", t, ds.Captured[t])
+			}
+		}
+		counter("floorpland_diag_bundle_errors_total", "Diagnostic bundle captures that failed.", ds.Errors)
+		counter("floorpland_diag_rate_limited_total", "Anomaly bundle triggers suppressed by the rate limit.", ds.RateLimited)
+		counter("floorpland_diag_dropped_total", "Anomaly bundle triggers dropped because the capture queue was full.", ds.Dropped)
+	}
+	if m.profileStats != nil {
+		ps := m.profileStats()
+		counter("floorpland_profile_cycles_total", "Continuous-profiler sampling cycles completed.", ps.Cycles)
+		counter("floorpland_profile_errors_total", "Continuous-profiler cycles that failed to capture or parse.", ps.Errors)
+		if len(ps.Shares) > 0 {
+			b.WriteString("# HELP floorpland_profile_cpu_seconds_total Sampled CPU seconds attributed by goroutine label, by engine and phase.\n# TYPE floorpland_profile_cpu_seconds_total counter\n")
+			for _, sh := range ps.Shares {
+				fmt.Fprintf(&b, "floorpland_profile_cpu_seconds_total{engine=%q,phase=%q} %g\n", sh.Engine, sh.Phase, sh.Seconds)
+			}
+		}
+		fmt.Fprintf(&b, "# HELP floorpland_profile_heap_alloc_bytes Live heap bytes at the last profiler cycle.\n# TYPE floorpland_profile_heap_alloc_bytes gauge\nfloorpland_profile_heap_alloc_bytes %d\n", ps.HeapAllocBytes)
+		fmt.Fprintf(&b, "# HELP floorpland_profile_goroutines Goroutines at the last profiler cycle.\n# TYPE floorpland_profile_goroutines gauge\nfloorpland_profile_goroutines %d\n", ps.Goroutines)
 	}
 	fmt.Fprintf(&b, "# HELP floorpland_queue_depth Solves waiting in the pool queue.\n# TYPE floorpland_queue_depth gauge\nfloorpland_queue_depth %d\n", m.queueDepth())
 	fmt.Fprintf(&b, "# HELP floorpland_sessions_live Online-placement sessions currently registered.\n# TYPE floorpland_sessions_live gauge\nfloorpland_sessions_live %d\n", m.sessionsLive())

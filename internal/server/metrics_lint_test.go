@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/guard"
 	"repro/internal/portfolio"
 	"repro/internal/slo"
@@ -49,6 +50,26 @@ func populatedMetrics() *metrics {
 	}
 	m.breakerStats = func() []guard.BreakerSnapshot {
 		return []guard.BreakerSnapshot{{Name: "exact", State: guard.BreakerOpen, Failures: 5, Trips: 1}}
+	}
+	m.profileStats = func() diag.ProfileStats {
+		return diag.ProfileStats{
+			Cycles: 2,
+			Errors: 1,
+			Shares: []diag.CPUShare{
+				{Engine: "exact", Phase: "solve", Seconds: 1.5},
+				{Engine: "session", Phase: "apply", Seconds: 0.25},
+			},
+			HeapAllocBytes: 1 << 20,
+			Goroutines:     12,
+		}
+	}
+	m.diagStats = func() diag.BundleStats {
+		return diag.BundleStats{
+			Captured:    map[string]int64{"panic": 1, "slo-alert": 2},
+			Errors:      1,
+			RateLimited: 3,
+			Dropped:     1,
+		}
 	}
 	m.observeLatency("exact", 42*time.Millisecond)
 	m.observeLatency("annealing", 3*time.Millisecond)

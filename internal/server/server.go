@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/flight"
 	"repro/internal/guard"
 	"repro/internal/obs"
@@ -128,6 +129,26 @@ type Config struct {
 	// SLOs overrides the tracked service-level objectives (default
 	// slo.DefaultObjectives). Burn-rate alerts use slo.DefaultRules.
 	SLOs []slo.Objective
+	// DiagDir, when set, enables anomaly-triggered diagnostic bundles:
+	// SLO alerts, budget overruns, panics/invalid solutions and reconfig
+	// rollbacks each snapshot a bundle-<ts>.tar.gz there (rate-limited,
+	// rotated). GET /debug/bundle works either way.
+	DiagDir string
+	// DiagKeep bounds the bundles kept in DiagDir (default 8).
+	DiagKeep int
+	// DiagMinInterval rate-limits anomaly-triggered bundles (default 1m).
+	DiagMinInterval time.Duration
+	// ProfileEvery, when positive, runs the continuous profiler: a short
+	// CPU profile every ProfileEvery, attributed per engine/phase into
+	// the floorpland_profile_* metric families.
+	ProfileEvery time.Duration
+	// ProfileCPUDuration is the profiler's CPU window per cycle (default
+	// 250ms, clamped below ProfileEvery).
+	ProfileCPUDuration time.Duration
+	// Chaos, when non-nil, injects faults (panics, invalid solutions,
+	// errors, delays) around the whole dispatch path — the fire drill
+	// for the guard and diag layers. See guard.ParseChaosSpec.
+	Chaos *guard.ChaosConfig
 	// Solve overrides the solver (tests); nil uses floorplanner.Solve.
 	Solve SolveFunc
 	// Logger receives structured request logs; nil uses slog.Default.
@@ -198,6 +219,9 @@ type Server struct {
 	sessions *sessionRegistry
 	events   *telemetry.Exporter
 	slos     *slo.Tracker
+	sampler  *diag.Sampler // nil unless ProfileEvery > 0
+	bundler  *diag.Bundler
+	chaos    *guard.Chaos // nil unless Config.Chaos set
 	log      *slog.Logger
 	closing  atomic.Bool
 }
@@ -267,6 +291,41 @@ func New(cfg Config) *Server {
 			"stack", string(stack),
 		)
 	}
+	if cfg.Chaos != nil {
+		s.chaos = guard.NewChaosInjector(*cfg.Chaos)
+	}
+	// Goroutine labeling switches on (process-wide) as soon as anything
+	// consumes the labels: the continuous profiler or bundle captures.
+	// Never switched back off here — another server in the process may
+	// still depend on it.
+	if cfg.ProfileEvery > 0 || cfg.DiagDir != "" {
+		diag.SetLabeling(true)
+	}
+	s.bundler = diag.NewBundler(diag.BundlerConfig{
+		Dir:         cfg.DiagDir,
+		Keep:        cfg.DiagKeep,
+		MinInterval: cfg.DiagMinInterval,
+		CPUDuration: cfg.ProfileCPUDuration,
+		Meta: map[string]string{
+			"service": "floorpland",
+			"version": cfg.Version,
+		},
+		Artifacts: s.diagArtifacts,
+		Logger:    cfg.Logger,
+	})
+	s.metrics.diagStats = s.bundler.Stats
+	if cfg.ProfileEvery > 0 {
+		s.sampler = diag.NewSampler(diag.SamplerConfig{
+			Every:       cfg.ProfileEvery,
+			CPUDuration: cfg.ProfileCPUDuration,
+			// Burn-rate state normally advances only when /metrics is
+			// scraped; with the profiler on, every cycle also evaluates,
+			// so alerts (and their bundles) fire without a scraper.
+			OnCycle: func() { s.slos.Evaluate() },
+			Logger:  cfg.Logger,
+		})
+		s.metrics.profileStats = s.sampler.Stats
+	}
 	if cfg.SessionDir != "" {
 		s.recoverSessions()
 	}
@@ -284,6 +343,9 @@ func (s *Server) FlightRecorder() *flight.Recorder { return s.flight }
 // and closes the wide-event exporter (and its sink).
 func (s *Server) Close(ctx context.Context) error {
 	s.closing.Store(true)
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 	err := s.pool.close(ctx)
 	flushed, drainErr := s.drainSessions()
 	s.log.Info("session drain", "flushed", flushed)
@@ -293,6 +355,9 @@ func (s *Server) Close(ctx context.Context) error {
 	if eerr := s.events.Close(); err == nil {
 		err = eerr
 	}
+	// Last: in-flight anomaly bundles still read the flight ring and
+	// event tail, both valid until here.
+	s.bundler.Close()
 	return err
 }
 
@@ -311,6 +376,11 @@ func (s *Server) onSLOAlert(ev slo.AlertEvent) {
 			"short_burn", ev.ShortBurn,
 			"long_burn", ev.LongBurn,
 		)
+		if s.bundler != nil {
+			s.bundler.Trigger("slo-alert", fmt.Sprintf(
+				"objective %s rule %s short %.2f long %.2f",
+				ev.Objective, ev.Rule, ev.ShortBurn, ev.LongBurn))
+		}
 		return
 	}
 	s.log.Info("slo alert resolved",
@@ -334,6 +404,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/solves/", s.handleDebugSolve)
 	mux.HandleFunc("/debug/events", s.handleDebugEvents)
 	mux.HandleFunc("/debug/slo", s.handleDebugSLO)
+	mux.HandleFunc("/debug/bundle", s.handleDebugBundle)
 	return s.logRequests(s.recoverPanics(mux))
 }
 
@@ -512,18 +583,30 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 		}
 	}
 	rec := obs.NewRecorder()
-	opts.Probe = rec
+	// The label probe keeps the worker goroutine's pprof labels in sync
+	// with the open span, so CPU samples attribute to the engine/stage
+	// actually running; the join digest links samples to this record.
+	labels := diag.LabelSet{
+		Engine:    engine,
+		Phase:     "solve",
+		Endpoint:  "/v1/solve",
+		Digest:    frec.RequestDigest,
+		RequestID: requestID(ctx),
+	}
+	frec.LabelDigest = labels.JoinDigest()
+	lprobe := diag.NewLabelProbe(rec)
+	opts.Probe = lprobe
 	// The stage log collects fallback-chain stage timings; the pool hands
 	// this ctx to the solve, so the guard layer's collector is ours.
 	ctx, stageLog := guard.WithStageLog(ctx)
-	task, err := s.pool.submit(ctx, func(ctx context.Context) (*core.Solution, error) {
+	run := func(ctx context.Context) (*core.Solution, error) {
 		s.metrics.solvesStarted.Add(1)
 		solveStarted := time.Now()
 		// Guard boundary: engine panics become structured errors and every
 		// solution is re-verified before it can be cached or served —
 		// regardless of which SolveFunc produced it.
 		sol, err := guard.Protect(engine, p, func() (*core.Solution, error) {
-			return s.solve(ctx, p, engine, opts)
+			return s.dispatch(ctx, p, engine, opts)
 		})
 		if err == nil {
 			if verr := guard.CheckSolution(engine, p, sol); verr != nil {
@@ -556,6 +639,13 @@ func (s *Server) runSolve(ctx context.Context, key, engine string, p *core.Probl
 		} else {
 			s.metrics.solvesFailed.Add(1)
 		}
+		return sol, err
+	}
+	task, err := s.pool.submit(ctx, func(ctx context.Context) (sol *core.Solution, err error) {
+		diag.Do(ctx, labels, func(ctx context.Context) {
+			lprobe.Bind(ctx)
+			sol, err = run(ctx)
+		})
 		return sol, err
 	})
 	if err != nil {
@@ -665,6 +755,7 @@ func (s *Server) observeSolve(ctx context.Context, frec flight.Record, budget ti
 		ev.BudgetOverrunMS = over
 	}
 	s.events.Emit(ev)
+	s.triggerDiag(frec, ev)
 	failed, counted := sloCounts(err)
 	if !counted {
 		return
@@ -709,6 +800,19 @@ func durationMS(d time.Duration) float64 {
 // outcomeLabel names a solve outcome for the telemetry log line.
 func outcomeLabel(sol *core.Solution, err error) string {
 	return string(core.ObsOutcome(sol, err))
+}
+
+// dispatch runs the configured solver, with the chaos injector (when
+// enabled) applying its scheduled fault around the whole path — inside
+// the guard boundary, so injected panics and poison solutions exercise
+// the same recovery the real thing would.
+func (s *Server) dispatch(ctx context.Context, p *core.Problem, engine string, opts core.SolveOptions) (*core.Solution, error) {
+	if s.chaos != nil {
+		return s.chaos.Apply(ctx, p, func(ctx context.Context) (*core.Solution, error) {
+			return s.solve(ctx, p, engine, opts)
+		})
+	}
+	return s.solve(ctx, p, engine, opts)
 }
 
 func (s *Server) solve(ctx context.Context, p *core.Problem, engine string, opts core.SolveOptions) (*core.Solution, error) {

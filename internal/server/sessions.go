@@ -34,6 +34,7 @@ import (
 	floorplanner "repro"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/diag"
 	"repro/internal/flight"
 	"repro/internal/session"
 	"repro/internal/slo"
@@ -439,29 +440,38 @@ func (s *Server) applySessionEvents(w http.ResponseWriter, r *http.Request, id s
 		s.metrics.sessionRetries.Add(int64(stats.Retries))
 		s.metrics.sessionRollbacks.Add(int64(stats.Rollbacks))
 	}
-	for i, ev := range req.Events {
-		res, err := ls.mgr.Apply(ev)
-		if err != nil {
-			// Malformed event: the applied prefix stays applied — sessions
-			// are stateful and moves already flowed through the config
-			// memory — and the client learns exactly where the batch broke.
-			s.metrics.sessionEvents.Add(int64(i))
-			stats.Events = i
-			closeDeltas()
-			s.recordSessionFlight(r.Context(), ls, stats, time.Since(started), err)
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("event %d: %v", i, err))
-			return
-		}
-		resp.Results = append(resp.Results, *res)
-		resp.Fragmentation = res.Fragmentation
-		resp.Occupancy = res.Occupancy
-		if res.Defrag != nil && res.Defrag.Executed {
-			stats.Defrags++
-			if res.Defrag.Schedule != nil {
-				stats.Moves += res.Defrag.Schedule.Executed
-				stats.CorruptedFrames += res.Defrag.Schedule.CorruptedFrames
+	// The batch runs under session goroutine labels, so CPU profiles
+	// attribute placement/defrag work to the session pseudo-engine.
+	failIdx, failErr := -1, error(nil)
+	diag.Do(r.Context(), sessionLabels(r.Context(), id), func(context.Context) {
+		for i, ev := range req.Events {
+			res, err := ls.mgr.Apply(ev)
+			if err != nil {
+				failIdx, failErr = i, err
+				return
+			}
+			resp.Results = append(resp.Results, *res)
+			resp.Fragmentation = res.Fragmentation
+			resp.Occupancy = res.Occupancy
+			if res.Defrag != nil && res.Defrag.Executed {
+				stats.Defrags++
+				if res.Defrag.Schedule != nil {
+					stats.Moves += res.Defrag.Schedule.Executed
+					stats.CorruptedFrames += res.Defrag.Schedule.CorruptedFrames
+				}
 			}
 		}
+	})
+	if failErr != nil {
+		// Malformed event: the applied prefix stays applied — sessions
+		// are stateful and moves already flowed through the config
+		// memory — and the client learns exactly where the batch broke.
+		s.metrics.sessionEvents.Add(int64(failIdx))
+		stats.Events = failIdx
+		closeDeltas()
+		s.recordSessionFlight(r.Context(), ls, stats, time.Since(started), failErr)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("event %d: %v", failIdx, failErr))
+		return
 	}
 	s.metrics.sessionEvents.Add(int64(len(req.Events)))
 	s.metrics.sessionDefrags.Add(int64(stats.Defrags))
@@ -518,11 +528,18 @@ func (s *Server) recordSessionFlight(ctx context.Context, ls *liveSession, stats
 		Session:    &stats,
 	}
 	rec.RequestDigest = fmt.Sprintf("session:%s:%d", ls.id, stats.Events)
+	rec.LabelDigest = sessionLabels(ctx, ls.id).JoinDigest()
 	if err != nil {
 		rec.Outcome = "error"
 		rec.Err = err.Error()
 	}
 	rec.Seq = s.recordFlight(rec)
+	if stats.Rollbacks > 0 && s.bundler != nil {
+		// A transactional defrag rollback means a mid-schedule hard fault
+		// just unwound live relocations — snapshot the evidence.
+		s.bundler.Trigger("reconfig-rollback", fmt.Sprintf(
+			"session %s seq %d rollbacks %d retries %d", ls.id, rec.Seq, stats.Rollbacks, stats.Retries))
+	}
 	s.events.Emit(telemetry.Event{
 		Record:    rec,
 		Kind:      "session",
@@ -538,6 +555,19 @@ func (s *Server) recordSessionFlight(ctx context.Context, ls *liveSession, stats
 			Endpoint: "/v1/sessions/events",
 			Duration: elapsed,
 		})
+	}
+}
+
+// sessionLabels is the goroutine label set an event batch runs under;
+// the same set derives the flight record's join digest, so profile
+// samples attribute back to the exact batch.
+func sessionLabels(ctx context.Context, id string) diag.LabelSet {
+	return diag.LabelSet{
+		Engine:    "session",
+		Phase:     "apply",
+		Endpoint:  "/v1/sessions/events",
+		Digest:    id,
+		RequestID: requestID(ctx),
 	}
 }
 

@@ -22,6 +22,7 @@ package slo
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -415,6 +416,24 @@ func (t *Tracker) Evaluate() []Status {
 			t.onAlert(ev)
 		}
 	}
+	return out
+}
+
+// Firing returns the currently-firing rules as sorted
+// "objective/rule" strings — the SLO snapshot diagnostic bundles embed.
+// State reflects the most recent Evaluate.
+func (t *Tracker) Firing() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for _, st := range t.objs {
+		for rule, firing := range st.firing {
+			if firing {
+				out = append(out, st.obj.Name+"/"+rule)
+			}
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 
